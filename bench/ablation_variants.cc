@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation bench beyond the paper's figures: the three consistency
+ * variants side by side (LOG / GC / IC — the third being the paper's
+ * §4.1 future work), each optimization toggled individually, and the
+ * §6.5 dynamic-stripe policy against fixed stripe counts.
+ */
+
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+    auto threads = benchThreadCounts(args.quick);
+
+    // --- consistency variants ---------------------------------------
+    printSeriesHeader("Ablation: consistency variants (Threadtest)",
+                      "throughput (Mops/s) vs threads", threads);
+    struct Variant
+    {
+        const char *name;
+        Consistency consistency;
+    };
+    const Variant variants[] = {
+        {"NVAlloc-LOG", Consistency::Log},
+        {"NVAlloc-GC", Consistency::Gc},
+        {"NVAlloc-IC", Consistency::InternalCollection},
+    };
+    for (const Variant &v : variants) {
+        std::vector<double> row;
+        for (unsigned t : threads) {
+            MakeOptions opts;
+            opts.tweak_nvalloc = [&](NvAllocConfig &c) {
+                c.consistency = v.consistency;
+            };
+            RunResult r = runOn(AllocKind::NvAllocLog, opts,
+                                [&](PmAllocator &a, VtimeEpoch &e) {
+                                    return threadtest(a, e, t,
+                                                      p.tt_iters(),
+                                                      p.tt_objs(),
+                                                      p.tt_size());
+                                });
+            row.push_back(r.mops());
+        }
+        printSeriesRow(v.name, row);
+    }
+
+    // --- one-out optimization toggles --------------------------------
+    std::printf("\n## Ablation: NVAlloc-LOG with one optimization "
+                "disabled (Threadtest, 8 threads, virtual ms)\n");
+    struct Toggle
+    {
+        const char *name;
+        std::function<void(NvAllocConfig &)> apply;
+    };
+    const Toggle toggles[] = {
+        {"full system", [](NvAllocConfig &) {}},
+        {"- interleaved bitmap",
+         [](NvAllocConfig &c) { c.interleaved_bitmap = false; }},
+        {"- interleaved tcache",
+         [](NvAllocConfig &c) { c.interleaved_tcache = false; }},
+        {"- interleaved WAL",
+         [](NvAllocConfig &c) { c.interleaved_wal = false; }},
+        {"- log bookkeeping",
+         [](NvAllocConfig &c) { c.log_bookkeeping = false; }},
+        {"- slab morphing",
+         [](NvAllocConfig &c) { c.slab_morphing = false; }},
+    };
+    for (const Toggle &toggle : toggles) {
+        MakeOptions opts;
+        opts.tweak_nvalloc = toggle.apply;
+        RunResult r = runOn(AllocKind::NvAllocLog, opts,
+                            [&](PmAllocator &a, VtimeEpoch &e) {
+                                return threadtest(a, e, 8, p.tt_iters(),
+                                                  p.tt_objs(),
+                                                  p.tt_size());
+                            });
+        std::printf("%-22s %10.3f\n", toggle.name,
+                    double(r.makespan_ns) / 1e6);
+    }
+
+    // --- dynamic stripes ----------------------------------------------
+    std::printf("\n## Ablation: dynamic stripe policy vs fixed "
+                "(Threadtest, virtual ms)\n");
+    std::printf("%-10s", "threads");
+    for (const char *label : {"fixed 6", "fixed 8", "dynamic"})
+        std::printf(" %10s", label);
+    std::printf("\n");
+    for (unsigned t : threads) {
+        std::printf("%-10u", t);
+        for (int mode = 0; mode < 3; ++mode) {
+            MakeOptions opts;
+            opts.tweak_nvalloc = [&](NvAllocConfig &c) {
+                if (mode == 0)
+                    c.bit_stripes = 6;
+                else if (mode == 1)
+                    c.bit_stripes = 8;
+                else
+                    c.dynamic_stripes = true;
+            };
+            RunResult r = runOn(AllocKind::NvAllocLog, opts,
+                                [&](PmAllocator &a, VtimeEpoch &e) {
+                                    return threadtest(a, e, t,
+                                                      p.tt_iters(),
+                                                      p.tt_objs(),
+                                                      p.tt_size());
+                                });
+            std::printf(" %10.3f", double(r.makespan_ns) / 1e6);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

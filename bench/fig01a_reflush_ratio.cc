@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 1(a): share of cache-line reflushes among all allocator-
+ * induced flush operations for the strongly consistent baselines on
+ * Threadtest, Prod-con, Shbench and Larson.
+ *
+ * Expected shape (paper §3.1): reflushes account for 40.4%-99.7% of
+ * all flushes — up to 99.7% for PMDK, 94.4% for nvm_malloc and 98.8%
+ * for PAllocator — because they consecutively update small metadata
+ * in slab headers and WALs.
+ */
+
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+
+    const AllocKind kinds[] = {AllocKind::Pmdk, AllocKind::NvmMalloc,
+                               AllocKind::PAllocator};
+
+    struct Bench
+    {
+        const char *name;
+        std::function<RunResult(PmAllocator &, VtimeEpoch &)> run;
+    };
+    const Bench benches[] = {
+        {"Threadtest",
+         [&](PmAllocator &a, VtimeEpoch &e) {
+             return threadtest(a, e, 1, p.tt_iters(), p.tt_objs(),
+                               p.tt_size());
+         }},
+        {"Prod-con",
+         [&](PmAllocator &a, VtimeEpoch &e) {
+             return prodcon(a, e, 2, p.prodcon_objs(1), 64);
+         }},
+        {"Shbench",
+         [&](PmAllocator &a, VtimeEpoch &e) {
+             return shbench(a, e, 1, p.sh_iters(), args.seed);
+         }},
+        {"Larson",
+         [&](PmAllocator &a, VtimeEpoch &e) {
+             return larson(a, e, 1, 64, 256, p.larson_small_slots(),
+                           p.larson_rounds(), p.larson_small_ops(),
+                           args.seed);
+         }},
+    };
+
+    std::printf("## Fig 1(a) — %% of flushes that are reflushes "
+                "(reflush / regular)\n");
+    std::printf("%-12s", "benchmark");
+    for (AllocKind kind : kinds)
+        std::printf(" %12s", allocName(kind));
+    std::printf("\n");
+
+    for (const Bench &bench : benches) {
+        std::printf("%-12s", bench.name);
+        for (AllocKind kind : kinds) {
+            auto dev = makeBenchDevice();
+            auto alloc = makeAllocator(kind, *dev, {});
+            VtimeEpoch epoch;
+            dev->model().reset();
+            bench.run(*alloc, epoch);
+            auto c = dev->flushCounts();
+            double pct =
+                c.total ? 100.0 * double(c.reflush) / double(c.total)
+                        : 0.0;
+            std::printf("  %5.1f/%5.1f", pct, 100.0 - pct);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 1(b): peak memory consumption of allocators with static slab
+ * segregation on the Fragbench workloads W1-W4 of Table 1.
+ *
+ * Expected shape (paper §3.2): managing ~1 unit of live data costs up
+ * to 2.8 units of heap because slabs pinned to one size class cannot
+ * serve the post-Delete allocation sizes; GC/embedded-list allocators
+ * (Makalu, Ralloc) fragment worst. NVAlloc with slab morphing
+ * (shown for contrast) stays close to the live size.
+ */
+
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+
+    const AllocKind kinds[] = {AllocKind::Pmdk, AllocKind::NvmMalloc,
+                               AllocKind::PAllocator, AllocKind::Makalu,
+                               AllocKind::Ralloc, AllocKind::NvAllocLog};
+
+    std::printf("## Fig 1(b) — peak memory (MiB) on Fragbench; "
+                "live data ~%zu MiB\n", p.frag_live() >> 20);
+    std::printf("%-12s", "allocator");
+    for (unsigned w = 0; w < kNumFragWorkloads; ++w)
+        std::printf(" %10s", fragWorkloads()[w].name);
+    std::printf("\n");
+
+    for (AllocKind kind : kinds) {
+        std::printf("%-12s", allocName(kind));
+        for (unsigned w = 0; w < kNumFragWorkloads; ++w) {
+            auto dev = makeBenchDevice();
+            auto alloc = makeAllocator(kind, *dev, {});
+            VtimeEpoch epoch;
+            FragResult fr =
+                fragbench(*alloc, epoch, fragWorkloads()[w],
+                          p.frag_total(), p.frag_live(), args.seed);
+            std::printf(" %10.1f", double(fr.peak_bytes) / (1 << 20));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 10: small-allocation throughput of the weakly consistent
+ * (GC-based) allocators — Makalu, Ralloc, NVAlloc-GC — on Threadtest,
+ * Prod-con, Shbench and Larson-small.
+ *
+ * Expected shape (paper §6.2): NVAlloc-GC wins (up to 70x over Makalu
+ * at scale, up to 6x over Ralloc) because it manages blocks with
+ * bitmaps + a volatile DRAM copy while Makalu/Ralloc chase embedded
+ * free-list pointers stored in PM; Makalu additionally serializes on
+ * central heap structures.
+ */
+
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+    auto threads = benchThreadCounts(args.quick);
+
+    struct Bench
+    {
+        const char *name;
+        std::function<RunResult(PmAllocator &, VtimeEpoch &, unsigned)>
+            run;
+    };
+    const Bench benches[] = {
+        {"Threadtest",
+         [&](PmAllocator &a, VtimeEpoch &e, unsigned t) {
+             return threadtest(a, e, t, p.tt_iters(), p.tt_objs(),
+                               p.tt_size());
+         }},
+        {"Prod-con",
+         [&](PmAllocator &a, VtimeEpoch &e, unsigned t) {
+             return prodcon(a, e, t, p.prodcon_objs(t / 2), 64);
+         }},
+        {"Shbench",
+         [&](PmAllocator &a, VtimeEpoch &e, unsigned t) {
+             return shbench(a, e, t, p.sh_iters(), args.seed);
+         }},
+        {"Larson-small",
+         [&](PmAllocator &a, VtimeEpoch &e, unsigned t) {
+             return larson(a, e, t, 64, 256, p.larson_small_slots(),
+                           p.larson_rounds(), p.larson_small_ops(),
+                           args.seed);
+         }},
+    };
+
+    for (const Bench &bench : benches) {
+        printSeriesHeader((std::string("Fig 10 ") + bench.name).c_str(),
+                          "throughput (Mops/s) vs threads", threads);
+        for (AllocKind kind : weakGroup()) {
+            std::vector<double> row;
+            for (unsigned t : threads) {
+                RunResult r = runOn(kind, {},
+                                    [&](PmAllocator &a, VtimeEpoch &e) {
+                                        return bench.run(a, e, t);
+                                    });
+                row.push_back(r.mops());
+            }
+            printSeriesRow(allocName(kind), row);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

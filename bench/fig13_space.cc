@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 13: space consumption (peak committed PM) of Threadtest and
+ * DBMStest runs over thread counts, for jemalloc-style baselines and
+ * NVAlloc-LOG. Ralloc is excluded from DBMStest (broken large path)
+ * as in the paper; NVAlloc-GC equals NVAlloc-LOG.
+ *
+ * Expected shape (§6.2): NVAlloc-LOG comparable or better than every
+ * baseline on both benchmarks.
+ */
+
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+    auto threads = benchThreadCounts(args.quick);
+
+    struct Bench
+    {
+        const char *name;
+        bool large;
+        std::function<RunResult(PmAllocator &, VtimeEpoch &, unsigned)>
+            run;
+    };
+    const Bench benches[] = {
+        {"Threadtest", false,
+         [&](PmAllocator &a, VtimeEpoch &e, unsigned t) {
+             // Larger batches than the throughput figures so the
+             // footprint dominates fixed overheads.
+             return threadtest(a, e, t, 2, args.quick ? 4000 : 16000,
+                               p.tt_size());
+         }},
+        {"DBMStest", true,
+         [&](PmAllocator &a, VtimeEpoch &e, unsigned t) {
+             return dbmstest(a, e, t, p.dbms_iters(), p.dbms_objs(t),
+                             args.seed);
+         }},
+    };
+
+    for (const Bench &bench : benches) {
+        printSeriesHeader((std::string("Fig 13 ") + bench.name).c_str(),
+                          "peak memory (MiB) vs threads", threads);
+        for (AllocKind kind :
+             {AllocKind::Pmdk, AllocKind::NvmMalloc, AllocKind::Makalu,
+              AllocKind::Ralloc, AllocKind::NvAllocLog}) {
+            if (bench.large && kind == AllocKind::Ralloc)
+                continue;
+            std::vector<double> row;
+            for (unsigned t : threads) {
+                auto dev = makeBenchDevice();
+                auto alloc = makeAllocator(kind, *dev, {});
+                VtimeEpoch epoch;
+                dev->resetPeak();
+                bench.run(*alloc, epoch, t);
+                row.push_back(double(dev->peakCommittedBytes()) /
+                              (1 << 20));
+            }
+            printSeriesRow(allocName(kind), row);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

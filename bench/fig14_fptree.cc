@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 14: FPTree throughput (50% inserts / 50% deletes, 128 B KV
+ * objects) over thread counts, for both allocator groups.
+ *
+ * Expected shape (§6.3): with NVAlloc-LOG, FPTree reaches up to
+ * 1.2x/1.5x/3.1x the throughput it reaches with PMDK / nvm_malloc /
+ * PAllocator; NVAlloc-GC improves on the GC group by up to 35.4%.
+ * The allocator gap is smaller than in Fig. 9/10 because tree
+ * maintenance amortizes allocator cost.
+ */
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "fptree/fptree.h"
+
+using namespace nvalloc;
+
+namespace {
+
+RunResult
+fptreeBench(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
+            unsigned warm_keys, unsigned ops_per_thread, uint64_t seed)
+{
+    FpTree tree(alloc);
+
+    // Warm-up phase (not measured): preload the tree.
+    runWorkers(1, epoch, [&](unsigned) -> uint64_t {
+        AllocThread *t = alloc.threadAttach();
+        Rng rng(seed);
+        for (unsigned i = 0; i < warm_keys; ++i)
+            tree.insert(t, rng.next(), i);
+        alloc.threadDetach(t);
+        return warm_keys;
+    });
+
+    // Measured phase: 50% insert / 50% delete.
+    return runWorkers(threads, epoch, [&](unsigned tid) -> uint64_t {
+        AllocThread *t = alloc.threadAttach();
+        Rng rng(seed * 7919 + tid);
+        std::vector<uint64_t> mine;
+        uint64_t base = uint64_t(tid + 1) << 40;
+        for (unsigned i = 0; i < ops_per_thread; ++i) {
+            if (mine.empty() || rng.nextDouble() < 0.5) {
+                uint64_t key = base + rng.next() % (uint64_t{1} << 30);
+                if (tree.insert(t, key, key))
+                    mine.push_back(key);
+            } else {
+                size_t pick = rng.nextBounded(mine.size());
+                tree.erase(t, mine[pick]);
+                mine[pick] = mine.back();
+                mine.pop_back();
+            }
+        }
+        alloc.threadDetach(t);
+        return ops_per_thread;
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    auto threads = benchThreadCounts(args.quick);
+    unsigned warm = args.quick ? 20000 : 100000;
+    unsigned ops = args.quick ? 4000 : 10000;
+
+    const char *groups[] = {"strongly consistent", "weakly consistent"};
+    for (int g = 0; g < 2; ++g) {
+        auto kinds = g == 0 ? strongGroup() : weakGroup();
+        printSeriesHeader(
+            (std::string("Fig 14 FPTree (") + groups[g] + ")").c_str(),
+            "throughput (Mops/s) vs threads", threads);
+        for (AllocKind kind : kinds) {
+            std::vector<double> row;
+            for (unsigned t : threads) {
+                RunResult r =
+                    runOn(kind, {}, [&](PmAllocator &a, VtimeEpoch &e) {
+                        return fptreeBench(a, e, t, warm, ops,
+                                           args.seed);
+                    });
+                row.push_back(r.mops());
+            }
+            printSeriesRow(allocName(kind), row);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Figure 15: the Fragbench evaluation of slab morphing (§6.4).
+ *
+ *  (a) space consumption of Makalu, NVAlloc-LOG, and NVAlloc-LOG
+ *      without slab morphing on W1-W4;
+ *  (b) slab-space breakdown by utilization bucket (0-30 / 30-70 /
+ *      70-100%) with and without morphing;
+ *  (c,d) runtime of the strong and weak groups with and without
+ *      morphing.
+ *
+ * Expected shape: morphing reduces memory by up to 41.9% (57.8% vs
+ * the worst baselines), shifts slabs into the high-utilization
+ * bucket, and costs ~4.5% runtime.
+ */
+
+#include "baselines/nvalloc_adapter.h"
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+namespace {
+
+FragResult
+runFrag(AllocKind kind, bool morphing, const FragWorkload &w,
+        const BenchParams &p, uint64_t seed,
+        std::array<uint64_t, 3> *buckets = nullptr)
+{
+    auto dev = makeBenchDevice();
+    MakeOptions opts;
+    opts.tweak_nvalloc = [&](NvAllocConfig &c) {
+        c.slab_morphing = morphing;
+    };
+    auto alloc = makeAllocator(kind, *dev, opts);
+    VtimeEpoch epoch;
+    auto *adapter = dynamic_cast<NvAllocAdapter *>(alloc.get());
+    FragResult fr = fragbench(
+        *alloc, epoch, w, p.frag_total(), p.frag_live(), seed,
+        buckets && adapter
+            ? std::function<void()>([&] {
+                  *buckets = adapter->impl().slabUtilizationBytes();
+              })
+            : std::function<void()>());
+    return fr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+    const FragWorkload *ws = fragWorkloads();
+
+    // (a) space consumption.
+    std::printf("## Fig 15(a) — peak memory (MiB), live ~%zu MiB\n",
+                p.frag_live() >> 20);
+    std::printf("%-22s %8s %8s %8s %8s\n", "allocator", "W1", "W2",
+                "W3", "W4");
+    struct Row
+    {
+        const char *name;
+        AllocKind kind;
+        bool morph;
+    };
+    const Row rows[] = {
+        {"Makalu", AllocKind::Makalu, false},
+        {"NVAlloc-LOG", AllocKind::NvAllocLog, true},
+        {"NVAlloc-LOG (w/o SM)", AllocKind::NvAllocLog, false},
+    };
+    for (const Row &row : rows) {
+        std::printf("%-22s", row.name);
+        for (unsigned w = 0; w < kNumFragWorkloads; ++w) {
+            FragResult fr =
+                runFrag(row.kind, row.morph, ws[w], p, args.seed);
+            std::printf(" %8.1f", double(fr.peak_bytes) / (1 << 20));
+        }
+        std::printf("\n");
+    }
+
+    // (b) slab utilization breakdown (bytes still held in slabs at the
+    // measurement point, before the final teardown).
+    std::printf("\n## Fig 15(b) — NVAlloc slab space by utilization "
+                "(MiB): 0-30%% / 30-70%% / 70-100%%\n");
+    std::printf("%-10s %26s %26s\n", "workload", "with morphing",
+                "w/o morphing");
+    for (unsigned w = 0; w < kNumFragWorkloads; ++w) {
+        std::array<uint64_t, 3> with_sm{}, without_sm{};
+        runFrag(AllocKind::NvAllocLog, true, ws[w], p, args.seed,
+                &with_sm);
+        runFrag(AllocKind::NvAllocLog, false, ws[w], p, args.seed,
+                &without_sm);
+        auto mb = [](uint64_t b) { return double(b) / (1 << 20); };
+        std::printf("%-10s %8.1f/%7.1f/%7.1f  %8.1f/%7.1f/%7.1f\n",
+                    ws[w].name, mb(with_sm[0]), mb(with_sm[1]),
+                    mb(with_sm[2]), mb(without_sm[0]), mb(without_sm[1]),
+                    mb(without_sm[2]));
+    }
+
+    // (c,d) runtime with/without morphing plus the other allocators.
+    std::printf("\n## Fig 15(c) — execution time (virtual ms), "
+                "strongly consistent\n");
+    const AllocKind strong[] = {AllocKind::Pmdk, AllocKind::NvmMalloc,
+                                AllocKind::NvAllocLog};
+    std::printf("%-22s %8s %8s %8s %8s\n", "allocator", "W1", "W2",
+                "W3", "W4");
+    for (AllocKind kind : strong) {
+        for (int morph = (kind == AllocKind::NvAllocLog ? 1 : 0);
+             morph >= 0; --morph) {
+            std::printf("%-22s",
+                        kind == AllocKind::NvAllocLog
+                            ? (morph ? "NVAlloc-LOG"
+                                     : "NVAlloc-LOG (w/o SM)")
+                            : allocName(kind));
+            for (unsigned w = 0; w < kNumFragWorkloads; ++w) {
+                FragResult fr = runFrag(kind, morph != 0, ws[w], p,
+                                        args.seed);
+                std::printf(" %8.1f",
+                            double(fr.run.makespan_ns) / 1e6);
+            }
+            std::printf("\n");
+            if (kind != AllocKind::NvAllocLog)
+                break;
+        }
+    }
+
+    std::printf("\n## Fig 15(d) — execution time (virtual ms), "
+                "weakly consistent\n");
+    const AllocKind weak[] = {AllocKind::Makalu, AllocKind::Ralloc,
+                              AllocKind::NvAllocGc};
+    std::printf("%-22s %8s %8s %8s %8s\n", "allocator", "W1", "W2",
+                "W3", "W4");
+    for (AllocKind kind : weak) {
+        for (int morph = (kind == AllocKind::NvAllocGc ? 1 : 0);
+             morph >= 0; --morph) {
+            std::printf("%-22s",
+                        kind == AllocKind::NvAllocGc
+                            ? (morph ? "NVAlloc-GC"
+                                     : "NVAlloc-GC (w/o SM)")
+                            : allocName(kind));
+            for (unsigned w = 0; w < kNumFragWorkloads; ++w) {
+                FragResult fr = runFrag(kind, morph != 0, ws[w], p,
+                                        args.seed);
+                std::printf(" %8.1f",
+                            double(fr.run.makespan_ns) / 1e6);
+            }
+            std::printf("\n");
+            if (kind != AllocKind::NvAllocGc)
+                break;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 16: sensitivity analysis.
+ *
+ *  (a) Number of bit stripes (1..32) vs Threadtest execution time at
+ *      several thread counts. Expected shape (§6.5): not monotone —
+ *      too few stripes leave reflushes; too many spread the writes
+ *      over more XPLines and pressure the XPBuffer; ~6 is the sweet
+ *      spot for most thread counts.
+ *  (b) Slab-morphing space-utilization threshold SU on Fragbench W4:
+ *      larger SU morphs more slabs (less memory, more morph cost).
+ */
+
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+
+    // (a) bit stripes.
+    const unsigned stripe_counts[] = {1, 2, 3, 4, 5, 6, 7, 8,
+                                      12, 16, 24, 32};
+    std::vector<unsigned> threads =
+        args.quick ? std::vector<unsigned>{4}
+                   : std::vector<unsigned>{1, 2, 4, 8, 16, 32};
+
+    std::printf("## Fig 16(a) — Threadtest execution time (virtual "
+                "ms) vs #bit stripes\n");
+    std::printf("%-8s", "threads");
+    for (unsigned s : stripe_counts)
+        std::printf(" %8u", s);
+    std::printf("\n");
+    for (unsigned t : threads) {
+        std::printf("%-8u", t);
+        for (unsigned stripes : stripe_counts) {
+            MakeOptions opts;
+            opts.tweak_nvalloc = [&](NvAllocConfig &c) {
+                c.bit_stripes = stripes;
+            };
+            RunResult r = runOn(AllocKind::NvAllocLog, opts,
+                                [&](PmAllocator &a, VtimeEpoch &e) {
+                                    return threadtest(a, e, t,
+                                                      p.tt_iters(),
+                                                      p.tt_objs(),
+                                                      p.tt_size());
+                                });
+            std::printf(" %8.2f", double(r.makespan_ns) / 1e6);
+        }
+        std::printf("\n");
+    }
+
+    // (b) morph threshold SU on W4.
+    std::printf("\n## Fig 16(b) — Fragbench W4 vs morph threshold "
+                "SU\n");
+    std::printf("%-6s %14s %16s\n", "SU", "memory (MiB)",
+                "time (virtual ms)");
+    for (double su : {0.10, 0.20, 0.30, 0.50}) {
+        auto dev = makeBenchDevice();
+        MakeOptions opts;
+        opts.tweak_nvalloc = [&](NvAllocConfig &c) {
+            c.morph_threshold = su;
+        };
+        auto alloc = makeAllocator(AllocKind::NvAllocLog, *dev, opts);
+        VtimeEpoch epoch;
+        FragResult fr = fragbench(*alloc, epoch, fragWorkloads()[3],
+                                  p.frag_total(), p.frag_live(),
+                                  args.seed);
+        std::printf("%4.0f%% %14.1f %16.1f\n", su * 100,
+                    double(fr.peak_bytes) / (1 << 20),
+                    double(fr.run.makespan_ns) / 1e6);
+    }
+    return 0;
+}

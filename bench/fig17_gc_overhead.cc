@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 17: overhead of garbage collection on the bookkeeping log,
+ * measured on Larson-large and DBMStest with NVAlloc-LOG.
+ *
+ * "w/o GC" uses a log region large enough that the slow-GC threshold
+ * is never reached; "GC" shrinks the region so Usage_pmem forces
+ * frequent slow GCs. Expected shape (§6.6): the drop is slight (~3%
+ * on Larson-large, ~8% on DBMStest) because log entries are 8 B and
+ * copying survivors is cheap.
+ */
+
+#include "baselines/nvalloc_adapter.h"
+#include "bench_common.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchParams p{args.quick};
+    const unsigned kThreads = 4;
+
+    struct Bench
+    {
+        const char *name;
+        std::function<RunResult(PmAllocator &, VtimeEpoch &)> run;
+    };
+    const Bench benches[] = {
+        {"Larson-large",
+         [&](PmAllocator &a, VtimeEpoch &e) {
+             return larson(a, e, kThreads, 32 * 1024, 512 * 1024,
+                           p.larson_large_slots(), p.larson_rounds(),
+                           p.larson_large_ops(), args.seed);
+         }},
+        {"DBMStest",
+         [&](PmAllocator &a, VtimeEpoch &e) {
+             return dbmstest(a, e, kThreads, p.dbms_iters(),
+                             p.dbms_objs(kThreads), args.seed);
+         }},
+    };
+
+    std::printf("## Fig 17 — bookkeeping-log GC overhead "
+                "(throughput, Mops/s)\n");
+    std::printf("%-14s %10s %10s %8s %10s %10s\n", "benchmark",
+                "w/o GC", "with GC", "drop", "fast GCs", "slow GCs");
+
+    for (const Bench &bench : benches) {
+        double mops[2];
+        uint64_t fast = 0, slow = 0;
+        for (int gc = 0; gc < 2; ++gc) {
+            auto dev = makeBenchDevice();
+            MakeOptions opts;
+            opts.tweak_nvalloc = [&](NvAllocConfig &c) {
+                if (gc == 0) {
+                    c.log_file_bytes = 16 * 1024 * 1024;
+                    c.log_gc_threshold = 1.1; // never slow-GC
+                } else {
+                    // Usage_pmem = 0.2%-style pressure: a log so small
+                    // that slow GC must run repeatedly.
+                    c.log_file_bytes = 32 * 1024;
+                    c.log_gc_threshold = 0.25;
+                }
+            };
+            auto alloc = makeAllocator(AllocKind::NvAllocLog, *dev, opts);
+            VtimeEpoch epoch;
+            RunResult r = bench.run(*alloc, epoch);
+            mops[gc] = r.mops();
+            if (gc == 1) {
+                auto &log = dynamic_cast<NvAllocAdapter *>(alloc.get())
+                                ->impl()
+                                .bookkeepingLog();
+                fast = log.stats().fast_gcs;
+                slow = log.stats().slow_gcs;
+            }
+        }
+        std::printf("%-14s %10.3f %10.3f %7.1f%% %10llu %10llu\n",
+                    bench.name, mops[0], mops[1],
+                    100.0 * (1.0 - mops[1] / mops[0]),
+                    (unsigned long long)fast, (unsigned long long)slow);
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 18 (table): recovery time after building a singly linked
+ * list of nodes sized uniformly in [64, 128] B, then restarting.
+ *
+ * Expected ordering (§6.6): nvm_malloc (defers reconstruction) «
+ * PMDK < NVAlloc-LOG (additionally scans the bookkeeping log) «
+ * Ralloc (partial scan) < Makalu ≈ NVAlloc-GC (full conservative GC).
+ * The paper builds 10 M nodes; we default to 1 M (×10 noted in the
+ * output) and scale further under --quick.
+ */
+
+#include "baselines/nvalloc_adapter.h"
+#include "bench_common.h"
+#include "common/rng.h"
+
+using namespace nvalloc;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    unsigned nodes = args.quick ? 100000 : 1000000;
+
+    std::printf("## Fig 18 — recovery time after a %u-node list "
+                "(paper: 10M nodes)\n", nodes);
+    std::printf("%-14s %16s\n", "allocator", "time (virtual)");
+
+    const AllocKind kinds[] = {AllocKind::NvmMalloc, AllocKind::Pmdk,
+                               AllocKind::NvAllocLog, AllocKind::Ralloc,
+                               AllocKind::Makalu, AllocKind::NvAllocGc};
+
+    for (AllocKind kind : kinds) {
+        auto dev = makeBenchDevice(size_t{6} << 30);
+        MakeOptions opts;
+        auto alloc = makeAllocator(kind, *dev, opts);
+        VtimeEpoch epoch;
+
+        // Build the linked list: node[i] stores the offset of
+        // node[i+1] in its first word.
+        runWorkers(1, epoch, [&](unsigned) -> uint64_t {
+            AllocThread *t = alloc->threadAttach();
+            Rng rng(args.seed);
+            uint64_t prev = 0;
+            for (unsigned i = 0; i < nodes; ++i) {
+                size_t size = rng.uniform(64, 128);
+                uint64_t off = alloc->allocTo(t, size, nullptr);
+                *static_cast<uint64_t *>(dev->at(off)) = prev;
+                prev = off;
+            }
+            // Root the list for the GC variants.
+            if (auto *nv = dynamic_cast<NvAllocAdapter *>(alloc.get()))
+                *nv->impl().rootWord(0) = prev;
+            alloc->threadDetach(t);
+            return nodes;
+        });
+
+        uint64_t vns = 0;
+        runWorkers(1, epoch, [&](unsigned) -> uint64_t {
+            vns = alloc->recover();
+            return 1;
+        });
+
+        if (vns >= 1000000)
+            std::printf("%-14s %13.1f ms\n", allocName(kind),
+                        double(vns) / 1e6);
+        else
+            std::printf("%-14s %13.1f us\n", allocName(kind),
+                        double(vns) / 1e3);
+    }
+    return 0;
+}

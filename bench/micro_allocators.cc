@@ -1,0 +1,65 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the allocators' hot paths:
+ * single-threaded malloc/free pairs for one small and one large size,
+ * reporting both real wall time (code efficiency) and modeled virtual
+ * ns per operation (the figure-level metric).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "workloads/harness.h"
+
+using namespace nvalloc;
+
+namespace {
+
+void
+allocFreePairs(benchmark::State &state, AllocKind kind, size_t size)
+{
+    auto dev = makeBenchDevice();
+    auto alloc = makeAllocator(kind, *dev, {});
+    AllocThread *t = alloc->threadAttach();
+    VClock::reset();
+    uint64_t v0 = VClock::now();
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        uint64_t off = alloc->allocTo(t, size, nullptr);
+        benchmark::DoNotOptimize(off);
+        alloc->freeFrom(t, off, nullptr);
+        ops += 2;
+    }
+    alloc->threadDetach(t);
+    state.counters["vns_per_op"] =
+        double(VClock::now() - v0) / double(ops);
+}
+
+void BM_Small(benchmark::State &s)
+{
+    allocFreePairs(s, AllocKind(s.range(0)), 64);
+}
+
+void BM_Large(benchmark::State &s)
+{
+    allocFreePairs(s, AllocKind(s.range(0)), 128 * 1024);
+}
+
+} // namespace
+
+BENCHMARK(BM_Small)
+    ->Arg(int(AllocKind::Pmdk))
+    ->Arg(int(AllocKind::NvmMalloc))
+    ->Arg(int(AllocKind::PAllocator))
+    ->Arg(int(AllocKind::Makalu))
+    ->Arg(int(AllocKind::Ralloc))
+    ->Arg(int(AllocKind::NvAllocLog))
+    ->Arg(int(AllocKind::NvAllocGc));
+
+BENCHMARK(BM_Large)
+    ->Arg(int(AllocKind::Pmdk))
+    ->Arg(int(AllocKind::NvmMalloc))
+    ->Arg(int(AllocKind::PAllocator))
+    ->Arg(int(AllocKind::Makalu))
+    ->Arg(int(AllocKind::NvAllocLog));
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * §3.1 microbenchmark (google-benchmark): the latency model's
+ * reflush-distance curve and flush-class costs.
+ *
+ * The paper: "the latency of cache line reflushes is decreased from
+ * 800 ns to 500 ns when reflush distance is increased from 0 to 3",
+ * and reflush latency is 3x/7x the random/sequential write latency.
+ * These benchmarks measure the *virtual* cost the model charges per
+ * flush for each access pattern and report it as the `vns_per_flush`
+ * counter (wall time of the model code itself is irrelevant).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "pm/pm_device.h"
+
+using namespace nvalloc;
+
+namespace {
+
+/** Charge `n` flushes with a given stride pattern; report virtual ns
+ *  per flush. */
+void
+runPattern(benchmark::State &state, unsigned distinct_lines,
+           uint64_t stride)
+{
+    PmDeviceConfig cfg;
+    cfg.size = size_t{1} << 26;
+    PmDevice dev(cfg);
+    char *base = dev.base();
+
+    uint64_t flushes = 0;
+    VClock::reset();
+    uint64_t v0 = VClock::now();
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 256; ++i) {
+            uint64_t line = (uint64_t(i) % distinct_lines) * stride;
+            dev.flushLine(base + line, TimeKind::FlushMeta);
+            ++flushes;
+        }
+    }
+    state.counters["vns_per_flush"] =
+        double(VClock::now() - v0) / double(flushes);
+}
+
+void
+BM_ReflushDistance(benchmark::State &state)
+{
+    // Cycling over K distinct lines gives every flush a reflush
+    // distance of K-1.
+    runPattern(state, unsigned(state.range(0)), 64);
+}
+
+void
+BM_SequentialFlush(benchmark::State &state)
+{
+    PmDeviceConfig cfg;
+    cfg.size = size_t{1} << 30;
+    PmDevice dev(cfg);
+    char *base = dev.base();
+    uint64_t line = 0, flushes = 0;
+    VClock::reset();
+    uint64_t v0 = VClock::now();
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 256; ++i) {
+            dev.flushLine(base + line, TimeKind::FlushMeta);
+            line += 256; // fresh XPLine each flush, sequential
+            ++flushes;
+        }
+    }
+    state.counters["vns_per_flush"] =
+        double(VClock::now() - v0) / double(flushes);
+}
+
+void
+BM_RandomFlush(benchmark::State &state)
+{
+    PmDeviceConfig cfg;
+    cfg.size = size_t{1} << 30;
+    PmDevice dev(cfg);
+    char *base = dev.base();
+    uint64_t x = 88172645463325252ULL, flushes = 0;
+    VClock::reset();
+    uint64_t v0 = VClock::now();
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 256; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            dev.flushLine(base + (x % (cfg.size / 64)) * 64,
+                          TimeKind::FlushMeta);
+            ++flushes;
+        }
+    }
+    state.counters["vns_per_flush"] =
+        double(VClock::now() - v0) / double(flushes);
+}
+
+} // namespace
+
+BENCHMARK(BM_ReflushDistance)->DenseRange(1, 6)->Arg(8)->Arg(16);
+BENCHMARK(BM_SequentialFlush);
+BENCHMARK(BM_RandomFlush);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Anatomy of allocator-induced flushes (paper §3.1, §5.1).
+ *
+ * Uses the device's flush classification counters to show, side by
+ * side, what the same allocation trace costs under:
+ *   - sequential bitmap + sequential WAL + plain tcache (the Base
+ *     configuration: every consecutive allocation re-flushes the
+ *     lines it just flushed);
+ *   - full interleaved mapping (bit stripes + sub-tcaches + striped
+ *     WAL entries: the reflushes disappear).
+ *
+ * This is the core mechanism behind the paper's Fig. 9/10 speedups.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "nvalloc/nvalloc.h"
+
+using namespace nvalloc;
+
+namespace {
+
+void
+trace(const char *label, bool interleaved)
+{
+    PmDevice dev;
+    NvAllocConfig cfg;
+    cfg.interleaved_bitmap = interleaved;
+    cfg.interleaved_tcache = interleaved;
+    cfg.interleaved_wal = interleaved;
+    NvAlloc alloc(dev, cfg);
+    ThreadCtx *ctx = alloc.attachThread();
+
+    dev.model().reset();
+    VClock::reset();
+    uint64_t v0 = VClock::now();
+
+    std::vector<uint64_t> offs;
+    for (int i = 0; i < 5000; ++i)
+        offs.push_back(alloc.allocOffset(*ctx, 64, nullptr));
+    for (uint64_t off : offs)
+        alloc.freeOffset(*ctx, off, nullptr);
+
+    uint64_t vns = VClock::now() - v0;
+    auto c = dev.flushCounts();
+    std::printf("%-24s %8llu flushes | %5.1f%% reflush %5.1f%% "
+                "buffered %5.1f%% media | %6.0f ns/op modeled\n",
+                label, (unsigned long long)c.total,
+                100.0 * double(c.reflush) / double(c.total),
+                100.0 * double(c.xpline_hit) / double(c.total),
+                100.0 * double(c.sequential + c.random) /
+                    double(c.total),
+                double(vns) / (2.0 * 5000));
+
+    alloc.detachThread(ctx);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("10000 small ops (5000 x 64 B malloc + free), "
+                "one thread:\n\n");
+    trace("sequential (Base)", false);
+    trace("interleaved (NVAlloc)", true);
+    std::printf("\nthe interleaved mapping turns ~90%% reflushes "
+                "(800 ns each) into buffered\nXPLine hits — the "
+                "3-6x small-allocation speedup of Fig. 9.\n");
+    return 0;
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * A persistent key-value store that survives crashes.
+ *
+ * Demonstrates the pattern the paper's FPTree evaluation uses (§6.3):
+ * a durable data structure whose nodes are NVAlloc blocks, anchored in
+ * a superblock root word with offset-based links, plus the crash /
+ * recovery cycle. The store is a persistent hash table with chaining;
+ * every entry holds its own key/value bytes in one block.
+ *
+ * The demo fills the store, simulates a power failure mid-update, and
+ * shows that recovery preserves exactly the committed entries.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "nvalloc/nvalloc.h"
+
+using namespace nvalloc;
+
+namespace {
+
+constexpr unsigned kBuckets = 256;
+
+/** Persistent store header: bucket table of entry offsets. */
+struct StoreRoot
+{
+    uint64_t magic;
+    uint64_t buckets[kBuckets];
+};
+
+/** Persistent entry: chained per bucket; key/value inline. */
+struct Entry
+{
+    uint64_t next;   //!< offset of next entry in the bucket
+    uint32_t klen;
+    uint32_t vlen;
+    char bytes[];    //!< key then value
+};
+
+uint64_t
+hashKey(const std::string &key)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (char ch : key) {
+        h ^= uint8_t(ch);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+class KvStore
+{
+  public:
+    KvStore(NvAlloc &alloc, ThreadCtx &ctx) : alloc_(alloc), ctx_(ctx)
+    {
+        uint64_t *root = alloc_.rootWord(0);
+        if (*root == 0) {
+            // First run: allocate + publish the bucket table.
+            alloc_.mallocTo(ctx_, sizeof(StoreRoot), root);
+            auto *sr = static_cast<StoreRoot *>(alloc_.at(*root));
+            std::memset(sr, 0, sizeof(StoreRoot));
+            sr->magic = 0x4b56u;
+            alloc_.device().persistFence(sr, sizeof(StoreRoot),
+                                         TimeKind::FlushData);
+        }
+        root_ = static_cast<StoreRoot *>(alloc_.at(*root));
+    }
+
+    void
+    put(const std::string &key, const std::string &value)
+    {
+        erase(key); // simple upsert
+        uint64_t *head = &root_->buckets[hashKey(key) % kBuckets];
+
+        size_t need = sizeof(Entry) + key.size() + value.size();
+        // Stage the entry in a fresh block; link it by publishing the
+        // block into the bucket head (the failure-atomic step).
+        uint64_t off = alloc_.allocOffset(ctx_, need, nullptr);
+        auto *e = static_cast<Entry *>(alloc_.at(off));
+        e->next = *head;
+        e->klen = uint32_t(key.size());
+        e->vlen = uint32_t(value.size());
+        std::memcpy(e->bytes, key.data(), key.size());
+        std::memcpy(e->bytes + key.size(), value.data(), value.size());
+        alloc_.device().persistFence(e, need, TimeKind::FlushData);
+
+        *head = off;
+        alloc_.device().persistFence(head, 8, TimeKind::FlushData);
+    }
+
+    bool
+    get(const std::string &key, std::string &value) const
+    {
+        uint64_t off = root_->buckets[hashKey(key) % kBuckets];
+        while (off) {
+            auto *e = static_cast<Entry *>(alloc_.at(off));
+            if (e->klen == key.size() &&
+                std::memcmp(e->bytes, key.data(), e->klen) == 0) {
+                value.assign(e->bytes + e->klen, e->vlen);
+                return true;
+            }
+            off = e->next;
+        }
+        return false;
+    }
+
+    bool
+    erase(const std::string &key)
+    {
+        uint64_t *link = &root_->buckets[hashKey(key) % kBuckets];
+        while (*link) {
+            auto *e = static_cast<Entry *>(alloc_.at(*link));
+            if (e->klen == key.size() &&
+                std::memcmp(e->bytes, key.data(), e->klen) == 0) {
+                // Unlink (persist), then free through the link word's
+                // former value.
+                uint64_t victim = *link;
+                *link = e->next;
+                alloc_.device().persistFence(link, 8,
+                                             TimeKind::FlushData);
+                alloc_.freeOffset(ctx_, victim, nullptr);
+                return true;
+            }
+            link = &e->next;
+        }
+        return false;
+    }
+
+  private:
+    NvAlloc &alloc_;
+    ThreadCtx &ctx_;
+    StoreRoot *root_;
+};
+
+} // namespace
+
+int
+main()
+{
+    PmDeviceConfig dcfg;
+    dcfg.shadow = true; // enable crash simulation
+    PmDevice dev(dcfg);
+
+    // --- first process lifetime -----------------------------------
+    {
+        NvAlloc alloc(dev);
+        ThreadCtx *ctx = alloc.attachThread();
+        KvStore store(alloc, *ctx);
+
+        for (int i = 0; i < 100; ++i) {
+            store.put("key-" + std::to_string(i),
+                      "value-" + std::to_string(i * i));
+        }
+        std::printf("populated 100 committed entries\n");
+
+        // Crash in the middle of an update burst: these puts race the
+        // power failure; each is individually atomic.
+        store.put("key-crash-a", "torn?");
+        store.put("key-crash-b", "torn?");
+        alloc.simulateCrash();
+        std::printf("power failure simulated\n");
+    }
+
+    // --- second process lifetime: recovery -------------------------
+    {
+        NvAlloc alloc(dev); // recovery runs here
+        const RecoveryInfo &ri = alloc.lastRecovery();
+        std::printf("recovered: failure=%d slabs=%llu wal_undo=%llu "
+                    "wal_redo=%llu\n",
+                    ri.after_failure,
+                    (unsigned long long)ri.slabs_rebuilt,
+                    (unsigned long long)ri.wal_undos,
+                    (unsigned long long)ri.wal_completions);
+
+        ThreadCtx *ctx = alloc.attachThread();
+        KvStore store(alloc, *ctx);
+
+        int found = 0;
+        std::string v;
+        for (int i = 0; i < 100; ++i) {
+            if (store.get("key-" + std::to_string(i), v))
+                ++found;
+        }
+        std::printf("found %d/100 committed entries after crash\n",
+                    found);
+
+        std::printf("crash-time entries: a=%s b=%s\n",
+                    store.get("key-crash-a", v) ? "present" : "absent",
+                    store.get("key-crash-b", v) ? "present" : "absent");
+
+        store.put("key-new", "post-recovery");
+        std::printf("store is writable again: %s\n",
+                    store.get("key-new", v) ? v.c_str() : "?");
+        alloc.detachThread(ctx);
+    }
+    return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerate every paper figure/table. Full sweep; pass --quick through
+# by running: BENCH_ARGS=--quick ./run_benches.sh
+cd "$(dirname "$0")"
+for b in build/bench/fig* build/bench/ablation_variants ; do
+    echo "===================================================================="
+    echo "== $(basename $b)"
+    echo "===================================================================="
+    timeout 1200 "$b" $BENCH_ARGS
+    echo
+done
+echo "== micro_latency_model"
+timeout 300 build/bench/micro_latency_model --benchmark_min_time=0.05 2>&1 | grep -v "^\*\*\*"
+echo
+echo "== micro_allocators"
+timeout 600 build/bench/micro_allocators --benchmark_min_time=0.05 2>&1 | grep -v "^\*\*\*"

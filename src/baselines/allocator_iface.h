@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Common interface over all allocators under evaluation.
+ *
+ * The benchmark harness drives every allocator — NVAlloc's two
+ * variants and the five baseline models — through this interface, so
+ * every figure compares identical traces on the identical emulated
+ * device.
+ *
+ * The baselines are behavioural models, not line-by-line ports: each
+ * reimplements the metadata layout and flush/locking discipline that
+ * the paper identifies as the performance-relevant property of the
+ * original (PMDK's transactional lane logs, nvm_malloc's sequential
+ * slab bitmaps + WAL, PAllocator's per-thread segregated fit with
+ * micro-logs, Makalu's and Ralloc's embedded free lists), on top of
+ * the same PmDevice latency model.
+ */
+
+#ifndef NVALLOC_BASELINES_ALLOCATOR_IFACE_H
+#define NVALLOC_BASELINES_ALLOCATOR_IFACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pm/pm_device.h"
+
+namespace nvalloc {
+
+/** Opaque per-thread handle. */
+struct AllocThread
+{
+    virtual ~AllocThread() = default;
+};
+
+class PmAllocator
+{
+  public:
+    virtual ~PmAllocator() = default;
+
+    virtual const char *name() const = 0;
+
+    /** True for WAL/transaction-based allocators ("strongly
+     *  consistent" in the paper's grouping), false for GC-based. */
+    virtual bool stronglyConsistent() const = 0;
+
+    /** Whether large (>16 KB) allocations work; Ralloc's open-source
+     *  implementation is broken there and the paper excludes it. */
+    virtual bool supportsLarge() const { return true; }
+
+    virtual AllocThread *threadAttach() = 0;
+    virtual void threadDetach(AllocThread *t) = 0;
+
+    /**
+     * Allocate `size` bytes, atomically publishing the offset into
+     * the persistent word `where` (may be nullptr). Returns the
+     * block's device offset (0 on exhaustion).
+     */
+    virtual uint64_t allocTo(AllocThread *t, size_t size,
+                             uint64_t *where) = 0;
+
+    /** Free the block at `off`, clearing `where` if given. */
+    virtual void freeFrom(AllocThread *t, uint64_t off,
+                          uint64_t *where) = 0;
+
+    virtual PmDevice &device() = 0;
+
+    /** Recover after restart/crash; returns modeled virtual ns. */
+    virtual uint64_t recover() { return 0; }
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_BASELINES_ALLOCATOR_IFACE_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Word-level bitmap helpers shared by slab bitmaps, vslab copies, and
+ * the bookkeeping log's vchunk bitmaps.
+ */
+
+#ifndef NVALLOC_COMMON_BITMAP_OPS_H
+#define NVALLOC_COMMON_BITMAP_OPS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace nvalloc {
+
+inline void
+bitmapSet(uint64_t *words, size_t bit)
+{
+    words[bit >> 6] |= (uint64_t{1} << (bit & 63));
+}
+
+inline void
+bitmapClear(uint64_t *words, size_t bit)
+{
+    words[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+}
+
+inline bool
+bitmapTest(const uint64_t *words, size_t bit)
+{
+    return (words[bit >> 6] >> (bit & 63)) & 1;
+}
+
+/** Number of 64-bit words needed to hold `bits` bits. */
+constexpr size_t
+bitmapWords(size_t bits)
+{
+    return (bits + 63) / 64;
+}
+
+/**
+ * Find the first clear bit below `limit`, or `limit` if none.
+ * Scans word-at-a-time with countr_one, so cost is O(words).
+ */
+inline size_t
+bitmapFindFirstZero(const uint64_t *words, size_t limit)
+{
+    size_t nwords = bitmapWords(limit);
+    for (size_t w = 0; w < nwords; ++w) {
+        if (words[w] != ~uint64_t{0}) {
+            size_t bit = w * 64 + std::countr_one(words[w]);
+            return bit < limit ? bit : limit;
+        }
+    }
+    return limit;
+}
+
+/** Count set bits below `limit`. */
+inline size_t
+bitmapPopcount(const uint64_t *words, size_t limit)
+{
+    size_t full = limit >> 6, count = 0;
+    for (size_t w = 0; w < full; ++w)
+        count += std::popcount(words[w]);
+    if (limit & 63) {
+        uint64_t mask = (uint64_t{1} << (limit & 63)) - 1;
+        count += std::popcount(words[full] & mask);
+    }
+    return count;
+}
+
+} // namespace nvalloc
+
+#endif // NVALLOC_COMMON_BITMAP_OPS_H

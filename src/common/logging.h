@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture the state.
+ * fatal()  — the caller asked for something impossible (bad config,
+ *            exhausted heap); exits with an error code.
+ * warn()/inform() — non-fatal status messages.
+ */
+
+#ifndef NVALLOC_COMMON_LOGGING_H
+#define NVALLOC_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvalloc {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace nvalloc
+
+#define NV_PANIC(msg) ::nvalloc::panicImpl(__FILE__, __LINE__, (msg))
+#define NV_FATAL(msg) ::nvalloc::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant; active in all build types. */
+#define NV_ASSERT(cond)                                                     \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            NV_PANIC("assertion failed: " #cond);                           \
+    } while (0)
+
+#define NV_WARN(msg)  std::fprintf(stderr, "warn: %s\n", (msg))
+#define NV_INFORM(msg) std::fprintf(stderr, "info: %s\n", (msg))
+
+#endif // NVALLOC_COMMON_LOGGING_H

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Radix tree keyed by heap offsets.
+ *
+ * The paper's small and large allocators both consult an "R-tree" in
+ * DRAM to map an address to its owning structure: a freed block's
+ * address to its slab (and so to its size class, §4.2), and an extent
+ * boundary to its virtual extent header for split/coalesce (§4.3). In
+ * jemalloc this is the rtree — a radix tree over page numbers — and we
+ * implement the same thing: a three-level radix tree over 4 KB-aligned
+ * heap offsets covering a 48-bit space.
+ *
+ * Leaves store an opaque pointer per page. Interior nodes are
+ * installed with compare-and-swap and never freed until clear(), so
+ * lookups are lock-free and safe against concurrent insertions; the
+ * caller is responsible for the lifetime of the *values* (see the
+ * arena's graveyard).
+ */
+
+#ifndef NVALLOC_COMMON_RADIX_TREE_H
+#define NVALLOC_COMMON_RADIX_TREE_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace nvalloc {
+
+class RadixTree
+{
+  public:
+    static constexpr unsigned kPageShift = 12;   // 4 KB granule
+    static constexpr unsigned kLevelBits = 12;   // 4096-way fanout
+    static constexpr unsigned kLevels = 3;       // 36 key bits total
+
+    RadixTree()
+    {
+        for (auto &slot : root_)
+            slot.store(nullptr, std::memory_order_relaxed);
+    }
+
+    ~RadixTree() { clear(); }
+
+    RadixTree(const RadixTree &) = delete;
+    RadixTree &operator=(const RadixTree &) = delete;
+
+    /** Map the page containing `offset` to `value` (nullptr erases). */
+    void
+    set(uint64_t offset, void *value)
+    {
+        uint64_t key = offset >> kPageShift;
+        NV_ASSERT(key < (uint64_t{1} << (kLevelBits * kLevels)));
+        descend(key)->store(value, std::memory_order_release);
+    }
+
+    /** Map every page in [offset, offset + len) to `value`. */
+    void
+    setRange(uint64_t offset, uint64_t len, void *value)
+    {
+        if (len == 0)
+            return;
+        uint64_t first = offset >> kPageShift;
+        uint64_t last = (offset + len - 1) >> kPageShift;
+        for (uint64_t page = first; page <= last; ++page)
+            descend(page)->store(value, std::memory_order_release);
+    }
+
+    /** Value for the page containing `offset`, or nullptr. */
+    void *
+    get(uint64_t offset) const
+    {
+        uint64_t key = offset >> kPageShift;
+        const std::atomic<void *> *slot = &root_[indexAt(key, 0)];
+        for (unsigned level = 1; level < kLevels; ++level) {
+            Node *n = static_cast<Node *>(
+                slot->load(std::memory_order_acquire));
+            if (!n)
+                return nullptr;
+            slot = &n->slots[indexAt(key, level)];
+        }
+        return slot->load(std::memory_order_acquire);
+    }
+
+    /** Drop all mappings and free interior nodes. Not safe against
+     *  concurrent access. */
+    void
+    clear()
+    {
+        for (auto &slot : root_) {
+            void *child = slot.load(std::memory_order_relaxed);
+            if (child)
+                freeNode(static_cast<Node *>(child), 1);
+            slot.store(nullptr, std::memory_order_relaxed);
+        }
+    }
+
+  private:
+    static constexpr size_t kFanout = size_t{1} << kLevelBits;
+
+    struct Node
+    {
+        std::atomic<void *> slots[kFanout];
+
+        Node()
+        {
+            for (auto &s : slots)
+                s.store(nullptr, std::memory_order_relaxed);
+        }
+    };
+
+    std::atomic<void *> root_[kFanout];
+
+    static unsigned
+    indexAt(uint64_t key, unsigned level)
+    {
+        unsigned shift = (kLevels - 1 - level) * kLevelBits;
+        return (key >> shift) & (kFanout - 1);
+    }
+
+    std::atomic<void *> *
+    descend(uint64_t key)
+    {
+        std::atomic<void *> *slot = &root_[indexAt(key, 0)];
+        for (unsigned level = 1; level < kLevels; ++level) {
+            void *child = slot->load(std::memory_order_acquire);
+            if (!child) {
+                Node *fresh = new Node;
+                if (slot->compare_exchange_strong(
+                        child, fresh, std::memory_order_acq_rel)) {
+                    child = fresh;
+                } else {
+                    delete fresh; // another writer won the race
+                }
+            }
+            slot = &static_cast<Node *>(child)->slots[indexAt(key, level)];
+        }
+        return slot;
+    }
+
+    void
+    freeNode(Node *n, unsigned level)
+    {
+        if (level + 1 < kLevels) {
+            for (auto &child : n->slots) {
+                void *c = child.load(std::memory_order_relaxed);
+                if (c)
+                    freeNode(static_cast<Node *>(c), level + 1);
+            }
+        }
+        delete n;
+    }
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_COMMON_RADIX_TREE_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * All benchmark workloads take an explicit seed so every run of a bench
+ * binary replays the identical allocation trace; together with the
+ * virtual-time latency model this makes the reproduced figures
+ * deterministic across machines.
+ */
+
+#ifndef NVALLOC_COMMON_RNG_H
+#define NVALLOC_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace nvalloc {
+
+/** xoshiro256** by Blackman & Vigna; small, fast, and good enough for
+ *  workload generation (we never need cryptographic quality). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding, the reference initialization procedure.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi], inclusive on both ends. */
+    uint64_t
+    uniform(uint64_t lo, uint64_t hi)
+    {
+        return lo + nextBounded(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Poisson-distributed sample with the given mean, via Knuth's
+     * algorithm (adequate for the small means used by DBMStest).
+     */
+    uint64_t
+    poisson(double mean)
+    {
+        double l = exp0(-mean);
+        uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= nextDouble();
+        } while (p > l);
+        return k - 1;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    // Tiny exp() so this header stays <cmath>-free; only called with
+    // small negative arguments.
+    static double
+    exp0(double x)
+    {
+        double sum = 1.0, term = 1.0;
+        for (int i = 1; i < 32; ++i) {
+            term *= x / i;
+            sum += term;
+        }
+        return sum;
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_COMMON_RNG_H

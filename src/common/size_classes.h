@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small-allocation size classes.
+ *
+ * NVAlloc serves requests below 16 KB from slabs segregated by size
+ * class (paper §2.2). We use a jemalloc-style class table: linear 16 B
+ * spacing up to 128 B, then four classes per power-of-two group. Every
+ * class divides the 64 KB slab data area into fixed-size blocks.
+ */
+
+#ifndef NVALLOC_COMMON_SIZE_CLASSES_H
+#define NVALLOC_COMMON_SIZE_CLASSES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvalloc {
+
+/** Requests at or below this go through the small (slab) allocator. */
+constexpr size_t kSmallMax = 16 * 1024;
+
+/** Slab size used throughout the paper. */
+constexpr size_t kSlabSize = 64 * 1024;
+
+/** CPU cache line size assumed by the interleaving schemes. */
+constexpr size_t kCacheLine = 64;
+
+namespace detail {
+
+constexpr size_t kSizeClassTable[] = {
+    8,    16,   32,   48,   64,   80,   96,   112,  128,
+    160,  192,  224,  256,
+    320,  384,  448,  512,
+    640,  768,  896,  1024,
+    1280, 1536, 1792, 2048,
+    2560, 3072, 3584, 4096,
+    5120, 6144, 7168, 8192,
+    10240, 12288, 14336, 16384,
+};
+
+} // namespace detail
+
+constexpr unsigned kNumSizeClasses =
+    sizeof(detail::kSizeClassTable) / sizeof(detail::kSizeClassTable[0]);
+
+/** Block size of a size class. */
+constexpr size_t
+classToSize(unsigned cls)
+{
+    return detail::kSizeClassTable[cls];
+}
+
+/** Smallest class whose block size fits `size`. `size` must be
+ *  in (0, kSmallMax]. */
+constexpr unsigned
+sizeToClass(size_t size)
+{
+    // The table is tiny and this is off the hot path (tcache lookups
+    // cache the class); a linear scan keeps it constexpr-friendly.
+    for (unsigned c = 0; c < kNumSizeClasses; ++c) {
+        if (detail::kSizeClassTable[c] >= size)
+            return c;
+    }
+    return kNumSizeClasses; // unreachable for valid input
+}
+
+static_assert(classToSize(kNumSizeClasses - 1) == kSmallMax,
+              "largest small class must equal the small threshold");
+static_assert(sizeToClass(1) == 0 && sizeToClass(8) == 0 &&
+              sizeToClass(9) == 1, "class lookup sanity");
+
+} // namespace nvalloc
+
+#endif // NVALLOC_COMMON_SIZE_CLASSES_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Smootherstep decay curve used by the large allocator.
+ *
+ * jemalloc's decay mechanism bounds the amount of dirty (reclaimed /
+ * retained) memory by a curve that decays from 1 to 0 over the decay
+ * window; NVAlloc reuses the same parameters (paper §2.2). The curve is
+ * Perlin's smootherstep: 6t^5 - 15t^4 + 10t^3, evaluated on the
+ * *remaining* fraction of the window.
+ */
+
+#ifndef NVALLOC_COMMON_SMOOTHERSTEP_H
+#define NVALLOC_COMMON_SMOOTHERSTEP_H
+
+namespace nvalloc {
+
+/** Classic smootherstep on t in [0, 1]; clamps outside the interval. */
+inline double
+smootherstep(double t)
+{
+    if (t <= 0.0)
+        return 0.0;
+    if (t >= 1.0)
+        return 1.0;
+    return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+/**
+ * Fraction of the initially-dirty memory a decaying list may still hold
+ * when `elapsed` of the `window` has passed. Starts at 1, ends at 0.
+ */
+inline double
+decayLimitFraction(double elapsed, double window)
+{
+    if (window <= 0.0)
+        return 0.0;
+    return 1.0 - smootherstep(elapsed / window);
+}
+
+} // namespace nvalloc
+
+#endif // NVALLOC_COMMON_SMOOTHERSTEP_H

@@ -1,0 +1,337 @@
+#include "fptree/fptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitmap_ops.h"
+#include "common/logging.h"
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+namespace {
+
+/** Modeled DRAM traversal cost per operation. */
+constexpr uint64_t kTraverseCpuNs = 150;
+
+} // namespace
+
+FpTree::FpTree(PmAllocator &alloc)
+    : alloc_(alloc), dev_(alloc.device())
+{
+    init_thread_ = alloc_.threadAttach();
+    first_leaf_ = newLeaf(init_thread_);
+}
+
+FpTree::~FpTree()
+{
+    alloc_.threadDetach(init_thread_);
+    for (Leaf *leaf : leaves_)
+        delete leaf;
+    for (Inner *inner : inners_)
+        delete inner;
+}
+
+uint8_t
+FpTree::fingerprint(uint64_t key)
+{
+    // One-byte hash, as in the FPTree paper.
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return uint8_t(key);
+}
+
+void
+FpTree::persist(const void *p, size_t len, TimeKind kind)
+{
+    dev_.persist(p, len, kind);
+    dev_.fence();
+}
+
+FpTree::Leaf *
+FpTree::newLeaf(AllocThread *t)
+{
+    auto *leaf = new Leaf;
+    leaf->pm_off = alloc_.allocTo(t, sizeof(LeafPm), nullptr);
+    NV_ASSERT(leaf->pm_off != 0);
+    leaf->pm = static_cast<LeafPm *>(dev_.at(leaf->pm_off));
+    std::memset(leaf->pm, 0, sizeof(LeafPm));
+    persist(leaf->pm, sizeof(LeafPm), TimeKind::FlushData);
+    std::lock_guard<std::mutex> g(admin_lock_);
+    leaves_.push_back(leaf);
+    return leaf;
+}
+
+FpTree::Leaf *
+FpTree::descend(uint64_t key) const
+{
+    if (!root_)
+        return first_leaf_;
+    const Inner *node = root_;
+    while (true) {
+        unsigned i = 0;
+        while (i + 1 < node->count && key >= node->keys[i])
+            ++i;
+        void *child = node->children[i];
+        if (node->leaf_children)
+            return static_cast<Leaf *>(child);
+        node = static_cast<Inner *>(child);
+    }
+}
+
+unsigned
+FpTree::findSlot(const LeafPm *pm, uint64_t key) const
+{
+    uint8_t fp = fingerprint(key);
+    for (unsigned i = 0; i < kLeafCap; ++i) {
+        if (!bitmapTest(&pm->bitmap, i))
+            continue;
+        if (pm->fp[i] == fp && pm->kv[i].key == key)
+            return i;
+    }
+    return kLeafCap;
+}
+
+bool
+FpTree::insertIntoLeaf(AllocThread *t, Leaf *leaf, uint64_t key,
+                       uint64_t value)
+{
+    LeafPm *pm = leaf->pm;
+    if (findSlot(pm, key) != kLeafCap)
+        return false; // duplicate
+
+    size_t slot = bitmapFindFirstZero(&pm->bitmap, kLeafCap);
+    NV_ASSERT(slot < kLeafCap);
+
+    pm->kv[slot].key = key;
+    pm->fp[slot] = fingerprint(key);
+
+    // The KV object is allocated with its offset published directly
+    // into the (persistent) leaf slot — the nvalloc_malloc_to pattern.
+    uint64_t val_off =
+        alloc_.allocTo(t, kValueBytes, &pm->kv[slot].val_off);
+    NV_ASSERT(val_off != 0);
+    auto *obj = static_cast<uint64_t *>(dev_.at(val_off));
+    obj[0] = key;
+    obj[1] = value;
+    persist(obj, 16, TimeKind::FlushData);
+
+    persist(&pm->kv[slot], sizeof(LeafPm::Slot), TimeKind::FlushData);
+    persist(&pm->fp[slot], 1, TimeKind::FlushData);
+
+    // Bitmap write is the commit point.
+    bitmapSet(&pm->bitmap, slot);
+    persist(&pm->bitmap, 8, TimeKind::FlushData);
+
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+FpTree::splitLeaf(AllocThread *t, Leaf *leaf, uint64_t key)
+{
+    LeafPm *pm = leaf->pm;
+
+    // Median of the live keys.
+    std::vector<std::pair<uint64_t, unsigned>> keys;
+    keys.reserve(kLeafCap);
+    for (unsigned i = 0; i < kLeafCap; ++i) {
+        if (bitmapTest(&pm->bitmap, i))
+            keys.emplace_back(pm->kv[i].key, i);
+    }
+    std::sort(keys.begin(), keys.end());
+    uint64_t sep = keys[keys.size() / 2].first;
+
+    Leaf *fresh = newLeaf(t);
+    LeafPm *npm = fresh->pm;
+
+    // Move the upper half: copy slots, then one sequential persist of
+    // the whole new leaf, then clear the moved bits in the old leaf.
+    uint64_t moved_mask = 0;
+    unsigned nslot = 0;
+    for (auto [k, i] : keys) {
+        if (k < sep)
+            continue;
+        npm->kv[nslot] = pm->kv[i];
+        npm->fp[nslot] = pm->fp[i];
+        bitmapSet(&npm->bitmap, nslot);
+        moved_mask |= uint64_t{1} << i;
+        ++nslot;
+    }
+    npm->next_off = pm->next_off;
+    persist(npm, sizeof(LeafPm), TimeKind::FlushData);
+
+    pm->bitmap &= ~moved_mask;
+    pm->next_off = fresh->pm_off;
+    persist(&pm->bitmap, 16, TimeKind::FlushData);
+
+    // Hook the new leaf into the parent chain.
+    if (!root_) {
+        auto *node = new Inner;
+        node->leaf_children = true;
+        node->count = 2;
+        node->keys[0] = sep;
+        node->children[0] = leaf;
+        node->children[1] = fresh;
+        {
+            std::lock_guard<std::mutex> g(admin_lock_);
+            inners_.push_back(node);
+        }
+        root_ = node;
+        (void)key;
+        return;
+    }
+    insertUpward(root_, leaf, sep, fresh);
+}
+
+/**
+ * Recursive insertion of (sep, new_child) to the right of
+ * `child_split` somewhere under `node`; splits inner nodes that
+ * overflow. Runs under the exclusive tree lock.
+ */
+void
+FpTree::insertUpward(Inner *node, void *child_split, uint64_t sep,
+                     void *new_child)
+{
+    // Find the subtree containing child_split.
+    unsigned i = 0;
+    while (i + 1 < node->count && sep >= node->keys[i])
+        ++i;
+
+    if (!node->leaf_children &&
+        static_cast<Inner *>(node->children[i]) != child_split) {
+        Inner *child = static_cast<Inner *>(node->children[i]);
+        insertUpward(child, child_split, sep, new_child);
+        if (child->count <= kInnerCap)
+            return;
+        // Child overflowed by one: split it.
+        auto *right = new Inner;
+        right->leaf_children = child->leaf_children;
+        unsigned half = child->count / 2;
+        uint64_t up_key = child->keys[half - 1];
+        right->count = child->count - half;
+        for (unsigned j = 0; j < right->count; ++j)
+            right->children[j] = child->children[half + j];
+        for (unsigned j = 0; j + 1 < right->count; ++j)
+            right->keys[j] = child->keys[half + j];
+        child->count = half;
+        {
+            std::lock_guard<std::mutex> g(admin_lock_);
+            inners_.push_back(right);
+        }
+        child_split = child;
+        sep = up_key;
+        new_child = right;
+        // fall through to insert (sep, right) into node
+        i = 0;
+        while (i + 1 < node->count && sep >= node->keys[i])
+            ++i;
+    }
+
+    // Insert new_child right after position i.
+    NV_ASSERT(node->count <= kInnerCap);
+    for (unsigned j = node->count; j > i + 1; --j) {
+        node->children[j] = node->children[j - 1];
+        if (j > 1)
+            node->keys[j - 1] = node->keys[j - 2];
+    }
+    node->children[i + 1] = new_child;
+    node->keys[i] = sep;
+    ++node->count;
+
+    if (node == root_ && node->count > kInnerCap) {
+        // Split the root.
+        auto *right = new Inner;
+        right->leaf_children = node->leaf_children;
+        unsigned half = node->count / 2;
+        uint64_t up_key = node->keys[half - 1];
+        right->count = node->count - half;
+        for (unsigned j = 0; j < right->count; ++j)
+            right->children[j] = node->children[half + j];
+        for (unsigned j = 0; j + 1 < right->count; ++j)
+            right->keys[j] = node->keys[half + j];
+        node->count = half;
+
+        auto *new_root = new Inner;
+        new_root->leaf_children = false;
+        new_root->count = 2;
+        new_root->keys[0] = up_key;
+        new_root->children[0] = node;
+        new_root->children[1] = right;
+        {
+            std::lock_guard<std::mutex> g(admin_lock_);
+            inners_.push_back(right);
+            inners_.push_back(new_root);
+        }
+        root_ = new_root;
+    }
+}
+
+bool
+FpTree::insert(AllocThread *t, uint64_t key, uint64_t value)
+{
+    VClock::advance(kTraverseCpuNs, TimeKind::Other);
+    {
+        std::shared_lock<std::shared_mutex> sl(tree_lock_);
+        Leaf *leaf = descend(key);
+        std::lock_guard<std::mutex> lg(leaf->lock);
+        dev_.chargeRead(false); // leaf probe misses the cache
+        LeafPm *pm = leaf->pm;
+        if (bitmapPopcount(&pm->bitmap, kLeafCap) < kLeafCap)
+            return insertIntoLeaf(t, leaf, key, value);
+    }
+
+    // Leaf full: restart with the exclusive lock and split.
+    std::unique_lock<std::shared_mutex> ul(tree_lock_);
+    Leaf *leaf = descend(key);
+    if (bitmapPopcount(&leaf->pm->bitmap, kLeafCap) == kLeafCap) {
+        splitLeaf(t, leaf, key);
+        leaf = descend(key);
+    }
+    return insertIntoLeaf(t, leaf, key, value);
+}
+
+bool
+FpTree::erase(AllocThread *t, uint64_t key)
+{
+    VClock::advance(kTraverseCpuNs, TimeKind::Other);
+    std::shared_lock<std::shared_mutex> sl(tree_lock_);
+    Leaf *leaf = descend(key);
+    std::lock_guard<std::mutex> lg(leaf->lock);
+    dev_.chargeRead(false);
+
+    LeafPm *pm = leaf->pm;
+    unsigned slot = findSlot(pm, key);
+    if (slot == kLeafCap)
+        return false;
+
+    // Free the KV object through its leaf slot (nvalloc_free_from),
+    // then clear the validity bit — the commit point.
+    alloc_.freeFrom(t, pm->kv[slot].val_off, &pm->kv[slot].val_off);
+    bitmapClear(&pm->bitmap, slot);
+    persist(&pm->bitmap, 8, TimeKind::FlushData);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+FpTree::lookup(uint64_t key, uint64_t &value)
+{
+    VClock::advance(kTraverseCpuNs, TimeKind::Other);
+    std::shared_lock<std::shared_mutex> sl(tree_lock_);
+    Leaf *leaf = descend(key);
+    std::lock_guard<std::mutex> lg(leaf->lock);
+    dev_.chargeRead(false);
+
+    unsigned slot = findSlot(leaf->pm, key);
+    if (slot == kLeafCap)
+        return false;
+    auto *obj =
+        static_cast<uint64_t *>(dev_.at(leaf->pm->kv[slot].val_off));
+    dev_.chargeRead(false);
+    value = obj[1];
+    return true;
+}
+
+} // namespace nvalloc

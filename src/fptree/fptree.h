@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FPTree (Oukid et al., SIGMOD'16): a hybrid SCM-DRAM persistent
+ * B+tree, used by the paper as the end-to-end application benchmark
+ * (§6.3, Fig. 14).
+ *
+ *  - Inner nodes live in DRAM (rebuildable), each with up to 64
+ *    children.
+ *  - Leaf nodes live in persistent memory. A leaf holds a validity
+ *    bitmap, one byte-sized *fingerprint* per entry (a hash that lets
+ *    lookups touch one cache line instead of scanning keys), and 64
+ *    key/value slots.
+ *  - Values are out-of-line: each value slot holds the offset of an
+ *    actual KV object (128 B here, as in the paper's Facebook-derived
+ *    setup) allocated through the allocator under test; leaves
+ *    themselves are also allocated through it. This is what makes
+ *    FPTree throughput an allocator benchmark.
+ *
+ * Concurrency: a tree-level shared mutex (shared for single-leaf
+ * operations, exclusive for splits) plus per-leaf locks — a stand-in
+ * for the paper's HTM scheme with the same structural behaviour.
+ */
+
+#ifndef NVALLOC_FPTREE_FPTREE_H
+#define NVALLOC_FPTREE_FPTREE_H
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "baselines/allocator_iface.h"
+
+namespace nvalloc {
+
+class FpTree
+{
+  public:
+    static constexpr unsigned kLeafCap = 64;
+    static constexpr unsigned kInnerCap = 64; //!< children per inner
+    static constexpr size_t kValueBytes = 128;
+
+    explicit FpTree(PmAllocator &alloc);
+    ~FpTree();
+
+    /** Insert key -> value payload (copied into a fresh 128 B KV
+     *  object). Returns false if the key already exists. */
+    bool insert(AllocThread *t, uint64_t key, uint64_t value);
+
+    /** Remove a key, freeing its KV object. False if absent. */
+    bool erase(AllocThread *t, uint64_t key);
+
+    /** Find a key; fills `value` from the KV object. */
+    bool lookup(uint64_t key, uint64_t &value);
+
+    uint64_t size() const { return size_.load(); }
+
+  private:
+    /** Persistent leaf layout. */
+    struct LeafPm
+    {
+        uint64_t bitmap;
+        uint64_t next_off;
+        uint8_t fp[kLeafCap];
+        struct Slot
+        {
+            uint64_t key;
+            uint64_t val_off;
+        } kv[kLeafCap];
+    };
+
+    /** Volatile leaf handle. */
+    struct Leaf
+    {
+        uint64_t pm_off = 0;
+        LeafPm *pm = nullptr;
+        std::mutex lock;
+    };
+
+    struct Inner
+    {
+        bool leaf_children = true;
+        unsigned count = 0; //!< number of children
+        // One spare slot: a node may hold kInnerCap + 1 children for
+        // the instant between overflow and split.
+        uint64_t keys[kInnerCap];
+        void *children[kInnerCap + 1];
+    };
+
+    PmAllocator &alloc_;
+    PmDevice &dev_;
+    std::shared_mutex tree_lock_;
+    Inner *root_ = nullptr;     //!< null while the tree is one leaf
+    Leaf *first_leaf_ = nullptr;
+    std::vector<Leaf *> leaves_;
+    std::vector<Inner *> inners_;
+    std::mutex admin_lock_;
+    std::atomic<uint64_t> size_{0};
+
+    AllocThread *init_thread_ = nullptr;
+
+    static uint8_t fingerprint(uint64_t key);
+    Leaf *descend(uint64_t key) const;
+    Leaf *newLeaf(AllocThread *t);
+    unsigned findSlot(const LeafPm *pm, uint64_t key) const;
+    bool insertIntoLeaf(AllocThread *t, Leaf *leaf, uint64_t key,
+                        uint64_t value);
+    void splitLeaf(AllocThread *t, Leaf *leaf, uint64_t key);
+    void insertUpward(Inner *node, void *child_split, uint64_t sep,
+                      void *new_child);
+    void persist(const void *p, size_t len, TimeKind kind);
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_FPTREE_FPTREE_H

@@ -1,0 +1,262 @@
+#include "nvalloc/arena.h"
+
+#include "common/logging.h"
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+namespace {
+
+/** Morph candidate scan is bounded so a long LRU of ineligible slabs
+ *  cannot stall an allocation. */
+constexpr unsigned kMorphScanLimit = 64;
+
+/** Modeled CPU cost of a tcache refill round. */
+constexpr uint64_t kRefillCpuNs = 120;
+
+} // namespace
+
+Arena::Arena(unsigned id, PmDevice *dev, const NvAllocConfig *cfg,
+             LargeAllocator *large, RadixTree *slab_radix,
+             const std::atomic<unsigned> *total_threads)
+    : id_(id), dev_(dev), cfg_(cfg), large_(large),
+      slab_radix_(slab_radix),
+      gc_mode_(cfg->consistency == Consistency::Gc),
+      stripes_(cfg->interleaved_bitmap ? cfg->bit_stripes : 1),
+      total_threads_(total_threads)
+{
+}
+
+unsigned
+Arena::dynamicStripes(unsigned threads)
+{
+    // High concurrency already interleaves across threads; fewer
+    // stripes per slab keep the XPBuffer working set bounded
+    // (Fig. 16a: the optimum drifts from 6 toward 5 as threads
+    // grow). Never below 5: the reflush window is 4 distinct lines.
+    return threads <= 8 ? 6 : 5;
+}
+
+unsigned
+Arena::slabStripes() const
+{
+    if (!cfg_->interleaved_bitmap)
+        return 1;
+    if (cfg_->dynamic_stripes && total_threads_) {
+        return dynamicStripes(
+            total_threads_->load(std::memory_order_relaxed));
+    }
+    return stripes_;
+}
+
+Arena::~Arena()
+{
+    for (VSlab *slab : slabs_)
+        delete slab;
+    for (VSlab *slab : graveyard_)
+        delete slab;
+}
+
+void
+Arena::enlist(VSlab *slab)
+{
+    if (!slab->in_freelist && slab->available() > 0) {
+        freelist_[slab->sizeClass()].pushBack(slab);
+        slab->in_freelist = true;
+    }
+}
+
+void
+Arena::delist(VSlab *slab)
+{
+    if (slab->in_freelist) {
+        freelist_[slab->sizeClass()].remove(slab);
+        slab->in_freelist = false;
+    }
+}
+
+VSlab *
+Arena::newSlab(unsigned cls)
+{
+    uint64_t off = large_->allocate(kSlabSize, true);
+    if (off == 0)
+        return nullptr;
+    auto *slab = new VSlab(dev_, off, cls, slabStripes(),
+                           cfg_->flush_enabled, gc_mode_);
+    slab->arena = this;
+    slab_radix_->setRange(off, kSlabSize, slab);
+    slabs_.insert(slab);
+    morph_lru_.pushBack(slab);
+    enlist(slab);
+    ++stats_.slabs_created;
+    return slab;
+}
+
+VSlab *
+Arena::morphOne(unsigned cls)
+{
+    // Scan the LRU from least to most recently used (paper §5.2).
+    unsigned scanned = 0;
+    for (VSlab *slab = morph_lru_.front();
+         slab && scanned < kMorphScanLimit;
+         slab = morph_lru_.next(slab), ++scanned) {
+        if (slab->sizeClass() == cls)
+            continue;
+        if (!slab->morphEligible(cfg_->morph_threshold))
+            continue;
+
+        // The slab_in leaves the LRU (it cannot morph again) and its
+        // old class's freelist.
+        morph_lru_.remove(slab);
+        delist(slab);
+        slab->morphTo(cls, slabStripes());
+        enlist(slab);
+        ++stats_.morphs;
+        VClock::advance(kRefillCpuNs, TimeKind::Other);
+        return slab;
+    }
+    return nullptr;
+}
+
+unsigned
+Arena::refill(TCache &tcache, unsigned cls)
+{
+    VLockGuard g(lock);
+    ++stats_.refills;
+    VClock::advance(kRefillCpuNs, TimeKind::Other);
+
+    unsigned added = 0;
+    while (!tcache.full(cls)) {
+        // Prefer the fullest slab among the first few candidates:
+        // packing allocations into occupied slabs keeps the sparse
+        // ones eligible for morphing (and lowers fragmentation).
+        VSlab *slab = freelist_[cls].front();
+        if (slab) {
+            VSlab *peer = slab;
+            for (unsigned scan = 0; peer && scan < 8; ++scan) {
+                if (peer->occupancy() > slab->occupancy())
+                    slab = peer;
+                peer = freelist_[cls].next(peer);
+            }
+        }
+        if (!slab && cfg_->slab_morphing)
+            slab = morphOne(cls);
+        if (!slab)
+            slab = newSlab(cls);
+        if (!slab)
+            break; // heap exhausted
+
+        bool spread = tcache.subCount() > 1;
+        while (!tcache.full(cls)) {
+            unsigned idx =
+                spread ? slab->popBlockSpread() : slab->popBlock();
+            if (idx == slab->capacity())
+                break;
+            bool ok = tcache.push(
+                cls, CachedBlock{slab->blockOffset(idx), slab, idx});
+            NV_ASSERT(ok);
+            ++added;
+        }
+        if (slab->available() == 0)
+            delist(slab);
+        if (slab->lru_link.linked())
+            morph_lru_.touch(slab);
+    }
+    return added;
+}
+
+void
+Arena::freeDirect(VSlab *slab, unsigned idx)
+{
+    slab->markFree(idx);
+    enlist(slab);
+    if (slab->lru_link.linked())
+        morph_lru_.touch(slab);
+    maybeRelease(slab);
+}
+
+void
+Arena::freeOld(VSlab *slab, unsigned old_idx)
+{
+    bool finished = slab->freeOldBlock(old_idx);
+    enlist(slab);
+    if (finished) {
+        // slab_after is a regular slab again: back into the LRU.
+        NV_ASSERT(!slab->lru_link.linked());
+        morph_lru_.pushBack(slab);
+        maybeRelease(slab);
+    }
+}
+
+void
+Arena::noteAvailable(VSlab *slab)
+{
+    if (slab->lru_link.linked())
+        morph_lru_.touch(slab);
+    maybeRelease(slab);
+}
+
+void
+Arena::returnLent(VSlab *slab, unsigned idx)
+{
+    slab->unlendBlock(idx);
+    enlist(slab);
+    maybeRelease(slab);
+}
+
+void
+Arena::maybeRelease(VSlab *slab)
+{
+    if (slab->liveBlocks() != 0 || slab->lentBlocks() != 0 ||
+        slab->morphing()) {
+        return;
+    }
+
+    // Keep one fully-free slab per class cached; release the rest to
+    // the large allocator so decay can return the memory.
+    unsigned cls = slab->sizeClass();
+    unsigned free_peers = 0;
+    for (VSlab *peer = freelist_[cls].front(); peer;
+         peer = freelist_[cls].next(peer)) {
+        if (peer != slab && peer->liveBlocks() == 0 &&
+            peer->lentBlocks() == 0 && !peer->morphing()) {
+            ++free_peers;
+        }
+    }
+    if (free_peers < 1)
+        return;
+
+    delist(slab);
+    if (slab->lru_link.linked())
+        morph_lru_.remove(slab);
+    slabs_.erase(slab);
+    slab_radix_->setRange(slab->slabOffset(), kSlabSize, nullptr);
+    large_->free(slab->slabOffset());
+    graveyard_.push_back(slab);
+    ++stats_.slabs_released;
+}
+
+void
+Arena::registerSlab(VSlab *slab)
+{
+    VLockGuard g(lock);
+    slab->arena = this;
+    slab_radix_->setRange(slab->slabOffset(), kSlabSize, slab);
+    slabs_.insert(slab);
+    if (!slab->morphing())
+        morph_lru_.pushBack(slab);
+    enlist(slab);
+}
+
+void
+Arena::persistAllBitmaps()
+{
+    VLockGuard g(lock);
+    for (VSlab *slab : slabs_) {
+        dev_->persist(slab->header()->bitmap, kSlabBitmapBytes,
+                      TimeKind::FlushMeta);
+    }
+    dev_->fence();
+}
+
+} // namespace nvalloc

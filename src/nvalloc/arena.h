@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Arena: per-core slab manager (paper §4.2).
+ *
+ * Each CPU core owns an arena; each thread is attached to the arena
+ * with the fewest threads. The arena keeps one freelist of
+ * partially-full slabs per size class, the LRU list of morph
+ * candidates (§5.2), and the set of all slabs it owns. All slab state
+ * mutations happen under the arena's VLock, whose virtual-time
+ * modeling is what makes multi-thread contention visible in the
+ * reproduced scaling curves.
+ */
+
+#ifndef NVALLOC_NVALLOC_ARENA_H
+#define NVALLOC_NVALLOC_ARENA_H
+
+#include <atomic>
+#include <unordered_set>
+#include <vector>
+
+#include "common/lru_list.h"
+#include "common/radix_tree.h"
+#include "nvalloc/config.h"
+#include "nvalloc/large_alloc.h"
+#include "nvalloc/slab.h"
+#include "nvalloc/tcache.h"
+#include "nvalloc/vlock.h"
+
+namespace nvalloc {
+
+class Arena
+{
+  public:
+    struct Stats
+    {
+        uint64_t slabs_created = 0;
+        uint64_t slabs_released = 0;
+        uint64_t morphs = 0;
+        uint64_t refills = 0;
+    };
+
+    Arena(unsigned id, PmDevice *dev, const NvAllocConfig *cfg,
+          LargeAllocator *large, RadixTree *slab_radix,
+          const std::atomic<unsigned> *total_threads = nullptr);
+
+    /** Stripe count for a new slab under `threads` concurrency. */
+    static unsigned dynamicStripes(unsigned threads);
+    ~Arena();
+
+    unsigned id() const { return id_; }
+
+    /** Threads currently attached (for least-loaded assignment). */
+    std::atomic<unsigned> thread_count{0};
+
+    /** Lock guarding every slab this arena owns. Public because the
+     *  facade's hot paths lock it around per-slab operations. */
+    VLock lock;
+
+    /**
+     * Refill a tcache's class list until full: partially-full slabs
+     * first, then slab morphing, then a fresh slab from the large
+     * allocator (paper §4.2). Returns the number of blocks added.
+     */
+    unsigned refill(TCache &tcache, unsigned cls);
+
+    /** Free a block straight back to its slab (tcache bypass). Caller
+     *  must hold `lock`. */
+    void freeDirect(VSlab *slab, unsigned idx);
+
+    /** Free a block_before of a morphing slab. Caller must hold
+     *  `lock`. */
+    void freeOld(VSlab *slab, unsigned old_idx);
+
+    /** Note that a slab gained availability (e.g. a block was freed
+     *  into a tcache); re-enlists it. Caller must hold `lock`. */
+    void noteAvailable(VSlab *slab);
+
+    /** Return a never-allocated block from a drained tcache. Caller
+     *  must hold `lock`. */
+    void returnLent(VSlab *slab, unsigned idx);
+
+    /** Adopt a slab rebuilt by recovery. */
+    void registerSlab(VSlab *slab);
+
+    /** Persist every slab bitmap (GC-variant normal shutdown). */
+    void persistAllBitmaps();
+
+    /** Iterate all live slabs (space-breakdown reporting, Fig 15b). */
+    template <typename Fn>
+    void
+    forEachSlab(Fn &&fn)
+    {
+        VLockGuard g(lock);
+        for (VSlab *slab : slabs_)
+            fn(slab);
+    }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    using SlabList = LruList<VSlab, offsetof(VSlab, free_link)>;
+    using MorphLru = LruList<VSlab, offsetof(VSlab, lru_link)>;
+
+    unsigned id_;
+    PmDevice *dev_;
+    const NvAllocConfig *cfg_;
+    LargeAllocator *large_;
+    RadixTree *slab_radix_;
+    bool gc_mode_;
+    unsigned stripes_;
+    const std::atomic<unsigned> *total_threads_;
+
+    unsigned slabStripes() const;
+
+    SlabList freelist_[kNumSizeClasses];
+    MorphLru morph_lru_;
+    std::unordered_set<VSlab *> slabs_;
+
+    // Released VSlabs are kept until destruction so lock-free radix
+    // readers can never observe a dangling pointer (epoch-free
+    // deferred reclamation).
+    std::vector<VSlab *> graveyard_;
+
+    Stats stats_;
+
+    VSlab *newSlab(unsigned cls);
+    VSlab *morphOne(unsigned cls);
+    void enlist(VSlab *slab);
+    void delist(VSlab *slab);
+    void maybeRelease(VSlab *slab);
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_ARENA_H

@@ -1,0 +1,449 @@
+#include "nvalloc/bookkeeping_log.h"
+
+#include <cstring>
+
+#include "common/bitmap_ops.h"
+#include "common/logging.h"
+
+namespace nvalloc {
+
+namespace {
+
+constexpr size_t kChunkStride = sizeof(LogChunk); // 1088 B
+constexpr size_t kHeaderArea = 64;
+
+} // namespace
+
+BookkeepingLog::~BookkeepingLog()
+{
+    freeAllVChunks();
+}
+
+void
+BookkeepingLog::freeAllVChunks()
+{
+    while (VChunk *vc = active_.first()) {
+        active_.erase(vc);
+        delete vc;
+    }
+    while (free_list_) {
+        VChunk *vc = free_list_;
+        free_list_ = vc->next_free;
+        delete vc;
+    }
+    tail_ = nullptr;
+    active_count_ = 0;
+}
+
+uint64_t
+BookkeepingLog::chunkOffset(size_t index) const
+{
+    return region_off_ + kHeaderArea + index * kChunkStride;
+}
+
+void
+BookkeepingLog::attach(PmDevice *dev, uint64_t region_off,
+                       size_t region_bytes, bool interleaved,
+                       bool flush_enabled, double gc_threshold,
+                       bool create)
+{
+    dev_ = dev;
+    region_off_ = region_off;
+    region_bytes_ = region_bytes;
+    flush_ = flush_enabled;
+    gc_threshold_ = gc_threshold;
+    header_ = static_cast<LogHeader *>(dev->at(region_off));
+    max_chunks_ = (region_bytes - kHeaderArea) / kChunkStride;
+    NV_ASSERT(max_chunks_ >= 4);
+
+    unsigned stripes = interleaved ? kLogChunkStripes : 1;
+
+    if (create) {
+        header_->magic = kLogMagic;
+        header_->head[0] = 0;
+        header_->head[1] = 0;
+        header_->alt = 0;
+        header_->num_chunks = 0;
+        // The stripe count is not stored here: it is part of the
+        // allocator config the superblock persists, so attach() is
+        // always called with the same interleaving the log was
+        // written with.
+        persistLine(header_, sizeof(LogHeader));
+        if (flush_)
+            dev_->fence();
+    } else {
+        NV_ASSERT(header_->magic == kLogMagic);
+    }
+
+    map_ = InterleaveMap::build(kLogEntriesPerChunk, 64, stripes);
+    NV_ASSERT(map_.physicalSlots() <= kLogEntriesPerChunk);
+
+    freeAllVChunks();
+    carved_chunks_ = header_->num_chunks;
+    live_entries_ = 0;
+    next_id_ = 1;
+}
+
+void
+BookkeepingLog::persistLine(const void *addr, size_t len)
+{
+    if (flush_)
+        dev_->persist(addr, len, TimeKind::FlushLog);
+}
+
+BookkeepingLog::VChunk *
+BookkeepingLog::takeFreeChunk()
+{
+    if (!free_list_) {
+        // Carve a never-used chunk from the region file.
+        if (carved_chunks_ >= max_chunks_)
+            return nullptr;
+        VChunk *vc = new VChunk;
+        vc->chunk_off = chunkOffset(carved_chunks_);
+        ++carved_chunks_;
+        header_->num_chunks = uint32_t(carved_chunks_);
+        persistLine(header_, sizeof(LogHeader));
+        return vc;
+    }
+    VChunk *vc = free_list_;
+    free_list_ = vc->next_free;
+    vc->next_free = nullptr;
+    return vc;
+}
+
+BookkeepingLog::VChunk *
+BookkeepingLog::activateChunk(VChunk *list_tail)
+{
+    VChunk *vc = takeFreeChunk();
+    if (!vc)
+        return nullptr;
+
+    vc->id = next_id_++;
+    vc->bitmap[0] = vc->bitmap[1] = 0;
+    vc->live = 0;
+    vc->next_slot = 0;
+    std::memset(vc->owners, 0, sizeof(vc->owners));
+
+    LogChunk *pc = chunkAt(*vc);
+    std::memset(pc->entries, 0, kLogChunkDataBytes);
+    pc->id = vc->id;
+    pc->active = 1;
+    pc->next = 0;
+    // One sequential burst: the zeroed entry area plus the header.
+    persistLine(pc, sizeof(LogChunk));
+
+    if (list_tail) {
+        LogChunk *prev = chunkAt(*list_tail);
+        prev->next = vc->chunk_off;
+        persistLine(&prev->next, sizeof(prev->next));
+    } else {
+        header_->head[header_->alt] = vc->chunk_off;
+        persistLine(header_, sizeof(LogHeader));
+    }
+    if (flush_)
+        dev_->fence();
+
+    active_.insert(vc, vc->id);
+    ++active_count_;
+    return vc;
+}
+
+void
+BookkeepingLog::writeEntry(VChunk &vc, unsigned slot, uint64_t packed)
+{
+    LogChunk *pc = chunkAt(vc);
+    unsigned phys = map_.physical(slot);
+    pc->entries[phys] = packed;
+    persistLine(&pc->entries[phys], sizeof(uint64_t));
+    if (flush_)
+        dev_->fence();
+}
+
+void
+BookkeepingLog::ensureTail()
+{
+    if (tail_ && tail_->next_slot < kLogEntriesPerChunk)
+        return;
+    if (!free_list_)
+        fastGc();
+
+    // Slow GC is worth it only if it can actually shrink the chunk
+    // count; a log genuinely full of live entries must keep carving.
+    double used_after = double(active_count_ + 1) / double(max_chunks_);
+    double live_frac = double(live_entries_) /
+                       double(max_chunks_ * kLogEntriesPerChunk);
+    if (used_after > gc_threshold_ && live_frac < gc_threshold_ * 0.75) {
+        slowGc();
+        if (tail_ && tail_->next_slot < kLogEntriesPerChunk)
+            return;
+    }
+
+    VChunk *vc = activateChunk(tail_);
+    if (!vc) {
+        slowGc();
+        if (tail_ && tail_->next_slot < kLogEntriesPerChunk)
+            return;
+        vc = activateChunk(tail_);
+        if (!vc)
+            NV_FATAL("bookkeeping log region exhausted");
+    }
+    tail_ = vc;
+}
+
+LogEntryRef
+BookkeepingLog::append(LogType type, uint64_t ext_off, uint64_t size,
+                       void *owner)
+{
+    ensureTail();
+
+    VChunk &vc = *tail_;
+    unsigned slot = vc.next_slot++;
+    uint64_t packed = logEntryPack(type, ext_off >> 12, size);
+    writeEntry(vc, slot, packed);
+    bitmapSet(vc.bitmap, slot);
+    ++vc.live;
+    vc.owners[slot] = owner;
+    if (type != kLogTombstone)
+        ++live_entries_;
+    ++stats_.appends;
+    return LogEntryRef{vc.id, slot};
+}
+
+void
+BookkeepingLog::tombstone(LogEntryRef target)
+{
+    NV_ASSERT(target.valid());
+    VChunk *vc = active_.find(target.chunk_id);
+    NV_ASSERT(vc && bitmapTest(vc->bitmap, target.slot));
+
+    // Invalidate the target in its vchunk (volatile), then journal the
+    // deletion persistently for post-crash replay.
+    bitmapClear(vc->bitmap, target.slot);
+    --vc->live;
+    vc->owners[target.slot] = nullptr;
+    --live_entries_;
+    ++stats_.tombstones;
+
+    append(kLogTombstone, uint64_t(target.chunk_id) << 12, target.slot,
+           nullptr);
+}
+
+void
+BookkeepingLog::setOwner(LogEntryRef ref, void *owner)
+{
+    VChunk *vc = active_.find(ref.chunk_id);
+    NV_ASSERT(vc != nullptr);
+    vc->owners[ref.slot] = owner;
+}
+
+void
+BookkeepingLog::fastGc()
+{
+    ++stats_.fast_gcs;
+
+    // Scan vchunks; empty ones leave the active list. No PM reads —
+    // only the deactivation flag and the predecessor's next pointer
+    // are written (paper: "its overhead is trivial").
+    VChunk *prev = nullptr;
+    VChunk *vc = active_.first();
+    while (vc) {
+        VChunk *next = active_.next(vc);
+        if (vc->live == 0 && vc != tail_ && vc->next_slot > 0) {
+            releaseChunk(vc, prev);
+        } else {
+            prev = vc;
+        }
+        vc = next;
+    }
+}
+
+void
+BookkeepingLog::releaseChunk(VChunk *vc, VChunk *prev)
+{
+    LogChunk *pc = chunkAt(*vc);
+    pc->active = 0;
+    persistLine(&pc->active, sizeof(pc->active));
+
+    if (prev) {
+        LogChunk *pp = chunkAt(*prev);
+        pp->next = pc->next;
+        persistLine(&pp->next, sizeof(pp->next));
+    } else {
+        header_->head[header_->alt] = pc->next;
+        persistLine(header_, sizeof(LogHeader));
+    }
+    if (flush_)
+        dev_->fence();
+
+    active_.erase(vc);
+    --active_count_;
+    vc->next_free = free_list_;
+    free_list_ = vc;
+}
+
+void
+BookkeepingLog::slowGc()
+{
+    ++stats_.slow_gcs;
+
+    // Collect the surviving entries (normal/slab with a set bit) in
+    // id/slot order together with their owners.
+    struct Live
+    {
+        uint64_t packed;
+        void *owner;
+    };
+    std::vector<Live> survivors;
+    survivors.reserve(live_entries_);
+    std::vector<VChunk *> old_chunks;
+    for (VChunk *vc = active_.first(); vc; vc = active_.next(vc)) {
+        old_chunks.push_back(vc);
+        LogChunk *pc = chunkAt(*vc);
+        for (unsigned slot = 0; slot < vc->next_slot; ++slot) {
+            if (!bitmapTest(vc->bitmap, slot))
+                continue;
+            uint64_t packed = pc->entries[map_.physical(slot)];
+            if (logEntryType(packed) == kLogTombstone)
+                continue; // dropped together with its target
+            survivors.push_back({packed, vc->owners[slot]});
+        }
+    }
+
+    // Build list_new under the alternate head.
+    uint32_t old_alt = header_->alt;
+    header_->alt = 1 - old_alt;
+    VChunk *new_tail = nullptr;
+    size_t copied = 0;
+    live_entries_ = 0;
+    for (const Live &e : survivors) {
+        if (!new_tail || new_tail->next_slot == kLogEntriesPerChunk) {
+            VChunk *vc = activateChunk(new_tail);
+            if (!vc) {
+                // Roll back the alt switch; caller will fail loudly.
+                header_->alt = old_alt;
+                NV_FATAL("log region too small for slow GC");
+            }
+            new_tail = vc;
+        }
+        unsigned slot = new_tail->next_slot++;
+        writeEntry(*new_tail, slot, e.packed);
+        bitmapSet(new_tail->bitmap, slot);
+        ++new_tail->live;
+        new_tail->owners[slot] = e.owner;
+        ++live_entries_;
+        ++copied;
+        if (e.owner && relocate_)
+            relocate_(e.owner, LogEntryRef{new_tail->id, slot});
+    }
+    stats_.entries_copied += copied;
+
+    // Publish: one persistent bit flip moves recovery to list_new.
+    persistLine(header_, sizeof(LogHeader));
+    if (flush_)
+        dev_->fence();
+
+    // Recycle list_old.
+    for (VChunk *vc : old_chunks) {
+        LogChunk *pc = chunkAt(*vc);
+        pc->active = 0;
+        persistLine(&pc->active, sizeof(pc->active));
+        active_.erase(vc);
+        --active_count_;
+        vc->next_free = free_list_;
+        free_list_ = vc;
+    }
+    if (flush_)
+        dev_->fence();
+    tail_ = new_tail;
+}
+
+void
+BookkeepingLog::replay(const std::function<void(LogType, uint64_t,
+                                                uint64_t, LogEntryRef)> &fn)
+{
+    NV_ASSERT(active_.empty());
+
+    // Pass 1: adopt the published chain, rebuild bitmaps, apply
+    // tombstones.
+    uint64_t off = header_->head[header_->alt];
+    uint32_t max_id = 0;
+    std::vector<VChunk *> chain;
+    while (off) {
+        // Reading one chunk (17 lines) is a short sequential burst.
+        VClock::advance(300, TimeKind::PmRead);
+        LogChunk *pc = static_cast<LogChunk *>(dev_->at(off));
+        VChunk *vc = new VChunk;
+        vc->chunk_off = off;
+        vc->id = pc->id;
+        active_.insert(vc, vc->id);
+        ++active_count_;
+        chain.push_back(vc);
+        if (vc->id > max_id)
+            max_id = vc->id;
+
+        for (unsigned slot = 0; slot < kLogEntriesPerChunk; ++slot) {
+            uint64_t packed = pc->entries[map_.physical(slot)];
+            if (packed == 0)
+                break; // appends are dense in logical order
+            vc->next_slot = slot + 1;
+            LogType type = logEntryType(packed);
+            if (type == kLogTombstone) {
+                uint32_t tgt_chunk = uint32_t(logEntryAddr(packed));
+                uint32_t tgt_slot = uint32_t(logEntrySize(packed));
+                VChunk *tgt = active_.find(tgt_chunk);
+                // The target chunk may have been freed by fast GC
+                // after the tombstone was written; then nothing to do.
+                if (tgt && bitmapTest(tgt->bitmap, tgt_slot)) {
+                    bitmapClear(tgt->bitmap, tgt_slot);
+                    --tgt->live;
+                }
+                bitmapSet(vc->bitmap, slot);
+                ++vc->live;
+            } else {
+                bitmapSet(vc->bitmap, slot);
+                ++vc->live;
+            }
+        }
+        off = pc->next;
+    }
+    next_id_ = max_id + 1;
+    tail_ = chain.empty() ? nullptr : chain.back();
+
+    // Unreachable carved chunks (e.g. an unpublished list_new from a
+    // crashed slow GC) go back to the free pool.
+    for (size_t i = 0; i < carved_chunks_; ++i) {
+        uint64_t coff = chunkOffset(i);
+        bool reachable = false;
+        for (VChunk *vc : chain) {
+            if (vc->chunk_off == coff) {
+                reachable = true;
+                break;
+            }
+        }
+        if (!reachable) {
+            VChunk *vc = new VChunk;
+            vc->chunk_off = coff;
+            vc->next_free = free_list_;
+            free_list_ = vc;
+        }
+    }
+
+    // Pass 2: surface the live payload entries in order.
+    live_entries_ = 0;
+    for (VChunk *vc : chain) {
+        LogChunk *pc = chunkAt(*vc);
+        for (unsigned slot = 0; slot < vc->next_slot; ++slot) {
+            if (!bitmapTest(vc->bitmap, slot))
+                continue;
+            uint64_t packed = pc->entries[map_.physical(slot)];
+            LogType type = logEntryType(packed);
+            if (type == kLogTombstone)
+                continue;
+            ++live_entries_;
+            fn(type, logEntryAddr(packed) << 12, logEntrySize(packed),
+               LogEntryRef{vc->id, slot});
+        }
+    }
+}
+
+} // namespace nvalloc

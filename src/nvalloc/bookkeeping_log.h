@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Log-structured bookkeeping for large allocations (paper §5.3, Fig. 8).
+ *
+ * Instead of updating extent headers in place (small random writes all
+ * over the heap, §3.3), every extent state change appends an 8-byte
+ * entry to a persistent log: sequential writes, fixed entry size, no
+ * data copying. The log region is divided into chunks of 128 entries;
+ * a volatile vchunk per chunk carries a validity bitmap and the DRAM
+ * back-pointers needed to relocate entries during GC. Active chunks
+ * form a persistent singly-linked list published by a log header with
+ * two head pointers and an `alt` bit, so slow GC can build a fresh
+ * list and switch over with one atomic bit flip.
+ *
+ * Fast GC frees chunks whose bitmap is empty (no PM reads). Slow GC
+ * copies live entries into a new list, dropping tombstones, when the
+ * log file grows past a usage threshold.
+ *
+ * Entries are placed inside a chunk through the interleaved mapping so
+ * that consecutive appends do not re-flush the same line (§5.3:
+ * "similar to the method in Section 5.1").
+ */
+
+#ifndef NVALLOC_NVALLOC_BOOKKEEPING_LOG_H
+#define NVALLOC_NVALLOC_BOOKKEEPING_LOG_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rbtree.h"
+#include "nvalloc/interleave.h"
+#include "nvalloc/layout.h"
+#include "pm/pm_device.h"
+
+namespace nvalloc {
+
+/** Stable handle to a live log entry (chunk activation id + slot). */
+struct LogEntryRef
+{
+    uint32_t chunk_id = 0;
+    uint32_t slot = 0;
+
+    bool valid() const { return chunk_id != 0; }
+};
+
+class BookkeepingLog
+{
+  public:
+    /** Called when slow GC moves a live entry: lets the owner (a VEH)
+     *  update its stored LogEntryRef. */
+    using RelocateFn = std::function<void(void *owner, LogEntryRef ref)>;
+
+    struct Stats
+    {
+        uint64_t appends = 0;
+        uint64_t tombstones = 0;
+        uint64_t fast_gcs = 0;
+        uint64_t slow_gcs = 0;
+        uint64_t entries_copied = 0;
+    };
+
+    BookkeepingLog() = default;
+    ~BookkeepingLog();
+
+    /**
+     * Bind to the log region. `create` formats a fresh header;
+     * otherwise the persistent chunk list is adopted (recovery path —
+     * call replay() afterwards to enumerate live entries).
+     */
+    void attach(PmDevice *dev, uint64_t region_off, size_t region_bytes,
+                bool interleaved, bool flush_enabled, double gc_threshold,
+                bool create);
+
+    /** Append a normal or slab entry; `owner` is the volatile object
+     *  (VEH) to notify on relocation. */
+    LogEntryRef append(LogType type, uint64_t ext_off, uint64_t size,
+                       void *owner);
+
+    /** Mark `target` dead: appends a tombstone entry and clears the
+     *  target's validity bit in its vchunk. */
+    void tombstone(LogEntryRef target);
+
+    void setRelocateFn(RelocateFn fn) { relocate_ = std::move(fn); }
+
+    /** Force a slow GC (also used by recovery to drop tombstones). */
+    void slowGc();
+
+    /**
+     * Recovery: walk every live entry of the published chunk list in
+     * append order, invoking fn(type, ext_off, size, ref). Rebuilds
+     * all volatile state (vchunks, free list) as a side effect.
+     */
+    void replay(const std::function<void(LogType, uint64_t, uint64_t,
+                                         LogEntryRef)> &fn);
+
+    /** Let the owner of a replayed entry be registered for GC. */
+    void setOwner(LogEntryRef ref, void *owner);
+
+    const Stats &stats() const { return stats_; }
+    size_t activeChunks() const { return active_count_; }
+    size_t liveEntries() const { return live_entries_; }
+
+  private:
+    struct VChunk
+    {
+        uint64_t chunk_off = 0;
+        uint32_t id = 0;
+        uint64_t bitmap[2] = {0, 0};
+        unsigned live = 0;
+        unsigned next_slot = 0; //!< logical append cursor
+        void *owners[kLogEntriesPerChunk] = {};
+        RbNode rb;      //!< active vchunks, keyed by id
+        VChunk *next_free = nullptr;
+    };
+
+    using VChunkTree = RbTree<VChunk, offsetof(VChunk, rb)>;
+
+    PmDevice *dev_ = nullptr;
+    uint64_t region_off_ = 0;
+    size_t region_bytes_ = 0;
+    bool flush_ = true;
+    double gc_threshold_ = 0.5;
+    InterleaveMap map_;
+    LogHeader *header_ = nullptr;
+
+    VChunkTree active_;       //!< by activation id
+    VChunk *tail_ = nullptr;  //!< current append chunk
+    VChunk *free_list_ = nullptr;
+    size_t active_count_ = 0;
+    size_t live_entries_ = 0;
+    uint32_t next_id_ = 1;
+    size_t carved_chunks_ = 0;
+    size_t max_chunks_ = 0;
+
+    RelocateFn relocate_;
+    Stats stats_;
+
+    LogChunk *chunkAt(const VChunk &vc) const
+    {
+        return static_cast<LogChunk *>(dev_->at(vc.chunk_off));
+    }
+
+    uint64_t chunkOffset(size_t index) const;
+    void ensureTail();
+    VChunk *activateChunk(VChunk *list_tail);
+    VChunk *takeFreeChunk();
+    void releaseChunk(VChunk *vc, VChunk *prev);
+    void fastGc();
+    void writeEntry(VChunk &vc, unsigned slot, uint64_t packed);
+    void persistLine(const void *addr, size_t len);
+    void freeAllVChunks();
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_BOOKKEEPING_LOG_H

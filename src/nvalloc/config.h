@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Build-time-free configuration of an NvAlloc instance.
+ *
+ * Every optimization of the paper is an independent runtime flag so
+ * the Fig. 11 breakdown (Base / +Interleaved / +Log / full), the
+ * Fig. 15 morphing ablation, and the Fig. 16 sensitivity sweeps are
+ * driven by configuration rather than separate builds.
+ */
+
+#ifndef NVALLOC_NVALLOC_CONFIG_H
+#define NVALLOC_NVALLOC_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvalloc {
+
+/** Crash-consistency model (paper §4.1, Table 2). */
+enum class Consistency
+{
+    Log, //!< NVAlloc-LOG: WAL-based, strongly consistent
+    Gc,  //!< NVAlloc-GC: post-crash garbage collection
+    /**
+     * NVAlloc-IC: internal collection (the paper's stated future
+     * work, after PMDK's POBJ_FIRST/POBJ_NEXT model): allocation
+     * bits are persisted eagerly like NVAlloc-LOG but no WAL is
+     * written — instead the allocator itself can enumerate every
+     * allocated object (NvAlloc::forEachAllocated), so a reference
+     * can never be lost and replay is unnecessary.
+     */
+    InternalCollection,
+};
+
+struct NvAllocConfig
+{
+    Consistency consistency = Consistency::Log;
+
+    // §5.1 interleaved mapping / layout.
+    bool interleaved_bitmap = true; //!< slab bitmap bit stripes
+    bool interleaved_tcache = true; //!< sub-tcache round robin
+    bool interleaved_wal = true;    //!< WAL entry striping
+    bool interleaved_log = true;    //!< bookkeeping-log entry striping
+    unsigned bit_stripes = 6;       //!< paper default (Fig. 16a)
+
+    /**
+     * §6.5's future work, implemented: choose the stripe count of
+     * each *new* slab from the current thread concurrency. Many
+     * concurrent threads already spread flushes across XPLines, so
+     * fewer stripes per slab avoid exhausting the XPBuffer; a lone
+     * thread gets the full spread. Stripes never drop below 5 (the
+     * reflush window is 4). Per-slab geometry is self-describing in
+     * the slab header, so mixed-stripe heaps recover fine.
+     */
+    bool dynamic_stripes = false;
+
+    // §5.2 slab morphing.
+    bool slab_morphing = true;
+    double morph_threshold = 0.20;  //!< SU, paper default (Fig. 16b)
+
+    // §5.3 log-structured bookkeeping; false = in-place extent
+    // headers, the Base configuration of Fig. 11(c) and Fig. 2.
+    bool log_bookkeeping = true;
+
+    /** Arenas ≈ CPU cores; the paper's testbed has 20 physical cores
+     *  per socket and one arena per core. */
+    unsigned num_arenas = 20;
+
+    /** Per-class tcache capacity in blocks. */
+    unsigned tcache_slots = 48;
+
+    /** Bookkeeping log file size (paper: 100 MB; scaled default). */
+    size_t log_file_bytes = 4 * 1024 * 1024;
+
+    /** Slow-GC trigger: live log bytes / log file bytes. */
+    double log_gc_threshold = 0.5;
+
+    /** Decay window for reclaimed/retained extents, virtual ns
+     *  (paper/jemalloc: 50 ms epochs). */
+    uint64_t decay_window_ns = 50'000'000;
+
+    /** When false, skips all flush calls (eADR platform, §6.7); the
+     *  device's latency model should be set to eADR mode as well. */
+    bool flush_enabled = true;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_CONFIG_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Interleaved mapping (paper §5.1, Fig. 4).
+ *
+ * Consecutive blocks of a slab map to bits in *different* bit stripes,
+ * each stripe padded out to its own cache line(s), so a burst of
+ * consecutive allocations flushes S distinct lines instead of
+ * re-flushing one. The same index transform interleaves WAL entries
+ * and bookkeeping-log entries within their buffers.
+ *
+ * With S stripes of `per_stripe` usable bit slots each:
+ *     bit(b)  = (b mod S) * padded_stripe_bits + b div S
+ * so blocks b, b+1, ..., b+S-1 land in stripes 0..S-1.
+ */
+
+#ifndef NVALLOC_NVALLOC_INTERLEAVE_H
+#define NVALLOC_NVALLOC_INTERLEAVE_H
+
+#include <cstdint>
+
+#include "common/size_classes.h"
+
+namespace nvalloc {
+
+/** Geometry of one interleaved bitmap/entry array. */
+struct InterleaveMap
+{
+    unsigned stripes = 1;          //!< S; 1 disables interleaving
+    unsigned slots = 0;            //!< total logical slots (bits/entries)
+    unsigned per_stripe = 0;       //!< logical slots per stripe
+    unsigned padded_stripe = 0;    //!< physical slots per stripe
+
+    /**
+     * Build a map for `slots` slots of `slot_bits` bits each, using up
+     * to `stripes` stripes, padding each stripe to a whole number of
+     * cache lines. Stripe count is clamped so every stripe gets at
+     * least one slot.
+     */
+    static InterleaveMap
+    build(unsigned slots, unsigned slot_bits, unsigned stripes)
+    {
+        InterleaveMap m;
+        m.slots = slots;
+        if (stripes < 1)
+            stripes = 1;
+        if (stripes > slots && slots > 0)
+            stripes = slots;
+        m.stripes = stripes;
+        m.per_stripe = (slots + stripes - 1) / stripes;
+
+        unsigned line_slots = kCacheLine * 8 / slot_bits;
+        m.padded_stripe =
+            ((m.per_stripe + line_slots - 1) / line_slots) * line_slots;
+        return m;
+    }
+
+    /** Physical slot index of logical slot `i`. */
+    unsigned
+    physical(unsigned i) const
+    {
+        if (stripes == 1)
+            return i;
+        return (i % stripes) * padded_stripe + i / stripes;
+    }
+
+    /** Inverse of physical(). */
+    unsigned
+    logical(unsigned phys) const
+    {
+        if (stripes == 1)
+            return phys;
+        unsigned stripe = phys / padded_stripe;
+        unsigned within = phys % padded_stripe;
+        return within * stripes + stripe;
+    }
+
+    /** Total physical slots (bitmap size in slots). */
+    unsigned physicalSlots() const { return stripes * padded_stripe; }
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_INTERLEAVE_H

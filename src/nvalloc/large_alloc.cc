@@ -1,0 +1,613 @@
+#include "nvalloc/large_alloc.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "common/size_classes.h"
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+namespace {
+
+constexpr uint64_t kSearchBaseNs = 40;
+constexpr uint64_t kSearchStepNs = 15;
+
+uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+// Region-table entry: offset in 4 KB units | total size in 64 KB units.
+uint64_t
+packRegion(uint64_t off, uint64_t size)
+{
+    return ((off >> 12) << 28) | (size >> 16);
+}
+
+uint64_t
+regionEntryOff(uint64_t e)
+{
+    return (e >> 28) << 12;
+}
+
+uint64_t
+regionEntrySize(uint64_t e)
+{
+    return (e & ((uint64_t{1} << 28) - 1)) << 16;
+}
+
+} // namespace
+
+LargeAllocator::~LargeAllocator()
+{
+    auto drain = [](VehList &list) {
+        while (Veh *v = list.popFront())
+            delete v;
+    };
+    drain(activated_list_);
+    drain(reclaimed_list_);
+    drain(retained_list_);
+}
+
+void
+LargeAllocator::init(PmDevice *dev, const NvAllocConfig &cfg,
+                     BookkeepingLog *log, uint64_t *region_table,
+                     unsigned region_slots)
+{
+    dev_ = dev;
+    cfg_ = cfg;
+    log_ = log;
+    region_table_ = region_table;
+    region_slots_ = region_slots;
+    if (log_) {
+        log_->setRelocateFn([](void *owner, LogEntryRef ref) {
+            static_cast<Veh *>(owner)->log_ref = ref;
+        });
+    }
+}
+
+void
+LargeAllocator::chargeSearch(unsigned steps)
+{
+    VClock::advance(kSearchBaseNs + steps * kSearchStepNs,
+                    TimeKind::Search);
+}
+
+Veh *
+LargeAllocator::bestFit(SizeTree &tree, uint64_t size)
+{
+    chargeSearch(std::bit_width(tree.size()));
+    return tree.lowerBound(size);
+}
+
+uint64_t
+LargeAllocator::regionOf(uint64_t off) const
+{
+    auto it = regions_.upper_bound(off);
+    NV_ASSERT(it != regions_.begin());
+    --it;
+    NV_ASSERT(off < it->first + it->second);
+    return it->first;
+}
+
+void
+LargeAllocator::regionTableAdd(uint64_t region_off, uint64_t size)
+{
+    for (unsigned i = 0; i < region_slots_; ++i) {
+        if (region_table_[i] == 0) {
+            region_table_[i] = packRegion(region_off, size);
+            dev_->persistFence(&region_table_[i], sizeof(uint64_t),
+                               TimeKind::FlushMeta);
+            regions_[region_off] = size;
+            return;
+        }
+    }
+    NV_FATAL("persistent region table full; raise kMaxRegions");
+}
+
+void
+LargeAllocator::regionTableRemove(uint64_t region_off)
+{
+    regions_.erase(region_off);
+    for (unsigned i = 0; i < region_slots_; ++i) {
+        if (region_table_[i] != 0 &&
+            regionEntryOff(region_table_[i]) == region_off) {
+            region_table_[i] = 0;
+            dev_->persistFence(&region_table_[i], sizeof(uint64_t),
+                               TimeKind::FlushMeta);
+            return;
+        }
+    }
+    NV_PANIC("region missing from persistent table");
+}
+
+Veh *
+LargeAllocator::newRegion()
+{
+    uint64_t off = dev_->mapRegion(kRegionSize);
+    ++stats_.regions_mapped;
+    regionTableAdd(off, kRegionSize);
+
+    auto &slots = desc_free_[off];
+    slots.clear();
+    for (unsigned i = kDescsPerRegion; i-- > 0;)
+        slots.push_back(i);
+
+    Veh *veh = new Veh;
+    veh->off = off + kRegionHeaderSize;
+    veh->size = kRegionSize - kRegionHeaderSize;
+    veh->state = Veh::State::Reclaimed;
+    veh->freed_at = VClock::now();
+    rtree_.setRange(veh->off, veh->size, veh);
+    insertFree(veh, Veh::State::Reclaimed);
+    if (!log_)
+        descriptorWrite(veh, 2);
+    return veh;
+}
+
+void
+LargeAllocator::insertFree(Veh *veh, Veh::State state)
+{
+    veh->state = state;
+    if (state == Veh::State::Reclaimed) {
+        reclaimed_tree_.insert(veh, veh->size);
+        reclaimed_list_.pushBack(veh);
+        reclaimed_bytes_ += veh->size;
+        // The decay window restarts only when the dirty pool grows
+        // past its previous high-water mark; steady-state churn that
+        // recycles the same extents lets the smootherstep limit keep
+        // falling (jemalloc's epoch behaviour).
+        if (reclaimed_bytes_ > reclaimed_peak_) {
+            reclaimed_peak_ = reclaimed_bytes_;
+            decay_epoch_start_ = VClock::now();
+        }
+    } else {
+        retained_tree_.insert(veh, veh->size);
+        retained_list_.pushBack(veh);
+        retained_bytes_ += veh->size;
+    }
+}
+
+void
+LargeAllocator::removeFree(Veh *veh)
+{
+    if (veh->state == Veh::State::Reclaimed) {
+        reclaimed_tree_.erase(veh);
+        reclaimed_list_.remove(veh);
+        reclaimed_bytes_ -= veh->size;
+    } else {
+        NV_ASSERT(veh->state == Veh::State::Retained);
+        retained_tree_.erase(veh);
+        retained_list_.remove(veh);
+        retained_bytes_ -= veh->size;
+    }
+}
+
+Veh *
+LargeAllocator::splitFront(Veh *veh, uint64_t size)
+{
+    NV_ASSERT(veh->size > size);
+    ++stats_.splits;
+    chargeSearch(2);
+
+    Veh *front = new Veh;
+    front->off = veh->off;
+    front->size = size;
+
+    removeFree(veh);
+    veh->off += size;
+    veh->size -= size;
+    rtree_.setRange(veh->off, veh->size, veh);
+    insertFree(veh, veh->state); // remainder keeps its commit state
+    if (!log_)
+        descriptorWrite(veh, 2);
+
+    rtree_.setRange(front->off, front->size, front);
+    return front;
+}
+
+void
+LargeAllocator::activate(Veh *veh, bool is_slab)
+{
+    veh->state = Veh::State::Activated;
+    veh->is_slab = is_slab;
+    activated_list_.pushBack(veh);
+    activated_bytes_ += veh->size;
+
+    if (log_) {
+        veh->log_ref = log_->append(is_slab ? kLogSlab : kLogNormal,
+                                    veh->off, veh->size, veh);
+    } else {
+        descriptorWrite(veh, 1);
+    }
+}
+
+void
+LargeAllocator::retire(Veh *veh)
+{
+    NV_ASSERT(veh->state == Veh::State::Activated);
+    activated_list_.remove(veh);
+    activated_bytes_ -= veh->size;
+
+    if (log_) {
+        log_->tombstone(veh->log_ref);
+        veh->log_ref = LogEntryRef{};
+    } else {
+        descriptorWrite(veh, 2);
+    }
+}
+
+uint64_t
+LargeAllocator::allocateDirect(uint64_t size)
+{
+    NV_ASSERT(size < (uint64_t{1} << 26)); // log entry size field
+    uint64_t total =
+        alignUp(size + kRegionHeaderSize, PmDevice::kRegionAlign);
+    uint64_t off = dev_->mapRegion(total);
+    ++stats_.regions_mapped;
+    regionTableAdd(off, total);
+    auto &slots = desc_free_[off];
+    for (unsigned i = kDescsPerRegion; i-- > 0;)
+        slots.push_back(i);
+
+    Veh *veh = new Veh;
+    veh->off = off + kRegionHeaderSize;
+    veh->size = total - kRegionHeaderSize;
+    veh->is_direct = true;
+    rtree_.setRange(veh->off, veh->size, veh);
+    activate(veh, false);
+    return veh->off;
+}
+
+uint64_t
+LargeAllocator::allocate(uint64_t size, bool is_slab)
+{
+    VLockGuard guard(lock_);
+    decayTick();
+    ++stats_.allocations;
+    size = alignUp(size, kExtentAlign);
+
+    if (size > kLargeMax)
+        return allocateDirect(size);
+
+    // Best fit in the reclaimed list first, then the retained list
+    // (paper §4.3); a hit in retained re-commits physical memory.
+    Veh *veh = bestFit(reclaimed_tree_, size);
+    bool from_retained = false;
+    if (!veh) {
+        veh = bestFit(retained_tree_, size);
+        from_retained = veh != nullptr;
+    }
+    if (!veh)
+        veh = newRegion();
+
+    if (veh->size > size) {
+        Veh *front = splitFront(veh, size);
+        if (from_retained)
+            dev_->recommit(front->off, front->size);
+        activate(front, is_slab);
+        return front->off;
+    }
+
+    removeFree(veh);
+    if (from_retained)
+        dev_->recommit(veh->off, veh->size);
+    activate(veh, is_slab);
+    return veh->off;
+}
+
+Veh *
+LargeAllocator::coalesce(Veh *veh)
+{
+    // Left neighbour: the page just below our start.
+    Veh *left = findVeh(veh->off - 1);
+    if (left && left->state == Veh::State::Reclaimed &&
+        left->off + left->size == veh->off) {
+        ++stats_.coalesces;
+        chargeSearch(2);
+        removeFree(left);
+        left->size += veh->size;
+        rtree_.setRange(veh->off, veh->size, left);
+        if (!log_)
+            descriptorRelease(veh);
+        delete veh;
+        veh = left;
+        veh->state = Veh::State::Reclaimed; // reinserted by caller
+    }
+
+    Veh *right = findVeh(veh->off + veh->size);
+    if (right && right->state == Veh::State::Reclaimed &&
+        veh->off + veh->size == right->off) {
+        ++stats_.coalesces;
+        chargeSearch(2);
+        removeFree(right);
+        veh->size += right->size;
+        rtree_.setRange(right->off, right->size, veh);
+        if (!log_)
+            descriptorRelease(right);
+        delete right;
+    }
+    return veh;
+}
+
+void
+LargeAllocator::free(uint64_t off)
+{
+    VLockGuard guard(lock_);
+    ++stats_.frees;
+
+    Veh *veh = findVeh(off);
+    NV_ASSERT(veh && veh->off == off &&
+              veh->state == Veh::State::Activated);
+    chargeSearch(3); // R-tree lookup
+
+    retire(veh);
+
+    if (veh->is_direct) {
+        uint64_t region = regionOf(off);
+        uint64_t total = regions_.at(region);
+        rtree_.setRange(veh->off, veh->size, nullptr);
+        regionTableRemove(region);
+        desc_free_.erase(region);
+        dev_->unmapRegion(region, total);
+        ++stats_.regions_unmapped;
+        delete veh;
+        return;
+    }
+
+    veh->freed_at = VClock::now();
+    veh = coalesce(veh);
+    veh->freed_at = VClock::now();
+    insertFree(veh, Veh::State::Reclaimed);
+    if (!log_)
+        descriptorWrite(veh, 2);
+    decayTick();
+}
+
+void
+LargeAllocator::demote(Veh *veh)
+{
+    NV_ASSERT(veh->state == Veh::State::Reclaimed);
+    ++stats_.demotions;
+    removeFree(veh);
+    dev_->decommit(veh->off, veh->size);
+    insertFree(veh, Veh::State::Retained);
+}
+
+void
+LargeAllocator::evict(Veh *veh)
+{
+    // Only whole-region extents can be returned to the OS; partial
+    // extents stay retained (their region is still live).
+    uint64_t region = regionOf(veh->off);
+    uint64_t total = regions_.at(region);
+    NV_ASSERT(veh->off == region + kRegionHeaderSize &&
+              veh->size == total - kRegionHeaderSize);
+    ++stats_.evictions;
+    ++stats_.regions_unmapped;
+
+    removeFree(veh);
+    rtree_.setRange(veh->off, veh->size, nullptr);
+    regionTableRemove(region);
+    desc_free_.erase(region);
+    // The header area's committed bytes: decommit happened for the
+    // data part already; unmap the whole region.
+    dev_->recommit(veh->off, veh->size); // rebalance before unmap
+    dev_->unmapRegion(region, total);
+    delete veh;
+}
+
+void
+LargeAllocator::decayTick()
+{
+    uint64_t my_now = VClock::now();
+    uint64_t seen = global_vnow_.load(std::memory_order_relaxed);
+    while (my_now > seen &&
+           !global_vnow_.compare_exchange_weak(seen, my_now)) {
+    }
+    uint64_t now = std::max(my_now, seen);
+
+    // Reclaimed list: bounded by peak * smootherstep decay since the
+    // last growth (paper §2.2; jemalloc decay with 50 ms windows). A
+    // short grace period keeps whole-extent demotion granularity from
+    // firing the instant the limit dips epsilon below the pool size.
+    uint64_t elapsed = now - decay_epoch_start_;
+    if (elapsed < cfg_.decay_window_ns / 16)
+        elapsed = 0;
+    double frac = decayLimitFraction(double(elapsed),
+                                     double(cfg_.decay_window_ns));
+    auto limit = uint64_t(double(reclaimed_peak_) * frac);
+    while (reclaimed_bytes_ > limit) {
+        Veh *oldest = reclaimed_list_.front();
+        if (!oldest)
+            break;
+        demote(oldest);
+    }
+    if (reclaimed_bytes_ == 0)
+        reclaimed_peak_ = 0;
+
+    // Retained list: whole-region extents older than two windows go
+    // back to the OS.
+    Veh *veh = retained_list_.front();
+    while (veh) {
+        Veh *next = retained_list_.next(veh);
+        if (now - veh->freed_at > 2 * cfg_.decay_window_ns) {
+            uint64_t region = regionOf(veh->off);
+            uint64_t total = regions_.at(region);
+            if (veh->off == region + kRegionHeaderSize &&
+                veh->size == total - kRegionHeaderSize) {
+                evict(veh);
+            }
+        }
+        veh = next;
+    }
+}
+
+void
+LargeAllocator::descriptorWrite(Veh *veh, uint32_t state)
+{
+    uint64_t region = regionOf(veh->off);
+    if (veh->desc_off == 0) {
+        auto &slots = desc_free_[region];
+        NV_ASSERT(!slots.empty());
+        unsigned slot = slots.back();
+        slots.pop_back();
+        veh->desc_off = region + slot * sizeof(ExtentDesc);
+    }
+    auto *desc = static_cast<ExtentDesc *>(dev_->at(veh->desc_off));
+    desc->offset = veh->off;
+    desc->size = veh->size;
+    desc->state = state;
+    desc->is_slab = veh->is_slab ? 1 : 0;
+    // The in-place update the paper's Fig. 2 profiles: a small write
+    // at an effectively random header location.
+    dev_->persistFence(desc, sizeof(ExtentDesc), TimeKind::FlushMeta);
+}
+
+void
+LargeAllocator::descriptorRelease(Veh *veh)
+{
+    if (veh->desc_off == 0)
+        return;
+    auto *desc = static_cast<ExtentDesc *>(dev_->at(veh->desc_off));
+    desc->offset = 0;
+    desc->state = 0;
+    dev_->persistFence(desc, sizeof(ExtentDesc), TimeKind::FlushMeta);
+    uint64_t region = regionOf(veh->off);
+    unsigned slot =
+        unsigned((veh->desc_off - region) / sizeof(ExtentDesc));
+    desc_free_[region].push_back(slot);
+    veh->desc_off = 0;
+}
+
+Veh *
+LargeAllocator::adoptActivated(uint64_t off, uint64_t size, bool is_slab,
+                               LogEntryRef ref)
+{
+    Veh *veh = new Veh;
+    veh->off = off;
+    veh->size = size;
+    veh->state = Veh::State::Activated;
+    veh->is_slab = is_slab;
+    veh->log_ref = ref;
+    rtree_.setRange(off, size, veh);
+    activated_list_.pushBack(veh);
+    activated_bytes_ += veh->size;
+    if (log_)
+        log_->setOwner(ref, veh);
+    return veh;
+}
+
+void
+LargeAllocator::rebuildFreeSpace()
+{
+    // Adopt the persistent region table.
+    regions_.clear();
+    for (unsigned i = 0; i < region_slots_; ++i) {
+        if (region_table_[i] != 0) {
+            regions_[regionEntryOff(region_table_[i])] =
+                regionEntrySize(region_table_[i]);
+        }
+    }
+
+    // Every gap between activated extents becomes a reclaimed extent
+    // (paper §4.4: "treat the space gaps between active extents as
+    // free extents").
+    std::vector<uint64_t> to_unmap;
+    for (auto &[region, total] : regions_) {
+        uint64_t data = region + kRegionHeaderSize;
+        uint64_t end = region + total;
+        uint64_t cursor = data;
+        bool any_active = false;
+
+        auto &slots = desc_free_[region];
+        slots.clear();
+        for (unsigned i = kDescsPerRegion; i-- > 0;)
+            slots.push_back(i);
+
+        while (cursor < end) {
+            Veh *veh = findVeh(cursor);
+            if (veh && veh->off == cursor) {
+                any_active = true;
+                cursor += veh->size;
+                continue;
+            }
+            uint64_t gap_end = cursor;
+            while (gap_end < end && findVeh(gap_end) == nullptr)
+                gap_end += kExtentAlign;
+            Veh *free_veh = new Veh;
+            free_veh->off = cursor;
+            free_veh->size = gap_end - cursor;
+            free_veh->freed_at = VClock::now();
+            rtree_.setRange(free_veh->off, free_veh->size, free_veh);
+            insertFree(free_veh, Veh::State::Reclaimed);
+            cursor = gap_end;
+        }
+        if (!any_active)
+            to_unmap.push_back(region);
+    }
+
+    // Regions with no live extent at all (including crashed direct
+    // regions) are compacted away immediately.
+    for (uint64_t region : to_unmap) {
+        uint64_t total = regions_.at(region);
+        uint64_t data = region + kRegionHeaderSize;
+        Veh *veh = findVeh(data);
+        NV_ASSERT(veh && veh->off == data &&
+                  veh->size == total - kRegionHeaderSize);
+        removeFree(veh);
+        rtree_.setRange(veh->off, veh->size, nullptr);
+        delete veh;
+        regionTableRemove(region);
+        desc_free_.erase(region);
+        dev_->unmapRegion(region, total);
+        ++stats_.regions_unmapped;
+    }
+}
+
+void
+LargeAllocator::recoverFromDescriptors(
+    const std::function<void(uint64_t, uint64_t)> &on_slab)
+{
+    regions_.clear();
+    for (unsigned i = 0; i < region_slots_; ++i) {
+        if (region_table_[i] != 0) {
+            regions_[regionEntryOff(region_table_[i])] =
+                regionEntrySize(region_table_[i]);
+        }
+    }
+
+    for (auto &[region, total] : regions_) {
+        (void)total;
+        auto &slots = desc_free_[region];
+        slots.clear();
+        auto *descs = static_cast<ExtentDesc *>(dev_->at(region));
+        for (unsigned i = kDescsPerRegion; i-- > 0;) {
+            const ExtentDesc &d = descs[i];
+            if (d.offset == 0) {
+                slots.push_back(i);
+                continue;
+            }
+            Veh *veh = new Veh;
+            veh->off = d.offset;
+            veh->size = d.size;
+            veh->is_slab = d.is_slab != 0;
+            veh->desc_off = region + i * sizeof(ExtentDesc);
+            rtree_.setRange(veh->off, veh->size, veh);
+            if (d.state == 1) {
+                veh->state = Veh::State::Activated;
+                activated_list_.pushBack(veh);
+                activated_bytes_ += veh->size;
+                if (veh->is_slab)
+                    on_slab(veh->off, veh->size);
+            } else {
+                veh->freed_at = VClock::now();
+                insertFree(veh, Veh::State::Reclaimed);
+            }
+        }
+    }
+}
+
+} // namespace nvalloc

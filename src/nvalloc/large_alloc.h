@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Large allocator: extents from 16 KB to 2 MB, plus direct mappings
+ * above 2 MB (paper §2.2, §4.3, Fig. 7).
+ *
+ * Every extent is described by a virtual extent header (VEH) in DRAM.
+ * VEHs live on one of three lists:
+ *  - activated: allocated extents (and slabs);
+ *  - reclaimed: free extents with committed physical memory;
+ *  - retained: free extents whose physical memory was released but
+ *    whose addresses remain reserved.
+ * Free extents are additionally indexed by size (intrusive red-black
+ * tree) for best-fit, and by address (radix tree) for O(1) lookup and
+ * neighbour coalescing.
+ *
+ * A decay mechanism bounds free memory: each epoch the reclaimed list
+ * may hold at most peak * smootherstep-decay bytes; overflow extents
+ * are demoted to retained (decommit) and, a window later, returned to
+ * the OS entirely when they span a whole region (paper §2.2, 50 ms
+ * epochs, jemalloc parameters).
+ *
+ * Persistence of extent state is pluggable:
+ *  - log-structured bookkeeping (paper §5.3): allocations append to
+ *    the BookkeepingLog, frees tombstone; free space is re-derived
+ *    from gaps at recovery;
+ *  - in-place descriptors (Base / §3.3): every state change rewrites
+ *    the extent's 64 B descriptor slot in its region's header area —
+ *    the small random writes Fig. 2 visualizes.
+ */
+
+#ifndef NVALLOC_NVALLOC_LARGE_ALLOC_H
+#define NVALLOC_NVALLOC_LARGE_ALLOC_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru_list.h"
+#include "common/radix_tree.h"
+#include "common/rbtree.h"
+#include "common/smootherstep.h"
+#include "nvalloc/bookkeeping_log.h"
+#include "nvalloc/config.h"
+#include "nvalloc/layout.h"
+#include "nvalloc/vlock.h"
+#include "pm/pm_device.h"
+
+namespace nvalloc {
+
+/** Virtual extent header (volatile). */
+struct Veh
+{
+    uint64_t off = 0;
+    uint64_t size = 0;
+
+    enum class State : uint8_t { Activated, Reclaimed, Retained };
+    State state = State::Reclaimed;
+    bool is_slab = false;
+    bool is_direct = false; //!< own >2 MB region, unmapped on free
+
+    LogEntryRef log_ref;   //!< live while activated (log mode)
+    uint64_t desc_off = 0; //!< descriptor slot (in-place mode)
+    uint64_t freed_at = 0; //!< virtual time of the last free
+
+    RbNode size_node;  //!< reclaimed/retained best-fit index
+    LruLink list_link; //!< membership in the state's list
+};
+
+class LargeAllocator
+{
+  public:
+    struct Stats
+    {
+        uint64_t allocations = 0;
+        uint64_t frees = 0;
+        uint64_t splits = 0;
+        uint64_t coalesces = 0;
+        uint64_t regions_mapped = 0;
+        uint64_t regions_unmapped = 0;
+        uint64_t demotions = 0; //!< reclaimed -> retained
+        uint64_t evictions = 0; //!< retained -> OS
+    };
+
+    LargeAllocator() = default;
+    ~LargeAllocator();
+
+    /**
+     * @param log      bookkeeping log, or nullptr for in-place mode
+     * @param region_table persistent array of region offsets (in the
+     *                 superblock) with `region_slots` entries
+     */
+    void init(PmDevice *dev, const NvAllocConfig &cfg, BookkeepingLog *log,
+              uint64_t *region_table, unsigned region_slots);
+
+    /**
+     * Allocate an extent of exactly `size` bytes (rounded up to the
+     * 16 KB extent grain; sizes above 2 MB get a direct region).
+     * Returns the device offset, or 0 if the device is exhausted.
+     */
+    uint64_t allocate(uint64_t size, bool is_slab);
+
+    /** Free the extent starting at `off` (must be a start address). */
+    void free(uint64_t off);
+
+    /** VEH owning `off`, or nullptr. */
+    Veh *
+    findVeh(uint64_t off) const
+    {
+        return static_cast<Veh *>(rtree_.get(off));
+    }
+
+    /** Run decay demotions now (also runs opportunistically). */
+    void decayTick();
+
+    // ---- recovery hooks -------------------------------------------
+
+    /** Recreate an activated VEH from a replayed log entry. */
+    Veh *adoptActivated(uint64_t off, uint64_t size, bool is_slab,
+                        LogEntryRef ref);
+
+    /** Adopt regions from the persistent region table and turn every
+     *  gap between activated extents into a reclaimed extent. */
+    void rebuildFreeSpace();
+
+    /** In-place mode recovery: scan every region's descriptor slots.
+     *  Calls on_slab(off, size) for each allocated slab so the caller
+     *  can rebuild vslabs. */
+    void recoverFromDescriptors(
+        const std::function<void(uint64_t, uint64_t)> &on_slab);
+
+    /** Iterate all activated VEHs (recovery GC sweep, stats). */
+    template <typename Fn>
+    void
+    forEachActivated(Fn &&fn)
+    {
+        for (Veh *veh = activated_list_.front(); veh;
+             veh = activated_list_.next(veh)) {
+            fn(veh);
+        }
+    }
+
+    const Stats &stats() const { return stats_; }
+    uint64_t activatedBytes() const { return activated_bytes_; }
+    uint64_t reclaimedBytes() const { return reclaimed_bytes_; }
+    uint64_t retainedBytes() const { return retained_bytes_; }
+
+  private:
+    using SizeTree = RbTree<Veh, offsetof(Veh, size_node)>;
+    using VehList = LruList<Veh, offsetof(Veh, list_link)>;
+
+    PmDevice *dev_ = nullptr;
+    NvAllocConfig cfg_;
+    BookkeepingLog *log_ = nullptr;
+
+    RadixTree rtree_;
+    SizeTree reclaimed_tree_;
+    SizeTree retained_tree_;
+    VehList activated_list_;
+    VehList reclaimed_list_; //!< LRU by freed_at
+    VehList retained_list_;
+
+    uint64_t activated_bytes_ = 0;
+    uint64_t reclaimed_bytes_ = 0;
+    uint64_t retained_bytes_ = 0;
+    uint64_t reclaimed_peak_ = 0;
+    uint64_t decay_epoch_start_ = 0;
+
+    uint64_t *region_table_ = nullptr;
+    unsigned region_slots_ = 0;
+
+    /** Live regions: start offset -> total size (incl. header area). */
+    std::map<uint64_t, uint64_t> regions_;
+
+    // In-place mode: free descriptor slots per region.
+    std::unordered_map<uint64_t, std::vector<unsigned>> desc_free_;
+
+    VLock lock_;
+    std::atomic<uint64_t> global_vnow_{0};
+
+    Stats stats_;
+
+    Veh *bestFit(SizeTree &tree, uint64_t size);
+    Veh *newRegion();
+    uint64_t allocateDirect(uint64_t size);
+    void activate(Veh *veh, bool is_slab);
+    void retire(Veh *veh);
+    Veh *splitFront(Veh *veh, uint64_t size);
+    Veh *coalesce(Veh *veh);
+    void demote(Veh *veh);
+    void evict(Veh *veh);
+    void removeFree(Veh *veh);
+    void insertFree(Veh *veh, Veh::State state);
+
+    void persistState(Veh *veh);
+    void descriptorWrite(Veh *veh, uint32_t state);
+    void descriptorRelease(Veh *veh);
+    uint64_t regionOf(uint64_t off) const;
+    void regionTableAdd(uint64_t region_off, uint64_t size);
+    void regionTableRemove(uint64_t region_off);
+
+    void chargeSearch(unsigned steps);
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_LARGE_ALLOC_H

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * On-media (persistent) structures of NVAlloc.
+ *
+ * Everything in this header lives inside the emulated PM device and
+ * must stay valid across crashes; all cross-structure references are
+ * device offsets (or OffsetPtr), never raw pointers. Volatile mirrors
+ * (vslab, vchunk, VEH) live in ordinary DRAM structs elsewhere.
+ *
+ * Heap geometry:
+ *  - the device root area holds the NvSuperblock;
+ *  - the heap grows in 4 MB regions; each region reserves its first
+ *    64 KB as a header area holding in-place extent descriptors (used
+ *    by the Base configuration; the log-structured configuration
+ *    leaves it idle so both modes see identical data layout);
+ *  - slabs are 64 KB extents whose first 4 KB is the SlabHeader;
+ *  - a WAL region provides one 1 KB ring per thread slot;
+ *  - the bookkeeping log region holds LogChunks of 128 8-byte entries.
+ */
+
+#ifndef NVALLOC_NVALLOC_LAYOUT_H
+#define NVALLOC_NVALLOC_LAYOUT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/size_classes.h"
+
+namespace nvalloc {
+
+constexpr uint64_t kSuperMagic = 0x4e56414c4c4f4321ULL; // "NVALLOC!"
+constexpr uint32_t kSlabMagic = 0x534c4142;             // "SLAB"
+constexpr uint64_t kLogMagic = 0x4e564c4f47484452ULL;   // "NVLOGHDR"
+
+constexpr size_t kRegionSize = 4 * 1024 * 1024;  //!< heap growth grain
+constexpr size_t kRegionHeaderSize = 64 * 1024;  //!< in-place desc area
+constexpr size_t kLargeMax = 2 * 1024 * 1024;    //!< above: direct map
+constexpr size_t kExtentAlign = 16 * 1024;       //!< smallest extent
+
+constexpr size_t kSlabHeaderSize = 4096;
+constexpr unsigned kMaxSlabBlocks =
+    (kSlabSize - kSlabHeaderSize) / 8; // 7680, smallest class is 8 B
+constexpr size_t kSlabBitmapBytes = 2048; // fits 32 padded stripes
+constexpr unsigned kIndexTableCap = 960;  // morph index_table entries
+
+constexpr unsigned kMaxArenas = 64;
+constexpr unsigned kMaxThreads = 128;
+constexpr unsigned kNumGcRoots = 8;
+
+/** Arena lifecycle flag (paper §4.4). */
+enum class ArenaState : uint32_t
+{
+    Idle = 0,
+    Running = 1,
+    NormalShutdown = 2,
+    Recovering = 3,
+};
+
+/**
+ * Persistent slab header (paper §2.2, §5.2 / Fig. 5).
+ *
+ * flag encodes the morph step: 0 = regular slab (or slab_in after all
+ * three steps — old_* fields are then live iff index_count > 0 is
+ * still being tracked by the volatile cnt_slab), 1..3 = morph in
+ * progress, crashed mid-transformation ⇒ undo.
+ */
+struct SlabHeader
+{
+    uint32_t magic;
+    uint16_t size_class;
+    uint16_t flag;
+    uint32_t data_offset;      //!< slab-relative start of blocks
+    uint16_t capacity;         //!< number of blocks
+    uint16_t stripes;          //!< bitmap stripes in use
+    uint16_t old_size_class;
+    uint16_t old_data_offset_k; //!< old data offset (always header size)
+    uint16_t index_count;      //!< live entries in index_table
+    uint16_t old_capacity;
+    uint8_t pad0[40];          //!< pad fixed fields to one cache line
+
+    /** Interleaved allocation bitmap; bit = 1 ⇒ block allocated. */
+    uint8_t bitmap[kSlabBitmapBytes];
+
+    /**
+     * Morph index table (paper Fig. 5): entry i describes the i-th
+     * surviving block_before: bits [14:0] its block index in the old
+     * geometry, bit 15 its state (1 = allocated, 0 = freed since).
+     */
+    uint16_t index_table[kIndexTableCap];
+
+    uint8_t pad1[kSlabHeaderSize - 64 - kSlabBitmapBytes -
+                 kIndexTableCap * 2];
+};
+
+static_assert(sizeof(SlabHeader) == kSlabHeaderSize);
+
+constexpr uint16_t kIndexAllocated = 0x8000;
+constexpr uint16_t kIndexBlockMask = 0x7fff;
+
+/**
+ * In-place extent descriptor (Base configuration, §3.3): one 64 B slot
+ * per extent in the owning region's header area. Random in-place
+ * updates of these slots are exactly the access pattern Fig. 2 shows.
+ */
+struct ExtentDesc
+{
+    uint64_t offset;   //!< device offset of the extent (0 = slot free)
+    uint64_t size;
+    uint32_t state;    //!< 1 = allocated, 2 = free (reclaimed)
+    uint32_t is_slab;
+    uint8_t pad[40];
+};
+
+static_assert(sizeof(ExtentDesc) == 64);
+
+constexpr unsigned kDescsPerRegion = kRegionHeaderSize / sizeof(ExtentDesc);
+
+/**
+ * WAL entry (32 B): journal of one in-flight malloc/free. Only the
+ * newest entry of a ring can describe an incomplete operation (threads
+ * are synchronous), so appending entry k+1 implicitly commits entry k;
+ * replay inspects the highest-sequence entry and decides completion by
+ * checking whether the user's attach word holds the block offset.
+ */
+struct WalEntry
+{
+    uint64_t block_op;  //!< [63:2] block device offset, [1:0] op
+    uint64_t seq;
+    uint64_t where_off; //!< attach word's device offset (kWalNoWhere
+                        //!< if the attach target is volatile)
+    uint64_t size;
+};
+
+enum WalOp : uint64_t
+{
+    kWalNone = 0,
+    kWalAlloc = 1,
+    kWalFree = 2,
+};
+
+constexpr uint64_t kWalNoWhere = ~uint64_t{0};
+
+// 64 logical entries; the physical ring is 4 KB because stripe padding
+// can inflate the footprint by ~50%.
+constexpr unsigned kWalRingEntries = 64;
+constexpr size_t kWalRingBytes = 4096;
+
+/** Bookkeeping log entry (8 B; paper §5.3): [63:62] type,
+ *  [61:26] addr in 4 KB units, [25:0] size in bytes.
+ *  Tombstones reuse addr = target chunk id, size = target slot. */
+enum LogType : uint64_t
+{
+    kLogFree = 0,
+    kLogNormal = 1,
+    kLogSlab = 2,
+    kLogTombstone = 3,
+};
+
+constexpr uint64_t
+logEntryPack(LogType type, uint64_t addr_or_chunk, uint64_t size_or_slot)
+{
+    return (uint64_t(type) << 62) |
+           ((addr_or_chunk & 0xfffffffffULL) << 26) |
+           (size_or_slot & 0x3ffffffULL);
+}
+
+constexpr LogType
+logEntryType(uint64_t e)
+{
+    return LogType(e >> 62);
+}
+
+constexpr uint64_t
+logEntryAddr(uint64_t e)
+{
+    return (e >> 26) & 0xfffffffffULL;
+}
+
+constexpr uint64_t
+logEntrySize(uint64_t e)
+{
+    return e & 0x3ffffffULL;
+}
+
+constexpr unsigned kLogEntriesPerChunk = 128;
+
+/** Stripe count used inside log chunks when interleaving is on: 8 is
+ *  the largest count whose padding still fits 128 entries in 1 KB and
+ *  it pushes the same-line reuse distance to 7 (> reflush window). */
+constexpr unsigned kLogChunkStripes = 8;
+constexpr size_t kLogChunkDataBytes = kLogEntriesPerChunk * 8; // 1 KB
+
+/** Persistent log chunk: one header line + 1 KB of entries. */
+struct LogChunk
+{
+    uint32_t id;
+    uint32_t active;
+    uint64_t next;      //!< device offset of next active chunk (0 = end)
+    uint8_t pad[48];
+    uint64_t entries[kLogEntriesPerChunk];
+};
+
+static_assert(sizeof(LogChunk) == 64 + kLogChunkDataBytes);
+
+/** Persistent log file header (paper Fig. 8). */
+struct LogHeader
+{
+    uint64_t magic;
+    uint64_t head[2];   //!< offsets of the two chunk-list heads
+    uint32_t alt;       //!< which head[] is live
+    uint32_t num_chunks; //!< chunks ever carved from the file
+};
+
+/** Superblock anchored in the device root area. */
+struct NvSuperblock
+{
+    uint64_t magic;
+    uint32_t version;
+    uint32_t num_arenas;
+    uint32_t stripes;
+    uint32_t consistency; //!< 0 = LOG, 1 = GC
+
+    uint64_t log_off;
+    uint64_t log_bytes;
+    uint64_t wal_off;     //!< kMaxThreads rings of kWalRingBytes
+
+    uint64_t gc_roots[kNumGcRoots]; //!< device offsets, 0 = unset
+
+    uint32_t arena_state[kMaxArenas];
+};
+
+static_assert(sizeof(NvSuperblock) <= 4096);
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_LAYOUT_H

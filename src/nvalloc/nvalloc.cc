@@ -1,0 +1,389 @@
+#include "nvalloc/nvalloc.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+namespace {
+
+constexpr uint64_t kRegionTableOffset = 512; // within the root area
+constexpr uint64_t kMallocCpuNs = 40;
+constexpr uint64_t kFreeCpuNs = 40;
+
+} // namespace
+
+NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
+    : dev_(dev), cfg_(cfg),
+      sb_(static_cast<NvSuperblock *>(dev.root())),
+      region_table_(reinterpret_cast<uint64_t *>(
+          static_cast<char *>(dev.root()) + kRegionTableOffset)),
+      region_slots_(unsigned((PmDevice::kRootSize - kRegionTableOffset) /
+                             sizeof(uint64_t)))
+{
+    NV_ASSERT(cfg_.num_arenas >= 1 && cfg_.num_arenas <= kMaxArenas);
+    NV_ASSERT(cfg_.bit_stripes >= 1 && cfg_.bit_stripes <= 32);
+    wal_slot_used_.assign(kMaxThreads, false);
+
+    if (sb_->magic == kSuperMagic)
+        recoverHeap();
+    else
+        createHeap();
+
+    setArenaStates(ArenaState::Running);
+}
+
+void
+NvAlloc::simulateCrash()
+{
+    dev_.crash();
+    crashed_ = true;
+}
+
+void
+NvAlloc::dirtyRestart()
+{
+    setArenaStates(ArenaState::Running);
+    crashed_ = true;
+}
+
+NvAlloc::~NvAlloc()
+{
+    if (crashed_) {
+        // The process "died": free only DRAM state, touch no PM.
+        std::lock_guard<std::mutex> g(attach_mutex_);
+        for (ThreadCtx *ctx : ctxs_)
+            delete ctx;
+        ctxs_.clear();
+        return;
+    }
+    // nvalloc_exit: drain any still-attached threads' tcaches so no
+    // block stays lent, then make the GC variant's bitmaps durable.
+    {
+        std::lock_guard<std::mutex> g(attach_mutex_);
+        for (ThreadCtx *ctx : ctxs_) {
+            drainTcache(ctx);
+            delete ctx;
+        }
+        ctxs_.clear();
+    }
+    if (gcMode()) {
+        // Only the GC variant defers bitmap persistence to shutdown.
+        for (auto &arena : arenas_)
+            arena->persistAllBitmaps();
+    }
+    setArenaStates(ArenaState::NormalShutdown);
+}
+
+void
+NvAlloc::setArenaStates(ArenaState state)
+{
+    for (unsigned i = 0; i < cfg_.num_arenas; ++i)
+        sb_->arena_state[i] = uint32_t(state);
+    dev_.persistFence(sb_->arena_state, sizeof(sb_->arena_state),
+                      TimeKind::FlushMeta);
+}
+
+void
+NvAlloc::createHeap()
+{
+    std::memset(sb_, 0, PmDevice::kRootSize);
+
+    sb_->version = 1;
+    sb_->num_arenas = cfg_.num_arenas;
+    sb_->stripes = cfg_.bit_stripes;
+    sb_->consistency = logMode() ? 0 : (gcMode() ? 1 : 2);
+
+    sb_->wal_off = dev_.mapRegion(kMaxThreads * kWalRingBytes);
+    if (usesBookkeepingLog()) {
+        sb_->log_off = dev_.mapRegion(cfg_.log_file_bytes);
+        sb_->log_bytes = cfg_.log_file_bytes;
+        log_.attach(&dev_, sb_->log_off, sb_->log_bytes,
+                    cfg_.interleaved_log, cfg_.flush_enabled,
+                    cfg_.log_gc_threshold, /*create=*/true);
+    }
+    large_.init(&dev_, cfg_, usesBookkeepingLog() ? &log_ : nullptr,
+                region_table_, region_slots_);
+
+    for (unsigned i = 0; i < cfg_.num_arenas; ++i) {
+        arenas_.push_back(std::make_unique<Arena>(
+            i, &dev_, &cfg_, &large_, &slab_radix_,
+            &attached_threads_));
+    }
+
+    // Publish the superblock last: magic commits the format.
+    dev_.persistFence(sb_, PmDevice::kRootSize, TimeKind::FlushMeta);
+    sb_->magic = kSuperMagic;
+    dev_.persistFence(sb_, kCacheLine, TimeKind::FlushMeta);
+}
+
+ThreadCtx *
+NvAlloc::attachThread()
+{
+    std::lock_guard<std::mutex> g(attach_mutex_);
+
+    // Least-loaded arena (paper §4.2), with ties broken round-robin:
+    // when threads attach and detach sequentially (as they do under a
+    // single-core scheduler) all counts tie at zero, and a fixed
+    // scan-from-0 would funnel every thread into arena 0's
+    // virtual-time window history.
+    Arena *best = nullptr;
+    for (unsigned i = 0; i < arenas_.size(); ++i) {
+        Arena *cand = arenas_[(attach_cursor_ + i) % arenas_.size()].get();
+        if (!best ||
+            cand->thread_count.load() < best->thread_count.load()) {
+            best = cand;
+        }
+    }
+    attach_cursor_ = (best->id() + 1) % unsigned(arenas_.size());
+    best->thread_count.fetch_add(1);
+    attached_threads_.fetch_add(1);
+
+    unsigned slot = kMaxThreads;
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+        if (!wal_slot_used_[i]) {
+            slot = i;
+            wal_slot_used_[i] = true;
+            break;
+        }
+    }
+    if (slot == kMaxThreads)
+        NV_FATAL("too many concurrent threads (kMaxThreads)");
+
+    auto *ctx = new ThreadCtx(this, best, cfg_.bit_stripes,
+                              cfg_.interleaved_tcache, cfg_.tcache_slots,
+                              slot);
+    // A recycled slot may hold entries of a previous thread whose
+    // sequence numbers would shadow ours at replay; start clean.
+    uint64_t ring_off = sb_->wal_off + uint64_t(slot) * kWalRingBytes;
+    std::memset(dev_.at(ring_off), 0, kWalRingBytes);
+    dev_.persistFence(dev_.at(ring_off), kWalRingBytes,
+                      TimeKind::FlushWal);
+    ctx->wal.attach(&dev_, sb_->wal_off + uint64_t(slot) * kWalRingBytes,
+                    cfg_.interleaved_wal, cfg_.bit_stripes,
+                    cfg_.flush_enabled);
+    ctxs_.push_back(ctx);
+    return ctx;
+}
+
+void
+NvAlloc::drainTcache(ThreadCtx *ctx)
+{
+    ctx->tcache.drain([](unsigned, const CachedBlock &b) {
+        Arena *arena = b.slab->arena;
+        VLockGuard g(arena->lock);
+        arena->returnLent(b.slab, b.idx);
+    });
+}
+
+void
+NvAlloc::detachThread(ThreadCtx *ctx)
+{
+    drainTcache(ctx);
+    ctx->arena->thread_count.fetch_sub(1);
+    attached_threads_.fetch_sub(1);
+    std::lock_guard<std::mutex> g(attach_mutex_);
+    wal_slot_used_[ctx->wal_slot] = false;
+    ctxs_.erase(std::find(ctxs_.begin(), ctxs_.end(), ctx));
+    delete ctx;
+}
+
+uint64_t *
+NvAlloc::rootWord(unsigned idx)
+{
+    NV_ASSERT(idx < kNumGcRoots);
+    return &sb_->gc_roots[idx];
+}
+
+VSlab *
+NvAlloc::slabOf(uint64_t off) const
+{
+    return static_cast<VSlab *>(slab_radix_.get(off));
+}
+
+void
+NvAlloc::publish(uint64_t *where, uint64_t value)
+{
+    if (!where)
+        return;
+    *where = value;
+    if (dev_.contains(where))
+        dev_.persistFence(where, sizeof(uint64_t), TimeKind::FlushData);
+}
+
+uint64_t
+NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
+{
+    unsigned cls = sizeToClass(size);
+
+    CachedBlock blk;
+    if (!ctx.tcache.pop(cls, blk)) {
+        ctx.arena->refill(ctx.tcache, cls);
+        if (!ctx.tcache.pop(cls, blk))
+            NV_FATAL("persistent heap exhausted (small allocation)");
+    }
+
+    // Journal first (LOG only: the GC variant rebuilds from
+    // reachability and the IC variant's bitmaps are self-describing),
+    // then persist the allocation bit; the attach word write that
+    // commits the operation happens in the caller.
+    if (logMode())
+        ctx.wal.append(kWalAlloc, blk.off, where_off, size);
+    {
+        VLockGuard g(blk.slab->arena->lock);
+        blk.slab->markAllocated(blk.idx);
+    }
+    VClock::advance(kMallocCpuNs, TimeKind::Other);
+    return blk.off;
+}
+
+uint64_t
+NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
+{
+    uint64_t off = large_.allocate(size, false);
+    if (off == 0)
+        NV_FATAL("persistent heap exhausted (large allocation)");
+    // Large allocations journal in both variants (paper Table 2).
+    ctx.wal.append(kWalAlloc, off, where_off, size);
+    VClock::advance(kMallocCpuNs, TimeKind::Other);
+    return off;
+}
+
+uint64_t
+NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
+{
+    NV_ASSERT(size > 0);
+    uint64_t where_off =
+        where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;
+
+    uint64_t off = size <= kSmallMax
+                       ? allocSmall(ctx, size, where_off)
+                       : allocLarge(ctx, size, where_off);
+    publish(where, off);
+    return off;
+}
+
+void *
+NvAlloc::mallocTo(ThreadCtx &ctx, size_t size, uint64_t *where)
+{
+    return dev_.at(allocOffset(ctx, size, where));
+}
+
+void
+NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
+{
+    uint64_t where_off =
+        where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;
+
+    VSlab *slab = slabOf(off);
+    if (!slab) {
+        // Large extent: journal, clear the attach word, then retire.
+        ctx.wal.append(kWalFree, off, where_off, 0);
+        publish(where, 0);
+        large_.free(off);
+        VClock::advance(kFreeCpuNs, TimeKind::Other);
+        return;
+    }
+
+    if (logMode())
+        ctx.wal.append(kWalFree, off, where_off, 0);
+    publish(where, 0);
+
+    Arena *arena = slab->arena;
+    unsigned cls = 0;
+    bool to_tcache = false;
+    unsigned idx = 0;
+    {
+        VLockGuard g(arena->lock);
+        unsigned old_idx = 0;
+        if (slab->isOldBlock(off, old_idx)) {
+            // blocks_before bypass the tcache (paper §5.2).
+            arena->freeOld(slab, old_idx);
+            VClock::advance(kFreeCpuNs, TimeKind::Other);
+            return;
+        }
+        idx = slab->blockIndexOf(off);
+        NV_ASSERT(idx < slab->capacity() && slab->isAllocated(idx));
+        cls = slab->sizeClass();
+        // Mostly-idle slabs are morph candidates; blocks freed into a
+        // tcache would pin them (a lent block cannot be re-indexed by
+        // a transformation), so their frees bypass the tcache, like
+        // blocks_before do (§5.2).
+        bool keep_unpinned =
+            cfg_.slab_morphing &&
+            slab->occupancy() <= cfg_.morph_threshold;
+        if (ctx.tcache.full(cls) || keep_unpinned) {
+            arena->freeDirect(slab, idx);
+        } else {
+            slab->markFreeToTcache(idx);
+            arena->noteAvailable(slab);
+            to_tcache = true;
+        }
+    }
+    if (to_tcache) {
+        bool ok = ctx.tcache.push(
+            cls, CachedBlock{off, slab, idx});
+        NV_ASSERT(ok);
+    }
+    VClock::advance(kFreeCpuNs, TimeKind::Other);
+}
+
+void
+NvAlloc::freeFrom(ThreadCtx &ctx, uint64_t *where)
+{
+    NV_ASSERT(where && *where != 0);
+    freeOffset(ctx, *where, where);
+}
+
+void
+NvAlloc::forEachAllocated(
+    const std::function<void(uint64_t, size_t, bool)> &fn)
+{
+    for (auto &arena : arenas_) {
+        arena->forEachSlab([&](VSlab *slab) {
+            for (unsigned idx = 0; idx < slab->capacity(); ++idx) {
+                if (slab->isAllocated(idx))
+                    fn(slab->blockOffset(idx), slab->blockSize(), true);
+            }
+            // blocks_before of a morphing slab are allocated objects
+            // under the old geometry.
+            const SlabHeader *hdr = slab->header();
+            if (slab->morphing()) {
+                SlabGeometry old = SlabGeometry::compute(
+                    hdr->old_size_class, hdr->stripes);
+                for (unsigned i = 0; i < hdr->index_count; ++i) {
+                    uint16_t entry = hdr->index_table[i];
+                    if (entry & kIndexAllocated) {
+                        unsigned old_idx = entry & kIndexBlockMask;
+                        fn(slab->slabOffset() + kSlabHeaderSize +
+                               uint64_t(old_idx) * old.block_size,
+                           old.block_size, true);
+                    }
+                }
+            }
+        });
+    }
+    large_.forEachActivated([&](Veh *veh) {
+        if (!veh->is_slab)
+            fn(veh->off, veh->size, false);
+    });
+}
+
+std::array<uint64_t, 3>
+NvAlloc::slabUtilizationBytes()
+{
+    std::array<uint64_t, 3> buckets{0, 0, 0};
+    for (auto &arena : arenas_) {
+        arena->forEachSlab([&](VSlab *slab) {
+            double occ = slab->occupancy();
+            unsigned b = occ < 0.3 ? 0 : occ < 0.7 ? 1 : 2;
+            buckets[b] += kSlabSize;
+        });
+    }
+    return buckets;
+}
+
+} // namespace nvalloc

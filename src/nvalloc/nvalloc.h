@@ -1,0 +1,234 @@
+/**
+ * @file
+ * NVAlloc public interface.
+ *
+ * Usage mirrors the paper's programming model (§4.1):
+ *
+ *   PmDevice dev;                      // the emulated DIMM / heap file
+ *   NvAlloc alloc(dev);                // nvalloc_init (auto-recovers)
+ *   ThreadCtx *t = alloc.attachThread();
+ *   uint64_t *root = alloc.rootWord(0); // a persistent pointer word
+ *   void *p = alloc.mallocTo(*t, 256, root);  // nvalloc_malloc_to
+ *   alloc.freeFrom(*t, root);                 // nvalloc_free_from
+ *   alloc.detachThread(t);
+ *   // destructor == nvalloc_exit (normal shutdown)
+ *
+ * Persistent structures must store device *offsets* (or OffsetPtr),
+ * never raw pointers; mallocTo atomically publishes the new block's
+ * offset into a persistent word so a crash can never leak it.
+ *
+ * Two consistency variants are selected by NvAllocConfig::consistency:
+ * NVAlloc-LOG journals every operation in per-thread WALs; NVAlloc-GC
+ * skips all small-allocation flushes and relies on a conservative
+ * post-crash garbage collection from registered roots.
+ */
+
+#ifndef NVALLOC_NVALLOC_NVALLOC_H
+#define NVALLOC_NVALLOC_NVALLOC_H
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/radix_tree.h"
+#include "nvalloc/arena.h"
+#include "nvalloc/bookkeeping_log.h"
+#include "nvalloc/config.h"
+#include "nvalloc/large_alloc.h"
+#include "nvalloc/layout.h"
+#include "nvalloc/tcache.h"
+#include "nvalloc/wal.h"
+#include "pm/pm_device.h"
+
+namespace nvalloc {
+
+class NvAlloc;
+
+/** Per-thread state: the tcache and the WAL ring (paper §2.1, §4.1). */
+struct ThreadCtx
+{
+    ThreadCtx(NvAlloc *owner_, Arena *arena_, unsigned stripes,
+              bool interleaved, unsigned capacity, unsigned wal_slot_)
+        : owner(owner_), arena(arena_),
+          tcache(stripes, interleaved, capacity), wal_slot(wal_slot_)
+    {
+    }
+
+    NvAlloc *owner;
+    Arena *arena;
+    TCache tcache;
+    Wal wal;
+    unsigned wal_slot;
+};
+
+/** What recovery did; returned by lastRecovery(). */
+struct RecoveryInfo
+{
+    bool performed = false;
+    bool after_failure = false;      //!< arena flags were not shutdown
+    uint64_t slabs_rebuilt = 0;
+    uint64_t extents_rebuilt = 0;
+    uint64_t free_extents_rebuilt = 0;
+    uint64_t wal_completions = 0;    //!< in-flight ops rolled forward
+    uint64_t wal_undos = 0;          //!< in-flight ops rolled back
+    uint64_t gc_marked_blocks = 0;   //!< GC variant: reachable blocks
+    uint64_t gc_reclaimed_blocks = 0; //!< GC variant: leaked blocks
+    uint64_t gc_reclaimed_extents = 0;
+    uint64_t virtual_ns = 0;         //!< modeled recovery time
+};
+
+class NvAlloc
+{
+  public:
+    /**
+     * Open (or create) an NVAlloc heap on `dev`. If the device root
+     * holds a valid superblock, recovery runs: normal-shutdown
+     * recovery always, plus WAL replay (LOG) or conservative GC (GC)
+     * when the arena flags show a failure (paper §4.4).
+     */
+    explicit NvAlloc(PmDevice &dev, NvAllocConfig cfg = {});
+
+    /** Normal shutdown (nvalloc_exit): drains live tcaches, persists
+     *  GC-variant bitmaps, marks arenas cleanly shut down. */
+    ~NvAlloc();
+
+    NvAlloc(const NvAlloc &) = delete;
+    NvAlloc &operator=(const NvAlloc &) = delete;
+
+    // ---- threads ----------------------------------------------------
+
+    /** Register the calling thread; assigns the least-loaded arena. */
+    ThreadCtx *attachThread();
+
+    /** Drain the thread's tcache and release its WAL slot. */
+    void detachThread(ThreadCtx *ctx);
+
+    /**
+     * Test hook: simulate a power failure. Rolls the device back to
+     * its last persisted state (requires shadow mode) and neuters this
+     * instance — the destructor will not run shutdown actions, exactly
+     * as a killed process would not. Attached ThreadCtx pointers die
+     * with the instance.
+     */
+    void simulateCrash();
+
+    /**
+     * Test/benchmark hook: make the next open of this heap take the
+     * failure-recovery path without rolling memory back — the arena
+     * flags are left at Running and the destructor is neutered, as if
+     * the process had been SIGKILLed right after a quiescent point.
+     * Unlike simulateCrash(), no shadow device is needed.
+     */
+    void dirtyRestart();
+
+    // ---- allocation (paper §4.1) ------------------------------------
+
+    /**
+     * nvalloc_malloc_to: allocate `size` bytes and atomically publish
+     * the block's offset into the persistent word `where` (which must
+     * lie inside the device, or be nullptr for a volatile attach —
+     * the latter is crash-unsafe in LOG mode and only sound under the
+     * GC variant if the block is reachable from a GC root).
+     * Returns the mapped address of the new block.
+     */
+    void *mallocTo(ThreadCtx &ctx, size_t size, uint64_t *where);
+
+    /** nvalloc_free_from: free the block whose offset is stored in
+     *  `where`, atomically clearing the word. */
+    void freeFrom(ThreadCtx &ctx, uint64_t *where);
+
+    /** Offset-returning variants for callers managing their own
+     *  persistent pointers. */
+    uint64_t allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where);
+    void freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where);
+
+    // ---- roots & helpers --------------------------------------------
+
+    /** One of kNumGcRoots persistent pointer words in the superblock:
+     *  both the natural attach target for application top-level
+     *  structures and the root set of the GC variant's collector. */
+    uint64_t *rootWord(unsigned idx);
+
+    void *
+    at(uint64_t off) const
+    {
+        return dev_.at(off);
+    }
+
+    uint64_t
+    offsetOf(const void *p) const
+    {
+        return dev_.offsetOf(p);
+    }
+
+    PmDevice &device() { return dev_; }
+    const NvAllocConfig &config() const { return cfg_; }
+    const RecoveryInfo &lastRecovery() const { return recovery_; }
+
+    // ---- introspection (tests, benches) -----------------------------
+
+    LargeAllocator &large() { return large_; }
+    BookkeepingLog &bookkeepingLog() { return log_; }
+    Arena &arena(unsigned i) { return *arenas_[i]; }
+    unsigned numArenas() const { return unsigned(arenas_.size()); }
+    RadixTree &slabRadix() { return slab_radix_; }
+
+    /** Slab utilisation histogram for the Fig. 15(b) breakdown:
+     *  bucket 0: 0-30%, 1: 30-70%, 2: 70-100% occupancy; returns
+     *  bytes of slab space per bucket. */
+    std::array<uint64_t, 3> slabUtilizationBytes();
+
+    /**
+     * Internal collection (NVAlloc-IC, and available in every
+     * variant): enumerate all currently allocated objects —
+     * fn(offset, size, is_small). The persistent analogue of PMDK's
+     * POBJ_FIRST/POBJ_NEXT: with it, applications never lose a
+     * reference to an allocated object even without attach words.
+     */
+    void forEachAllocated(
+        const std::function<void(uint64_t, size_t, bool)> &fn);
+
+  private:
+    PmDevice &dev_;
+    NvAllocConfig cfg_;
+    NvSuperblock *sb_;
+    uint64_t *region_table_;
+    unsigned region_slots_;
+
+    BookkeepingLog log_;
+    LargeAllocator large_;
+    RadixTree slab_radix_;
+    std::vector<std::unique_ptr<Arena>> arenas_;
+
+    std::mutex attach_mutex_;
+    std::vector<ThreadCtx *> ctxs_;
+    std::vector<bool> wal_slot_used_;
+    unsigned attach_cursor_ = 0;
+    std::atomic<unsigned> attached_threads_{0};
+
+    RecoveryInfo recovery_;
+    bool crashed_ = false;
+
+    bool logMode() const { return cfg_.consistency == Consistency::Log; }
+    bool gcMode() const { return cfg_.consistency == Consistency::Gc; }
+    bool usesBookkeepingLog() const { return cfg_.log_bookkeeping; }
+
+    void createHeap();
+    void recoverHeap();
+    void replayWals();
+    void conservativeGc();
+    void clearWalRings();
+    void setArenaStates(ArenaState state);
+    VSlab *slabOf(uint64_t off) const;
+    void drainTcache(ThreadCtx *ctx);
+    uint64_t allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off);
+    uint64_t allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off);
+    void publish(uint64_t *where, uint64_t value);
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_NVALLOC_H

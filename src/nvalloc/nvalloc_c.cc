@@ -1,0 +1,83 @@
+#include "nvalloc/nvalloc_c.h"
+
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "nvalloc/nvalloc.h"
+
+namespace nvalloc {
+
+struct NvInstance
+{
+    explicit NvInstance(PmDevice &dev, NvAllocConfig cfg)
+        : alloc(dev, cfg)
+    {
+    }
+
+    NvAlloc alloc;
+    std::mutex mutex;
+    std::unordered_map<std::thread::id, ThreadCtx *> ctxs;
+
+    ThreadCtx &
+    ctx()
+    {
+        std::lock_guard<std::mutex> g(mutex);
+        auto [it, fresh] = ctxs.emplace(std::this_thread::get_id(),
+                                        nullptr);
+        if (fresh)
+            it->second = alloc.attachThread();
+        return *it->second;
+    }
+};
+
+NvInstance *
+nvalloc_init(PmDevice *dev, const NvAllocOptions *opts)
+{
+    NvAllocConfig cfg;
+    if (opts) {
+        cfg.consistency =
+            opts->gc_variant ? Consistency::Gc : Consistency::Log;
+        cfg.bit_stripes = opts->bit_stripes;
+        cfg.slab_morphing = opts->slab_morphing;
+    }
+    return new NvInstance(*dev, cfg);
+}
+
+void
+nvalloc_exit(NvInstance *inst)
+{
+    {
+        std::lock_guard<std::mutex> g(inst->mutex);
+        for (auto &[tid, ctx] : inst->ctxs)
+            inst->alloc.detachThread(ctx);
+        inst->ctxs.clear();
+    }
+    delete inst;
+}
+
+void *
+nvalloc_malloc_to(NvInstance *inst, size_t size, uint64_t *where)
+{
+    return inst->alloc.mallocTo(inst->ctx(), size, where);
+}
+
+void
+nvalloc_free_from(NvInstance *inst, uint64_t *where)
+{
+    inst->alloc.freeFrom(inst->ctx(), where);
+}
+
+uint64_t *
+nvalloc_root(NvInstance *inst, unsigned idx)
+{
+    return inst->alloc.rootWord(idx);
+}
+
+NvAlloc *
+nvalloc_impl(NvInstance *inst)
+{
+    return &inst->alloc;
+}
+
+} // namespace nvalloc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's C-style programming interface (§4.1), as a veneer over
+ * the C++ API:
+ *
+ *   nvalloc_init / nvalloc_exit
+ *   nvalloc_malloc_to / nvalloc_free_from
+ *
+ * Thread contexts are managed implicitly: each calling thread is
+ * attached on first use and detached when the instance exits. The
+ * attach target is a pointer to a persistent uint64_t word inside the
+ * heap (offset-based, so structures survive remapping).
+ */
+
+#ifndef NVALLOC_NVALLOC_NVALLOC_C_H
+#define NVALLOC_NVALLOC_NVALLOC_C_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvalloc {
+
+class PmDevice;
+class NvAlloc;
+
+struct NvInstance; //!< opaque
+
+struct NvAllocOptions
+{
+    bool gc_variant = false;   //!< NVAlloc-GC instead of NVAlloc-LOG
+    unsigned bit_stripes = 6;
+    bool slab_morphing = true;
+};
+
+/** Create (or recover) an NVAlloc heap on `dev`. */
+NvInstance *nvalloc_init(PmDevice *dev,
+                         const NvAllocOptions *opts = nullptr);
+
+/** Normal shutdown; detaches any implicitly attached threads. */
+void nvalloc_exit(NvInstance *inst);
+
+/**
+ * Allocate `size` bytes; atomically publish the block's offset into
+ * the persistent word `*where` (may be null for a volatile attach).
+ * Returns the mapped address, or nullptr on exhaustion.
+ */
+void *nvalloc_malloc_to(NvInstance *inst, size_t size, uint64_t *where);
+
+/** Free the block whose offset `*where` holds; clears the word. */
+void nvalloc_free_from(NvInstance *inst, uint64_t *where);
+
+/** Persistent root words (attach targets / GC roots). */
+uint64_t *nvalloc_root(NvInstance *inst, unsigned idx);
+
+/** Underlying C++ object, for interop. */
+NvAlloc *nvalloc_impl(NvInstance *inst);
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_NVALLOC_C_H

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Recovery paths of NVAlloc (paper §4.4).
+ *
+ * Normal-shutdown recovery rebuilds all volatile metadata: arenas are
+ * recreated, the bookkeeping log (or the in-place descriptors) is
+ * replayed to resurrect VEHs and vslabs — including slab_in morph
+ * state from index tables — and the gaps between activated extents
+ * become reclaimed free extents.
+ *
+ * Failure recovery additionally resolves in-flight operations: the
+ * LOG variant replays the newest WAL entry of every thread ring and
+ * rolls it forward or back depending on whether the attach word was
+ * published; the GC variant runs a conservative mark from the
+ * persistent roots and rebuilds every slab bitmap from reachability,
+ * reclaiming leaked blocks and extents.
+ */
+
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "nvalloc/nvalloc.h"
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+void
+NvAlloc::recoverHeap()
+{
+    uint64_t t0 = VClock::now();
+    recovery_.performed = true;
+
+    // A failure happened if any arena never reached NormalShutdown.
+    for (unsigned i = 0; i < sb_->num_arenas; ++i) {
+        auto st = ArenaState(sb_->arena_state[i]);
+        if (st == ArenaState::Running || st == ArenaState::Recovering)
+            recovery_.after_failure = true;
+    }
+    setArenaStates(ArenaState::Recovering);
+
+    // The on-media format pins geometry choices; honour them over the
+    // (possibly different) requested config.
+    NV_ASSERT(sb_->version == 1);
+    cfg_.num_arenas = sb_->num_arenas;
+    cfg_.bit_stripes = sb_->stripes;
+    cfg_.consistency = sb_->consistency == 0
+                           ? Consistency::Log
+                           : (sb_->consistency == 1
+                                  ? Consistency::Gc
+                                  : Consistency::InternalCollection);
+
+    large_.init(&dev_, cfg_, usesBookkeepingLog() ? &log_ : nullptr,
+                region_table_, region_slots_);
+    for (unsigned i = 0; i < cfg_.num_arenas; ++i) {
+        arenas_.push_back(std::make_unique<Arena>(
+            i, &dev_, &cfg_, &large_, &slab_radix_,
+            &attached_threads_));
+    }
+
+    auto adopt_slab = [&](uint64_t off) {
+        // Rebuilding a vslab reads the 4 KB persistent header (a
+        // sequential burst) and scans the bitmap to reconstruct the
+        // volatile copy and counters — this is why NVAlloc-LOG's
+        // recovery is somewhat slower than PMDK's plain metadata walk
+        // (paper Fig. 18: 45 ms vs 34 ms).
+        for (int line = 0; line < 8; ++line)
+            dev_.chargeRead(true);
+        auto *slab = new VSlab(&dev_, off, cfg_.flush_enabled,
+                               gcMode());
+        // Per-block vbitmap/counter reconstruction.
+        VClock::advance(5 * uint64_t(slab->capacity()),
+                        TimeKind::Other);
+        // Distribute recovered slabs round-robin; the original
+        // arena assignment is volatile state.
+        arenas_[recovery_.slabs_rebuilt % arenas_.size()]
+            ->registerSlab(slab);
+        ++recovery_.slabs_rebuilt;
+    };
+
+    if (usesBookkeepingLog()) {
+        log_.attach(&dev_, sb_->log_off, sb_->log_bytes,
+                    cfg_.interleaved_log, cfg_.flush_enabled,
+                    cfg_.log_gc_threshold, /*create=*/false);
+        // Paper: "perform a slow GC on the persistent bookkeeping log
+        // to clean up its tombstone entries. Then scan and process
+        // every log entry."
+        log_.replay([&](LogType type, uint64_t off, uint64_t size,
+                        LogEntryRef ref) {
+            large_.adoptActivated(off, size, type == kLogSlab, ref);
+            ++recovery_.extents_rebuilt;
+            if (type == kLogSlab)
+                adopt_slab(off);
+        });
+        log_.slowGc();
+        large_.rebuildFreeSpace();
+    } else {
+        large_.recoverFromDescriptors([&](uint64_t off, uint64_t size) {
+            NV_ASSERT(size == kSlabSize);
+            adopt_slab(off);
+        });
+    }
+    recovery_.free_extents_rebuilt = large_.reclaimedBytes();
+
+    if (recovery_.after_failure) {
+        if (logMode()) {
+            replayWals();
+        } else if (gcMode()) {
+            conservativeGc();
+        }
+        // InternalCollection: bitmaps are eagerly persisted and
+        // self-describing; an interrupted operation left at most an
+        // allocated-but-unpublished block, which the application can
+        // always reach through forEachAllocated — no replay needed.
+    }
+
+    clearWalRings();
+    recovery_.virtual_ns = VClock::now() - t0;
+}
+
+void
+NvAlloc::clearWalRings()
+{
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+        void *ring = dev_.at(sb_->wal_off + uint64_t(i) * kWalRingBytes);
+        std::memset(ring, 0, kWalRingBytes);
+        dev_.persist(ring, kWalRingBytes, TimeKind::FlushWal);
+    }
+    dev_.fence();
+}
+
+/**
+ * Roll the newest WAL entry of each ring forward or back. The attach
+ * word is the commit point: if it holds the block offset, the alloc
+ * completed (resp. the free never started); otherwise the operation
+ * is undone (resp. completed).
+ */
+void
+NvAlloc::replayWals()
+{
+    auto ensure_small_free = [&](VSlab *slab, uint64_t off) {
+        unsigned idx = slab->blockIndexOf(off);
+        if (idx < slab->capacity() && slab->isAllocated(idx)) {
+            // Rebuilt vslab counts this block live; undo it.
+            VLockGuard g(slab->arena->lock);
+            slab->arena->freeDirect(slab, idx);
+            return true;
+        }
+        return false;
+    };
+
+    for (unsigned slot = 0; slot < kMaxThreads; ++slot) {
+        uint64_t ring_off = sb_->wal_off + uint64_t(slot) * kWalRingBytes;
+        dev_.chargeRead(true); // scanning the ring
+        const WalEntry *e = Wal::newestEntry(&dev_, ring_off);
+        if (!e)
+            continue;
+
+        WalOp op = WalOp(e->block_op & 3);
+        uint64_t block = e->block_op >> 2;
+        bool published = false;
+        if (e->where_off != kWalNoWhere) {
+            published =
+                *static_cast<uint64_t *>(dev_.at(e->where_off)) == block;
+        }
+
+        VSlab *slab = slabOf(block);
+        Veh *veh = slab ? nullptr : large_.findVeh(block);
+
+        if (op == kWalAlloc) {
+            if (published) {
+                ++recovery_.wal_completions; // committed; nothing to do
+                continue;
+            }
+            // Undo a torn allocation: clear the block/extent state.
+            if (slab) {
+                if (ensure_small_free(slab, block))
+                    ++recovery_.wal_undos;
+            } else if (veh && veh->off == block &&
+                       veh->state == Veh::State::Activated &&
+                       !veh->is_slab) {
+                large_.free(block);
+                ++recovery_.wal_undos;
+            }
+        } else if (op == kWalFree) {
+            if (published)
+                continue; // the free never reached its commit point
+            // Complete a torn free.
+            if (slab) {
+                unsigned old_idx = 0;
+                VLockGuard g(slab->arena->lock);
+                if (slab->isOldBlock(block, old_idx)) {
+                    slab->arena->freeOld(slab, old_idx);
+                    ++recovery_.wal_completions;
+                } else {
+                    unsigned idx = slab->blockIndexOf(block);
+                    if (idx < slab->capacity() && slab->isAllocated(idx)) {
+                        slab->arena->freeDirect(slab, idx);
+                        ++recovery_.wal_completions;
+                    }
+                }
+            } else if (veh && veh->off == block &&
+                       veh->state == Veh::State::Activated &&
+                       !veh->is_slab) {
+                large_.free(block);
+                ++recovery_.wal_completions;
+            }
+        }
+    }
+}
+
+/**
+ * Conservative collection for the GC variant (paper §4.4, as in
+ * Makalu): starting from the persistent root words, treat every
+ * 8-byte-aligned word whose value is the offset of a live heap object
+ * as a reference. Slab bitmaps are rebuilt purely from reachability —
+ * which is what lets NVAlloc-GC skip all small-metadata flushes at
+ * runtime.
+ */
+void
+NvAlloc::conservativeGc()
+{
+    struct Range
+    {
+        uint64_t off;
+        uint64_t size;
+    };
+
+    // Mark state.
+    std::unordered_map<VSlab *, std::vector<bool>> slab_marks;
+    std::unordered_map<VSlab *, std::vector<bool>> old_marks;
+    std::unordered_set<Veh *> extent_marks;
+    std::vector<Range> work;
+
+    auto resolve = [&](uint64_t v) -> bool {
+        if (v == 0 || v >= dev_.size() || (v & 7) != 0)
+            return false;
+        if (VSlab *slab = slabOf(v)) {
+            if (v < slab->slabOffset() + kSlabHeaderSize)
+                return false;
+            uint64_t rel = v - slab->slabOffset() - kSlabHeaderSize;
+            if (slab->morphing()) {
+                // Try the old geometry: interior pointers into a
+                // blocks_before range keep the old block alive.
+                unsigned old_idx = 0;
+                if (slab->isOldBlock(v, old_idx)) {
+                    auto &marks = old_marks[slab];
+                    if (marks.empty())
+                        marks.assign(kMaxSlabBlocks, false);
+                    if (!marks[old_idx]) {
+                        marks[old_idx] = true;
+                        work.push_back(
+                            {v, SlabGeometry::compute(
+                                    slab->header()->old_size_class,
+                                    slab->header()->stripes)
+                                    .block_size});
+                    }
+                    return true;
+                }
+            }
+            unsigned idx = unsigned(rel / slab->blockSize());
+            if (idx >= slab->capacity())
+                return false;
+            auto &marks = slab_marks[slab];
+            if (marks.empty())
+                marks.assign(slab->capacity(), false);
+            if (!marks[idx]) {
+                marks[idx] = true;
+                work.push_back({slab->blockOffset(idx),
+                                slab->blockSize()});
+            }
+            return true;
+        }
+        if (Veh *veh = large_.findVeh(v)) {
+            if (veh->state != Veh::State::Activated || veh->is_slab)
+                return false;
+            if (extent_marks.insert(veh).second)
+                work.push_back({veh->off, veh->size});
+            return true;
+        }
+        return false;
+    };
+
+    for (unsigned i = 0; i < kNumGcRoots; ++i) {
+        if (sb_->gc_roots[i] != 0)
+            resolve(sb_->gc_roots[i]);
+    }
+
+    while (!work.empty()) {
+        Range r = work.back();
+        work.pop_back();
+        // Each object dereference is a random PM read; scanning its
+        // words is sequential.
+        dev_.chargeRead(false);
+        auto *words = static_cast<uint64_t *>(dev_.at(r.off));
+        for (uint64_t i = 0; i < r.size / 8; ++i)
+            resolve(words[i]);
+        VClock::advance(2 * (r.size / 8), TimeKind::Other);
+    }
+
+    // Snapshot the slab set first: the reclaim pass below can release
+    // fully-free slabs, which mutates the arenas' slab sets.
+    std::vector<VSlab *> all_slabs;
+    for (auto &arena : arenas_) {
+        arena->forEachSlab(
+            [&](VSlab *slab) { all_slabs.push_back(slab); });
+    }
+
+    // Pass 1 — roll forward: a reachable block whose bit never got
+    // persisted was an in-flight allocation that already published its
+    // offset; claim it. Claims run before any reclaim so a slab can
+    // never be released while it still has reachable blocks.
+    for (VSlab *slab : all_slabs) {
+        auto it = slab_marks.find(slab);
+        if (it == slab_marks.end())
+            continue;
+        VLockGuard g(slab->arena->lock);
+        for (unsigned idx = 0; idx < slab->capacity(); ++idx) {
+            if (!it->second[idx])
+                continue;
+            ++recovery_.gc_marked_blocks;
+            if (!slab->isAllocated(idx)) {
+                slab->claimBlock(idx);
+                ++recovery_.wal_completions;
+            }
+        }
+    }
+
+    // Pass 2 — reclaim: allocated but unreachable blocks are leaks;
+    // the persistent bitmap becomes exactly the reachable set.
+    for (VSlab *slab : all_slabs) {
+        auto it = slab_marks.find(slab);
+        {
+            VLockGuard g(slab->arena->lock);
+            for (unsigned idx = 0; idx < slab->capacity(); ++idx) {
+                bool reachable =
+                    it != slab_marks.end() && it->second[idx];
+                if (slab->isAllocated(idx) && !reachable) {
+                    slab->arena->freeDirect(slab, idx);
+                    ++recovery_.gc_reclaimed_blocks;
+                }
+            }
+        }
+        if (slab->morphing()) {
+            // Old blocks whose index entries are live but that are
+            // unreachable get reclaimed through the morph path.
+            auto oit = old_marks.find(slab);
+            std::vector<unsigned> dead;
+            const SlabHeader *hdr = slab->header();
+            for (unsigned i = 0; i < hdr->index_count; ++i) {
+                uint16_t entry = hdr->index_table[i];
+                if (!(entry & kIndexAllocated))
+                    continue;
+                unsigned old_idx = entry & kIndexBlockMask;
+                bool reachable = oit != old_marks.end() &&
+                                 oit->second[old_idx];
+                if (!reachable)
+                    dead.push_back(old_idx);
+            }
+            for (unsigned old_idx : dead) {
+                VLockGuard g(slab->arena->lock);
+                slab->arena->freeOld(slab, old_idx);
+                ++recovery_.gc_reclaimed_blocks;
+            }
+        }
+    }
+
+    // Sweep large extents.
+    std::vector<uint64_t> dead_extents;
+    large_.forEachActivated([&](Veh *veh) {
+        if (!veh->is_slab && !extent_marks.count(veh))
+            dead_extents.push_back(veh->off);
+    });
+    for (uint64_t off : dead_extents) {
+        large_.free(off);
+        ++recovery_.gc_reclaimed_extents;
+    }
+}
+
+} // namespace nvalloc

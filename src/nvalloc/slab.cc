@@ -1,0 +1,373 @@
+#include "nvalloc/slab.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace nvalloc {
+
+VSlab::VSlab(PmDevice *dev, uint64_t slab_off, unsigned cls,
+             unsigned stripes, bool flush_enabled, bool gc_mode)
+    : dev_(dev), slab_off_(slab_off),
+      hdr_(static_cast<SlabHeader *>(dev->at(slab_off))),
+      geo_(SlabGeometry::compute(cls, stripes)),
+      flush_(flush_enabled), gc_mode_(gc_mode)
+{
+    NV_ASSERT(geo_.map.physicalSlots() <= kSlabBitmapBytes * 8);
+
+    // The extent arrives zeroed (fresh mapping or recycled hole), so
+    // the bitmap and index table are already clear; only the fixed
+    // fields need writing.
+    hdr_->magic = kSlabMagic;
+    hdr_->size_class = uint16_t(cls);
+    hdr_->flag = 0;
+    hdr_->data_offset = kSlabHeaderSize;
+    hdr_->capacity = uint16_t(geo_.capacity);
+    hdr_->stripes = uint16_t(geo_.map.stripes);
+    hdr_->old_size_class = 0;
+    hdr_->old_data_offset_k = kSlabHeaderSize / kCacheLine;
+    hdr_->index_count = 0;
+    hdr_->old_capacity = 0;
+    persistHeaderLine(hdr_, kCacheLine);
+    if (flush_)
+        dev_->fence();
+
+    avail_ = geo_.capacity;
+}
+
+VSlab::VSlab(PmDevice *dev, uint64_t slab_off, bool flush_enabled,
+             bool gc_mode)
+    : dev_(dev), slab_off_(slab_off),
+      hdr_(static_cast<SlabHeader *>(dev->at(slab_off))),
+      flush_(flush_enabled), gc_mode_(gc_mode)
+{
+    NV_ASSERT(hdr_->magic == kSlabMagic);
+
+    // Crash during morphing: flag records the completed steps. Steps
+    // 1-2 only stage copies (old_* fields, index_table); the original
+    // geometry is intact, so undo by discarding the staging. After
+    // step 3 the new geometry is fully persistent, so roll forward.
+    if (hdr_->flag == 1 || hdr_->flag == 2) {
+        hdr_->index_count = 0;
+        setFlag(0);
+    } else if (hdr_->flag == 3) {
+        setFlag(0);
+    }
+
+    geo_ = SlabGeometry::compute(hdr_->size_class, hdr_->stripes);
+
+    for (unsigned idx = 0; idx < geo_.capacity; ++idx) {
+        if (bitmapTest(pbitmapWords(), geo_.map.physical(idx))) {
+            bitmapSet(vbitmap_, idx);
+            ++live_;
+        }
+    }
+    avail_ = geo_.capacity - live_;
+
+    if (hdr_->index_count > 0)
+        rebuildMorphState();
+}
+
+unsigned
+VSlab::blockIndexOf(uint64_t off) const
+{
+    if (off < slab_off_ + kSlabHeaderSize)
+        return geo_.capacity;
+    uint64_t rel = off - slab_off_ - kSlabHeaderSize;
+    if (rel % geo_.block_size != 0)
+        return geo_.capacity;
+    uint64_t idx = rel / geo_.block_size;
+    return idx < geo_.capacity ? unsigned(idx) : geo_.capacity;
+}
+
+unsigned
+VSlab::popBlock()
+{
+    size_t idx = bitmapFindFirstZero(vbitmap_, geo_.capacity);
+    if (idx == geo_.capacity)
+        return geo_.capacity;
+    bitmapSet(vbitmap_, idx);
+    --avail_;
+    ++lent_;
+    return unsigned(idx);
+}
+
+unsigned
+VSlab::popBlockSpread()
+{
+    // One bitmap cache line covers 512 physical bit positions; with
+    // stripes that is 512/stripes logical blocks per line-visit.
+    unsigned line_blocks = (kCacheLine * 8) / geo_.map.stripes;
+    if (line_blocks == 0)
+        line_blocks = 1;
+    unsigned nlines = (geo_.capacity + line_blocks - 1) / line_blocks;
+    for (unsigned probe = 0; probe < nlines; ++probe) {
+        unsigned line = spread_rotor_ % nlines;
+        ++spread_rotor_;
+        unsigned begin = line * line_blocks;
+        unsigned end = begin + line_blocks;
+        if (end > geo_.capacity)
+            end = geo_.capacity;
+        for (unsigned idx = begin; idx < end; ++idx) {
+            if (!bitmapTest(vbitmap_, idx)) {
+                bitmapSet(vbitmap_, idx);
+                --avail_;
+                ++lent_;
+                return idx;
+            }
+        }
+    }
+    return geo_.capacity;
+}
+
+void
+VSlab::unlendBlock(unsigned idx)
+{
+    NV_ASSERT(lent_ > 0 && bitmapTest(vbitmap_, idx));
+    bitmapClear(vbitmap_, idx);
+    --lent_;
+    ++avail_;
+}
+
+void
+VSlab::markAllocated(unsigned idx)
+{
+    NV_ASSERT(lent_ > 0);
+    --lent_;
+    ++live_;
+    persistBit(idx, true);
+}
+
+void
+VSlab::claimBlock(unsigned idx)
+{
+    NV_ASSERT(!bitmapTest(vbitmap_, idx));
+    bitmapSet(vbitmap_, idx);
+    --avail_;
+    ++live_;
+    persistBit(idx, true);
+}
+
+void
+VSlab::markFree(unsigned idx)
+{
+    NV_ASSERT(live_ > 0);
+    --live_;
+    ++avail_;
+    bitmapClear(vbitmap_, idx);
+    persistBit(idx, false);
+}
+
+void
+VSlab::markFreeToTcache(unsigned idx)
+{
+    NV_ASSERT(live_ > 0);
+    --live_;
+    ++lent_;
+    persistBit(idx, false);
+}
+
+void
+VSlab::persistBit(unsigned idx, bool set)
+{
+    unsigned phys = geo_.map.physical(idx);
+    if (set)
+        bitmapSet(pbitmapWords(), phys);
+    else
+        bitmapClear(pbitmapWords(), phys);
+
+    // NVAlloc-GC never flushes per-block metadata (paper §4.1): the
+    // post-crash GC rebuilds it, trading recovery time for allocation
+    // speed.
+    if (flush_ && !gc_mode_) {
+        dev_->flushLine(hdr_->bitmap + phys / 8, TimeKind::FlushMeta);
+        dev_->fence();
+    }
+}
+
+void
+VSlab::persistHeaderLine(const void *addr, size_t len)
+{
+    if (flush_)
+        dev_->persist(addr, len, TimeKind::FlushMeta);
+}
+
+void
+VSlab::setFlag(uint16_t flag)
+{
+    hdr_->flag = flag;
+    persistHeaderLine(hdr_, kCacheLine);
+    if (flush_)
+        dev_->fence();
+}
+
+bool
+VSlab::morphEligible(double threshold) const
+{
+    return hdr_->flag == 0 && !morphing() && lent_ == 0 &&
+           live_ > 0 && live_ <= kIndexTableCap &&
+           occupancy() <= threshold;
+}
+
+void
+VSlab::morphTo(unsigned new_cls, unsigned stripes)
+{
+    NV_ASSERT(morphEligible(1.0) && new_cls != geo_.size_class);
+
+    // Step 1: stage the old geometry (paper Fig. 5).
+    hdr_->old_size_class = uint16_t(geo_.size_class);
+    hdr_->old_data_offset_k = kSlabHeaderSize / kCacheLine;
+    hdr_->old_capacity = uint16_t(geo_.capacity);
+    setFlag(1);
+
+    // Step 2: record every live old block in the index table.
+    unsigned n = 0;
+    for (unsigned idx = 0; idx < geo_.capacity; ++idx) {
+        if (bitmapTest(pbitmapWords(), geo_.map.physical(idx)))
+            hdr_->index_table[n++] = uint16_t(idx) | kIndexAllocated;
+    }
+    NV_ASSERT(n == live_ && n <= kIndexTableCap);
+    hdr_->index_count = uint16_t(n);
+    persistHeaderLine(hdr_->index_table, n * sizeof(uint16_t));
+    setFlag(2);
+
+    // Step 3: install the new geometry; the old allocation info now
+    // lives only in the index table.
+    old_geo_ = geo_;
+    geo_ = SlabGeometry::compute(new_cls, stripes);
+    hdr_->size_class = uint16_t(new_cls);
+    hdr_->capacity = uint16_t(geo_.capacity);
+    hdr_->stripes = uint16_t(geo_.map.stripes);
+    std::memset(hdr_->bitmap, 0, kSlabBitmapBytes);
+    persistHeaderLine(hdr_->bitmap, kSlabBitmapBytes);
+    setFlag(3);
+
+    // Commit and rebuild the volatile morph state.
+    setFlag(0);
+    rebuildMorphState();
+}
+
+void
+VSlab::rebuildMorphState()
+{
+    old_geo_ = SlabGeometry::compute(hdr_->old_size_class, hdr_->stripes);
+    cnt_slab_ = 0;
+    cnt_block_.assign(geo_.capacity, 0);
+    std::memset(vbitmap_, 0, sizeof(vbitmap_));
+    live_ = 0;
+    lent_ = 0;
+
+    // Current-geometry allocations (none right after a morph; present
+    // when rebuilding a slab_in during recovery).
+    for (unsigned idx = 0; idx < geo_.capacity; ++idx) {
+        if (bitmapTest(pbitmapWords(), geo_.map.physical(idx))) {
+            bitmapSet(vbitmap_, idx);
+            ++live_;
+        }
+    }
+
+    for (unsigned i = 0; i < hdr_->index_count; ++i) {
+        uint16_t entry = hdr_->index_table[i];
+        if (!(entry & kIndexAllocated))
+            continue;
+        ++cnt_slab_;
+        unsigned old_idx = entry & kIndexBlockMask;
+        uint64_t start = uint64_t(old_idx) * old_geo_.block_size;
+        uint64_t end = start + old_geo_.block_size;
+        unsigned first = unsigned(start / geo_.block_size);
+        unsigned last = unsigned((end - 1) / geo_.block_size);
+        for (unsigned nb = first; nb <= last && nb < geo_.capacity; ++nb) {
+            if (cnt_block_[nb]++ == 0)
+                bitmapSet(vbitmap_, nb);
+        }
+    }
+    avail_ = geo_.capacity - bitmapPopcount(vbitmap_, geo_.capacity);
+
+    if (cnt_slab_ == 0 && hdr_->index_count > 0)
+        finishMorph();
+}
+
+bool
+VSlab::isOldBlock(uint64_t off, unsigned &old_idx) const
+{
+    if (!morphing())
+        return false;
+    uint64_t rel = off - slab_off_ - kSlabHeaderSize;
+
+    // A handed-out current-geometry block always has its bit set, and
+    // new blocks are never handed out while old blocks overlap them,
+    // so an allocated current bit is authoritative.
+    if (rel % geo_.block_size == 0) {
+        unsigned idx = unsigned(rel / geo_.block_size);
+        if (idx < geo_.capacity && isAllocated(idx))
+            return false;
+    }
+    if (rel % old_geo_.block_size != 0)
+        return false;
+    unsigned candidate = unsigned(rel / old_geo_.block_size);
+    for (unsigned i = 0; i < hdr_->index_count; ++i) {
+        if (hdr_->index_table[i] ==
+            (uint16_t(candidate) | kIndexAllocated)) {
+            old_idx = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+VSlab::freeOldBlock(unsigned old_idx)
+{
+    NV_ASSERT(morphing());
+    unsigned entry_pos = hdr_->index_count;
+    for (unsigned i = 0; i < hdr_->index_count; ++i) {
+        if (hdr_->index_table[i] == (uint16_t(old_idx) | kIndexAllocated)) {
+            entry_pos = i;
+            break;
+        }
+    }
+    NV_ASSERT(entry_pos < hdr_->index_count);
+
+    // Paper §5.2 block release: update the entry's state and flush it;
+    // blocks_before bypass the tcache.
+    hdr_->index_table[entry_pos] = uint16_t(old_idx);
+    if (flush_) {
+        dev_->flushLine(&hdr_->index_table[entry_pos],
+                        TimeKind::FlushMeta);
+        dev_->fence();
+    }
+    --cnt_slab_;
+
+    uint64_t start = uint64_t(old_idx) * old_geo_.block_size;
+    uint64_t end = start + old_geo_.block_size;
+    unsigned first = unsigned(start / geo_.block_size);
+    unsigned last = unsigned((end - 1) / geo_.block_size);
+    for (unsigned nb = first; nb <= last && nb < geo_.capacity; ++nb) {
+        NV_ASSERT(cnt_block_[nb] > 0);
+        if (--cnt_block_[nb] == 0) {
+            bitmapClear(vbitmap_, nb);
+            ++avail_;
+        }
+    }
+
+    if (cnt_slab_ == 0) {
+        finishMorph();
+        return true;
+    }
+    return false;
+}
+
+void
+VSlab::finishMorph()
+{
+    // The slab becomes a regular slab_after; the staging area is dead.
+    hdr_->index_count = 0;
+    persistHeaderLine(hdr_, kCacheLine);
+    if (flush_)
+        dev_->fence();
+    cnt_slab_ = 0;
+    cnt_block_.clear();
+    cnt_block_.shrink_to_fit();
+}
+
+} // namespace nvalloc

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Slabs: 64 KB containers of fixed-size blocks (paper §2.2, §5.1, §5.2).
+ *
+ * Each slab has a persistent 4 KB header (SlabHeader in layout.h) and a
+ * volatile mirror, the VSlab, holding everything recovery can rebuild:
+ * a volatile availability bitmap for fast free-block search, counters,
+ * and the morphing bookkeeping (cnt_slab / cnt_block, paper Fig. 5).
+ *
+ * Two bitmaps with different meanings:
+ *  - persistent header bitmap: bit set = block allocated to the user;
+ *    this is what recovery trusts. Bits are placed through the
+ *    InterleaveMap so consecutive allocations flush different lines.
+ *  - volatile vbitmap (logical block order): bit set = block not
+ *    available for handout (allocated, lent to a tcache, or overlapped
+ *    by live old-class blocks during morphing).
+ */
+
+#ifndef NVALLOC_NVALLOC_SLAB_H
+#define NVALLOC_NVALLOC_SLAB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap_ops.h"
+#include "common/lru_list.h"
+#include "common/size_classes.h"
+#include "nvalloc/interleave.h"
+#include "nvalloc/layout.h"
+#include "pm/pm_device.h"
+
+namespace nvalloc {
+
+class Arena;
+
+/** Derived per-size-class slab geometry. */
+struct SlabGeometry
+{
+    unsigned size_class = 0;
+    unsigned block_size = 0;
+    unsigned capacity = 0;
+    InterleaveMap map;
+
+    static SlabGeometry
+    compute(unsigned cls, unsigned stripes)
+    {
+        SlabGeometry g;
+        g.size_class = cls;
+        g.block_size = classToSize(cls);
+        g.capacity = (kSlabSize - kSlabHeaderSize) / g.block_size;
+        g.map = InterleaveMap::build(g.capacity, 1, stripes);
+        return g;
+    }
+};
+
+class VSlab
+{
+  public:
+    /** Format a freshly mapped 64 KB extent as a slab. */
+    VSlab(PmDevice *dev, uint64_t slab_off, unsigned cls, unsigned stripes,
+          bool flush_enabled, bool gc_mode);
+
+    /** Adopt an existing slab during recovery (header already valid;
+     *  rebuilds all volatile state from the persistent header). */
+    VSlab(PmDevice *dev, uint64_t slab_off, bool flush_enabled,
+          bool gc_mode);
+
+    // -- geometry ---------------------------------------------------
+
+    uint64_t slabOffset() const { return slab_off_; }
+    unsigned sizeClass() const { return geo_.size_class; }
+    unsigned blockSize() const { return geo_.block_size; }
+    unsigned capacity() const { return geo_.capacity; }
+    SlabHeader *header() const { return hdr_; }
+
+    uint64_t
+    blockOffset(unsigned idx) const
+    {
+        return slab_off_ + kSlabHeaderSize +
+               uint64_t(idx) * geo_.block_size;
+    }
+
+    /** Logical block index of a device offset, or capacity() if the
+     *  offset is not a block start of the current geometry. */
+    unsigned blockIndexOf(uint64_t off) const;
+
+    /** Cache line (within the persistent bitmap) holding this block's
+     *  bit; tcaches bucket blocks by this. */
+    unsigned
+    bitLineOf(unsigned idx) const
+    {
+        return geo_.map.physical(idx) / (kCacheLine * 8);
+    }
+
+    // -- availability (volatile) ------------------------------------
+
+    unsigned available() const { return avail_; }
+    unsigned liveBlocks() const { return live_; }
+    unsigned lentBlocks() const { return lent_; }
+
+    /** Take one available block for a tcache; marks it unavailable and
+     *  lent. Returns capacity() if none. */
+    unsigned popBlock();
+
+    /**
+     * Like popBlock() but starts the scan at a rotating bitmap line so
+     * successive pops come from different cache lines — this is what
+     * lets the interleaved tcache layout help even when the bitmap
+     * itself is mapped sequentially (paper Fig. 11 "+Interleaved").
+     */
+    unsigned popBlockSpread();
+
+    /** A lent block was returned unallocated (tcache flush). */
+    void unlendBlock(unsigned idx);
+
+    // -- persistent allocation state --------------------------------
+
+    /** A lent block was handed to the user: set + persist its bit. */
+    void markAllocated(unsigned idx);
+
+    /** Recovery roll-forward: claim a specific free block as
+     *  allocated (GC variant completing an in-flight allocation). */
+    void claimBlock(unsigned idx);
+
+    /** Free a user block straight back to the slab (not via tcache):
+     *  clear + persist its bit, block becomes available. */
+    void markFree(unsigned idx);
+
+    /** Free a user block into a tcache: clear + persist its bit, but
+     *  keep it lent (the tcache now owns it). */
+    void markFreeToTcache(unsigned idx);
+
+    bool
+    isAllocated(unsigned idx) const
+    {
+        return bitmapTest(pbitmapWords(), geo_.map.physical(idx));
+    }
+
+    // -- morphing (paper §5.2) --------------------------------------
+
+    bool
+    morphing() const
+    {
+        return cnt_slab_ > 0;
+    }
+
+    /** Fraction of blocks allocated; the Ratio_occupy of §5.2. */
+    double
+    occupancy() const
+    {
+        return capacity() ? double(live_) / capacity() : 1.0;
+    }
+
+    /** Eligible to be transformed to another size class now? */
+    bool morphEligible(double threshold) const;
+
+    /** Transform to `new_cls` (three persistent steps + flag). */
+    void morphTo(unsigned new_cls, unsigned stripes);
+
+    /**
+     * Classify a device offset inside this slab: returns true and sets
+     * `old_idx` if it is a live old-geometry block (block_before),
+     * false if it belongs to the current geometry.
+     */
+    bool isOldBlock(uint64_t off, unsigned &old_idx) const;
+
+    /** Release a block_before; may complete the morph (cnt_slab → 0,
+     *  returns true so the arena can re-enlist the slab). */
+    bool freeOldBlock(unsigned old_idx);
+
+    unsigned cntSlab() const { return cnt_slab_; }
+    unsigned cntBlock(unsigned idx) const { return cnt_block_[idx]; }
+
+    // -- intrusive links owned by the arena -------------------------
+
+    LruLink lru_link;   //!< morph candidate LRU
+    LruLink free_link;  //!< freelist_slab membership
+    bool in_freelist = false;
+    Arena *arena = nullptr;
+
+  private:
+    PmDevice *dev_;
+    uint64_t slab_off_;
+    SlabHeader *hdr_;
+    SlabGeometry geo_;
+    bool flush_ = true;
+    bool gc_mode_ = false; //!< GC variant: write but do not flush bits
+
+    uint64_t vbitmap_[bitmapWords(kMaxSlabBlocks)] = {};
+    unsigned spread_rotor_ = 0; //!< popBlockSpread line cursor
+    unsigned avail_ = 0; //!< blocks available for handout
+    unsigned live_ = 0;  //!< blocks allocated (current geometry)
+    unsigned lent_ = 0;  //!< blocks sitting in tcaches
+
+    // Morph state.
+    unsigned cnt_slab_ = 0;
+    SlabGeometry old_geo_;
+    std::vector<uint16_t> cnt_block_;
+
+    uint64_t *
+    pbitmapWords() const
+    {
+        return reinterpret_cast<uint64_t *>(hdr_->bitmap);
+    }
+
+    void persistBit(unsigned idx, bool set);
+    void persistHeaderLine(const void *addr, size_t len);
+    void setFlag(uint16_t flag);
+    void rebuildMorphState();
+    void finishMorph();
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_SLAB_H

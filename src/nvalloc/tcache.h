@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Thread-local cache with interleaved sub-tcache layout (paper §2.1,
+ * §5.1 / Fig. 6).
+ *
+ * A tcache keeps one freelist of ready blocks per size class. With the
+ * interleaved layout the freelist is split into S sub-tcaches, each
+ * holding blocks whose slab-bitmap bits live in the same cache line; a
+ * cursor rotates across sub-tcaches so contiguous allocations persist
+ * bits in S different lines. Without interleaving, everything lands in
+ * one LIFO sub-tcache — the reflush-prone baseline.
+ */
+
+#ifndef NVALLOC_NVALLOC_TCACHE_H
+#define NVALLOC_NVALLOC_TCACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/size_classes.h"
+#include "nvalloc/slab.h"
+
+namespace nvalloc {
+
+/** One cached free block: address plus its owning slab and index, so
+ *  the hot paths skip the radix lookup. */
+struct CachedBlock
+{
+    uint64_t off = 0;
+    VSlab *slab = nullptr;
+    unsigned idx = 0;
+};
+
+class TCache
+{
+  public:
+    static constexpr unsigned kMaxSub = 32;
+
+    TCache(unsigned stripes, bool interleaved, unsigned capacity)
+        : subs_(interleaved ? (stripes < 2 ? 2 : stripes) : 1),
+          capacity_(capacity)
+    {
+        if (subs_ > kMaxSub)
+            subs_ = kMaxSub;
+    }
+
+    unsigned subCount() const { return subs_; }
+    unsigned capacity() const { return capacity_; }
+
+    unsigned
+    count(unsigned cls) const
+    {
+        return classes_[cls].count;
+    }
+
+    bool full(unsigned cls) const { return count(cls) >= capacity_; }
+    bool empty(unsigned cls) const { return count(cls) == 0; }
+
+    /**
+     * Take the next block, rotating the cursor across sub-tcaches
+     * (LIFO within a sub-tcache). Returns false when empty.
+     */
+    bool
+    pop(unsigned cls, CachedBlock &out)
+    {
+        ClassCache &cc = classes_[cls];
+        if (cc.count == 0)
+            return false;
+        for (unsigned probe = 0; probe < subs_; ++probe) {
+            auto &sub = cc.sub[cc.cursor];
+            cc.cursor = (cc.cursor + 1) % subs_;
+            if (!sub.empty()) {
+                out = sub.back();
+                sub.pop_back();
+                --cc.count;
+                return true;
+            }
+        }
+        NV_PANIC("tcache count/contents mismatch");
+    }
+
+    /** Insert a block; returns false if the class cache is full. */
+    bool
+    push(unsigned cls, const CachedBlock &block)
+    {
+        ClassCache &cc = classes_[cls];
+        if (cc.count >= capacity_)
+            return false;
+        cc.sub[bucketOf(block)].push_back(block);
+        ++cc.count;
+        return true;
+    }
+
+    /** Drain every cached block of every class, invoking
+     *  fn(cls, block); used at thread detach. */
+    template <typename Fn>
+    void
+    drain(Fn &&fn)
+    {
+        for (unsigned cls = 0; cls < kNumSizeClasses; ++cls) {
+            ClassCache &cc = classes_[cls];
+            for (auto &sub : cc.sub) {
+                for (const CachedBlock &b : sub)
+                    fn(cls, b);
+                sub.clear();
+            }
+            cc.count = 0;
+        }
+    }
+
+  private:
+    struct ClassCache
+    {
+        std::vector<CachedBlock> sub[kMaxSub];
+        unsigned cursor = 0;
+        unsigned count = 0;
+    };
+
+    /** Blocks whose bits share a cache line share a sub-tcache. */
+    unsigned
+    bucketOf(const CachedBlock &block) const
+    {
+        if (subs_ == 1)
+            return 0;
+        uint64_t line = block.slab->slabOffset() / kCacheLine +
+                        block.slab->bitLineOf(block.idx);
+        return unsigned(line % subs_);
+    }
+
+    ClassCache classes_[kNumSizeClasses];
+    unsigned subs_;
+    unsigned capacity_;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_TCACHE_H

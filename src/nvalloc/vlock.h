@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Mutex with virtual-time contention modeling.
+ *
+ * Wraps a real std::mutex (for actual correctness under concurrency)
+ * and mirrors every hold in virtual time through a VServer: at unlock,
+ * the elapsed virtual hold is booked into the lock's windowed
+ * capacity, and whatever queueing delay the booking implies is added
+ * to the holder's clock. Threads that hammer a hot arena therefore
+ * accumulate virtual wait exactly as they would accumulate wall-clock
+ * wait on a real multicore — which is what makes thread-scaling curves
+ * meaningful on a single-core host — while uncontended locks cost
+ * nothing.
+ */
+
+#ifndef NVALLOC_NVALLOC_VLOCK_H
+#define NVALLOC_NVALLOC_VLOCK_H
+
+#include <mutex>
+
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+class VLock
+{
+  public:
+    void
+    lock()
+    {
+        mutex_.lock();
+        entry_ = VClock::now();
+    }
+
+    void
+    unlock()
+    {
+        uint64_t hold = VClock::now() - entry_;
+        if (hold > 0) {
+            uint64_t start = server_.reserve(entry_, hold);
+            VClock::advanceTo(start + hold, TimeKind::LockWait);
+        }
+        mutex_.unlock();
+    }
+
+    void reset() { server_.reset(); }
+
+  private:
+    std::mutex mutex_;
+    VServer server_;
+    uint64_t entry_ = 0; //!< holder's clock at acquisition
+};
+
+using VLockGuard = std::lock_guard<VLock>;
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_VLOCK_H

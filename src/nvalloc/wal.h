@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-thread write-ahead log (NVAlloc-LOG consistency, paper §4.1).
+ *
+ * Each thread owns a small persistent ring of WAL entries. An
+ * allocation/free journals its intent before touching metadata, so a
+ * crash between the journal write and the metadata/attach updates is
+ * resolved by replay (paper: "All memory leaks can be resolved by
+ * replaying the WALs"). Because a thread finishes one operation before
+ * starting the next, only the newest entry can be in flight; appending
+ * the next entry implicitly commits the previous one, so each
+ * operation costs exactly one WAL flush.
+ *
+ * Entries are placed into the ring through the same InterleaveMap as
+ * slab bitmaps: with interleaving on, consecutive entries land in
+ * different cache lines and WAL flushes stop re-flushing the line they
+ * just flushed (Table 2: IM(WAL)).
+ */
+
+#ifndef NVALLOC_NVALLOC_WAL_H
+#define NVALLOC_NVALLOC_WAL_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "nvalloc/interleave.h"
+#include "nvalloc/layout.h"
+#include "pm/pm_device.h"
+
+namespace nvalloc {
+
+class Wal
+{
+  public:
+    Wal() = default;
+
+    /** Attach to a persistent ring at device offset `ring_off`. */
+    void
+    attach(PmDevice *dev, uint64_t ring_off, bool interleaved,
+           unsigned stripes, bool flush_enabled)
+    {
+        dev_ = dev;
+        ring_ = static_cast<WalEntry *>(dev->at(ring_off));
+        map_ = InterleaveMap::build(kWalRingEntries,
+                                    sizeof(WalEntry) * 8,
+                                    interleaved ? stripes : 1);
+        NV_ASSERT(map_.physicalSlots() * sizeof(WalEntry) <=
+                  kWalRingBytes);
+        flush_ = flush_enabled;
+        seq_ = 0;
+    }
+
+    bool attached() const { return ring_ != nullptr; }
+
+    /** Journal one operation and flush the entry's line. */
+    void
+    append(WalOp op, uint64_t block_off, uint64_t where_off,
+           uint64_t size)
+    {
+        ++seq_; // seq 0 means "never used"
+        unsigned slot = map_.physical(seq_ % kWalRingEntries);
+        WalEntry &e = ring_[slot];
+        e.block_op = (block_off << 2) | uint64_t(op);
+        e.seq = seq_;
+        e.where_off = where_off;
+        e.size = size;
+        if (flush_) {
+            dev_->persist(&e, sizeof(e), TimeKind::FlushWal);
+            dev_->fence();
+        }
+    }
+
+    uint64_t sequence() const { return seq_; }
+
+    /**
+     * Replay helper: the newest entry of the ring at `ring_off`, or
+     * nullptr if the ring was never written. Static because replay
+     * runs before any Wal is attached.
+     */
+    static const WalEntry *
+    newestEntry(PmDevice *dev, uint64_t ring_off)
+    {
+        auto *ring = static_cast<const WalEntry *>(dev->at(ring_off));
+        const WalEntry *best = nullptr;
+        unsigned n = kWalRingBytes / sizeof(WalEntry);
+        for (unsigned i = 0; i < n; ++i) {
+            const WalEntry &e = ring[i];
+            if ((e.block_op & 3) == kWalNone)
+                continue;
+            if (!best || e.seq > best->seq)
+                best = &e;
+        }
+        return best;
+    }
+
+  private:
+    PmDevice *dev_ = nullptr;
+    WalEntry *ring_ = nullptr;
+    InterleaveMap map_;
+    bool flush_ = true;
+    uint64_t seq_ = 0;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_WAL_H

@@ -1,0 +1,257 @@
+#include "pm/latency_model.h"
+
+#include <cstring>
+
+#include "common/size_classes.h"
+
+namespace nvalloc {
+
+namespace {
+
+constexpr unsigned kMruCap = 8;      // recent distinct lines tracked
+constexpr uint64_t kXpLine = 256;    // Optane internal write granule
+
+} // namespace
+
+/**
+ * Per-thread flush history. Stored thread-locally and keyed by (model,
+ * generation) so that reset() on one model cannot leak stale recency
+ * state into the next benchmark phase, and several devices can be live
+ * at once.
+ */
+struct LatencyModel::ThreadState
+{
+    const LatencyModel *owner = nullptr;
+    uint64_t generation = 0;
+
+    // MRU list of recently flushed 64 B lines, deduplicated.
+    uint64_t mru[kMruCap] = {};
+    unsigned mru_len = 0;
+
+    // LRU set of buffered 256 B XPLines.
+    std::vector<uint64_t> xplines;
+
+    uint64_t last_line = ~uint64_t{0};
+    uint64_t last_miss_xpline = ~uint64_t{0};
+
+    /** Reflush distance of `line`, or kMruCap if the line was not
+     *  flushed recently (a fresh line is never a reflush, no matter
+     *  how short the history is). Also moves/inserts the line to the
+     *  MRU front. */
+    unsigned
+    touchLine(uint64_t line)
+    {
+        unsigned found = mru_len;
+        for (unsigned i = 0; i < mru_len; ++i) {
+            if (mru[i] == line) {
+                found = i;
+                break;
+            }
+        }
+        bool fresh = found == mru_len;
+        unsigned shift_end =
+            fresh ? (mru_len < kMruCap ? mru_len : kMruCap - 1) : found;
+        for (unsigned i = shift_end; i > 0; --i)
+            mru[i] = mru[i - 1];
+        mru[0] = line;
+        if (fresh && mru_len < kMruCap)
+            ++mru_len;
+        return fresh ? kMruCap : found;
+    }
+
+    /** True if the XPLine was buffered; refreshes LRU either way. */
+    bool
+    touchXpLine(uint64_t xpline, unsigned capacity)
+    {
+        for (size_t i = 0; i < xplines.size(); ++i) {
+            if (xplines[i] == xpline) {
+                xplines.erase(xplines.begin() + i);
+                xplines.push_back(xpline);
+                return true;
+            }
+        }
+        xplines.push_back(xpline);
+        if (xplines.size() > capacity)
+            xplines.erase(xplines.begin());
+        return false;
+    }
+};
+
+namespace {
+
+// One slot per live model this thread has touched.
+thread_local std::vector<LatencyModel::ThreadState> tl_states;
+
+} // namespace
+
+LatencyModel::LatencyModel(LatencyParams params)
+    : params_(params), media_(params.media_slots)
+{
+}
+
+// (media_ is a VServer with params.media_slots parallel units.)
+
+LatencyModel::ThreadState &
+LatencyModel::threadState()
+{
+    uint64_t gen = generation_.load(std::memory_order_relaxed);
+    for (auto &ts : tl_states) {
+        if (ts.owner == this) {
+            if (ts.generation != gen) {
+                ts = ThreadState{};
+                ts.owner = this;
+                ts.generation = gen;
+            }
+            return ts;
+        }
+    }
+    tl_states.emplace_back();
+    auto &ts = tl_states.back();
+    ts.owner = this;
+    ts.generation = gen;
+    return ts;
+}
+
+void
+LatencyModel::chargeMedia(uint64_t line, ThreadState &ts, TimeKind kind)
+{
+    uint64_t xpline = line & ~(kXpLine - 1);
+    bool sequential = (xpline == ts.last_miss_xpline ||
+                       xpline == ts.last_miss_xpline + kXpLine);
+    ts.last_miss_xpline = xpline;
+
+    uint64_t cost = sequential ? params_.media_seq : params_.media_random;
+    if (sequential)
+        n_seq_.fetch_add(1, std::memory_order_relaxed);
+    else
+        n_random_.fetch_add(1, std::memory_order_relaxed);
+
+    // Media writes share the drain bandwidth; queueing delay appears
+    // as the booked start moving past the thread's current clock.
+    uint64_t start = media_.reserve(VClock::now(), cost);
+    VClock::advanceTo(start + cost, kind);
+}
+
+void
+LatencyModel::onFlush(uint64_t line, TimeKind kind)
+{
+    n_total_.fetch_add(1, std::memory_order_relaxed);
+
+    if (tracing_) {
+        std::lock_guard<std::mutex> g(trace_mutex_);
+        if (trace_.size() < trace_cap_)
+            trace_.push_back(line);
+    }
+
+    ThreadState &ts = threadState();
+
+    if (eadr_) {
+        // No flush stall; repeated dirtying of the same line is free
+        // (write combining), but distinct lines still drain to media.
+        unsigned distance = ts.touchLine(line);
+        if (distance < params_.reflush_window) {
+            n_reflush_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        uint64_t xpline = line & ~(kXpLine - 1);
+        if (ts.touchXpLine(xpline, params_.xpbuf_lines)) {
+            n_hit_.fetch_add(1, std::memory_order_relaxed);
+            VClock::advance(params_.eadr_hit, kind);
+        } else {
+            bool sequential = (xpline == ts.last_miss_xpline ||
+                               xpline == ts.last_miss_xpline + kXpLine);
+            ts.last_miss_xpline = xpline;
+            uint64_t cost =
+                sequential ? params_.eadr_seq : params_.eadr_random;
+            if (sequential)
+                n_seq_.fetch_add(1, std::memory_order_relaxed);
+            else
+                n_random_.fetch_add(1, std::memory_order_relaxed);
+            VClock::advance(cost, kind);
+        }
+        return;
+    }
+
+    VClock::advance(params_.issue, kind);
+
+    unsigned distance = ts.touchLine(line);
+    if (distance < params_.reflush_window) {
+        // Reflush: the line is still being written back; cost shrinks
+        // as the distance grows (paper: 800 ns at 0 down to 500 at 3).
+        n_reflush_.fetch_add(1, std::memory_order_relaxed);
+        uint64_t cost = params_.reflush_base -
+                        params_.reflush_step * distance;
+        VClock::advance(cost, kind);
+        ts.last_line = line;
+        return;
+    }
+
+    uint64_t xpline = line & ~(kXpLine - 1);
+    if (ts.touchXpLine(xpline, params_.xpbuf_lines)) {
+        n_hit_.fetch_add(1, std::memory_order_relaxed);
+        VClock::advance(params_.xpline_hit, kind);
+    } else {
+        chargeMedia(line, ts, kind);
+    }
+    ts.last_line = line;
+}
+
+void
+LatencyModel::onFence()
+{
+    n_fence_.fetch_add(1, std::memory_order_relaxed);
+    if (!eadr_)
+        VClock::advance(params_.fence, TimeKind::Fence);
+}
+
+void
+LatencyModel::setEadr(bool on)
+{
+    eadr_ = on;
+    reset();
+}
+
+void
+LatencyModel::reset()
+{
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    n_total_.store(0);
+    n_reflush_.store(0);
+    n_seq_.store(0);
+    n_random_.store(0);
+    n_hit_.store(0);
+    n_fence_.store(0);
+    media_.reset();
+}
+
+FlushClassCounts
+LatencyModel::counts() const
+{
+    FlushClassCounts c;
+    c.total = n_total_.load();
+    c.reflush = n_reflush_.load();
+    c.sequential = n_seq_.load();
+    c.random = n_random_.load();
+    c.xpline_hit = n_hit_.load();
+    c.fences = n_fence_.load();
+    return c;
+}
+
+void
+LatencyModel::startTrace(size_t max_entries)
+{
+    std::lock_guard<std::mutex> g(trace_mutex_);
+    trace_.clear();
+    trace_cap_ = max_entries;
+    tracing_ = true;
+}
+
+std::vector<uint64_t>
+LatencyModel::stopTrace()
+{
+    std::lock_guard<std::mutex> g(trace_mutex_);
+    tracing_ = false;
+    return std::move(trace_);
+}
+
+} // namespace nvalloc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Flush classification and cost model for emulated persistent memory.
+ *
+ * Reproduces the performance characteristics the paper builds on:
+ *
+ *  - Cache line *reflush*: flushing a 64 B line whose reflush distance
+ *    (number of distinct lines flushed since its last flush) is < 4 is
+ *    far more expensive than a regular flush; latency decreases from
+ *    800 ns at distance 0 to 500 ns at distance 3 (paper §3.1).
+ *  - Sequential vs random small writes: Optane serves sequential
+ *    flushes faster than random ones (paper §3.3, [40]).
+ *  - XPBuffer: the DIMM's internal write-combining buffer holds a
+ *    limited number of 256 B XPLines; flushes that hit a buffered
+ *    XPLine are cheap, misses pay a media write and consume shared
+ *    media bandwidth, modeled as a small pool of virtual-time slots.
+ *    This reproduces the non-monotone bit-stripe sensitivity of
+ *    Fig. 16(a).
+ *  - eADR: flushes become free (only counted), as in the paper's §6.7
+ *    emulation.
+ *
+ * All costs advance the calling thread's VClock; counters are global
+ * and deterministic for a fixed workload trace.
+ */
+
+#ifndef NVALLOC_PM_LATENCY_MODEL_H
+#define NVALLOC_PM_LATENCY_MODEL_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+/** Tunable constants, all in virtual nanoseconds unless noted. */
+struct LatencyParams
+{
+    // Reflush: cost = reflush_base - reflush_step * distance.
+    uint64_t reflush_base = 800;
+    uint64_t reflush_step = 100;
+    unsigned reflush_window = 4; //!< distance < window => reflush
+
+    uint64_t xpline_hit = 60;    //!< flush into a buffered XPLine
+    uint64_t media_seq = 100;    //!< XPLine miss, sequential successor
+    uint64_t media_random = 250; //!< XPLine miss, random target
+    uint64_t issue = 20;         //!< fixed CPU cost of any clwb
+    uint64_t fence = 30;         //!< sfence
+
+    unsigned xpbuf_lines = 64;   //!< XPBuffer capacity: 16 KB of 256 B XPLines [40]
+    unsigned media_slots = 8;    //!< concurrent media writes (2 DIMMs x 4 WPQ slots)
+
+    // eADR: flush *stalls* disappear (the cache is persistent) but PM
+    // write traffic still drains through the same media, so dirty
+    // lines cost a little, more if random (§6.7: NVAlloc keeps its
+    // advantage on eADR through fewer accesses and better locality).
+    uint64_t eadr_hit = 5;       //!< write into a buffered XPLine
+    uint64_t eadr_seq = 25;      //!< sequential writeback
+    uint64_t eadr_random = 60;   //!< random writeback
+
+    uint64_t read_miss = 0;      //!< PM reads are not modeled
+};
+
+/** Mapping a TimeKind for a flush; see VClock. */
+struct FlushClassCounts
+{
+    uint64_t total = 0;
+    uint64_t reflush = 0;
+    uint64_t sequential = 0;
+    uint64_t random = 0;
+    uint64_t xpline_hit = 0;
+    uint64_t fences = 0;
+};
+
+class LatencyModel
+{
+  public:
+    explicit LatencyModel(LatencyParams params = {});
+
+    /** Charge one 64 B cache-line flush at heap offset `line` (already
+     *  line-aligned), attributed to `kind`. */
+    void onFlush(uint64_t line, TimeKind kind);
+
+    void onFence();
+
+    /** Switch eADR emulation on or off (also resets history). */
+    void setEadr(bool on);
+    bool eadr() const { return eadr_; }
+
+    const LatencyParams &params() const { return params_; }
+    void setParams(const LatencyParams &p) { params_ = p; }
+
+    /** Zero counters and invalidate all per-thread history. */
+    void reset();
+
+    FlushClassCounts counts() const;
+
+    /** Begin recording flush offsets (for the Fig. 2 scatter). */
+    void startTrace(size_t max_entries);
+    std::vector<uint64_t> stopTrace();
+
+    struct ThreadState;
+
+  private:
+    ThreadState &threadState();
+    void chargeMedia(uint64_t line, ThreadState &ts, TimeKind kind);
+
+    LatencyParams params_;
+    bool eadr_ = false;
+
+    std::atomic<uint64_t> generation_{1};
+
+    std::atomic<uint64_t> n_total_{0};
+    std::atomic<uint64_t> n_reflush_{0};
+    std::atomic<uint64_t> n_seq_{0};
+    std::atomic<uint64_t> n_random_{0};
+    std::atomic<uint64_t> n_hit_{0};
+    std::atomic<uint64_t> n_fence_{0};
+
+    // Shared media bandwidth (XPBuffer drain ports): a windowed
+    // capacity server with `media_slots` parallel units.
+    VServer media_;
+
+    // Optional flush-address trace.
+    std::mutex trace_mutex_;
+    bool tracing_ = false;
+    size_t trace_cap_ = 0;
+    std::vector<uint64_t> trace_;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_PM_LATENCY_MODEL_H

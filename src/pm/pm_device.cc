@@ -1,0 +1,171 @@
+#include "pm/pm_device.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/size_classes.h"
+
+namespace nvalloc {
+
+namespace {
+
+char *
+mapAnonymous(size_t bytes)
+{
+    void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED)
+        NV_FATAL("cannot reserve emulated PM region");
+    return static_cast<char *>(p);
+}
+
+uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+PmDevice::PmDevice(PmDeviceConfig cfg)
+    : cfg_(cfg), model_(cfg.latency)
+{
+    cfg_.size = alignUp(cfg_.size, kRegionAlign);
+    base_ = mapAnonymous(cfg_.size);
+    if (cfg_.shadow)
+        shadow_ = mapAnonymous(cfg_.size);
+}
+
+PmDevice::~PmDevice()
+{
+    ::munmap(base_, cfg_.size);
+    if (shadow_)
+        ::munmap(shadow_, cfg_.size);
+}
+
+uint64_t
+PmDevice::mapRegion(size_t bytes)
+{
+    bytes = alignUp(bytes, kRegionAlign);
+    std::lock_guard<std::mutex> g(region_mutex_);
+
+    // First fit from the recycled regions, splitting oversized holes.
+    for (auto it = free_regions_.begin(); it != free_regions_.end(); ++it) {
+        if (it->second >= bytes) {
+            uint64_t off = it->first;
+            size_t rest = it->second - bytes;
+            free_regions_.erase(it);
+            if (rest)
+                free_regions_.emplace(off + bytes, rest);
+            mapped_bytes_ += bytes;
+            addCommitted(bytes);
+            return off;
+        }
+    }
+
+    uint64_t off = bump_;
+    if (off + bytes > cfg_.size)
+        NV_FATAL("emulated PM device exhausted");
+    bump_ += bytes;
+    high_water_ = bump_;
+    mapped_bytes_ += bytes;
+    addCommitted(bytes);
+    return off;
+}
+
+void
+PmDevice::unmapRegion(uint64_t offset, size_t bytes)
+{
+    bytes = alignUp(bytes, kRegionAlign);
+    NV_ASSERT(offset % kRegionAlign == 0 && offset + bytes <= cfg_.size);
+
+    // Release physical pages; contents must read back as zero if the
+    // range is recycled, matching a fresh mmap of a punched hole.
+    ::madvise(base_ + offset, bytes, MADV_DONTNEED);
+    if (shadow_)
+        ::madvise(shadow_ + offset, bytes, MADV_DONTNEED);
+
+    std::lock_guard<std::mutex> g(region_mutex_);
+    mapped_bytes_ -= bytes;
+    committed_bytes_ -= bytes;
+
+    // Coalesce with neighbours to keep the hole list small.
+    auto [it, inserted] = free_regions_.emplace(offset, bytes);
+    NV_ASSERT(inserted);
+    if (it != free_regions_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            free_regions_.erase(it);
+            it = prev;
+        }
+    }
+    auto next = std::next(it);
+    if (next != free_regions_.end() &&
+        it->first + it->second == next->first) {
+        it->second += next->second;
+        free_regions_.erase(next);
+    }
+}
+
+void
+PmDevice::persist(const void *addr, size_t len, TimeKind kind)
+{
+    if (len == 0)
+        return;
+    uint64_t first = offsetOf(addr) & ~uint64_t{kCacheLine - 1};
+    uint64_t last = (offsetOf(addr) + len - 1) & ~uint64_t{kCacheLine - 1};
+    for (uint64_t line = first; line <= last; line += kCacheLine) {
+        model_.onFlush(line, kind);
+        if (shadow_)
+            std::memcpy(shadow_ + line, base_ + line, kCacheLine);
+    }
+}
+
+void
+PmDevice::flushLine(const void *addr, TimeKind kind)
+{
+    uint64_t line = offsetOf(addr) & ~uint64_t{kCacheLine - 1};
+    model_.onFlush(line, kind);
+    if (shadow_)
+        std::memcpy(shadow_ + line, base_ + line, kCacheLine);
+}
+
+void
+PmDevice::addCommitted(size_t bytes)
+{
+    committed_bytes_ += bytes;
+    if (committed_bytes_ > peak_committed_)
+        peak_committed_ = committed_bytes_;
+}
+
+void
+PmDevice::decommit(uint64_t offset, size_t bytes)
+{
+    ::madvise(base_ + offset, bytes, MADV_DONTNEED);
+    if (shadow_)
+        ::madvise(shadow_ + offset, bytes, MADV_DONTNEED);
+    std::lock_guard<std::mutex> g(region_mutex_);
+    committed_bytes_ -= bytes;
+}
+
+void
+PmDevice::recommit(uint64_t offset, size_t bytes)
+{
+    (void)offset; // pages fault back in on first touch, already zeroed
+    std::lock_guard<std::mutex> g(region_mutex_);
+    addCommitted(bytes);
+}
+
+void
+PmDevice::crash()
+{
+    NV_ASSERT(shadow_ != nullptr);
+    // Roll the working image back to the last persisted state. Only
+    // the range ever handed out can contain data.
+    std::memcpy(base_, shadow_, high_water_);
+}
+
+} // namespace nvalloc

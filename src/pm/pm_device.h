@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Emulated persistent memory device.
+ *
+ * Stands in for an Intel Optane DIMM exposed through an Ext4-DAX heap
+ * file. The device is one large virtual region; allocators carve
+ * "mapped regions" out of it (the analogue of mmap-ing segments of the
+ * heap file), write to it with ordinary stores, and make stores
+ * durable with persist()/fence(), which are routed through the
+ * LatencyModel for cost accounting.
+ *
+ * Crash simulation: with the shadow enabled, the device keeps a second
+ * image that only receives data on persist(). crash() replaces the
+ * working image with the shadow, which discards every store that was
+ * never explicitly flushed — exactly the state a power cut leaves in
+ * ADR hardware (CPU caches lost, DIMM contents kept). Recovery code is
+ * tested against these torn states.
+ *
+ * The device outlives allocator instances: destroying an allocator and
+ * re-attaching a new one to the same device emulates a process restart
+ * over the same heap file.
+ */
+
+#ifndef NVALLOC_PM_PM_DEVICE_H
+#define NVALLOC_PM_PM_DEVICE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "pm/latency_model.h"
+
+namespace nvalloc {
+
+struct PmDeviceConfig
+{
+    size_t size = size_t{8} << 30;  //!< virtual size (NORESERVE)
+    bool shadow = false;            //!< enable crash simulation
+    LatencyParams latency{};
+};
+
+class PmDevice
+{
+  public:
+    /** Space reserved at offset 0 for an allocator's superblock. */
+    static constexpr size_t kRootSize = 4096;
+    /** Region grain; every mapRegion result is aligned to this. */
+    static constexpr size_t kRegionAlign = 64 * 1024;
+
+    explicit PmDevice(PmDeviceConfig cfg = {});
+    ~PmDevice();
+
+    PmDevice(const PmDevice &) = delete;
+    PmDevice &operator=(const PmDevice &) = delete;
+
+    char *base() const { return base_; }
+    size_t size() const { return cfg_.size; }
+
+    uint64_t
+    offsetOf(const void *p) const
+    {
+        return static_cast<uint64_t>(
+            static_cast<const char *>(p) - base_);
+    }
+
+    void *
+    at(uint64_t offset) const
+    {
+        return base_ + offset;
+    }
+
+    /** True if p points into this device's region. */
+    bool
+    contains(const void *p) const
+    {
+        auto *c = static_cast<const char *>(p);
+        return c >= base_ && c < base_ + cfg_.size;
+    }
+
+    /** First kRootSize bytes; allocators anchor their persistent
+     *  superblock here so recovery can find it. */
+    void *root() const { return base_; }
+
+    /**
+     * Carve a zeroed region of `bytes` (rounded up to kRegionAlign)
+     * out of the device — the analogue of extending/mmap-ing the heap
+     * file. Returns the region's offset.
+     */
+    uint64_t mapRegion(size_t bytes);
+
+    /**
+     * Return a region to the device (analogue of munmap +
+     * fallocate(PUNCH_HOLE)): the physical pages are released and the
+     * range becomes reusable by later mapRegion calls. Contents are
+     * zero if re-mapped.
+     */
+    void unmapRegion(uint64_t offset, size_t bytes);
+
+    /**
+     * Release the physical pages of a still-mapped range (analogue of
+     * madvise(MADV_DONTNEED) on a DAX mapping): the offsets stay valid
+     * but contents are lost and the bytes stop counting as consumed.
+     * Models the "retained" extent state of the decay mechanism.
+     */
+    void decommit(uint64_t offset, size_t bytes);
+
+    /** Re-acquire physical pages for a decommitted range (zeroed). */
+    void recommit(uint64_t offset, size_t bytes);
+
+    /** Bytes currently mapped (virtual reservation). */
+    size_t mappedBytes() const { return mapped_bytes_; }
+
+    /** Bytes currently consuming physical persistent memory; this is
+     *  what the paper's space-consumption figures measure. */
+    size_t committedBytes() const { return committed_bytes_; }
+    size_t peakCommittedBytes() const { return peak_committed_; }
+    void resetPeak() { peak_committed_ = committed_bytes_; }
+
+    /** Flush every cache line overlapping [addr, addr+len). */
+    void persist(const void *addr, size_t len, TimeKind kind);
+
+    /** Flush a single line containing `addr`. */
+    void flushLine(const void *addr, TimeKind kind);
+
+    void fence() { model_.onFence(); }
+
+    /**
+     * Charge the latency of a PM read that misses the CPU cache (e.g.
+     * chasing an embedded free-list pointer, as Makalu/Ralloc do).
+     * Reads are not tracked per line — callers invoke this exactly
+     * where their access pattern defeats the cache.
+     */
+    void
+    chargeRead(bool sequential)
+    {
+        VClock::advance(sequential ? 100 : 300, TimeKind::PmRead);
+    }
+
+    /** persist + fence in one call. */
+    void
+    persistFence(const void *addr, size_t len, TimeKind kind)
+    {
+        persist(addr, len, kind);
+        fence();
+    }
+
+    bool shadowEnabled() const { return shadow_ != nullptr; }
+
+    /**
+     * Simulate a power failure: discard all stores that were never
+     * persisted. Region bookkeeping is untouched (the heap file keeps
+     * its length); only byte contents roll back. Requires shadow mode.
+     */
+    void crash();
+
+    LatencyModel &model() { return model_; }
+    const LatencyModel &model() const { return model_; }
+
+    /** Statistics shortcut. */
+    FlushClassCounts flushCounts() const { return model_.counts(); }
+
+  private:
+    PmDeviceConfig cfg_;
+    char *base_ = nullptr;
+    char *shadow_ = nullptr;
+    LatencyModel model_;
+
+    std::mutex region_mutex_;
+    uint64_t bump_ = kRegionAlign;     // offset 0 holds the root area
+    uint64_t high_water_ = kRegionAlign;
+    std::map<uint64_t, size_t> free_regions_; // offset -> size
+    size_t mapped_bytes_ = 0;
+    size_t committed_bytes_ = 0;
+    size_t peak_committed_ = 0;
+
+    void addCommitted(size_t bytes);
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_PM_PM_DEVICE_H

@@ -1,0 +1,182 @@
+#include "workloads/harness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "baselines/makalu_alloc.h"
+#include "baselines/nvalloc_adapter.h"
+#include "baselines/nvm_malloc_alloc.h"
+#include "baselines/pallocator.h"
+#include "baselines/pmdk_alloc.h"
+#include "baselines/ralloc_alloc.h"
+
+namespace nvalloc {
+
+std::vector<AllocKind>
+strongGroup()
+{
+    return {AllocKind::Pmdk, AllocKind::NvmMalloc, AllocKind::PAllocator,
+            AllocKind::NvAllocLog};
+}
+
+std::vector<AllocKind>
+weakGroup()
+{
+    return {AllocKind::Makalu, AllocKind::Ralloc, AllocKind::NvAllocGc};
+}
+
+const char *
+allocName(AllocKind kind)
+{
+    switch (kind) {
+      case AllocKind::Pmdk: return "PMDK";
+      case AllocKind::NvmMalloc: return "nvm_malloc";
+      case AllocKind::PAllocator: return "PAllocator";
+      case AllocKind::Makalu: return "Makalu";
+      case AllocKind::Ralloc: return "Ralloc";
+      case AllocKind::NvAllocLog: return "NVAlloc-LOG";
+      case AllocKind::NvAllocGc: return "NVAlloc-GC";
+    }
+    return "?";
+}
+
+std::unique_ptr<PmDevice>
+makeBenchDevice(size_t size)
+{
+    PmDeviceConfig cfg;
+    cfg.size = size;
+    return std::make_unique<PmDevice>(cfg);
+}
+
+std::unique_ptr<PmAllocator>
+makeAllocator(AllocKind kind, PmDevice &dev, const MakeOptions &opts)
+{
+    if (opts.eadr)
+        dev.model().setEadr(true);
+
+    bool flush = opts.flush_enabled;
+    switch (kind) {
+      case AllocKind::Pmdk:
+        return std::make_unique<PmdkAlloc>(dev, flush);
+      case AllocKind::NvmMalloc:
+        return std::make_unique<NvmMallocAlloc>(dev, flush);
+      case AllocKind::PAllocator:
+        return std::make_unique<PalAllocator>(dev, flush);
+      case AllocKind::Makalu:
+        return std::make_unique<MakaluAlloc>(dev, flush);
+      case AllocKind::Ralloc:
+        return std::make_unique<RallocAlloc>(dev, flush);
+      case AllocKind::NvAllocLog:
+      case AllocKind::NvAllocGc: {
+        NvAllocConfig cfg;
+        cfg.consistency = kind == AllocKind::NvAllocLog
+                              ? Consistency::Log
+                              : Consistency::Gc;
+        cfg.flush_enabled = flush;
+        if (opts.eadr) {
+            // pmem_has_auto_flush() detected eADR: interleaving is
+            // disabled because it only spreads cache pressure (§6.7).
+            cfg.interleaved_bitmap = false;
+            cfg.interleaved_tcache = false;
+            cfg.interleaved_wal = false;
+            cfg.interleaved_log = false;
+        }
+        if (opts.tweak_nvalloc)
+            opts.tweak_nvalloc(cfg);
+        return std::make_unique<NvAllocAdapter>(dev, cfg);
+      }
+    }
+    return nullptr;
+}
+
+RunResult
+runWorkers(unsigned threads, VtimeEpoch &epoch,
+           const std::function<uint64_t(unsigned tid)> &body)
+{
+    struct PerThread
+    {
+        uint64_t ops = 0;
+        uint64_t elapsed = 0;
+        std::array<uint64_t, kNumTimeKinds> kinds{};
+    };
+    std::vector<PerThread> results(threads);
+
+    // Every worker of a phase starts at the same virtual instant; a
+    // worker that queues on virtual-time resources shows the full
+    // serialized time relative to this shared base.
+    const uint64_t phase_base = epoch.base();
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        workers.emplace_back([&, tid] {
+            VClock::reset();
+            VClock::setNow(phase_base);
+            auto kinds0 = VClock::snapshot();
+
+            results[tid].ops = body(tid);
+
+            results[tid].elapsed = VClock::now() - phase_base;
+            auto kinds1 = VClock::snapshot();
+            for (unsigned k = 0; k < kNumTimeKinds; ++k)
+                results[tid].kinds[k] = kinds1[k] - kinds0[k];
+            epoch.observe(VClock::now());
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    RunResult out;
+    for (const PerThread &r : results) {
+        out.total_ops += r.ops;
+        if (r.elapsed > out.makespan_ns)
+            out.makespan_ns = r.elapsed;
+        for (unsigned k = 0; k < kNumTimeKinds; ++k)
+            out.breakdown[k] += r.kinds[k];
+    }
+    return out;
+}
+
+std::vector<unsigned>
+benchThreadCounts(bool quick)
+{
+    if (quick)
+        return {1, 4, 16};
+    return {1, 2, 4, 8, 16, 32, 64};
+}
+
+BenchArgs
+BenchArgs::parse(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            args.quick = true;
+        else if (std::strncmp(argv[i], "--seed=", 7) == 0)
+            args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+    return args;
+}
+
+void
+printSeriesHeader(const char *figure, const char *ylabel,
+                  const std::vector<unsigned> &threads)
+{
+    std::printf("## %s — %s\n", figure, ylabel);
+    std::printf("%-14s", "allocator");
+    for (unsigned t : threads)
+        std::printf(" %10u", t);
+    std::printf("\n");
+}
+
+void
+printSeriesRow(const char *name, const std::vector<double> &values)
+{
+    std::printf("%-14s", name);
+    for (double v : values)
+        std::printf(" %10.3f", v);
+    std::printf("\n");
+}
+
+} // namespace nvalloc

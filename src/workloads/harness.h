@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Benchmark harness: allocator factory, virtual-time thread runner,
+ * and the table/series printers used by every bench binary.
+ *
+ * Throughput methodology: each worker thread starts its virtual clock
+ * at the latest virtual time any earlier worker of the same run
+ * context reached (so virtual-time locks and media slots carry over),
+ * executes the workload, and reports its elapsed virtual nanoseconds.
+ * A phase's makespan is the maximum elapsed time across its workers;
+ * throughput is ops / makespan. This reproduces the paper's scaling
+ * curves deterministically on any host (see DESIGN.md §1).
+ */
+
+#ifndef NVALLOC_WORKLOADS_HARNESS_H
+#define NVALLOC_WORKLOADS_HARNESS_H
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/allocator_iface.h"
+#include "nvalloc/config.h"
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+/** Allocators under evaluation, by paper name. */
+enum class AllocKind
+{
+    Pmdk,
+    NvmMalloc,
+    PAllocator,
+    Makalu,
+    Ralloc,
+    NvAllocLog,
+    NvAllocGc,
+};
+
+/** The paper's two comparison groups (§6.1). */
+std::vector<AllocKind> strongGroup();
+std::vector<AllocKind> weakGroup();
+
+const char *allocName(AllocKind kind);
+
+struct MakeOptions
+{
+    bool flush_enabled = true; //!< false on the emulated eADR platform
+    bool eadr = false;         //!< put the device model in eADR mode
+    /** Overrides applied to NVAlloc variants only. */
+    std::function<void(NvAllocConfig &)> tweak_nvalloc;
+};
+
+/** Device size used by the benches. */
+std::unique_ptr<PmDevice> makeBenchDevice(size_t size = size_t{4} << 30);
+
+std::unique_ptr<PmAllocator> makeAllocator(AllocKind kind, PmDevice &dev,
+                                           const MakeOptions &opts = {});
+
+/** Carries virtual time across phases of one allocator's lifetime. */
+class VtimeEpoch
+{
+  public:
+    uint64_t base() const { return base_.load(); }
+
+    void
+    observe(uint64_t t)
+    {
+        uint64_t cur = base_.load(std::memory_order_relaxed);
+        while (t > cur &&
+               !base_.compare_exchange_weak(cur, t)) {
+        }
+    }
+
+  private:
+    std::atomic<uint64_t> base_{0};
+};
+
+struct RunResult
+{
+    uint64_t total_ops = 0;
+    uint64_t makespan_ns = 0;
+    std::array<uint64_t, kNumTimeKinds> breakdown{};
+
+    double
+    mops() const
+    {
+        return makespan_ns ? double(total_ops) * 1e3 / double(makespan_ns)
+                           : 0.0;
+    }
+};
+
+/**
+ * Run `threads` workers; each body returns its operation count. The
+ * harness manages clock continuity and aggregates the per-kind
+ * breakdown.
+ */
+RunResult runWorkers(unsigned threads, VtimeEpoch &epoch,
+                     const std::function<uint64_t(unsigned tid)> &body);
+
+/** Thread counts swept by the paper's figures. */
+std::vector<unsigned> benchThreadCounts(bool quick);
+
+/** Parse --quick / --threads=N style bench arguments. */
+struct BenchArgs
+{
+    bool quick = false;
+    uint64_t seed = 42;
+
+    static BenchArgs parse(int argc, char **argv);
+};
+
+/** Print one series row: "<name> t1 v1 t2 v2 ..." (figure format). */
+void printSeriesHeader(const char *figure, const char *ylabel,
+                       const std::vector<unsigned> &threads);
+void printSeriesRow(const char *name,
+                    const std::vector<double> &values);
+
+} // namespace nvalloc
+
+#endif // NVALLOC_WORKLOADS_HARNESS_H

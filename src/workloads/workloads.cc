@@ -1,0 +1,346 @@
+#include "workloads/workloads.h"
+
+#include <barrier>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace nvalloc {
+
+RunResult
+threadtest(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
+           unsigned iters, unsigned objs, size_t size)
+{
+    // The barrier makes every thread's allocation batch coexist, so
+    // peak-memory measurements see the concurrent footprint even on a
+    // single-core host. Real barrier waits do not advance virtual
+    // clocks, so throughput results are unaffected.
+    std::barrier<> sync{static_cast<std::ptrdiff_t>(threads)};
+    return runWorkers(threads, epoch, [&](unsigned) -> uint64_t {
+        AllocThread *t = alloc.threadAttach();
+        std::vector<uint64_t> offs(objs);
+        for (unsigned it = 0; it < iters; ++it) {
+            for (unsigned i = 0; i < objs; ++i)
+                offs[i] = alloc.allocTo(t, size, nullptr);
+            sync.arrive_and_wait();
+            for (unsigned i = 0; i < objs; ++i)
+                alloc.freeFrom(t, offs[i], nullptr);
+            sync.arrive_and_wait();
+        }
+        alloc.threadDetach(t);
+        return uint64_t(iters) * objs * 2;
+    });
+}
+
+namespace {
+
+/** Bounded queue for producer/consumer pairs. */
+class OffsetQueue
+{
+  public:
+    explicit OffsetQueue(size_t cap) : cap_(cap) {}
+
+    void
+    push(uint64_t off)
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        not_full_.wait(lk, [&] { return q_.size() < cap_; });
+        q_.push_back(off);
+        not_empty_.notify_one();
+    }
+
+    /** Returns false when the producer is done and the queue drained. */
+    bool
+    pop(uint64_t &off)
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        not_empty_.wait(lk, [&] { return !q_.empty() || done_; });
+        if (q_.empty())
+            return false;
+        off = q_.front();
+        q_.pop_front();
+        not_full_.notify_one();
+        return true;
+    }
+
+    void
+    finish()
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        done_ = true;
+        not_empty_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable not_full_, not_empty_;
+    std::deque<uint64_t> q_;
+    size_t cap_;
+    bool done_ = false;
+};
+
+} // namespace
+
+RunResult
+prodcon(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
+        uint64_t objs_per_pair, size_t size)
+{
+    if (threads < 2) {
+        // Degenerate single-thread case: produce and consume locally.
+        return runWorkers(1, epoch, [&](unsigned) -> uint64_t {
+            AllocThread *t = alloc.threadAttach();
+            for (uint64_t i = 0; i < objs_per_pair; ++i) {
+                uint64_t off = alloc.allocTo(t, size, nullptr);
+                alloc.freeFrom(t, off, nullptr);
+            }
+            alloc.threadDetach(t);
+            return objs_per_pair * 2;
+        });
+    }
+
+    unsigned pairs = threads / 2;
+    std::vector<std::unique_ptr<OffsetQueue>> queues;
+    for (unsigned p = 0; p < pairs; ++p)
+        queues.push_back(std::make_unique<OffsetQueue>(256));
+
+    return runWorkers(pairs * 2, epoch, [&](unsigned tid) -> uint64_t {
+        unsigned pair = tid / 2;
+        bool producer = (tid % 2) == 0;
+        AllocThread *t = alloc.threadAttach();
+        uint64_t ops = 0;
+        if (producer) {
+            for (uint64_t i = 0; i < objs_per_pair; ++i) {
+                queues[pair]->push(alloc.allocTo(t, size, nullptr));
+                ++ops;
+            }
+            queues[pair]->finish();
+        } else {
+            uint64_t off;
+            while (queues[pair]->pop(off)) {
+                alloc.freeFrom(t, off, nullptr); // cross-thread free
+                ++ops;
+            }
+        }
+        alloc.threadDetach(t);
+        return ops;
+    });
+}
+
+RunResult
+shbench(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
+        unsigned iters, uint64_t seed)
+{
+    return runWorkers(threads, epoch, [&](unsigned tid) -> uint64_t {
+        AllocThread *t = alloc.threadAttach();
+        Rng rng(seed * 977 + tid);
+        std::vector<uint64_t> pool;
+        uint64_t ops = 0;
+        for (unsigned it = 0; it < iters; ++it) {
+            // Smaller sizes dominate: geometric pick over 64..1000 B.
+            size_t size = 64;
+            while (size < 1000 && rng.nextDouble() < 0.5)
+                size = size * 2;
+            if (size > 1000)
+                size = 1000;
+            pool.push_back(alloc.allocTo(t, size, nullptr));
+            ++ops;
+
+            // Short lifetimes for small objects: free with probability
+            // inversely tied to size, plus pool-pressure frees.
+            while (pool.size() > 64 ||
+                   (!pool.empty() && rng.nextDouble() < 0.45)) {
+                size_t pick = rng.nextBounded(pool.size());
+                alloc.freeFrom(t, pool[pick], nullptr);
+                pool[pick] = pool.back();
+                pool.pop_back();
+                ++ops;
+            }
+        }
+        for (uint64_t off : pool)
+            alloc.freeFrom(t, off, nullptr);
+        alloc.threadDetach(t);
+        return ops;
+    });
+}
+
+RunResult
+larson(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
+       size_t min_size, size_t max_size, unsigned slots, unsigned rounds,
+       unsigned ops_per_round, uint64_t seed)
+{
+    // The slot array is shared by all threads (the defining Larson
+    // property: "some objects allocated by one thread are freed by
+    // another"); a worker atomically swaps its new allocation into a
+    // random slot and frees whatever was there — usually a block some
+    // other thread allocated.
+    std::vector<std::atomic<uint64_t>> shared(size_t(slots) * threads);
+    for (auto &s : shared)
+        s.store(0, std::memory_order_relaxed);
+
+    RunResult r = runWorkers(threads, epoch, [&](unsigned tid) -> uint64_t {
+        Rng rng(seed * 31 + tid);
+        uint64_t ops = 0;
+        AllocThread *t = alloc.threadAttach();
+        for (unsigned round = 0; round < rounds; ++round) {
+            for (unsigned i = 0; i < ops_per_round; ++i) {
+                size_t size = rng.uniform(min_size, max_size);
+                uint64_t fresh = alloc.allocTo(t, size, nullptr);
+                ++ops;
+                size_t s = rng.nextBounded(shared.size());
+                uint64_t old = shared[s].exchange(fresh);
+                if (old) {
+                    alloc.freeFrom(t, old, nullptr); // cross-thread
+                    ++ops;
+                }
+            }
+            // Thread churn: a successor thread takes over.
+            alloc.threadDetach(t);
+            t = alloc.threadAttach();
+        }
+        alloc.threadDetach(t);
+        return ops;
+    });
+
+    // Drain the surviving objects (not part of the measurement).
+    AllocThread *t = alloc.threadAttach();
+    for (auto &s : shared) {
+        uint64_t off = s.load(std::memory_order_relaxed);
+        if (off)
+            alloc.freeFrom(t, off, nullptr);
+    }
+    alloc.threadDetach(t);
+    return r;
+}
+
+RunResult
+dbmstest(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
+         unsigned iters, unsigned objs, uint64_t seed)
+{
+    // Barrier between the allocate and delete halves of an iteration:
+    // all threads' batches are live simultaneously (see threadtest).
+    std::barrier<> sync{static_cast<std::ptrdiff_t>(threads)};
+    return runWorkers(threads, epoch, [&](unsigned tid) -> uint64_t {
+        AllocThread *t = alloc.threadAttach();
+        Rng rng(seed * 131 + tid);
+        std::vector<uint64_t> survivors;
+        uint64_t ops = 0;
+        for (unsigned it = 0; it < iters; ++it) {
+            std::vector<uint64_t> batch;
+            for (unsigned i = 0; i < objs; ++i) {
+                // Truncated Poisson over 32 KB .. 512 KB.
+                uint64_t steps = rng.poisson(6.5);
+                size_t size = (1 + (steps > 15 ? 15 : steps)) * 32 * 1024;
+                batch.push_back(alloc.allocTo(t, size, nullptr));
+                ++ops;
+            }
+            sync.arrive_and_wait();
+            // Randomly delete 90%.
+            for (uint64_t off : batch) {
+                if (rng.nextDouble() < 0.9) {
+                    alloc.freeFrom(t, off, nullptr);
+                    ++ops;
+                } else {
+                    survivors.push_back(off);
+                }
+            }
+            sync.arrive_and_wait();
+        }
+        for (uint64_t off : survivors)
+            alloc.freeFrom(t, off, nullptr);
+        alloc.threadDetach(t);
+        return ops;
+    });
+}
+
+const FragWorkload *
+fragWorkloads()
+{
+    // Table 1 of the paper.
+    static const FragWorkload kTable[kNumFragWorkloads] = {
+        {"W1", {100, 100}, 0.9, {130, 130}},
+        {"W2", {100, 150}, 0.0, {200, 250}},
+        {"W3", {100, 150}, 0.9, {200, 250}},
+        {"W4", {100, 200}, 0.5, {1000, 2000}},
+    };
+    return kTable;
+}
+
+FragResult
+fragbench(PmAllocator &alloc, VtimeEpoch &epoch, const FragWorkload &w,
+          size_t total_alloc, size_t live_cap, uint64_t seed,
+          const std::function<void()> &at_peak)
+{
+    FragResult result;
+    alloc.device().resetPeak();
+
+    struct Obj
+    {
+        uint64_t off;
+        uint32_t size;
+    };
+    std::vector<Obj> live;
+    uint64_t live_bytes = 0;
+
+    result.run = runWorkers(1, epoch, [&](unsigned) -> uint64_t {
+        AllocThread *t = alloc.threadAttach();
+        Rng rng(seed);
+        uint64_t ops = 0;
+
+        auto phase = [&](const FragPhaseDist &dist) {
+            uint64_t allocated = 0;
+            while (allocated < total_alloc) {
+                size_t size = dist.lo == dist.hi
+                                  ? dist.lo
+                                  : rng.uniform(dist.lo, dist.hi);
+                while (live_bytes + size > live_cap && !live.empty()) {
+                    size_t pick = rng.nextBounded(live.size());
+                    alloc.freeFrom(t, live[pick].off, nullptr);
+                    live_bytes -= live[pick].size;
+                    live[pick] = live.back();
+                    live.pop_back();
+                    ++ops;
+                }
+                uint64_t off = alloc.allocTo(t, size, nullptr);
+                live.push_back({off, uint32_t(size)});
+                live_bytes += size;
+                allocated += size;
+                ++ops;
+            }
+        };
+
+        phase(w.before);
+
+        // Delete phase: drop delete_ratio of the live objects.
+        uint64_t target = uint64_t(double(live.size()) * w.delete_ratio);
+        for (uint64_t i = 0; i < target && !live.empty(); ++i) {
+            size_t pick = rng.nextBounded(live.size());
+            alloc.freeFrom(t, live[pick].off, nullptr);
+            live_bytes -= live[pick].size;
+            live[pick] = live.back();
+            live.pop_back();
+            ++ops;
+        }
+
+        phase(w.after);
+
+        // Observation point for slab-utilization reporting: the end
+        // of the After phase, before teardown (Fig. 15b).
+        if (at_peak)
+            at_peak();
+
+        for (const Obj &o : live)
+            alloc.freeFrom(t, o.off, nullptr);
+        result.live_bytes = live_bytes;
+        alloc.threadDetach(t);
+        return ops;
+    });
+
+    result.peak_bytes = alloc.device().peakCommittedBytes();
+    return result;
+}
+
+} // namespace nvalloc

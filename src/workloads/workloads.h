@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The six benchmark workloads of the paper's evaluation (§6.2, §6.4),
+ * reimplemented against the PmAllocator interface.
+ *
+ * Parameters are scaled down from the paper (which ran minutes-long
+ * traces on a 40-core machine) but keep every structural property:
+ * allocation-size distributions, free patterns, thread interaction
+ * (producer/consumer pairs, cross-thread frees, thread churn), and
+ * the Fragbench phase structure of Table 1.
+ */
+
+#ifndef NVALLOC_WORKLOADS_WORKLOADS_H
+#define NVALLOC_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <functional>
+
+#include "workloads/harness.h"
+
+namespace nvalloc {
+
+/**
+ * Threadtest [Hoard]: each thread runs `iters` iterations; per
+ * iteration it allocates `objs` objects of `size` bytes and then
+ * frees all of them. Fixed-size allocation, no cross-thread frees.
+ */
+RunResult threadtest(PmAllocator &alloc, VtimeEpoch &epoch,
+                     unsigned threads, unsigned iters, unsigned objs,
+                     size_t size);
+
+/**
+ * Prod-con [Hoard/Schneider]: threads form pairs; the producer
+ * allocates `objs_per_pair` objects of `size` bytes, the consumer
+ * frees them (every free is a cross-thread free). With one thread the
+ * single thread plays both roles.
+ */
+RunResult prodcon(PmAllocator &alloc, VtimeEpoch &epoch,
+                  unsigned threads, uint64_t objs_per_pair, size_t size);
+
+/**
+ * Shbench [MicroQuill]: a stress test mixing allocation sizes from
+ * 64 B to 1000 B where smaller objects are allocated and freed more
+ * frequently, with random lifetimes.
+ */
+RunResult shbench(PmAllocator &alloc, VtimeEpoch &epoch,
+                  unsigned threads, unsigned iters, uint64_t seed);
+
+/**
+ * Larson [Larson & Krishnan]: each thread owns a slot array of live
+ * objects and repeatedly frees a random slot and reallocates it with
+ * a random size in [min_size, max_size]. After each round the thread
+ * "hands over" to a fresh thread (modeled by re-attaching), which
+ * inherits the remaining objects — so frees hit objects allocated by
+ * a predecessor.
+ */
+RunResult larson(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
+                 size_t min_size, size_t max_size, unsigned slots,
+                 unsigned rounds, unsigned ops_per_round, uint64_t seed);
+
+/**
+ * DBMStest [Durner et al.]: each thread per iteration allocates `objs`
+ * large objects with sizes following a (truncated) Poisson
+ * distribution between 32 KB and 512 KB, then deletes a random 90% of
+ * them; the survivors accumulate across iterations.
+ */
+RunResult dbmstest(PmAllocator &alloc, VtimeEpoch &epoch,
+                   unsigned threads, unsigned iters, unsigned objs,
+                   uint64_t seed);
+
+// ---- Fragbench (Table 1, §3.2, §6.4) --------------------------------
+
+struct FragPhaseDist
+{
+    size_t lo = 0; //!< uniform size range; lo == hi means fixed
+    size_t hi = 0;
+};
+
+struct FragWorkload
+{
+    const char *name;
+    FragPhaseDist before;
+    double delete_ratio; //!< fraction deleted in the Delete phase
+    FragPhaseDist after;
+};
+
+/** W1-W4 of Table 1. */
+const FragWorkload *fragWorkloads();
+constexpr unsigned kNumFragWorkloads = 4;
+
+struct FragResult
+{
+    size_t peak_bytes = 0;     //!< peak committed PM during the run
+    size_t live_bytes = 0;     //!< live data at the end (~live cap)
+    RunResult run;
+};
+
+/**
+ * Run one Fragbench workload: Before allocates `total_alloc` bytes of
+ * objects from the before-distribution keeping at most `live_cap`
+ * bytes live (random deletes); Delete drops `delete_ratio` of the
+ * live objects; After repeats the allocation with the
+ * after-distribution (paper: 5 GB allocated, 1 GB live; scaled).
+ */
+FragResult fragbench(PmAllocator &alloc, VtimeEpoch &epoch,
+                     const FragWorkload &w, size_t total_alloc,
+                     size_t live_cap, uint64_t seed,
+                     const std::function<void()> &at_peak = nullptr);
+
+} // namespace nvalloc
+
+#endif // NVALLOC_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests of the paper-style C API veneer (nvalloc_init /
+ * nvalloc_malloc_to / nvalloc_free_from / nvalloc_exit), including
+ * implicit per-thread contexts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "nvalloc/nvalloc.h"
+#include "nvalloc/nvalloc_c.h"
+
+namespace nvalloc {
+namespace {
+
+TEST(CApi, InitMallocFreeExit)
+{
+    PmDevice dev;
+    NvInstance *inst = nvalloc_init(&dev);
+    uint64_t *root = nvalloc_root(inst, 0);
+
+    void *p = nvalloc_malloc_to(inst, 128, root);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NE(*root, 0u);
+    std::memset(p, 0x3c, 128);
+
+    nvalloc_free_from(inst, root);
+    EXPECT_EQ(*root, 0u);
+    nvalloc_exit(inst);
+}
+
+TEST(CApi, GcVariantOption)
+{
+    PmDevice dev;
+    NvAllocOptions opts;
+    opts.gc_variant = true;
+    NvInstance *inst = nvalloc_init(&dev, &opts);
+    EXPECT_EQ(nvalloc_impl(inst)->config().consistency,
+              Consistency::Gc);
+    nvalloc_exit(inst);
+}
+
+TEST(CApi, ImplicitThreadContexts)
+{
+    PmDevice dev;
+    NvInstance *inst = nvalloc_init(&dev);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            std::vector<uint64_t> words(50, 0);
+            for (auto &w : words)
+                ASSERT_NE(nvalloc_malloc_to(inst, 64, &w), nullptr);
+            for (auto &w : words)
+                nvalloc_free_from(inst, &w);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    nvalloc_exit(inst);
+}
+
+} // namespace
+} // namespace nvalloc

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * FPTree correctness tests: ordered-map semantics under inserts,
+ * deletes, lookups, splits across multiple levels, and concurrent
+ * mixed workloads — on top of both NVAlloc variants and a baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "baselines/nvalloc_adapter.h"
+#include "baselines/pmdk_alloc.h"
+#include "common/rng.h"
+#include "fptree/fptree.h"
+
+namespace nvalloc {
+namespace {
+
+TEST(FpTree, InsertLookupEraseSmoke)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{1} << 29;
+    PmDevice dev(dcfg);
+    NvAllocAdapter alloc(dev);
+    FpTree tree(alloc);
+    AllocThread *t = alloc.threadAttach();
+
+    EXPECT_TRUE(tree.insert(t, 42, 1000));
+    EXPECT_FALSE(tree.insert(t, 42, 1001)) << "duplicate must fail";
+    uint64_t v = 0;
+    EXPECT_TRUE(tree.lookup(42, v));
+    EXPECT_EQ(v, 1000u);
+    EXPECT_TRUE(tree.erase(t, 42));
+    EXPECT_FALSE(tree.erase(t, 42));
+    EXPECT_FALSE(tree.lookup(42, v));
+    alloc.threadDetach(t);
+}
+
+TEST(FpTree, SplitsAcrossLevelsMatchStdMap)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{1} << 30;
+    PmDevice dev(dcfg);
+    NvAllocAdapter alloc(dev);
+    FpTree tree(alloc);
+    AllocThread *t = alloc.threadAttach();
+
+    // Enough keys to force multi-level inner splits (64-way fanout,
+    // 64-entry leaves -> 20k keys gives a 3-level tree).
+    std::map<uint64_t, uint64_t> model;
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t key = rng.next();
+        uint64_t val = rng.next();
+        bool inserted = tree.insert(t, key, val);
+        bool expected = model.emplace(key, val).second;
+        ASSERT_EQ(inserted, expected) << i;
+    }
+    EXPECT_EQ(tree.size(), model.size());
+
+    Rng probe(7);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t key = probe.next();
+        uint64_t expect_val = probe.next();
+        uint64_t v = 0;
+        ASSERT_TRUE(tree.lookup(key, v)) << i;
+        if (model.at(key) == expect_val) {
+            ASSERT_EQ(v, expect_val);
+        }
+    }
+
+    // Erase half, verify membership matches the model.
+    Rng eraser(7);
+    int removed = 0;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t key = eraser.next();
+        eraser.next();
+        if (i % 2 == 0) {
+            bool erased = tree.erase(t, key);
+            bool expected = model.erase(key) > 0;
+            ASSERT_EQ(erased, expected);
+            removed += erased ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(tree.size(), model.size());
+    for (const auto &[key, val] : model) {
+        uint64_t v = 0;
+        ASSERT_TRUE(tree.lookup(key, v));
+        ASSERT_EQ(v, val);
+    }
+    alloc.threadDetach(t);
+}
+
+TEST(FpTree, WorksOnBaselineAllocators)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{1} << 29;
+    PmDevice dev(dcfg);
+    PmdkAlloc alloc(dev);
+    FpTree tree(alloc);
+    AllocThread *t = alloc.threadAttach();
+    for (uint64_t k = 0; k < 2000; ++k)
+        ASSERT_TRUE(tree.insert(t, k * 3, k));
+    uint64_t v;
+    for (uint64_t k = 0; k < 2000; ++k) {
+        ASSERT_TRUE(tree.lookup(k * 3, v));
+        ASSERT_EQ(v, k);
+    }
+    alloc.threadDetach(t);
+}
+
+TEST(FpTree, ConcurrentMixedOps)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{1} << 30;
+    PmDevice dev(dcfg);
+    NvAllocAdapter alloc(dev);
+    FpTree tree(alloc);
+
+    constexpr unsigned kThreads = 4;
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+        workers.emplace_back([&, tid] {
+            AllocThread *t = alloc.threadAttach();
+            Rng rng(tid + 100);
+            // Disjoint key ranges; 50/50 insert/delete as in §6.3.
+            uint64_t base = uint64_t(tid) << 32;
+            std::vector<uint64_t> mine;
+            for (int i = 0; i < 4000; ++i) {
+                if (mine.empty() || rng.nextDouble() < 0.5) {
+                    uint64_t key = base + rng.nextBounded(1u << 20);
+                    if (tree.insert(t, key, key * 2))
+                        mine.push_back(key);
+                } else {
+                    size_t pick = rng.nextBounded(mine.size());
+                    ASSERT_TRUE(tree.erase(t, mine[pick]));
+                    mine[pick] = mine.back();
+                    mine.pop_back();
+                }
+            }
+            for (uint64_t key : mine) {
+                uint64_t v = 0;
+                ASSERT_TRUE(tree.lookup(key, v));
+                ASSERT_EQ(v, key * 2);
+            }
+            alloc.threadDetach(t);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+}
+
+} // namespace
+} // namespace nvalloc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Property tests of the interleaved mapping (§5.1) — parameterized
+ * over stripe counts: the logical→physical map must be a bijection,
+ * consecutive logical slots must land in distinct stripes, and the
+ * fixed-size buffers (slab bitmap area, WAL ring, log chunk) must
+ * hold the padded layout for every supported stripe count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nvalloc/interleave.h"
+#include "nvalloc/layout.h"
+#include "nvalloc/slab.h"
+
+namespace nvalloc {
+namespace {
+
+class InterleaveProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(InterleaveProperty, BijectionOverAllSlabClasses)
+{
+    unsigned stripes = GetParam();
+    for (unsigned cls = 0; cls < kNumSizeClasses; ++cls) {
+        SlabGeometry geo = SlabGeometry::compute(cls, stripes);
+        std::set<unsigned> phys;
+        for (unsigned b = 0; b < geo.capacity; ++b) {
+            unsigned p = geo.map.physical(b);
+            ASSERT_LT(p, geo.map.physicalSlots());
+            ASSERT_TRUE(phys.insert(p).second)
+                << "collision cls=" << cls << " b=" << b;
+            ASSERT_EQ(geo.map.logical(p), b);
+        }
+    }
+}
+
+TEST_P(InterleaveProperty, ConsecutiveBlocksHitDistinctStripes)
+{
+    unsigned stripes = GetParam();
+    if (stripes < 2)
+        GTEST_SKIP() << "sequential mapping";
+    SlabGeometry geo = SlabGeometry::compute(sizeToClass(64), stripes);
+    unsigned window = std::min(stripes, geo.map.stripes);
+    for (unsigned b = 0; b + window <= geo.capacity; b += window) {
+        std::set<unsigned> seen;
+        for (unsigned i = 0; i < window; ++i) {
+            unsigned stripe =
+                geo.map.physical(b + i) / geo.map.padded_stripe;
+            seen.insert(stripe);
+        }
+        ASSERT_EQ(seen.size(), window)
+            << "blocks " << b << ".. must spread across stripes";
+    }
+}
+
+TEST_P(InterleaveProperty, SlabBitmapFitsBudget)
+{
+    unsigned stripes = GetParam();
+    for (unsigned cls = 0; cls < kNumSizeClasses; ++cls) {
+        SlabGeometry geo = SlabGeometry::compute(cls, stripes);
+        EXPECT_LE(geo.map.physicalSlots(), kSlabBitmapBytes * 8)
+            << "cls=" << cls << " stripes=" << stripes;
+    }
+}
+
+TEST_P(InterleaveProperty, WalRingFitsBudget)
+{
+    InterleaveMap m = InterleaveMap::build(
+        kWalRingEntries, sizeof(WalEntry) * 8, GetParam());
+    EXPECT_LE(m.physicalSlots() * sizeof(WalEntry), kWalRingBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stripes, InterleaveProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u, 12u, 16u, 24u, 32u));
+
+TEST(Interleave, StripeClampWhenFewSlots)
+{
+    // More stripes than slots: clamp so every stripe has >= 1 slot.
+    InterleaveMap m = InterleaveMap::build(4, 1, 32);
+    EXPECT_EQ(m.stripes, 4u);
+    std::set<unsigned> phys;
+    for (unsigned i = 0; i < 4; ++i)
+        phys.insert(m.physical(i));
+    EXPECT_EQ(phys.size(), 4u);
+}
+
+TEST(Interleave, LogChunkStripesFit)
+{
+    InterleaveMap m =
+        InterleaveMap::build(kLogEntriesPerChunk, 64, kLogChunkStripes);
+    EXPECT_LE(m.physicalSlots(), kLogEntriesPerChunk)
+        << "log chunks cannot grow beyond 1 KB of entries";
+    // Same-line reuse distance must clear the reflush window (4).
+    EXPECT_GE(kLogChunkStripes, 5u);
+}
+
+TEST(Interleave, SequentialMapIsIdentity)
+{
+    InterleaveMap m = InterleaveMap::build(1000, 1, 1);
+    for (unsigned i = 0; i < 1000; ++i)
+        EXPECT_EQ(m.physical(i), i);
+}
+
+TEST(Interleave, PhysicalPositionsOfConsecutiveBlocksInDistinctLines)
+{
+    // The headline property: with >= reflush-window stripes, blocks
+    // b and b+1..b+3 never share a bitmap cache line.
+    SlabGeometry geo = SlabGeometry::compute(sizeToClass(64), 6);
+    for (unsigned b = 0; b + 4 < geo.capacity; ++b) {
+        unsigned line_b = geo.map.physical(b) / 512;
+        for (unsigned d = 1; d <= 3; ++d) {
+            unsigned line_d = geo.map.physical(b + d) / 512;
+            ASSERT_NE(line_b, line_d) << "b=" << b << " d=" << d;
+        }
+    }
+}
+
+} // namespace
+} // namespace nvalloc

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of the flush latency model against the behaviours §3.1
+ * documents: the reflush-distance cost curve (800→500 ns over
+ * distances 0-3), sequential-vs-random media costs, XPBuffer hits,
+ * classification counters, the eADR mode, and the trace hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pm/pm_device.h"
+
+namespace nvalloc {
+namespace {
+
+class LatencyModelTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PmDeviceConfig cfg;
+        cfg.size = size_t{1} << 28;
+        dev_ = std::make_unique<PmDevice>(cfg);
+        VClock::reset();
+    }
+
+    uint64_t
+    flushCost(uint64_t offset)
+    {
+        uint64_t v0 = VClock::now();
+        dev_->flushLine(dev_->base() + offset, TimeKind::FlushMeta);
+        return VClock::now() - v0;
+    }
+
+    std::unique_ptr<PmDevice> dev_;
+};
+
+TEST_F(LatencyModelTest, ReflushDistanceCurveMatchesPaper)
+{
+    const LatencyParams &p = dev_->model().params();
+
+    // Cycle over K distinct lines; steady-state distance is K-1.
+    for (unsigned k = 1; k <= 4; ++k) {
+        dev_->model().reset();
+        // Warm up the cycle.
+        for (unsigned i = 0; i < 2 * k; ++i)
+            flushCost((i % k) * 64);
+        uint64_t cost = flushCost(((2 * k) % k) * 64) - p.issue;
+        EXPECT_EQ(cost, p.reflush_base - p.reflush_step * (k - 1))
+            << "distance " << k - 1;
+    }
+    // Paper numbers: 800 ns at distance 0 down to 500 at distance 3.
+    EXPECT_EQ(p.reflush_base, 800u);
+    EXPECT_EQ(p.reflush_base - 3 * p.reflush_step, 500u);
+}
+
+TEST_F(LatencyModelTest, BeyondWindowIsRegularFlush)
+{
+    const LatencyParams &p = dev_->model().params();
+    // Cycle of 6 distinct lines: distance 5 >= window, no reflush.
+    for (unsigned i = 0; i < 18; ++i)
+        flushCost((i % 6) * 64);
+    auto c = dev_->flushCounts();
+    // After the first pass every flush is distance 5: all hits or
+    // media, no reflushes beyond warmup.
+    EXPECT_LE(c.reflush, 0u + p.reflush_window);
+    EXPECT_GT(c.xpline_hit, 8u);
+}
+
+TEST_F(LatencyModelTest, SequentialCheaperThanRandom)
+{
+    const LatencyParams &p = dev_->model().params();
+    // Sequential XPLine misses: one line per consecutive XPLine.
+    dev_->model().reset();
+    uint64_t seq = 0;
+    for (unsigned i = 0; i < 200; ++i)
+        seq += flushCost(uint64_t(i) * 256);
+    // Random far-apart lines.
+    dev_->model().reset();
+    VClock::reset();
+    uint64_t rnd = 0;
+    uint64_t x = 99;
+    for (unsigned i = 0; i < 200; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        rnd += flushCost((x % (1 << 20)) * 64);
+    }
+    EXPECT_LT(p.media_seq, p.media_random);
+    EXPECT_LT(seq, rnd);
+}
+
+TEST_F(LatencyModelTest, XpBufferHitsAreCheap)
+{
+    const LatencyParams &p = dev_->model().params();
+    // 5 lines in one XPLine region cycled: beyond the reflush window
+    // but inside the XPBuffer.
+    for (unsigned i = 0; i < 40; ++i)
+        flushCost((i % 5) * 64);
+    uint64_t cost = flushCost((40 % 5) * 64);
+    EXPECT_EQ(cost, p.issue + p.xpline_hit);
+}
+
+TEST_F(LatencyModelTest, CountersClassifyEveryFlush)
+{
+    for (unsigned i = 0; i < 100; ++i)
+        flushCost((i % 3) * 64); // reflush loop
+    for (unsigned i = 0; i < 50; ++i)
+        flushCost(uint64_t(1 + i) * 1 << 20); // random misses
+    auto c = dev_->flushCounts();
+    EXPECT_EQ(c.total, 150u);
+    EXPECT_EQ(c.total,
+              c.reflush + c.sequential + c.random + c.xpline_hit);
+    EXPECT_GE(c.reflush, 95u);
+    EXPECT_GE(c.random, 40u);
+}
+
+TEST_F(LatencyModelTest, FenceCostAndCount)
+{
+    uint64_t v0 = VClock::now();
+    dev_->fence();
+    dev_->fence();
+    EXPECT_EQ(VClock::now() - v0, 2 * dev_->model().params().fence);
+    EXPECT_EQ(dev_->flushCounts().fences, 2u);
+}
+
+TEST_F(LatencyModelTest, EadrRemovesStallsKeepsMediaCosts)
+{
+    dev_->model().setEadr(true);
+    const LatencyParams &p = dev_->model().params();
+
+    // Reflush pattern: free under eADR (write combining). The first
+    // touches of fresh lines pay the writeback cost; steady state is
+    // free.
+    for (unsigned i = 0; i < 4; ++i)
+        flushCost((i % 2) * 64);
+    uint64_t v0 = VClock::now();
+    for (unsigned i = 0; i < 100; ++i)
+        flushCost((i % 2) * 64);
+    EXPECT_EQ(VClock::now(), v0) << "same-line dirtying is free";
+
+    // Distinct random lines still pay the (small) writeback cost.
+    v0 = VClock::now();
+    uint64_t x = 7;
+    for (unsigned i = 0; i < 100; ++i) {
+        x = x * 6364136223846793005ULL + 1;
+        flushCost((x % (1 << 20)) * 64);
+    }
+    uint64_t eadr_cost = VClock::now() - v0;
+    EXPECT_GT(eadr_cost, 0u);
+    EXPECT_LE(eadr_cost, 100 * p.eadr_random);
+
+    // Fences are free on eADR.
+    v0 = VClock::now();
+    dev_->fence();
+    EXPECT_EQ(VClock::now(), v0);
+}
+
+TEST_F(LatencyModelTest, TraceCapturesOffsets)
+{
+    dev_->model().startTrace(5);
+    for (unsigned i = 0; i < 10; ++i)
+        flushCost(i * 4096);
+    auto trace = dev_->model().stopTrace();
+    ASSERT_EQ(trace.size(), 5u) << "cap respected";
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(trace[i], i * 4096);
+}
+
+TEST_F(LatencyModelTest, ResetInvalidatesPerThreadHistory)
+{
+    // Build up reflush history, reset, and check the next flush of
+    // the same line is NOT treated as a reflush.
+    for (unsigned i = 0; i < 10; ++i)
+        flushCost(0);
+    dev_->model().reset();
+    flushCost(0);
+    auto c = dev_->flushCounts();
+    EXPECT_EQ(c.reflush, 0u);
+    EXPECT_EQ(c.total, 1u);
+}
+
+TEST_F(LatencyModelTest, PersistFlushesEveryCoveredLine)
+{
+    dev_->model().reset();
+    dev_->persist(dev_->base() + 60, 10, TimeKind::FlushData);
+    EXPECT_EQ(dev_->flushCounts().total, 2u) << "straddles two lines";
+    dev_->model().reset();
+    dev_->persist(dev_->base() + 4096, 256, TimeKind::FlushData);
+    EXPECT_EQ(dev_->flushCounts().total, 4u);
+}
+
+} // namespace
+} // namespace nvalloc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * OffsetPtr tests: self-relative semantics, null encoding, and —
+ * the property that matters for persistent structures — validity
+ * after the containing memory is "remapped" (memcpy'd elsewhere)
+ * together with its target.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pm/offset_ptr.h"
+
+namespace nvalloc {
+namespace {
+
+struct PNode
+{
+    uint64_t value;
+    OffsetPtr<PNode> next;
+};
+
+TEST(OffsetPtr, NullByDefaultAndAssignable)
+{
+    OffsetPtr<int> p;
+    EXPECT_FALSE(p);
+    EXPECT_EQ(p.get(), nullptr);
+    int x = 42;
+    p = &x;
+    EXPECT_TRUE(p);
+    EXPECT_EQ(*p, 42);
+    p = nullptr;
+    EXPECT_FALSE(p);
+}
+
+TEST(OffsetPtr, SelfRelativeSurvivesRelocation)
+{
+    // A little arena holding two nodes linked by OffsetPtr.
+    alignas(16) char arena_a[256];
+    std::memset(arena_a, 0, sizeof(arena_a));
+    auto *n0 = new (arena_a) PNode{10, {}};
+    auto *n1 = new (arena_a + 64) PNode{20, {}};
+    n0->next = n1;
+    ASSERT_EQ(n0->next->value, 20u);
+
+    // "Remap" the heap at a different address: raw copy.
+    alignas(16) char arena_b[256];
+    std::memcpy(arena_b, arena_a, sizeof(arena_a));
+    auto *m0 = reinterpret_cast<PNode *>(arena_b);
+    EXPECT_EQ(m0->next->value, 20u);
+    EXPECT_EQ(reinterpret_cast<char *>(m0->next.get()), arena_b + 64)
+        << "link must resolve within the new mapping";
+}
+
+TEST(OffsetPtr, CopyRebasesRelativeOffset)
+{
+    int x = 7;
+    OffsetPtr<int> a(&x);
+    OffsetPtr<int> b(a); // lives at a different address than a
+    EXPECT_EQ(b.get(), &x);
+    OffsetPtr<int> c;
+    c = a;
+    EXPECT_EQ(c.get(), &x);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(OffsetPtr, ChainTraversal)
+{
+    std::vector<char> arena(64 * 32);
+    PNode *prev = nullptr;
+    for (int i = 31; i >= 0; --i) {
+        auto *n = new (arena.data() + i * 64) PNode{uint64_t(i), {}};
+        n->next = prev;
+        prev = n;
+    }
+    unsigned count = 0;
+    for (PNode *n = prev; n; n = n->next.get()) {
+        EXPECT_EQ(n->value, count);
+        ++count;
+    }
+    EXPECT_EQ(count, 32u);
+}
+
+} // namespace
+} // namespace nvalloc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for NVAlloc tests.
+ */
+
+#ifndef NVALLOC_TESTS_TEST_UTIL_H
+#define NVALLOC_TESTS_TEST_UTIL_H
+
+#include "nvalloc/nvalloc.h"
+
+namespace nvalloc {
+
+/** Count live blocks across all slabs, including blocks_before of
+ *  morphing slabs (which live in index tables, not bitmaps). */
+inline uint64_t
+liveSmallBlocks(NvAlloc &alloc)
+{
+    uint64_t live = 0;
+    for (unsigned i = 0; i < alloc.numArenas(); ++i) {
+        alloc.arena(i).forEachSlab([&](VSlab *slab) {
+            live += slab->liveBlocks() + slab->cntSlab();
+        });
+    }
+    return live;
+}
+
+/** True if the block at `off` is allocated — under either the current
+ *  or, for morphing slabs, the old geometry. */
+inline bool
+blockIsLive(NvAlloc &alloc, uint64_t off)
+{
+    VSlab *slab = static_cast<VSlab *>(alloc.slabRadix().get(off));
+    if (!slab)
+        return false;
+    unsigned old_idx = 0;
+    if (slab->isOldBlock(off, old_idx))
+        return true;
+    unsigned idx = slab->blockIndexOf(off);
+    return idx < slab->capacity() && slab->isAllocated(idx);
+}
+
+} // namespace nvalloc
+
+#endif // NVALLOC_TESTS_TEST_UTIL_H

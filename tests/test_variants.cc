@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of the consistency variants beyond NVAlloc-LOG: the
+ * internal-collection variant (NVAlloc-IC, the paper's §4.1 future
+ * work) with its object-enumeration guarantee, and the dynamic
+ * stripe-count policy (§6.5 future work).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "nvalloc/nvalloc.h"
+#include "test_util.h"
+
+namespace nvalloc {
+namespace {
+
+NvAllocConfig
+icConfig()
+{
+    NvAllocConfig cfg;
+    cfg.consistency = Consistency::InternalCollection;
+    return cfg;
+}
+
+TEST(InternalCollection, EnumeratesExactlyTheLiveObjects)
+{
+    PmDevice dev;
+    NvAlloc alloc(dev, icConfig());
+    ThreadCtx *ctx = alloc.attachThread();
+
+    std::set<uint64_t> expect;
+    for (int i = 0; i < 300; ++i)
+        expect.insert(alloc.allocOffset(*ctx, 48 + (i % 100), nullptr));
+    expect.insert(alloc.allocOffset(*ctx, 128 * 1024, nullptr));
+
+    // Free a third.
+    unsigned k = 0;
+    for (auto it = expect.begin(); it != expect.end();) {
+        if (k++ % 3 == 0) {
+            alloc.freeOffset(*ctx, *it, nullptr);
+            it = expect.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    std::set<uint64_t> seen;
+    alloc.forEachAllocated([&](uint64_t off, size_t size, bool) {
+        EXPECT_GT(size, 0u);
+        EXPECT_TRUE(seen.insert(off).second) << "duplicate " << off;
+    });
+    EXPECT_EQ(seen, expect);
+    alloc.detachThread(ctx);
+}
+
+TEST(InternalCollection, NoWalFlushesOnSmallPath)
+{
+    PmDevice dev;
+    NvAlloc alloc(dev, icConfig());
+    ThreadCtx *ctx = alloc.attachThread();
+    // Warm the tcache so the measured ops are pure hot path.
+    uint64_t warm = alloc.allocOffset(*ctx, 64, nullptr);
+    alloc.freeOffset(*ctx, warm, nullptr);
+
+    dev.model().reset();
+    uint64_t off = alloc.allocOffset(*ctx, 64, nullptr);
+    auto c = dev.flushCounts();
+    // Exactly the bitmap persist (plus its fence): no WAL entry.
+    EXPECT_EQ(c.total, 1u) << "IC small alloc flushes only its bit";
+    alloc.freeOffset(*ctx, off, nullptr);
+    alloc.detachThread(ctx);
+}
+
+TEST(InternalCollection, NothingIsLostAfterCrashWithoutAttachWords)
+{
+    PmDeviceConfig dcfg;
+    dcfg.shadow = true;
+    PmDevice dev(dcfg);
+    std::set<uint64_t> committed;
+    {
+        NvAlloc alloc(dev, icConfig());
+        ThreadCtx *ctx = alloc.attachThread();
+        // No attach words at all: under LOG this would leak and be
+        // rolled back; under IC the objects stay enumerable.
+        for (int i = 0; i < 200; ++i)
+            committed.insert(alloc.allocOffset(*ctx, 64, nullptr));
+        alloc.simulateCrash();
+    }
+
+    NvAlloc again(dev, icConfig());
+    EXPECT_TRUE(again.lastRecovery().after_failure);
+    std::set<uint64_t> seen;
+    again.forEachAllocated(
+        [&](uint64_t off, size_t, bool) { seen.insert(off); });
+    for (uint64_t off : committed)
+        EXPECT_TRUE(seen.count(off)) << off << " lost";
+
+    // And they are all freeable through the enumeration.
+    ThreadCtx *ctx = again.attachThread();
+    for (uint64_t off : committed)
+        again.freeOffset(*ctx, off, nullptr);
+    EXPECT_EQ(liveSmallBlocks(again), 0u);
+    again.detachThread(ctx);
+}
+
+TEST(InternalCollection, EnumerationIncludesMorphOldBlocks)
+{
+    PmDevice dev;
+    NvAllocConfig cfg = icConfig();
+    cfg.num_arenas = 1;
+    NvAlloc alloc(dev, cfg);
+    ThreadCtx *ctx = alloc.attachThread();
+
+    // Sparse 64 B population, then 1 KB demand to force morphing.
+    std::vector<uint64_t> offs;
+    for (int i = 0; i < 6000; ++i)
+        offs.push_back(alloc.allocOffset(*ctx, 64, nullptr));
+    std::set<uint64_t> survivors;
+    for (size_t i = 0; i < offs.size(); ++i) {
+        if (i % 40 == 0)
+            survivors.insert(offs[i]);
+        else
+            alloc.freeOffset(*ctx, offs[i], nullptr);
+    }
+    uint64_t morphs = 0;
+    std::vector<uint64_t> big;
+    while (morphs == 0 && big.size() < 4000) {
+        big.push_back(alloc.allocOffset(*ctx, 1024, nullptr));
+        morphs = alloc.arena(0).stats().morphs;
+    }
+    ASSERT_GT(morphs, 0u);
+
+    std::set<uint64_t> seen;
+    alloc.forEachAllocated(
+        [&](uint64_t off, size_t, bool) { seen.insert(off); });
+    for (uint64_t off : survivors)
+        EXPECT_TRUE(seen.count(off))
+            << "old-geometry block " << off << " missing";
+    for (uint64_t off : big)
+        EXPECT_TRUE(seen.count(off));
+    alloc.detachThread(ctx);
+}
+
+TEST(DynamicStripes, PolicyMonotoneAndAboveReflushWindow)
+{
+    unsigned prev = 64;
+    for (unsigned threads : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        unsigned s = Arena::dynamicStripes(threads);
+        EXPECT_LE(s, prev) << "more threads, fewer stripes";
+        EXPECT_GE(s, 5u) << "never within the reflush window";
+        prev = s;
+    }
+    EXPECT_EQ(Arena::dynamicStripes(1), 6u);
+    EXPECT_EQ(Arena::dynamicStripes(64), 5u);
+}
+
+TEST(DynamicStripes, NewSlabsFollowConcurrency)
+{
+    PmDevice dev;
+    NvAllocConfig cfg;
+    cfg.dynamic_stripes = true;
+    cfg.num_arenas = 1;
+    NvAlloc alloc(dev, cfg);
+
+    // One attached thread: slabs use 6 stripes.
+    ThreadCtx *ctx = alloc.attachThread();
+    uint64_t off = alloc.allocOffset(*ctx, 64, nullptr);
+    VSlab *slab = static_cast<VSlab *>(alloc.slabRadix().get(off));
+    EXPECT_EQ(slab->header()->stripes, 6u);
+
+    // Attach many more, demand a different class: the new slab's
+    // persistent header records the reduced stripe count.
+    std::vector<ThreadCtx *> more;
+    for (int i = 0; i < 30; ++i)
+        more.push_back(alloc.attachThread());
+    uint64_t off2 = alloc.allocOffset(*ctx, 4096, nullptr);
+    VSlab *slab2 = static_cast<VSlab *>(alloc.slabRadix().get(off2));
+    EXPECT_EQ(slab2->header()->stripes, 5u);
+
+    // Mixed-stripe heaps recover: both geometries are per-slab.
+    EXPECT_NE(slab->header()->stripes, slab2->header()->stripes);
+    alloc.freeOffset(*ctx, off, nullptr);
+    alloc.freeOffset(*ctx, off2, nullptr);
+    for (ThreadCtx *c : more)
+        alloc.detachThread(c);
+    alloc.detachThread(ctx);
+}
+
+} // namespace
+} // namespace nvalloc

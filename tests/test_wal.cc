@@ -1,0 +1,100 @@
+/**
+ * @file
+ * WAL unit tests: append/newestEntry semantics, ring wrap, the
+ * implicit-commit replay rule, and interleaved entry placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nvalloc/wal.h"
+
+namespace nvalloc {
+namespace {
+
+class WalFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PmDeviceConfig cfg;
+        cfg.size = size_t{1} << 24;
+        dev_ = std::make_unique<PmDevice>(cfg);
+        ring_off_ = dev_->mapRegion(kWalRingBytes);
+    }
+
+    std::unique_ptr<PmDevice> dev_;
+    uint64_t ring_off_ = 0;
+};
+
+TEST_F(WalFixture, EmptyRingHasNoNewestEntry)
+{
+    EXPECT_EQ(Wal::newestEntry(dev_.get(), ring_off_), nullptr);
+}
+
+TEST_F(WalFixture, NewestEntryTracksAppends)
+{
+    Wal wal;
+    wal.attach(dev_.get(), ring_off_, true, 6, true);
+
+    wal.append(kWalAlloc, 0x1000, 0x2000, 64);
+    const WalEntry *e = Wal::newestEntry(dev_.get(), ring_off_);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(WalOp(e->block_op & 3), kWalAlloc);
+    EXPECT_EQ(e->block_op >> 2, 0x1000u);
+    EXPECT_EQ(e->where_off, 0x2000u);
+    EXPECT_EQ(e->size, 64u);
+
+    wal.append(kWalFree, 0x3000, kWalNoWhere, 0);
+    e = Wal::newestEntry(dev_.get(), ring_off_);
+    EXPECT_EQ(WalOp(e->block_op & 3), kWalFree);
+    EXPECT_EQ(e->block_op >> 2, 0x3000u);
+}
+
+TEST_F(WalFixture, WrapKeepsNewestCorrect)
+{
+    Wal wal;
+    wal.attach(dev_.get(), ring_off_, true, 6, true);
+    for (uint64_t i = 1; i <= 3 * kWalRingEntries + 5; ++i)
+        wal.append(kWalAlloc, i << 12, kWalNoWhere, 64);
+    const WalEntry *e = Wal::newestEntry(dev_.get(), ring_off_);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->seq, 3 * kWalRingEntries + 5);
+    EXPECT_EQ(e->block_op >> 2,
+              uint64_t(3 * kWalRingEntries + 5) << 12);
+}
+
+TEST_F(WalFixture, InterleavedAppendsAvoidReflush)
+{
+    Wal wal;
+    wal.attach(dev_.get(), ring_off_, true, 6, true);
+    dev_->model().reset();
+    for (int i = 0; i < 32; ++i)
+        wal.append(kWalAlloc, uint64_t(i) << 12, kWalNoWhere, 64);
+    EXPECT_EQ(dev_->flushCounts().reflush, 0u);
+
+    // Sequential placement: two 32 B entries share a line, so every
+    // second append re-flushes.
+    uint64_t ring2 = dev_->mapRegion(kWalRingBytes);
+    Wal seq;
+    seq.attach(dev_.get(), ring2, false, 6, true);
+    dev_->model().reset();
+    for (int i = 0; i < 32; ++i)
+        seq.append(kWalAlloc, uint64_t(i) << 12, kWalNoWhere, 64);
+    EXPECT_GE(dev_->flushCounts().reflush, 14u);
+}
+
+TEST_F(WalFixture, FlushDisabledWritesButDoesNotFlush)
+{
+    Wal wal;
+    wal.attach(dev_.get(), ring_off_, true, 6, /*flush=*/false);
+    dev_->model().reset();
+    wal.append(kWalAlloc, 0x5000, kWalNoWhere, 64);
+    EXPECT_EQ(dev_->flushCounts().total, 0u);
+    EXPECT_NE(Wal::newestEntry(dev_.get(), ring_off_), nullptr);
+}
+
+} // namespace
+} // namespace nvalloc

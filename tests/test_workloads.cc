@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Workload generator tests: operation counts, determinism for a fixed
+ * seed, the Fragbench live-cap invariant, Table 1 encodings, and the
+ * harness' virtual-time bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/nvalloc_adapter.h"
+#include "workloads/workloads.h"
+
+namespace nvalloc {
+namespace {
+
+std::unique_ptr<PmAllocator>
+freshAlloc(std::unique_ptr<PmDevice> &dev)
+{
+    dev = makeBenchDevice(size_t{1} << 30);
+    return makeAllocator(AllocKind::NvAllocLog, *dev, {});
+}
+
+TEST(Workloads, ThreadtestOpCountExact)
+{
+    std::unique_ptr<PmDevice> dev;
+    auto alloc = freshAlloc(dev);
+    VtimeEpoch epoch;
+    RunResult r = threadtest(*alloc, epoch, 3, 2, 100, 64);
+    EXPECT_EQ(r.total_ops, 3u * 2u * 100u * 2u);
+    EXPECT_GT(r.makespan_ns, 0u);
+}
+
+TEST(Workloads, ProdconConsumesEverything)
+{
+    std::unique_ptr<PmDevice> dev;
+    auto alloc = freshAlloc(dev);
+    VtimeEpoch epoch;
+    RunResult r = prodcon(*alloc, epoch, 4, 500, 64);
+    // 2 pairs x 500 objects, each allocated once and freed once.
+    EXPECT_EQ(r.total_ops, 2u * 500u * 2u);
+    // Nothing leaked: all small blocks freed.
+    auto &nv = dynamic_cast<NvAllocAdapter *>(alloc.get())->impl();
+    uint64_t live = 0;
+    for (unsigned i = 0; i < nv.numArenas(); ++i) {
+        nv.arena(i).forEachSlab(
+            [&](VSlab *s) { live += s->liveBlocks() + s->cntSlab(); });
+    }
+    EXPECT_EQ(live, 0u);
+}
+
+TEST(Workloads, LarsonFreesEverythingAtEnd)
+{
+    std::unique_ptr<PmDevice> dev;
+    auto alloc = freshAlloc(dev);
+    VtimeEpoch epoch;
+    larson(*alloc, epoch, 2, 64, 256, 64, 2, 200, 7);
+    auto &nv = dynamic_cast<NvAllocAdapter *>(alloc.get())->impl();
+    uint64_t live = 0;
+    for (unsigned i = 0; i < nv.numArenas(); ++i) {
+        nv.arena(i).forEachSlab(
+            [&](VSlab *s) { live += s->liveBlocks() + s->cntSlab(); });
+    }
+    EXPECT_EQ(live, 0u);
+}
+
+TEST(Workloads, DeterministicForSeed)
+{
+    uint64_t ops[2], vns[2];
+    for (int round = 0; round < 2; ++round) {
+        std::unique_ptr<PmDevice> dev;
+        auto alloc = freshAlloc(dev);
+        VtimeEpoch epoch;
+        RunResult r = shbench(*alloc, epoch, 1, 500, 42);
+        ops[round] = r.total_ops;
+        vns[round] = r.makespan_ns;
+    }
+    EXPECT_EQ(ops[0], ops[1]);
+    EXPECT_EQ(vns[0], vns[1]) << "single-thread runs are bit-stable";
+}
+
+TEST(Workloads, FragbenchTableMatchesPaper)
+{
+    const FragWorkload *ws = fragWorkloads();
+    EXPECT_EQ(ws[0].before.lo, 100u);
+    EXPECT_EQ(ws[0].before.hi, 100u);
+    EXPECT_DOUBLE_EQ(ws[0].delete_ratio, 0.9);
+    EXPECT_EQ(ws[0].after.lo, 130u);
+    EXPECT_DOUBLE_EQ(ws[1].delete_ratio, 0.0);
+    EXPECT_EQ(ws[2].after.hi, 250u);
+    EXPECT_EQ(ws[3].after.lo, 1000u);
+    EXPECT_EQ(ws[3].after.hi, 2000u);
+}
+
+TEST(Workloads, FragbenchRespectsLiveCap)
+{
+    std::unique_ptr<PmDevice> dev;
+    auto alloc = freshAlloc(dev);
+    VtimeEpoch epoch;
+    constexpr size_t kCap = 2 << 20;
+    FragResult fr = fragbench(*alloc, epoch, fragWorkloads()[2],
+                              8 << 20, kCap, 42);
+    EXPECT_LE(fr.live_bytes, kCap);
+    EXPECT_GT(fr.peak_bytes, 0u);
+    EXPECT_GE(fr.peak_bytes, fr.live_bytes);
+}
+
+TEST(Workloads, HarnessAggregatesBreakdown)
+{
+    std::unique_ptr<PmDevice> dev;
+    auto alloc = freshAlloc(dev);
+    VtimeEpoch epoch;
+    RunResult r = threadtest(*alloc, epoch, 2, 1, 200, 64);
+    uint64_t total = 0;
+    for (auto v : r.breakdown)
+        total += v;
+    EXPECT_GT(total, 0u);
+    EXPECT_GT(r.breakdown[unsigned(TimeKind::FlushMeta)], 0u);
+    EXPECT_GT(r.breakdown[unsigned(TimeKind::FlushWal)], 0u);
+}
+
+TEST(Workloads, EpochCarriesVirtualTimeAcrossPhases)
+{
+    std::unique_ptr<PmDevice> dev;
+    auto alloc = freshAlloc(dev);
+    VtimeEpoch epoch;
+    threadtest(*alloc, epoch, 1, 1, 100, 64);
+    uint64_t base_after_first = epoch.base();
+    EXPECT_GT(base_after_first, 0u);
+    threadtest(*alloc, epoch, 1, 1, 100, 64);
+    EXPECT_GT(epoch.base(), base_after_first);
+}
+
+TEST(Workloads, GroupsMatchPaper)
+{
+    auto strong = strongGroup();
+    auto weak = weakGroup();
+    EXPECT_EQ(strong.size(), 4u);
+    EXPECT_EQ(weak.size(), 3u);
+    for (AllocKind kind : strong) {
+        std::unique_ptr<PmDevice> d = makeBenchDevice(size_t{1} << 28);
+        EXPECT_TRUE(makeAllocator(kind, *d, {})->stronglyConsistent());
+    }
+    for (AllocKind kind : weak) {
+        std::unique_ptr<PmDevice> d = makeBenchDevice(size_t{1} << 28);
+        EXPECT_FALSE(makeAllocator(kind, *d, {})->stronglyConsistent());
+    }
+}
+
+} // namespace
+} // namespace nvalloc
