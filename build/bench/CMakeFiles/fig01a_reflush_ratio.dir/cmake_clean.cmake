@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01a_reflush_ratio.dir/fig01a_reflush_ratio.cc.o"
+  "CMakeFiles/fig01a_reflush_ratio.dir/fig01a_reflush_ratio.cc.o.d"
+  "fig01a_reflush_ratio"
+  "fig01a_reflush_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01a_reflush_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_random_access.dir/fig02_random_access.cc.o"
+  "CMakeFiles/fig02_random_access.dir/fig02_random_access.cc.o.d"
+  "fig02_random_access"
+  "fig02_random_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_random_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_small_strong.dir/fig09_small_strong.cc.o"
+  "CMakeFiles/fig09_small_strong.dir/fig09_small_strong.cc.o.d"
+  "fig09_small_strong"
+  "fig09_small_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_small_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_small_weak.dir/fig10_small_weak.cc.o"
+  "CMakeFiles/fig10_small_weak.dir/fig10_small_weak.cc.o.d"
+  "fig10_small_weak"
+  "fig10_small_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_small_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

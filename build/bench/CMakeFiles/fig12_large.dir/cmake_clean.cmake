@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_large.dir/fig12_large.cc.o"
+  "CMakeFiles/fig12_large.dir/fig12_large.cc.o.d"
+  "fig12_large"
+  "fig12_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fptree.dir/fig14_fptree.cc.o"
+  "CMakeFiles/fig14_fptree.dir/fig14_fptree.cc.o.d"
+  "fig14_fptree"
+  "fig14_fptree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fptree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

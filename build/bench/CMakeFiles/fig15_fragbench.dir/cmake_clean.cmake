@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fragbench.dir/fig15_fragbench.cc.o"
+  "CMakeFiles/fig15_fragbench.dir/fig15_fragbench.cc.o.d"
+  "fig15_fragbench"
+  "fig15_fragbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fragbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

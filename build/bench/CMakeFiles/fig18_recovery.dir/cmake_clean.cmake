@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_recovery.dir/fig18_recovery.cc.o"
+  "CMakeFiles/fig18_recovery.dir/fig18_recovery.cc.o.d"
+  "fig18_recovery"
+  "fig18_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_eadr_stripes.dir/fig19_eadr_stripes.cc.o"
+  "CMakeFiles/fig19_eadr_stripes.dir/fig19_eadr_stripes.cc.o.d"
+  "fig19_eadr_stripes"
+  "fig19_eadr_stripes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_eadr_stripes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

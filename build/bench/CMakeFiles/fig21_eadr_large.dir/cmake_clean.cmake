@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_eadr_large.dir/fig21_eadr_large.cc.o"
+  "CMakeFiles/fig21_eadr_large.dir/fig21_eadr_large.cc.o.d"
+  "fig21_eadr_large"
+  "fig21_eadr_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_eadr_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_latency_model.dir/micro_latency_model.cc.o"
+  "CMakeFiles/micro_latency_model.dir/micro_latency_model.cc.o.d"
+  "micro_latency_model"
+  "micro_latency_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_latency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

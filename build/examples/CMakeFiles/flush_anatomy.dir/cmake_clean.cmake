@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flush_anatomy.dir/flush_anatomy.cpp.o"
+  "CMakeFiles/flush_anatomy.dir/flush_anatomy.cpp.o.d"
+  "flush_anatomy"
+  "flush_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flush_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphing_demo.dir/morphing_demo.cpp.o"
+  "CMakeFiles/morphing_demo.dir/morphing_demo.cpp.o.d"
+  "morphing_demo"
+  "morphing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_baselines.dir/baseline_base.cc.o"
+  "CMakeFiles/nv_baselines.dir/baseline_base.cc.o.d"
+  "CMakeFiles/nv_baselines.dir/extent_heap.cc.o"
+  "CMakeFiles/nv_baselines.dir/extent_heap.cc.o.d"
+  "CMakeFiles/nv_baselines.dir/slab_engine.cc.o"
+  "CMakeFiles/nv_baselines.dir/slab_engine.cc.o.d"
+  "libnv_baselines.a"
+  "libnv_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

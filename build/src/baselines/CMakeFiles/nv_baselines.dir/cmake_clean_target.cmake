@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnv_baselines.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_fptree.dir/fptree.cc.o"
+  "CMakeFiles/nv_fptree.dir/fptree.cc.o.d"
+  "libnv_fptree.a"
+  "libnv_fptree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_fptree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvalloc/arena.cc" "src/nvalloc/CMakeFiles/nv_alloc.dir/arena.cc.o" "gcc" "src/nvalloc/CMakeFiles/nv_alloc.dir/arena.cc.o.d"
+  "/root/repo/src/nvalloc/bookkeeping_log.cc" "src/nvalloc/CMakeFiles/nv_alloc.dir/bookkeeping_log.cc.o" "gcc" "src/nvalloc/CMakeFiles/nv_alloc.dir/bookkeeping_log.cc.o.d"
+  "/root/repo/src/nvalloc/large_alloc.cc" "src/nvalloc/CMakeFiles/nv_alloc.dir/large_alloc.cc.o" "gcc" "src/nvalloc/CMakeFiles/nv_alloc.dir/large_alloc.cc.o.d"
+  "/root/repo/src/nvalloc/nvalloc.cc" "src/nvalloc/CMakeFiles/nv_alloc.dir/nvalloc.cc.o" "gcc" "src/nvalloc/CMakeFiles/nv_alloc.dir/nvalloc.cc.o.d"
+  "/root/repo/src/nvalloc/nvalloc_c.cc" "src/nvalloc/CMakeFiles/nv_alloc.dir/nvalloc_c.cc.o" "gcc" "src/nvalloc/CMakeFiles/nv_alloc.dir/nvalloc_c.cc.o.d"
+  "/root/repo/src/nvalloc/recovery.cc" "src/nvalloc/CMakeFiles/nv_alloc.dir/recovery.cc.o" "gcc" "src/nvalloc/CMakeFiles/nv_alloc.dir/recovery.cc.o.d"
+  "/root/repo/src/nvalloc/slab.cc" "src/nvalloc/CMakeFiles/nv_alloc.dir/slab.cc.o" "gcc" "src/nvalloc/CMakeFiles/nv_alloc.dir/slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm/CMakeFiles/nv_pm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

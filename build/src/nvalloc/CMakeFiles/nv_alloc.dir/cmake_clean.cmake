@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_alloc.dir/arena.cc.o"
+  "CMakeFiles/nv_alloc.dir/arena.cc.o.d"
+  "CMakeFiles/nv_alloc.dir/bookkeeping_log.cc.o"
+  "CMakeFiles/nv_alloc.dir/bookkeeping_log.cc.o.d"
+  "CMakeFiles/nv_alloc.dir/large_alloc.cc.o"
+  "CMakeFiles/nv_alloc.dir/large_alloc.cc.o.d"
+  "CMakeFiles/nv_alloc.dir/nvalloc.cc.o"
+  "CMakeFiles/nv_alloc.dir/nvalloc.cc.o.d"
+  "CMakeFiles/nv_alloc.dir/nvalloc_c.cc.o"
+  "CMakeFiles/nv_alloc.dir/nvalloc_c.cc.o.d"
+  "CMakeFiles/nv_alloc.dir/recovery.cc.o"
+  "CMakeFiles/nv_alloc.dir/recovery.cc.o.d"
+  "CMakeFiles/nv_alloc.dir/slab.cc.o"
+  "CMakeFiles/nv_alloc.dir/slab.cc.o.d"
+  "libnv_alloc.a"
+  "libnv_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

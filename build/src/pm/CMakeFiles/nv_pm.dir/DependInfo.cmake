@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/latency_model.cc" "src/pm/CMakeFiles/nv_pm.dir/latency_model.cc.o" "gcc" "src/pm/CMakeFiles/nv_pm.dir/latency_model.cc.o.d"
+  "/root/repo/src/pm/pm_device.cc" "src/pm/CMakeFiles/nv_pm.dir/pm_device.cc.o" "gcc" "src/pm/CMakeFiles/nv_pm.dir/pm_device.cc.o.d"
+  "/root/repo/src/pm/vclock.cc" "src/pm/CMakeFiles/nv_pm.dir/vclock.cc.o" "gcc" "src/pm/CMakeFiles/nv_pm.dir/vclock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

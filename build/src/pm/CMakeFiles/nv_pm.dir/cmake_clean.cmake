@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_pm.dir/latency_model.cc.o"
+  "CMakeFiles/nv_pm.dir/latency_model.cc.o.d"
+  "CMakeFiles/nv_pm.dir/pm_device.cc.o"
+  "CMakeFiles/nv_pm.dir/pm_device.cc.o.d"
+  "CMakeFiles/nv_pm.dir/vclock.cc.o"
+  "CMakeFiles/nv_pm.dir/vclock.cc.o.d"
+  "libnv_pm.a"
+  "libnv_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

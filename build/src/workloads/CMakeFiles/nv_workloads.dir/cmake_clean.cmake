@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nv_workloads.dir/harness.cc.o"
+  "CMakeFiles/nv_workloads.dir/harness.cc.o.d"
+  "CMakeFiles/nv_workloads.dir/workloads.cc.o"
+  "CMakeFiles/nv_workloads.dir/workloads.cc.o.d"
+  "libnv_workloads.a"
+  "libnv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

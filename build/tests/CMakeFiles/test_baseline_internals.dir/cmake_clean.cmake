@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_internals.dir/test_baseline_internals.cc.o"
+  "CMakeFiles/test_baseline_internals.dir/test_baseline_internals.cc.o.d"
+  "test_baseline_internals"
+  "test_baseline_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bookkeeping_log.dir/test_bookkeeping_log.cc.o"
+  "CMakeFiles/test_bookkeeping_log.dir/test_bookkeeping_log.cc.o.d"
+  "test_bookkeeping_log"
+  "test_bookkeeping_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bookkeeping_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c_api.dir/test_c_api.cc.o"
+  "CMakeFiles/test_c_api.dir/test_c_api.cc.o.d"
+  "test_c_api"
+  "test_c_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_large_alloc.dir/test_large_alloc.cc.o"
+  "CMakeFiles/test_large_alloc.dir/test_large_alloc.cc.o.d"
+  "test_large_alloc"
+  "test_large_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_large_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morphing_integration.dir/test_morphing_integration.cc.o"
+  "CMakeFiles/test_morphing_integration.dir/test_morphing_integration.cc.o.d"
+  "test_morphing_integration"
+  "test_morphing_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morphing_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvalloc_basic.dir/test_nvalloc_basic.cc.o"
+  "CMakeFiles/test_nvalloc_basic.dir/test_nvalloc_basic.cc.o.d"
+  "test_nvalloc_basic"
+  "test_nvalloc_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvalloc_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

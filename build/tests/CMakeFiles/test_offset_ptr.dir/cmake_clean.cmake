@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offset_ptr.dir/test_offset_ptr.cc.o"
+  "CMakeFiles/test_offset_ptr.dir/test_offset_ptr.cc.o.d"
+  "test_offset_ptr"
+  "test_offset_ptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offset_ptr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

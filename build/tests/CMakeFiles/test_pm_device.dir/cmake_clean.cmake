@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_device.dir/test_pm_device.cc.o"
+  "CMakeFiles/test_pm_device.dir/test_pm_device.cc.o.d"
+  "test_pm_device"
+  "test_pm_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

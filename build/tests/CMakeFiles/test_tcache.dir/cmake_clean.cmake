@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcache.dir/test_tcache.cc.o"
+  "CMakeFiles/test_tcache.dir/test_tcache.cc.o.d"
+  "test_tcache"
+  "test_tcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
