@@ -67,6 +67,15 @@ class PmAllocator
 
     /** Recover after restart/crash; returns modeled virtual ns. */
     virtual uint64_t recover() { return 0; }
+
+    /**
+     * Simulate a power cut: roll the device back to its persisted
+     * image (honouring any installed fault-injection policy) and
+     * neuter in-DRAM allocator state. Call recover() afterwards.
+     * Requires the device's shadow mode. The same hook works for
+     * every allocator, so crash sweeps can drive baselines too.
+     */
+    virtual void simulateCrash() { device().crash(); }
 };
 
 } // namespace nvalloc

@@ -88,6 +88,14 @@ class NvAllocAdapter : public PmAllocator
         return alloc_->lastRecovery().virtual_ns;
     }
 
+    void
+    simulateCrash() override
+    {
+        // NvAlloc must also neuter its destructor (a killed process
+        // runs no shutdown path), not just roll the device back.
+        alloc_->simulateCrash();
+    }
+
     NvAlloc &impl() { return *alloc_; }
 
   private:

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Metadata checksums for torn-persist detection.
+ *
+ * Two flavours, matched to the budget of the structure they protect:
+ *
+ *  - crc32(): CRC-32C (Castagnoli), table-driven. Used where a
+ *    structure has a dedicated 32-bit field (WAL entries, log chunk
+ *    headers, slab headers, the superblock). Detects any single torn
+ *    8-byte word within the covered range.
+ *  - xorFold8(): folds a 64-bit word to 8 bits with a mixing multiply
+ *    and a nonzero seed. Used for the 8-byte bookkeeping-log entries,
+ *    which have no room for a wider code; the seed guarantees a valid
+ *    entry is never all-zero, so "never written" (zeroed media) always
+ *    fails validation.
+ */
+
+#ifndef NVALLOC_COMMON_CHECKSUM_H
+#define NVALLOC_COMMON_CHECKSUM_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace nvalloc {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256>
+crc32cTable()
+{
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = crc32cTable();
+
+} // namespace detail
+
+/** CRC-32C of `len` bytes at `data`. */
+inline uint32_t
+crc32(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint32_t c = 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = detail::kCrc32cTable[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+/**
+ * Fold a 64-bit value to 8 bits. The multiply diffuses every input bit
+ * into the top byte so field-swapped values fold differently; the
+ * final xor with 0xA5 makes the fold of 0 nonzero.
+ */
+constexpr uint8_t
+xorFold8(uint64_t v)
+{
+    v *= 0x9e3779b97f4a7c15ull;
+    v ^= v >> 32;
+    v ^= v >> 16;
+    v ^= v >> 8;
+    return uint8_t((v & 0xff) ^ 0xa5);
+}
+
+} // namespace nvalloc
+
+#endif // NVALLOC_COMMON_CHECKSUM_H

@@ -45,12 +45,13 @@ void
 BookkeepingLog::attach(PmDevice *dev, uint64_t region_off,
                        size_t region_bytes, bool interleaved,
                        bool flush_enabled, double gc_threshold,
-                       bool create)
+                       bool create, bool verify)
 {
     dev_ = dev;
     region_off_ = region_off;
     region_bytes_ = region_bytes;
     flush_ = flush_enabled;
+    verify_ = verify;
     gc_threshold_ = gc_threshold;
     header_ = static_cast<LogHeader *>(dev->at(region_off));
     max_chunks_ = (region_bytes - kHeaderArea) / kChunkStride;
@@ -68,11 +69,21 @@ BookkeepingLog::attach(PmDevice *dev, uint64_t region_off,
         // allocator config the superblock persists, so attach() is
         // always called with the same interleaving the log was
         // written with.
-        persistLine(header_, sizeof(LogHeader));
+        persistHeader();
         if (flush_)
             dev_->fence();
     } else {
         NV_ASSERT(header_->magic == kLogMagic);
+        // The header is the log's single root: if it cannot be
+        // trusted no chunk can be found, so a corrupt one is fatal
+        // rather than quarantinable. alt is outside the crc (see
+        // layout.h) and gets a structural check instead; head[] is
+        // bounds-checked by replay before being followed.
+        if (verify_ && (dev_->isPoisoned(header_, sizeof(LogHeader)) ||
+                        header_->crc != logHeaderCrc(*header_) ||
+                        header_->alt > 1 ||
+                        header_->num_chunks > max_chunks_))
+            NV_FATAL("bookkeeping log header corrupt (crc/poison)");
     }
 
     map_ = InterleaveMap::build(kLogEntriesPerChunk, 64, stripes);
@@ -91,6 +102,22 @@ BookkeepingLog::persistLine(const void *addr, size_t len)
         dev_->persist(addr, len, TimeKind::FlushLog);
 }
 
+void
+BookkeepingLog::persistHeader()
+{
+    header_->crc = logHeaderCrc(*header_);
+    persistLine(header_, sizeof(LogHeader));
+}
+
+void
+BookkeepingLog::persistChunkHeader(LogChunk *pc)
+{
+    // id/active/crc all live in the chunk's first cache line, so this
+    // stays a single flush.
+    pc->crc = logChunkCrc(*pc);
+    persistLine(pc, offsetof(LogChunk, pad));
+}
+
 BookkeepingLog::VChunk *
 BookkeepingLog::takeFreeChunk()
 {
@@ -102,7 +129,7 @@ BookkeepingLog::takeFreeChunk()
         vc->chunk_off = chunkOffset(carved_chunks_);
         ++carved_chunks_;
         header_->num_chunks = uint32_t(carved_chunks_);
-        persistLine(header_, sizeof(LogHeader));
+        persistHeader();
         return vc;
     }
     VChunk *vc = free_list_;
@@ -112,7 +139,7 @@ BookkeepingLog::takeFreeChunk()
 }
 
 BookkeepingLog::VChunk *
-BookkeepingLog::activateChunk(VChunk *list_tail)
+BookkeepingLog::activateChunk(VChunk *list_tail, uint32_t list)
 {
     VChunk *vc = takeFreeChunk();
     if (!vc)
@@ -129,16 +156,25 @@ BookkeepingLog::activateChunk(VChunk *list_tail)
     pc->id = vc->id;
     pc->active = 1;
     pc->next = 0;
+    pc->crc = logChunkCrc(*pc);
     // One sequential burst: the zeroed entry area plus the header.
     persistLine(pc, sizeof(LogChunk));
 
     if (list_tail) {
+        // next is outside the chunk crc: one atomic word, and a torn
+        // old value just means this chunk (which nothing depends on
+        // until the fence below retires) stays unlinked.
         LogChunk *prev = chunkAt(*list_tail);
         prev->next = vc->chunk_off;
-        persistLine(&prev->next, sizeof(prev->next));
+        persistLine(&prev->next, sizeof(uint64_t));
     } else {
-        header_->head[header_->alt] = vc->chunk_off;
-        persistLine(header_, sizeof(LogHeader));
+        // One 8-byte word; the crc does not cover head[] (layout.h),
+        // so a torn persist leaves either the old or the new link —
+        // and the fence below retires it before any entry in this
+        // chunk can commit, so the old link implies nothing depended
+        // on the chunk yet.
+        header_->head[list] = vc->chunk_off;
+        persistLine(&header_->head[list], sizeof(uint64_t));
     }
     if (flush_)
         dev_->fence();
@@ -178,12 +214,12 @@ BookkeepingLog::ensureTail()
             return;
     }
 
-    VChunk *vc = activateChunk(tail_);
+    VChunk *vc = activateChunk(tail_, header_->alt);
     if (!vc) {
         slowGc();
         if (tail_ && tail_->next_slot < kLogEntriesPerChunk)
             return;
-        vc = activateChunk(tail_);
+        vc = activateChunk(tail_, header_->alt);
         if (!vc)
             NV_FATAL("bookkeeping log region exhausted");
     }
@@ -261,17 +297,26 @@ void
 BookkeepingLog::releaseChunk(VChunk *vc, VChunk *prev)
 {
     LogChunk *pc = chunkAt(*vc);
-    pc->active = 0;
-    persistLine(&pc->active, sizeof(pc->active));
 
+    // Unlink first, in its own fenced epoch: next/head live outside
+    // the crcs (layout.h), so the unlink is one atomic word. Only then
+    // deactivate the now-unreachable chunk — deactivation rewrites its
+    // crc across two words, and a torn persist of a chunk still in the
+    // chain would reject it at replay and truncate the chain behind
+    // it, dropping committed entries.
     if (prev) {
         LogChunk *pp = chunkAt(*prev);
         pp->next = pc->next;
-        persistLine(&pp->next, sizeof(pp->next));
+        persistLine(&pp->next, sizeof(uint64_t));
     } else {
         header_->head[header_->alt] = pc->next;
-        persistLine(header_, sizeof(LogHeader));
+        persistLine(&header_->head[header_->alt], sizeof(uint64_t));
     }
+    if (flush_)
+        dev_->fence();
+
+    pc->active = 0;
+    persistChunkHeader(pc);
     if (flush_)
         dev_->fence();
 
@@ -309,20 +354,21 @@ BookkeepingLog::slowGc()
         }
     }
 
-    // Build list_new under the alternate head.
-    uint32_t old_alt = header_->alt;
-    header_->alt = 1 - old_alt;
+    // Build list_new under the alternate head. alt itself is not
+    // touched until the chain is complete: every chunk activation
+    // below persists header words, and flipping alt in DRAM first
+    // would let those persists publish a half-built chain — a crash
+    // mid-copy would then recover from it and silently drop every
+    // entry not yet copied.
+    uint32_t new_alt = 1 - header_->alt;
     VChunk *new_tail = nullptr;
     size_t copied = 0;
     live_entries_ = 0;
     for (const Live &e : survivors) {
         if (!new_tail || new_tail->next_slot == kLogEntriesPerChunk) {
-            VChunk *vc = activateChunk(new_tail);
-            if (!vc) {
-                // Roll back the alt switch; caller will fail loudly.
-                header_->alt = old_alt;
+            VChunk *vc = activateChunk(new_tail, new_alt);
+            if (!vc)
                 NV_FATAL("log region too small for slow GC");
-            }
             new_tail = vc;
         }
         unsigned slot = new_tail->next_slot++;
@@ -337,8 +383,13 @@ BookkeepingLog::slowGc()
     }
     stats_.entries_copied += copied;
 
-    // Publish: one persistent bit flip moves recovery to list_new.
-    persistLine(header_, sizeof(LogHeader));
+    // Publish: one persistent word flip moves recovery to list_new.
+    // All of list_new is durable (each activation and entry write was
+    // fenced), and alt lives outside the header crc in its own 8-byte
+    // word, so this update is atomic under word tearing: recovery sees
+    // either the complete old list or the complete new one.
+    header_->alt = new_alt;
+    persistLine(&header_->alt, sizeof(uint32_t));
     if (flush_)
         dev_->fence();
 
@@ -346,7 +397,7 @@ BookkeepingLog::slowGc()
     for (VChunk *vc : old_chunks) {
         LogChunk *pc = chunkAt(*vc);
         pc->active = 0;
-        persistLine(&pc->active, sizeof(pc->active));
+        persistChunkHeader(pc);
         active_.erase(vc);
         --active_count_;
         vc->next_free = free_list_;
@@ -365,13 +416,38 @@ BookkeepingLog::replay(const std::function<void(LogType, uint64_t,
 
     // Pass 1: adopt the published chain, rebuild bitmaps, apply
     // tombstones.
+    // head[] lives outside the header crc (layout.h), so validate the
+    // chain offsets structurally before dereferencing them: a torn or
+    // corrupted link must end the chain, not walk wild memory.
+    auto valid_chunk_off = [&](uint64_t o) {
+        return o >= region_off_ + kHeaderArea &&
+               o + kChunkStride <= region_off_ + region_bytes_ &&
+               (o - region_off_ - kHeaderArea) % kChunkStride == 0;
+    };
+
     uint64_t off = header_->head[header_->alt];
     uint32_t max_id = 0;
     std::vector<VChunk *> chain;
     while (off) {
+        if (!valid_chunk_off(off)) {
+            ++stats_.replay_chunks_rejected;
+            break;
+        }
         // Reading one chunk (17 lines) is a short sequential burst.
         VClock::advance(300, TimeKind::PmRead);
         LogChunk *pc = static_cast<LogChunk *>(dev_->at(off));
+        if (verify_) {
+            // Header crc over one cached line (~a few cycles, charged
+            // with the chunk read above). A corrupt or poisoned chunk
+            // header ends the chain: everything behind it is
+            // unreachable anyway, and adopting a garbage next pointer
+            // would walk wild offsets.
+            if (dev_->isPoisoned(pc, kHeaderArea) ||
+                pc->crc != logChunkCrc(*pc)) {
+                ++stats_.replay_chunks_rejected;
+                break;
+            }
+        }
         VChunk *vc = new VChunk;
         vc->chunk_off = off;
         vc->id = pc->id;
@@ -382,9 +458,24 @@ BookkeepingLog::replay(const std::function<void(LogType, uint64_t,
             max_id = vc->id;
 
         for (unsigned slot = 0; slot < kLogEntriesPerChunk; ++slot) {
-            uint64_t packed = pc->entries[map_.physical(slot)];
-            if (packed == 0)
+            unsigned phys = map_.physical(slot);
+            uint64_t packed = pc->entries[phys];
+            if (verify_) {
+                // ~1 ns of crc math per entry; a zeroed slot fails the
+                // fold too (its csum is 0xa5), so "first bad entry"
+                // doubles as "end of the densely-appended chunk". A
+                // nonzero bad word is a torn append: the entry never
+                // committed, drop it and everything after.
+                VClock::advance(1, TimeKind::PmRead);
+                if (dev_->isPoisoned(&pc->entries[phys], 8) ||
+                    !logEntryChecksumOk(packed)) {
+                    if (packed != 0)
+                        ++stats_.replay_entries_rejected;
+                    break;
+                }
+            } else if (packed == 0) {
                 break; // appends are dense in logical order
+            }
             vc->next_slot = slot + 1;
             LogType type = logEntryType(packed);
             if (type == kLogTombstone) {
@@ -408,6 +499,23 @@ BookkeepingLog::replay(const std::function<void(LogType, uint64_t,
     }
     next_id_ = max_id + 1;
     tail_ = chain.empty() ? nullptr : chain.back();
+
+    // A crash can commit a chunk's chain link while dropping the
+    // num_chunks bump of the same epoch. The chain is authoritative:
+    // raise the carve count over every adopted chunk so future carving
+    // can never hand out a chunk that is already linked.
+    for (VChunk *vc : chain) {
+        size_t idx =
+            (vc->chunk_off - region_off_ - kHeaderArea) / kChunkStride;
+        if (idx >= carved_chunks_)
+            carved_chunks_ = idx + 1;
+    }
+    if (carved_chunks_ != header_->num_chunks) {
+        header_->num_chunks = uint32_t(carved_chunks_);
+        persistHeader();
+        if (flush_)
+            dev_->fence();
+    }
 
     // Unreachable carved chunks (e.g. an unpublished list_new from a
     // crashed slow GC) go back to the free pool.

@@ -58,6 +58,8 @@ class BookkeepingLog
         uint64_t fast_gcs = 0;
         uint64_t slow_gcs = 0;
         uint64_t entries_copied = 0;
+        uint64_t replay_entries_rejected = 0; //!< bad fold csum/poison
+        uint64_t replay_chunks_rejected = 0;  //!< bad header crc/poison
     };
 
     BookkeepingLog() = default;
@@ -70,7 +72,7 @@ class BookkeepingLog
      */
     void attach(PmDevice *dev, uint64_t region_off, size_t region_bytes,
                 bool interleaved, bool flush_enabled, double gc_threshold,
-                bool create);
+                bool create, bool verify = true);
 
     /** Append a normal or slab entry; `owner` is the volatile object
      *  (VEH) to notify on relocation. */
@@ -120,6 +122,7 @@ class BookkeepingLog
     uint64_t region_off_ = 0;
     size_t region_bytes_ = 0;
     bool flush_ = true;
+    bool verify_ = true; //!< checksum-verify chunks/entries on replay
     double gc_threshold_ = 0.5;
     InterleaveMap map_;
     LogHeader *header_ = nullptr;
@@ -142,8 +145,10 @@ class BookkeepingLog
     }
 
     uint64_t chunkOffset(size_t index) const;
+    void persistHeader();
+    void persistChunkHeader(LogChunk *pc);
     void ensureTail();
-    VChunk *activateChunk(VChunk *list_tail);
+    VChunk *activateChunk(VChunk *list_tail, uint32_t list);
     VChunk *takeFreeChunk();
     void releaseChunk(VChunk *vc, VChunk *prev);
     void fastGc();

@@ -82,6 +82,16 @@ struct NvAllocConfig
     /** When false, skips all flush calls (eADR platform, §6.7); the
      *  device's latency model should be set to eADR mode as well. */
     bool flush_enabled = true;
+
+    /**
+     * Verify checksums (WAL entries, log chunks/entries, slab
+     * headers) while recovering, rejecting torn or poisoned metadata
+     * instead of interpreting it. Costs a little recovery-time crc
+     * math (Fig. 18 reports both settings); turning it off reverts
+     * to trusting the media, which is only safe on the idealized
+     * no-fault device.
+     */
+    bool verify_recovery_checksums = true;
 };
 
 } // namespace nvalloc

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/checksum.h"
 #include "common/size_classes.h"
 
 namespace nvalloc {
@@ -31,6 +32,11 @@ namespace nvalloc {
 constexpr uint64_t kSuperMagic = 0x4e56414c4c4f4321ULL; // "NVALLOC!"
 constexpr uint32_t kSlabMagic = 0x534c4142;             // "SLAB"
 constexpr uint64_t kLogMagic = 0x4e564c4f47484452ULL;   // "NVLOGHDR"
+
+/** On-media format version. 2 added checksums on every persistent
+ *  header (WAL entries, log chunks, slab headers, superblock) and the
+ *  superblock quarantine list. */
+constexpr uint32_t kSuperVersion = 2;
 
 constexpr size_t kRegionSize = 4 * 1024 * 1024;  //!< heap growth grain
 constexpr size_t kRegionHeaderSize = 64 * 1024;  //!< in-place desc area
@@ -62,7 +68,17 @@ enum class ArenaState : uint32_t
  * flag encodes the morph step: 0 = regular slab (or slab_in after all
  * three steps — old_* fields are then live iff index_count > 0 is
  * still being tracked by the volatile cnt_slab), 1..3 = morph in
- * progress, crashed mid-transformation ⇒ undo.
+ * progress, crashed mid-transformation ⇒ undo (flag ≤ 2) or roll
+ * forward (flag 3).
+ *
+ * Word-tearing discipline: a power cut may persist any subset of this
+ * line's 8-byte words (x86 atomicity floor), so no morph step may need
+ * two words of the same epoch to land together. size_class shares its
+ * word with flag (they change together in step 3 and are therefore
+ * atomic), the staged old/new geometry fields are fenced before the
+ * step-3 epoch starts, and the crc covers only the adoption-trusted
+ * quintuple so steps 1/2 and finishMorph never touch a crc-covered
+ * word. Recovery repairs a torn step 3 from the staging fields.
  */
 struct SlabHeader
 {
@@ -76,7 +92,11 @@ struct SlabHeader
     uint16_t old_data_offset_k; //!< old data offset (always header size)
     uint16_t index_count;      //!< live entries in index_table
     uint16_t old_capacity;
-    uint8_t pad0[40];          //!< pad fixed fields to one cache line
+    uint32_t crc;              //!< crc32c, see slabGeometryCrc()
+    uint16_t old_stripes;      //!< staged: pre-morph stripe count
+    uint16_t new_size_class;   //!< staged: morph target class
+    uint16_t new_stripes;      //!< staged: morph target stripes
+    uint8_t pad0[30];          //!< pad fixed fields to one cache line
 
     /** Interleaved allocation bitmap; bit = 1 ⇒ block allocated. */
     uint8_t bitmap[kSlabBitmapBytes];
@@ -93,6 +113,43 @@ struct SlabHeader
 };
 
 static_assert(sizeof(SlabHeader) == kSlabHeaderSize);
+
+/**
+ * Checksum of the adoption-trusted geometry quintuple — magic,
+ * size_class, data_offset, capacity, stripes — with flag zeroed.
+ *
+ * Deliberately excluded:
+ *  - the bitmap: bits are flushed one line at a time on the allocation
+ *    fast path, and WAL replay already covers a torn bit;
+ *  - flag and the morph staging fields (old_*, new_*, index_table):
+ *    they change under the flag-step undo/redo protocol, and covering
+ *    them would make every setFlag a multi-word update that 8-byte
+ *    tearing could split into a false corruption. With this scope,
+ *    only morph step 3 changes a crc-covered word, and recovery can
+ *    validate a torn step 3 against the staged old/new quintuples
+ *    (headerLooksValid) and repair it from the same staging.
+ */
+inline uint32_t
+slabGeometryCrc(uint16_t cls, uint16_t capacity, uint16_t stripes)
+{
+    const struct
+    {
+        uint32_t magic;
+        uint16_t size_class;
+        uint16_t flag;
+        uint32_t data_offset;
+        uint16_t capacity;
+        uint16_t stripes;
+    } q{kSlabMagic, cls, 0, uint32_t(kSlabHeaderSize), capacity, stripes};
+    static_assert(sizeof(q) == 16);
+    return crc32(&q, sizeof(q));
+}
+
+inline uint32_t
+slabHeaderCrc(const SlabHeader &h)
+{
+    return slabGeometryCrc(h.size_class, h.capacity, h.stripes);
+}
 
 constexpr uint16_t kIndexAllocated = 0x8000;
 constexpr uint16_t kIndexBlockMask = 0x7fff;
@@ -116,11 +173,21 @@ static_assert(sizeof(ExtentDesc) == 64);
 constexpr unsigned kDescsPerRegion = kRegionHeaderSize / sizeof(ExtentDesc);
 
 /**
- * WAL entry (32 B): journal of one in-flight malloc/free. Only the
- * newest entry of a ring can describe an incomplete operation (threads
- * are synchronous), so appending entry k+1 implicitly commits entry k;
- * replay inspects the highest-sequence entry and decides completion by
- * checking whether the user's attach word holds the block offset.
+ * WAL entry (one cache line): journal of one in-flight malloc/free.
+ * Only the newest entry of a ring can describe an incomplete operation
+ * (threads are synchronous), so appending entry k+1 implicitly commits
+ * entry k; replay inspects the highest-sequence entry and decides
+ * completion by checking whether the user's attach word holds the
+ * block offset.
+ *
+ * The crc covers the four payload words. A torn or poisoned entry
+ * fails verification and replay treats it as uncommitted: the
+ * operation it described never finished, so it is undone, never
+ * replayed forward from garbage.
+ *
+ * Sized to exactly one line so an entry can never straddle two lines:
+ * the append stays a single flush and a torn persist cannot split one
+ * entry across independently-landing lines.
  */
 struct WalEntry
 {
@@ -129,7 +196,17 @@ struct WalEntry
     uint64_t where_off; //!< attach word's device offset (kWalNoWhere
                         //!< if the attach target is volatile)
     uint64_t size;
+    uint64_t crc;       //!< crc32c of the 32 payload bytes above
+    uint8_t pad[kCacheLine - 40];
 };
+
+static_assert(sizeof(WalEntry) == kCacheLine);
+
+inline uint32_t
+walEntryCrc(const WalEntry &e)
+{
+    return crc32(&e, offsetof(WalEntry, crc));
+}
 
 enum WalOp : uint64_t
 {
@@ -140,14 +217,21 @@ enum WalOp : uint64_t
 
 constexpr uint64_t kWalNoWhere = ~uint64_t{0};
 
-// 64 logical entries; the physical ring is 4 KB because stripe padding
-// can inflate the footprint by ~50%.
-constexpr unsigned kWalRingEntries = 64;
+// 32 logical entries; the physical ring is 4 KB because stripe padding
+// can inflate the footprint (S * ceil(32/S) physical slots, at most 64
+// for any stripe count <= 32).
+constexpr unsigned kWalRingEntries = 32;
 constexpr size_t kWalRingBytes = 4096;
 
 /** Bookkeeping log entry (8 B; paper §5.3): [63:62] type,
- *  [61:26] addr in 4 KB units, [25:0] size in bytes.
- *  Tombstones reuse addr = target chunk id, size = target slot. */
+ *  [61:54] fold checksum, [53:26] addr in 4 KB units (covers a 1 TB
+ *  device), [25:0] size in bytes.
+ *  Tombstones reuse addr = target chunk id, size = target slot.
+ *
+ *  The checksum rides inside the word, so an entry append is still a
+ *  single atomic 8-byte store. A zeroed word never verifies (the fold
+ *  of 0 is 0xa5), which makes "first bad entry" double as "end of the
+ *  densely-appended chunk" during replay. */
 enum LogType : uint64_t
 {
     kLogFree = 0,
@@ -156,12 +240,16 @@ enum LogType : uint64_t
     kLogTombstone = 3,
 };
 
+constexpr unsigned kLogCsumShift = 54;
+constexpr uint64_t kLogCsumMask = 0xffULL << kLogCsumShift;
+
 constexpr uint64_t
 logEntryPack(LogType type, uint64_t addr_or_chunk, uint64_t size_or_slot)
 {
-    return (uint64_t(type) << 62) |
-           ((addr_or_chunk & 0xfffffffffULL) << 26) |
-           (size_or_slot & 0x3ffffffULL);
+    uint64_t raw = (uint64_t(type) << 62) |
+                   ((addr_or_chunk & 0xfffffffULL) << 26) |
+                   (size_or_slot & 0x3ffffffULL);
+    return raw | (uint64_t(xorFold8(raw)) << kLogCsumShift);
 }
 
 constexpr LogType
@@ -173,13 +261,20 @@ logEntryType(uint64_t e)
 constexpr uint64_t
 logEntryAddr(uint64_t e)
 {
-    return (e >> 26) & 0xfffffffffULL;
+    return (e >> 26) & 0xfffffffULL;
 }
 
 constexpr uint64_t
 logEntrySize(uint64_t e)
 {
     return e & 0x3ffffffULL;
+}
+
+constexpr bool
+logEntryChecksumOk(uint64_t e)
+{
+    return xorFold8(e & ~kLogCsumMask) ==
+           uint8_t((e & kLogCsumMask) >> kLogCsumShift);
 }
 
 constexpr unsigned kLogEntriesPerChunk = 128;
@@ -190,28 +285,80 @@ constexpr unsigned kLogEntriesPerChunk = 128;
 constexpr unsigned kLogChunkStripes = 8;
 constexpr size_t kLogChunkDataBytes = kLogEntriesPerChunk * 8; // 1 KB
 
-/** Persistent log chunk: one header line + 1 KB of entries. */
+/**
+ * Persistent log chunk: one header line + 1 KB of entries.
+ *
+ * Word-tearing discipline (cf. LogHeader): `next` is rewritten in
+ * place when a successor chunk is linked, so it sits outside the crc —
+ * covering it would pair that single-word update with a crc update in
+ * another word, and a torn persist of the pair would invalidate this
+ * chunk and its already-committed entries. A torn `next` on its own is
+ * old-or-new by word atomicity; replay bounds-checks it before
+ * following, and the successor validates itself with its own crc.
+ */
 struct LogChunk
 {
     uint32_t id;
     uint32_t active;
+    uint32_t crc;       //!< crc32c of {id, active}
+    uint32_t pad0;
     uint64_t next;      //!< device offset of next active chunk (0 = end)
-    uint8_t pad[48];
+    uint8_t pad[40];
     uint64_t entries[kLogEntriesPerChunk];
 };
 
 static_assert(sizeof(LogChunk) == 64 + kLogChunkDataBytes);
 
-/** Persistent log file header (paper Fig. 8). */
+inline uint32_t
+logChunkCrc(const LogChunk &c)
+{
+    return crc32(&c, offsetof(LogChunk, crc));
+}
+
+/**
+ * Persistent log file header (paper Fig. 8).
+ *
+ * The field order enforces a word-tearing discipline: under 8-byte
+ * persist atomicity, every legitimate header mutation dirties exactly
+ * one 8-byte word, so a crash can never leave the header in a state
+ * that existed on neither side of the update.
+ *
+ *  - carving a chunk bumps num_chunks, which shares its word with the
+ *    crc — the count and the checksum commit or tear together;
+ *  - linking a list's first chunk rewrites one head[] word (fenced
+ *    before anything that depends on the chunk);
+ *  - the slow-GC publish flips the alt word alone.
+ *
+ * head[] and alt are deliberately outside the crc: including them
+ * would pair each of those single-word updates with a crc update in a
+ * different word, and a torn persist could then split payload from
+ * checksum and turn a survivable crash into a fatal "corrupt header".
+ * They are validated structurally instead — alt must be 0/1, and
+ * replay bounds-checks every chain offset before following it.
+ */
 struct LogHeader
 {
     uint64_t magic;
-    uint64_t head[2];   //!< offsets of the two chunk-list heads
-    uint32_t alt;       //!< which head[] is live
     uint32_t num_chunks; //!< chunks ever carved from the file
+    uint32_t crc;        //!< crc32c of the 12 bytes above
+    uint64_t head[2];    //!< offsets of the two chunk-list heads
+    uint32_t alt;        //!< which head[] is live
+    uint32_t pad;
 };
 
-/** Superblock anchored in the device root area. */
+inline uint32_t
+logHeaderCrc(const LogHeader &h)
+{
+    return crc32(&h, offsetof(LogHeader, crc));
+}
+
+/** Slabs recovery refused to adopt (bad header after a crash +
+ *  media fault). Their space is leaked deliberately — quarantined —
+ *  instead of aborting the whole heap. */
+constexpr unsigned kQuarantineSlots = 12;
+
+/** Superblock anchored in the device root area. Must stay within 512
+ *  bytes: the region table begins at root offset 512. */
 struct NvSuperblock
 {
     uint64_t magic;
@@ -227,9 +374,25 @@ struct NvSuperblock
     uint64_t gc_roots[kNumGcRoots]; //!< device offsets, 0 = unset
 
     uint32_t arena_state[kMaxArenas];
+
+    /** Device offsets of quarantined slabs (0 = empty slot). */
+    uint64_t quarantine[kQuarantineSlots];
+    uint32_t quarantine_count;
+
+    /** crc32c of the config fields [8, 48): version..wal_off. The
+     *  magic is excluded (it is published after the crc is in place);
+     *  runtime-mutable fields (gc_roots, arena_state, quarantine) are
+     *  excluded and protected by their own update protocols. */
+    uint32_t sb_crc;
 };
 
-static_assert(sizeof(NvSuperblock) <= 4096);
+static_assert(sizeof(NvSuperblock) <= 512);
+
+inline uint32_t
+superblockCrc(const NvSuperblock &sb)
+{
+    return crc32(reinterpret_cast<const char *>(&sb) + 8, 40);
+}
 
 } // namespace nvalloc
 

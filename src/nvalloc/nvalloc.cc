@@ -92,7 +92,7 @@ NvAlloc::createHeap()
 {
     std::memset(sb_, 0, PmDevice::kRootSize);
 
-    sb_->version = 1;
+    sb_->version = kSuperVersion;
     sb_->num_arenas = cfg_.num_arenas;
     sb_->stripes = cfg_.bit_stripes;
     sb_->consistency = logMode() ? 0 : (gcMode() ? 1 : 2);
@@ -114,10 +114,53 @@ NvAlloc::createHeap()
             &attached_threads_));
     }
 
-    // Publish the superblock last: magic commits the format.
+    // Publish the superblock last: the config crc goes durable with
+    // the body, then magic commits the format.
+    sb_->sb_crc = superblockCrc(*sb_);
     dev_.persistFence(sb_, PmDevice::kRootSize, TimeKind::FlushMeta);
     sb_->magic = kSuperMagic;
     dev_.persistFence(sb_, kCacheLine, TimeKind::FlushMeta);
+}
+
+bool
+NvAlloc::isQuarantined(uint64_t off) const
+{
+    unsigned n = std::min(sb_->quarantine_count, kQuarantineSlots);
+    for (unsigned i = 0; i < n; ++i) {
+        if (sb_->quarantine[i] == off)
+            return true;
+    }
+    return false;
+}
+
+std::vector<uint64_t>
+NvAlloc::quarantinedSlabs() const
+{
+    unsigned n = std::min(sb_->quarantine_count, kQuarantineSlots);
+    return std::vector<uint64_t>(sb_->quarantine, sb_->quarantine + n);
+}
+
+void
+NvAlloc::quarantineSlab(uint64_t off)
+{
+    ++recovery_.slabs_quarantined;
+    if (isQuarantined(off))
+        return;
+    if (sb_->quarantine_count >= kQuarantineSlots) {
+        // List full: the slab is still skipped this run, but the
+        // refusal will have to be re-derived after the next crash.
+        NV_WARN("quarantine list full; slab refusal not recorded");
+        return;
+    }
+    // Persist the slot before the count: the count commits the entry,
+    // so a crash between the two flushes loses at most the record,
+    // never publishes a garbage offset.
+    sb_->quarantine[sb_->quarantine_count] = off;
+    dev_.persistFence(&sb_->quarantine[sb_->quarantine_count],
+                      sizeof(uint64_t), TimeKind::FlushMeta);
+    ++sb_->quarantine_count;
+    dev_.persistFence(&sb_->quarantine_count, sizeof(uint32_t),
+                      TimeKind::FlushMeta);
 }
 
 ThreadCtx *

@@ -64,7 +64,13 @@ struct ThreadCtx
     unsigned wal_slot;
 };
 
-/** What recovery did; returned by lastRecovery(). */
+/**
+ * Structured report of what recovery did; returned by lastRecovery().
+ * The rejection counters are only non-zero when the heap crashed under
+ * fault injection (or real media faults): they record metadata that
+ * failed checksum/poison verification and was treated as uncommitted
+ * or quarantined rather than trusted.
+ */
 struct RecoveryInfo
 {
     bool performed = false;
@@ -74,11 +80,19 @@ struct RecoveryInfo
     uint64_t free_extents_rebuilt = 0;
     uint64_t wal_completions = 0;    //!< in-flight ops rolled forward
     uint64_t wal_undos = 0;          //!< in-flight ops rolled back
+    uint64_t wal_rejected = 0;       //!< torn/poisoned WAL entries
+    uint64_t log_entries_rejected = 0; //!< bad bookkeeping-log entries
+    uint64_t log_chunks_rejected = 0;  //!< bad log chunk headers
+    uint64_t slabs_quarantined = 0;  //!< headers refused this recovery
+    uint64_t lines_poisoned = 0;     //!< media-poisoned device lines
     uint64_t gc_marked_blocks = 0;   //!< GC variant: reachable blocks
     uint64_t gc_reclaimed_blocks = 0; //!< GC variant: leaked blocks
     uint64_t gc_reclaimed_extents = 0;
     uint64_t virtual_ns = 0;         //!< modeled recovery time
 };
+
+/** Public name for the structured recovery report. */
+using RecoveryReport = RecoveryInfo;
 
 class NvAlloc
 {
@@ -168,6 +182,24 @@ class NvAlloc
     const NvAllocConfig &config() const { return cfg_; }
     const RecoveryInfo &lastRecovery() const { return recovery_; }
 
+    // ---- fault containment ------------------------------------------
+
+    /** True if recovery quarantined the slab at device offset `off`
+     *  (this run or any earlier one — the list is persistent). */
+    bool isQuarantined(uint64_t off) const;
+
+    /** The persistent quarantine list: slabs whose headers could not
+     *  be trusted after a crash. Their 64 KB is deliberately leaked. */
+    std::vector<uint64_t> quarantinedSlabs() const;
+
+    /** Device offset of thread slot `slot`'s WAL ring (fault-injection
+     *  tests corrupt entries through this). */
+    uint64_t
+    walRingOffset(unsigned slot) const
+    {
+        return sb_->wal_off + uint64_t(slot) * kWalRingBytes;
+    }
+
     // ---- introspection (tests, benches) -----------------------------
 
     LargeAllocator &large() { return large_; }
@@ -218,6 +250,7 @@ class NvAlloc
 
     void createHeap();
     void recoverHeap();
+    void quarantineSlab(uint64_t off);
     void replayWals();
     void conservativeGc();
     void clearWalRings();

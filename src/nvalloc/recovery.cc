@@ -16,6 +16,7 @@
  * reclaiming leaked blocks and extents.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,9 +42,18 @@ NvAlloc::recoverHeap()
     }
     setArenaStates(ArenaState::Recovering);
 
+    // The superblock is the root of trust: if its config fields are
+    // torn or poisoned, nothing below it can be located, so this is
+    // the one corruption recovery cannot contain.
+    recovery_.lines_poisoned = dev_.poisonedLineCount();
+    if (cfg_.verify_recovery_checksums &&
+        (dev_.isPoisoned(sb_, sizeof(NvSuperblock)) ||
+         sb_->sb_crc != superblockCrc(*sb_)))
+        NV_FATAL("superblock corrupt (crc/poison)");
+
     // The on-media format pins geometry choices; honour them over the
     // (possibly different) requested config.
-    NV_ASSERT(sb_->version == 1);
+    NV_ASSERT(sb_->version == kSuperVersion);
     cfg_.num_arenas = sb_->num_arenas;
     cfg_.bit_stripes = sb_->stripes;
     cfg_.consistency = sb_->consistency == 0
@@ -68,6 +78,18 @@ NvAlloc::recoverHeap()
         // (paper Fig. 18: 45 ms vs 34 ms).
         for (int line = 0; line < 8; ++line)
             dev_.chargeRead(true);
+        if (isQuarantined(off))
+            return; // refused in an earlier recovery; still leaked
+        if (!VSlab::headerLooksValid(&dev_, off,
+                                     cfg_.verify_recovery_checksums)) {
+            // A slab whose header cannot be trusted is contained, not
+            // fatal: its 64 KB is leaked into the persistent
+            // quarantine list and the rest of the heap stays usable.
+            quarantineSlab(off);
+            return;
+        }
+        if (cfg_.verify_recovery_checksums)
+            VClock::advance(2, TimeKind::Other); // header crc math
         auto *slab = new VSlab(&dev_, off, cfg_.flush_enabled,
                                gcMode());
         // Per-block vbitmap/counter reconstruction.
@@ -83,7 +105,8 @@ NvAlloc::recoverHeap()
     if (usesBookkeepingLog()) {
         log_.attach(&dev_, sb_->log_off, sb_->log_bytes,
                     cfg_.interleaved_log, cfg_.flush_enabled,
-                    cfg_.log_gc_threshold, /*create=*/false);
+                    cfg_.log_gc_threshold, /*create=*/false,
+                    cfg_.verify_recovery_checksums);
         // Paper: "perform a slow GC on the persistent bookkeeping log
         // to clean up its tombstone entries. Then scan and process
         // every log entry."
@@ -96,6 +119,10 @@ NvAlloc::recoverHeap()
         });
         log_.slowGc();
         large_.rebuildFreeSpace();
+        recovery_.log_entries_rejected =
+            log_.stats().replay_entries_rejected;
+        recovery_.log_chunks_rejected =
+            log_.stats().replay_chunks_rejected;
     } else {
         large_.recoverFromDescriptors([&](uint64_t off, uint64_t size) {
             NV_ASSERT(size == kSlabSize);
@@ -116,6 +143,12 @@ NvAlloc::recoverHeap()
         // always reach through forEachAllocated — no replay needed.
     }
 
+    // Seal every replay/repair effect before destroying the WAL
+    // entries that describe it: if the effects and the entry clears
+    // shared an epoch and recovery itself crashed at its end, a clear
+    // could become durable while the effect it records was dropped —
+    // and the next recovery would have nothing left to redo.
+    dev_.fence();
     clearWalRings();
     recovery_.virtual_ns = VClock::now() - t0;
 }
@@ -124,7 +157,34 @@ void
 NvAlloc::clearWalRings()
 {
     for (unsigned i = 0; i < kMaxThreads; ++i) {
-        void *ring = dev_.at(sb_->wal_off + uint64_t(i) * kWalRingBytes);
+        auto *ring = static_cast<WalEntry *>(
+            dev_.at(sb_->wal_off + uint64_t(i) * kWalRingBytes));
+
+        // Retire occupied entries oldest-seq-first, one fenced epoch
+        // each: should clearing itself crash, the durable ring is then
+        // always a newest-suffix of the history, so the surviving
+        // max-seq entry is still the one replay would (idempotently)
+        // redo. A bulk clear can tear so that an ancient entry becomes
+        // the ring's newest and replays a long-completed operation
+        // against today's heap — freeing a live block.
+        std::vector<WalEntry *> occupied;
+        for (unsigned s = 0; s < kWalRingBytes / sizeof(WalEntry); ++s) {
+            if ((ring[s].block_op & 3) != kWalNone)
+                occupied.push_back(&ring[s]);
+        }
+        std::sort(occupied.begin(), occupied.end(),
+                  [](const WalEntry *a, const WalEntry *b) {
+                      return a->seq < b->seq;
+                  });
+        for (WalEntry *e : occupied) {
+            std::memset(e, 0, sizeof(*e));
+            dev_.persist(e, sizeof(*e), TimeKind::FlushWal);
+            dev_.fence();
+        }
+
+        // Scrub the remaining (already empty or torn-beyond-crc) lines
+        // in one cheap epoch; any tearing here can only zero bytes of
+        // entries that no longer parse.
         std::memset(ring, 0, kWalRingBytes);
         dev_.persist(ring, kWalRingBytes, TimeKind::FlushWal);
     }
@@ -154,14 +214,28 @@ NvAlloc::replayWals()
     for (unsigned slot = 0; slot < kMaxThreads; ++slot) {
         uint64_t ring_off = sb_->wal_off + uint64_t(slot) * kWalRingBytes;
         dev_.chargeRead(true); // scanning the ring
-        const WalEntry *e = Wal::newestEntry(&dev_, ring_off);
+        bool verify = cfg_.verify_recovery_checksums;
+        if (verify) {
+            // crc32c over the ring's 64 lines, already in cache from
+            // the scan read.
+            VClock::advance(kWalRingBytes / kCacheLine,
+                            TimeKind::Other);
+        }
+        unsigned rejected = 0;
+        const WalEntry *e =
+            Wal::newestEntry(&dev_, ring_off, &rejected, verify);
+        recovery_.wal_rejected += rejected;
         if (!e)
             continue;
 
         WalOp op = WalOp(e->block_op & 3);
         uint64_t block = e->block_op >> 2;
         bool published = false;
-        if (e->where_off != kWalNoWhere) {
+        // Bounds-check before dereferencing: with verification off a
+        // torn entry reaches this point, and a wild where_off must not
+        // send recovery reading outside the device.
+        if (e->where_off != kWalNoWhere &&
+            e->where_off + sizeof(uint64_t) <= dev_.size()) {
             published =
                 *static_cast<uint64_t *>(dev_.at(e->where_off)) == block;
         }
@@ -171,7 +245,19 @@ NvAlloc::replayWals()
 
         if (op == kWalAlloc) {
             if (published) {
-                ++recovery_.wal_completions; // committed; nothing to do
+                // Committed. Normally the allocation bit went durable
+                // before the attach word, but an early cache eviction
+                // can persist the word while the bit is lost with the
+                // cut — roll the bit forward so the reachable object
+                // is never handed out again.
+                unsigned idx =
+                    slab ? slab->blockIndexOf(block) : 0;
+                if (slab && idx < slab->capacity() &&
+                    !slab->isAllocated(idx)) {
+                    VLockGuard g(slab->arena->lock);
+                    slab->claimBlock(idx);
+                }
+                ++recovery_.wal_completions;
                 continue;
             }
             // Undo a torn allocation: clear the block/extent state.

@@ -6,6 +6,26 @@
 
 namespace nvalloc {
 
+namespace {
+
+/** (cls, stripes) name a reachable geometry (stripes not clamped). */
+bool
+targetValid(unsigned cls, unsigned stripes)
+{
+    return cls < kNumSizeClasses && stripes != 0 &&
+           SlabGeometry::compute(cls, stripes).map.stripes == stripes;
+}
+
+/** (cls, capacity, stripes) form a self-consistent slab geometry. */
+bool
+geometryValid(unsigned cls, unsigned capacity, unsigned stripes)
+{
+    return targetValid(cls, stripes) &&
+           capacity == SlabGeometry::compute(cls, stripes).capacity;
+}
+
+} // namespace
+
 VSlab::VSlab(PmDevice *dev, uint64_t slab_off, unsigned cls,
              unsigned stripes, bool flush_enabled, bool gc_mode)
     : dev_(dev), slab_off_(slab_off),
@@ -28,6 +48,10 @@ VSlab::VSlab(PmDevice *dev, uint64_t slab_off, unsigned cls,
     hdr_->old_data_offset_k = kSlabHeaderSize / kCacheLine;
     hdr_->index_count = 0;
     hdr_->old_capacity = 0;
+    hdr_->old_stripes = 0;
+    hdr_->new_size_class = 0;
+    hdr_->new_stripes = 0;
+    updateHeaderCrc();
     persistHeaderLine(hdr_, kCacheLine);
     if (flush_)
         dev_->fence();
@@ -43,14 +67,59 @@ VSlab::VSlab(PmDevice *dev, uint64_t slab_off, bool flush_enabled,
 {
     NV_ASSERT(hdr_->magic == kSlabMagic);
 
-    // Crash during morphing: flag records the completed steps. Steps
-    // 1-2 only stage copies (old_* fields, index_table); the original
-    // geometry is intact, so undo by discarding the staging. After
-    // step 3 the new geometry is fully persistent, so roll forward.
-    if (hdr_->flag == 1 || hdr_->flag == 2) {
+    // Crash during morphing: flag records the completed steps. Step 1
+    // only stages copies (old_*/new_* fields); the original geometry
+    // and bitmap are intact, so undo by discarding the staging. At
+    // flag 2 the crash may have landed inside step 3's epoch, which
+    // rewrites the geometry words and zeroes the bitmap — any subset
+    // of those flushes can be durable — so roll back from the staged
+    // old geometry (fenced at step 1) and the index table (fenced at
+    // step 2), which are authoritative. After step 3 the new geometry
+    // is committed but its words and the bitmap zeroing may still be
+    // torn, so roll forward from the staged target.
+    if (hdr_->flag == 1) {
+        hdr_->index_count = 0;
+        setFlag(0);
+    } else if (hdr_->flag == 2) {
+        if (geometryValid(hdr_->old_size_class, hdr_->old_capacity,
+                          hdr_->old_stripes)) {
+            SlabGeometry og = SlabGeometry::compute(hdr_->old_size_class,
+                                                    hdr_->old_stripes);
+            hdr_->size_class = uint16_t(og.size_class);
+            hdr_->capacity = uint16_t(og.capacity);
+            hdr_->stripes = uint16_t(og.map.stripes);
+            std::memset(hdr_->bitmap, 0, kSlabBitmapBytes);
+            for (unsigned i = 0; i < hdr_->index_count; ++i) {
+                uint16_t entry = hdr_->index_table[i];
+                if (entry & kIndexAllocated)
+                    bitmapSet(pbitmapWords(),
+                              og.map.physical(entry & kIndexBlockMask));
+            }
+            persistHeaderLine(hdr_->bitmap, kSlabBitmapBytes);
+            // Seal the rebuilt bitmap in its own epoch: if it shared
+            // the setFlag fence and recovery itself crashed there, the
+            // flag clear could land while the bitmap lines were
+            // dropped, leaving a trusted header over a wrong bitmap.
+            if (flush_)
+                dev_->fence();
+        }
         hdr_->index_count = 0;
         setFlag(0);
     } else if (hdr_->flag == 3) {
+        if (targetValid(hdr_->new_size_class, hdr_->new_stripes)) {
+            SlabGeometry ng = SlabGeometry::compute(hdr_->new_size_class,
+                                                    hdr_->new_stripes);
+            hdr_->size_class = uint16_t(ng.size_class);
+            hdr_->capacity = uint16_t(ng.capacity);
+            hdr_->stripes = uint16_t(ng.map.stripes);
+            // No current-geometry block can exist at flag 3; clear any
+            // stale pre-morph bits whose zeroing never landed.
+            std::memset(hdr_->bitmap, 0, kSlabBitmapBytes);
+            persistHeaderLine(hdr_->bitmap, kSlabBitmapBytes);
+            // Same epoch-separation as the flag-2 repair above.
+            if (flush_)
+                dev_->fence();
+        }
         setFlag(0);
     }
 
@@ -195,10 +264,70 @@ VSlab::persistHeaderLine(const void *addr, size_t len)
 void
 VSlab::setFlag(uint16_t flag)
 {
+    // One flush commits the whole first line. The crc only actually
+    // changes when the geometry quintuple changed (morph step 3);
+    // recomputing it unconditionally keeps every transition uniform.
     hdr_->flag = flag;
+    updateHeaderCrc();
     persistHeaderLine(hdr_, kCacheLine);
     if (flush_)
         dev_->fence();
+}
+
+bool
+VSlab::headerLooksValid(PmDevice *dev, uint64_t slab_off, bool verify_crc)
+{
+    const auto *h = static_cast<const SlabHeader *>(dev->at(slab_off));
+    if (dev->isPoisoned(h, kCacheLine))
+        return false;
+    if (h->magic != kSlabMagic)
+        return false;
+    if (h->flag > 3 || h->index_count > kIndexTableCap ||
+        h->data_offset != kSlabHeaderSize)
+        return false;
+
+    // Three acceptable interpretations of the geometry words: as
+    // stored, or — for a header torn inside morph step 3's epoch —
+    // the staged pre-morph geometry (recovery rolls back from it at
+    // flag 2) or the staged morph target (rolled forward at flag 3).
+    bool stored_ok =
+        geometryValid(h->size_class, h->capacity, h->stripes);
+    bool old_ok = geometryValid(h->old_size_class, h->old_capacity,
+                                h->old_stripes);
+    bool new_ok = targetValid(h->new_size_class, h->new_stripes);
+
+    if (verify_crc) {
+        bool ok = stored_ok && h->crc == slabHeaderCrc(*h);
+        if (!ok && old_ok)
+            ok = h->crc == slabGeometryCrc(h->old_size_class,
+                                           h->old_capacity,
+                                           h->old_stripes);
+        if (!ok && new_ok) {
+            SlabGeometry g = SlabGeometry::compute(h->new_size_class,
+                                                   h->new_stripes);
+            ok = h->crc == slabGeometryCrc(h->new_size_class,
+                                           uint16_t(g.capacity),
+                                           h->new_stripes);
+        }
+        if (!ok)
+            return false;
+    } else {
+        // Structural sanity is the only line of defense when crc
+        // verification is configured off: the stored geometry must be
+        // self-consistent, or a mid-morph flag must point recovery at
+        // a valid staged geometry to repair from.
+        if (!stored_ok && !(h->flag == 2 && old_ok) &&
+            !(h->flag == 3 && new_ok))
+            return false;
+    }
+
+    if (h->index_count > 0 &&
+        (h->old_size_class >= kNumSizeClasses ||
+         h->old_capacity >
+             (kSlabSize - kSlabHeaderSize) /
+                 classToSize(h->old_size_class)))
+        return false;
+    return true;
 }
 
 bool
@@ -214,10 +343,16 @@ VSlab::morphTo(unsigned new_cls, unsigned stripes)
 {
     NV_ASSERT(morphEligible(1.0) && new_cls != geo_.size_class);
 
-    // Step 1: stage the old geometry (paper Fig. 5).
+    // Step 1: stage the old geometry (paper Fig. 5) plus the morph
+    // target, so recovery can repair a torn step 3 in either
+    // direction without trusting the (possibly torn) live fields.
+    SlabGeometry ng = SlabGeometry::compute(new_cls, stripes);
     hdr_->old_size_class = uint16_t(geo_.size_class);
     hdr_->old_data_offset_k = kSlabHeaderSize / kCacheLine;
     hdr_->old_capacity = uint16_t(geo_.capacity);
+    hdr_->old_stripes = uint16_t(geo_.map.stripes);
+    hdr_->new_size_class = uint16_t(ng.size_class);
+    hdr_->new_stripes = uint16_t(ng.map.stripes);
     setFlag(1);
 
     // Step 2: record every live old block in the index table.
@@ -229,12 +364,18 @@ VSlab::morphTo(unsigned new_cls, unsigned stripes)
     NV_ASSERT(n == live_ && n <= kIndexTableCap);
     hdr_->index_count = uint16_t(n);
     persistHeaderLine(hdr_->index_table, n * sizeof(uint16_t));
+    // The flag-2 rollback treats the index table as authoritative, so
+    // it must be durable in an epoch strictly before the flag advance:
+    // were they fenced together, a crash at that fence could commit
+    // flag 2 while dropping the table lines.
+    if (flush_)
+        dev_->fence();
     setFlag(2);
 
     // Step 3: install the new geometry; the old allocation info now
     // lives only in the index table.
     old_geo_ = geo_;
-    geo_ = SlabGeometry::compute(new_cls, stripes);
+    geo_ = ng;
     hdr_->size_class = uint16_t(new_cls);
     hdr_->capacity = uint16_t(geo_.capacity);
     hdr_->stripes = uint16_t(geo_.map.stripes);
@@ -362,6 +503,7 @@ VSlab::finishMorph()
 {
     // The slab becomes a regular slab_after; the staging area is dead.
     hdr_->index_count = 0;
+    updateHeaderCrc();
     persistHeaderLine(hdr_, kCacheLine);
     if (flush_)
         dev_->fence();

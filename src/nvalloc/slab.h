@@ -65,6 +65,17 @@ class VSlab
     VSlab(PmDevice *dev, uint64_t slab_off, bool flush_enabled,
           bool gc_mode);
 
+    /**
+     * Recovery gate: can the header at `slab_off` be trusted? Checks
+     * media poison, magic, the header crc (when `verify_crc`), and
+     * that the geometry fields are self-consistent. Recovery
+     * quarantines slabs that fail instead of adopting them — a
+     * corrupt capacity or stripe count would send markFree/claimBlock
+     * into wild memory.
+     */
+    static bool headerLooksValid(PmDevice *dev, uint64_t slab_off,
+                                 bool verify_crc);
+
     // -- geometry ---------------------------------------------------
 
     uint64_t slabOffset() const { return slab_off_; }
@@ -205,6 +216,7 @@ class VSlab
 
     void persistBit(unsigned idx, bool set);
     void persistHeaderLine(const void *addr, size_t len);
+    void updateHeaderCrc() { hdr_->crc = slabHeaderCrc(*hdr_); }
     void setFlag(uint16_t flag);
     void rebuildMorphState();
     void finishMorph();

@@ -64,6 +64,7 @@ class Wal
         e.seq = seq_;
         e.where_off = where_off;
         e.size = size;
+        e.crc = walEntryCrc(e);
         if (flush_) {
             dev_->persist(&e, sizeof(e), TimeKind::FlushWal);
             dev_->fence();
@@ -73,12 +74,20 @@ class Wal
     uint64_t sequence() const { return seq_; }
 
     /**
-     * Replay helper: the newest entry of the ring at `ring_off`, or
-     * nullptr if the ring was never written. Static because replay
-     * runs before any Wal is attached.
+     * Replay helper: the newest *intact* entry of the ring at
+     * `ring_off`, or nullptr if the ring holds none. Static because
+     * replay runs before any Wal is attached.
+     *
+     * With `verify` on, an entry whose crc does not match or whose
+     * line is media-poisoned is skipped and counted in `*rejected`. A
+     * torn entry can only be the newest append (older entries were
+     * implicitly committed by later ones), so skipping it means the
+     * half-journaled operation is treated as never-started — exactly
+     * the undo semantics replay needs.
      */
     static const WalEntry *
-    newestEntry(PmDevice *dev, uint64_t ring_off)
+    newestEntry(PmDevice *dev, uint64_t ring_off,
+                unsigned *rejected = nullptr, bool verify = true)
     {
         auto *ring = static_cast<const WalEntry *>(dev->at(ring_off));
         const WalEntry *best = nullptr;
@@ -87,6 +96,16 @@ class Wal
             const WalEntry &e = ring[i];
             if ((e.block_op & 3) == kWalNone)
                 continue;
+            if (verify) {
+                // One crc over a cached line: a handful of cycles on
+                // real hardware, charged as part of the ring read.
+                if (dev->isPoisoned(&e, sizeof(e)) ||
+                    e.crc != walEntryCrc(e)) {
+                    if (rejected)
+                        ++*rejected;
+                    continue;
+                }
+            }
             if (!best || e.seq > best->seq)
                 best = &e;
         }

@@ -82,11 +82,20 @@ namespace {
 // One slot per live model this thread has touched.
 thread_local std::vector<LatencyModel::ThreadState> tl_states;
 
+// Generations are drawn from a process-wide counter, never reused.
+// Slots in tl_states are matched by (owner pointer, generation); if a
+// destroyed model's address is recycled for a new one, a per-model
+// counter would restart at the same value and the stale thread history
+// would wrongly match, leaking flush recency across devices.
+std::atomic<uint64_t> g_generation{1};
+
 } // namespace
 
 LatencyModel::LatencyModel(LatencyParams params)
     : params_(params), media_(params.media_slots)
 {
+    generation_.store(g_generation.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_relaxed);
 }
 
 // (media_ is a VServer with params.media_slots parallel units.)
@@ -214,7 +223,8 @@ LatencyModel::setEadr(bool on)
 void
 LatencyModel::reset()
 {
-    generation_.fetch_add(1, std::memory_order_relaxed);
+    generation_.store(g_generation.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     n_total_.store(0);
     n_reflush_.store(0);
     n_seq_.store(0);

@@ -2,7 +2,9 @@
 
 #include <sys/mman.h>
 
+#include <cerrno>
 #include <cstring>
+#include <system_error>
 
 #include "common/logging.h"
 #include "common/size_classes.h"
@@ -16,8 +18,11 @@ mapAnonymous(size_t bytes)
 {
     void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-    if (p == MAP_FAILED)
-        NV_FATAL("cannot reserve emulated PM region");
+    if (p == MAP_FAILED) {
+        throw std::system_error(
+            errno, std::generic_category(),
+            "PmDevice: mmap of emulated PM region failed");
+    }
     return static_cast<char *>(p);
 }
 
@@ -86,6 +91,7 @@ PmDevice::unmapRegion(uint64_t offset, size_t bytes)
     ::madvise(base_ + offset, bytes, MADV_DONTNEED);
     if (shadow_)
         ::madvise(shadow_ + offset, bytes, MADV_DONTNEED);
+    dropFaultState(offset, bytes);
 
     std::lock_guard<std::mutex> g(region_mutex_);
     mapped_bytes_ -= bytes;
@@ -119,7 +125,11 @@ PmDevice::persist(const void *addr, size_t len, TimeKind kind)
     uint64_t last = (offsetOf(addr) + len - 1) & ~uint64_t{kCacheLine - 1};
     for (uint64_t line = first; line <= last; line += kCacheLine) {
         model_.onFlush(line, kind);
-        if (shadow_)
+        if (!shadow_)
+            continue;
+        if (fi_)
+            stageLine(line);
+        else
             std::memcpy(shadow_ + line, base_ + line, kCacheLine);
     }
 }
@@ -129,8 +139,66 @@ PmDevice::flushLine(const void *addr, TimeKind kind)
 {
     uint64_t line = offsetOf(addr) & ~uint64_t{kCacheLine - 1};
     model_.onFlush(line, kind);
-    if (shadow_)
+    if (!shadow_) {
+        // No crash simulation: flushes are durable immediately, so a
+        // persisted write heals media poison right here.
+        if (fi_) {
+            std::lock_guard<std::mutex> g(stage_mutex_);
+            fi_->clearPoison(line);
+        }
+        return;
+    }
+    if (fi_)
+        stageLine(line);
+    else
         std::memcpy(shadow_ + line, base_ + line, kCacheLine);
+}
+
+void
+PmDevice::fence()
+{
+    model_.onFence();
+    if (!fi_ || !shadow_)
+        return;
+    std::lock_guard<std::mutex> g(stage_mutex_);
+    if (fi_->triggered())
+        return; // post-crash-point fence: nothing can commit
+    if (fi_->noteFence()) {
+        // The scheduled crash point is this fence: its epoch never
+        // commits; the policy decides what survives of it.
+        freezeAtCrashPoint();
+        return;
+    }
+    for (uint64_t line : staged_)
+        commitLine(line);
+    staged_.clear();
+}
+
+void
+PmDevice::stageLine(uint64_t line)
+{
+    std::lock_guard<std::mutex> g(stage_mutex_);
+    if (fi_->triggered())
+        return; // post-crash-point flush: lost
+    staged_.insert(line);
+    if (fi_->noteFlush())
+        freezeAtCrashPoint();
+}
+
+void
+PmDevice::commitLine(uint64_t line)
+{
+    std::memcpy(shadow_ + line, base_ + line, kCacheLine);
+    // A persisted write to a poisoned line heals it.
+    if (fi_->isPoisoned(line))
+        fi_->clearPoison(line);
+}
+
+void
+PmDevice::freezeAtCrashPoint()
+{
+    fi_->applyCrashImage(base_, shadow_, high_water_, staged_);
+    staged_.clear();
 }
 
 void
@@ -147,8 +215,24 @@ PmDevice::decommit(uint64_t offset, size_t bytes)
     ::madvise(base_ + offset, bytes, MADV_DONTNEED);
     if (shadow_)
         ::madvise(shadow_ + offset, bytes, MADV_DONTNEED);
+    dropFaultState(offset, bytes);
     std::lock_guard<std::mutex> g(region_mutex_);
     committed_bytes_ -= bytes;
+}
+
+void
+PmDevice::dropFaultState(uint64_t offset, size_t bytes)
+{
+    // A released range holds no staged flushes, and remapping fresh
+    // pages over a poisoned line clears its poison.
+    if (!fi_)
+        return;
+    std::lock_guard<std::mutex> g(stage_mutex_);
+    for (uint64_t line = offset; line < offset + bytes;
+         line += kCacheLine) {
+        staged_.erase(line);
+        fi_->clearPoison(line);
+    }
 }
 
 void
@@ -163,9 +247,65 @@ void
 PmDevice::crash()
 {
     NV_ASSERT(shadow_ != nullptr);
+    if (fi_) {
+        std::lock_guard<std::mutex> g(stage_mutex_);
+        // Resolve the final unfenced epoch by policy unless a
+        // scheduled crash point already froze the durable image.
+        if (!fi_->triggered())
+            freezeAtCrashPoint();
+        fi_->resetAfterCrash();
+    }
     // Roll the working image back to the last persisted state. Only
     // the range ever handed out can contain data.
     std::memcpy(base_, shadow_, high_water_);
+}
+
+FaultInjector &
+PmDevice::faults()
+{
+    if (!fi_)
+        fi_ = std::make_unique<FaultInjector>();
+    return *fi_;
+}
+
+FaultInjector &
+PmDevice::enableFaultInjection(FaultPolicy policy)
+{
+    NV_ASSERT(shadow_ != nullptr);
+    faults().setPolicy(policy);
+    return *fi_;
+}
+
+void
+PmDevice::poisonLine(uint64_t off)
+{
+    uint64_t line = off & ~uint64_t{kCacheLine - 1};
+    NV_ASSERT(line < cfg_.size);
+    faults().poison(line);
+    std::memset(base_ + line, kPoisonByte, kCacheLine);
+    if (shadow_)
+        std::memset(shadow_ + line, kPoisonByte, kCacheLine);
+}
+
+void
+PmDevice::clearPoison(uint64_t off)
+{
+    if (fi_)
+        fi_->clearPoison(off & ~uint64_t{kCacheLine - 1});
+}
+
+bool
+PmDevice::isPoisoned(const void *addr, size_t len) const
+{
+    if (!fi_ || fi_->poisonedLines() == 0 || len == 0)
+        return false;
+    uint64_t first = offsetOf(addr) & ~uint64_t{kCacheLine - 1};
+    uint64_t last = (offsetOf(addr) + len - 1) & ~uint64_t{kCacheLine - 1};
+    for (uint64_t line = first; line <= last; line += kCacheLine) {
+        if (fi_->isPoisoned(line))
+            return true;
+    }
+    return false;
 }
 
 } // namespace nvalloc

@@ -16,6 +16,15 @@
  * ADR hardware (CPU caches lost, DIMM contents kept). Recovery code is
  * tested against these torn states.
  *
+ * Fault injection: enableFaultInjection() installs a FaultInjector and
+ * switches the shadow to epoch semantics — flushes stage lines, fences
+ * commit them. Crashes (explicit or scheduled at the Nth flush/fence)
+ * then apply the injector's policy to the final epoch: torn lines,
+ * 8-byte word atomicity, dropped flushes, early evictions. The device
+ * also carries a media-poison set: poisoned lines read back as a
+ * sentinel until rewritten, and isPoisoned() lets recovery react
+ * instead of interpreting garbage.
+ *
  * The device outlives allocator instances: destroying an allocator and
  * re-attaching a new one to the same device emulates a process restart
  * over the same heap file.
@@ -27,8 +36,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <unordered_set>
 
+#include "pm/fault_injector.h"
 #include "pm/latency_model.h"
 
 namespace nvalloc {
@@ -123,7 +135,7 @@ class PmDevice
     /** Flush a single line containing `addr`. */
     void flushLine(const void *addr, TimeKind kind);
 
-    void fence() { model_.onFence(); }
+    void fence();
 
     /**
      * Charge the latency of a PM read that misses the CPU cache (e.g.
@@ -151,8 +163,67 @@ class PmDevice
      * Simulate a power failure: discard all stores that were never
      * persisted. Region bookkeeping is untouched (the heap file keeps
      * its length); only byte contents roll back. Requires shadow mode.
+     * With a fault injector installed, the final unfenced epoch is
+     * resolved by the injector's policy instead of being kept.
      */
     void crash();
+
+    // ---- fault injection --------------------------------------------
+
+    /**
+     * Install (or replace) a fault injector with `policy`; requires
+     * shadow mode. From this call on, flushes only stage lines and
+     * fences commit them — the idealized flush-is-durable shortcut is
+     * off. Returns the injector for arming crash points.
+     */
+    FaultInjector &enableFaultInjection(FaultPolicy policy = {});
+
+    FaultInjector *faultInjector() { return fi_.get(); }
+
+    /** Schedule a crash at the Nth flush from now (requires an
+     *  injector). Sweeps at flush granularity arm this per point. */
+    void
+    armCrashAtFlush(uint64_t nth)
+    {
+        faults().armCrashAtFlush(nth);
+    }
+
+    /** Schedule a crash at the Nth fence from now. */
+    void
+    armCrashAtFence(uint64_t nth)
+    {
+        faults().armCrashAtFence(nth);
+    }
+
+    /** True once a scheduled crash point has been reached: every later
+     *  store is doomed, so workloads can stop early. */
+    bool
+    crashTriggered() const
+    {
+        return fi_ && fi_->triggered();
+    }
+
+    // ---- media poison -----------------------------------------------
+
+    /**
+     * Poison the media line containing device offset `off`: the line
+     * reads back as kPoisonByte until rewritten (a persisted write to
+     * a poisoned line heals it, as on real DIMMs). Works with or
+     * without an injector policy.
+     */
+    void poisonLine(uint64_t off);
+
+    /** Clear poison without rewriting (administrative repair). */
+    void clearPoison(uint64_t off);
+
+    /** True if any byte of [addr, addr+len) lies in a poisoned line. */
+    bool isPoisoned(const void *addr, size_t len = 1) const;
+
+    size_t
+    poisonedLineCount() const
+    {
+        return fi_ ? fi_->poisonedLines() : 0;
+    }
 
     LatencyModel &model() { return model_; }
     const LatencyModel &model() const { return model_; }
@@ -174,7 +245,17 @@ class PmDevice
     size_t committed_bytes_ = 0;
     size_t peak_committed_ = 0;
 
+    // Fault injection (null = idealized flush-is-durable shadow).
+    std::unique_ptr<FaultInjector> fi_;
+    std::mutex stage_mutex_;
+    std::unordered_set<uint64_t> staged_; //!< flushed, unfenced lines
+
     void addCommitted(size_t bytes);
+    FaultInjector &faults();
+    void stageLine(uint64_t line);
+    void commitLine(uint64_t line);
+    void freezeAtCrashPoint();
+    void dropFaultState(uint64_t offset, size_t bytes);
 };
 
 } // namespace nvalloc

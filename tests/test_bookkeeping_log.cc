@@ -192,10 +192,19 @@ TEST_F(LogFixture, InterleavedEntriesAvoidSameLine)
 
 TEST_F(LogFixture, EntryPackingRoundtrip)
 {
-    uint64_t e = logEntryPack(kLogSlab, 0x123456789ULL, 0x3abcdefULL);
+    // addr is 28 bits of 4 KB units (1 TB device) since the fold
+    // checksum moved into bits [61:54].
+    uint64_t e = logEntryPack(kLogSlab, 0x2345678ULL, 0x3abcdefULL);
     EXPECT_EQ(logEntryType(e), kLogSlab);
-    EXPECT_EQ(logEntryAddr(e), 0x123456789ULL);
+    EXPECT_EQ(logEntryAddr(e), 0x2345678ULL);
     EXPECT_EQ(logEntrySize(e), 0x3abcdefULL);
+    EXPECT_TRUE(logEntryChecksumOk(e));
+
+    // Any single flipped payload bit must fail verification, and a
+    // zeroed slot never verifies (end-of-chunk sentinel).
+    EXPECT_FALSE(logEntryChecksumOk(e ^ 1));
+    EXPECT_FALSE(logEntryChecksumOk(e ^ (1ULL << 30)));
+    EXPECT_FALSE(logEntryChecksumOk(0));
 }
 
 TEST_F(LogFixture, ReplayRecyclesUnreachableChunks)

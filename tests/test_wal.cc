@@ -66,8 +66,14 @@ TEST_F(WalFixture, WrapKeepsNewestCorrect)
               uint64_t(3 * kWalRingEntries + 5) << 12);
 }
 
-TEST_F(WalFixture, InterleavedAppendsAvoidReflush)
+TEST_F(WalFixture, OneLineEntriesNeverReflush)
 {
+    // v2 format: an entry is exactly one cache line (payload + crc +
+    // pad), so no two appends can share a line and neither placement
+    // re-flushes. Before the crc grew the entry past 32 B, sequential
+    // placement packed two entries per line and re-flushed on every
+    // second append; the format change removes that hazard instead of
+    // relying on interleaving to dodge it.
     Wal wal;
     wal.attach(dev_.get(), ring_off_, true, 6, true);
     dev_->model().reset();
@@ -75,15 +81,43 @@ TEST_F(WalFixture, InterleavedAppendsAvoidReflush)
         wal.append(kWalAlloc, uint64_t(i) << 12, kWalNoWhere, 64);
     EXPECT_EQ(dev_->flushCounts().reflush, 0u);
 
-    // Sequential placement: two 32 B entries share a line, so every
-    // second append re-flushes.
     uint64_t ring2 = dev_->mapRegion(kWalRingBytes);
     Wal seq;
     seq.attach(dev_.get(), ring2, false, 6, true);
     dev_->model().reset();
     for (int i = 0; i < 32; ++i)
         seq.append(kWalAlloc, uint64_t(i) << 12, kWalNoWhere, 64);
-    EXPECT_GE(dev_->flushCounts().reflush, 14u);
+    EXPECT_EQ(dev_->flushCounts().reflush, 0u);
+}
+
+TEST_F(WalFixture, ChecksumRejectsTornEntry)
+{
+    Wal wal;
+    wal.attach(dev_.get(), ring_off_, true, 6, true);
+    wal.append(kWalAlloc, 0x1000, 0x2000, 64);
+    wal.append(kWalAlloc, 0x4000, 0x5000, 128);
+
+    // Corrupt the newest entry's payload without fixing its crc — the
+    // shape a torn persist leaves. Verification must skip it and fall
+    // back to the previous (implicitly committed) entry.
+    WalEntry *newest = const_cast<WalEntry *>(
+        Wal::newestEntry(dev_.get(), ring_off_));
+    ASSERT_NE(newest, nullptr);
+    EXPECT_EQ(newest->block_op >> 2, 0x4000u);
+    newest->size ^= 0xdead;
+
+    unsigned rejected = 0;
+    const WalEntry *e =
+        Wal::newestEntry(dev_.get(), ring_off_, &rejected);
+    EXPECT_EQ(rejected, 1u);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->block_op >> 2, 0x1000u);
+
+    // With verification off the torn entry wins again.
+    e = Wal::newestEntry(dev_.get(), ring_off_, nullptr,
+                         /*verify=*/false);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->block_op >> 2, 0x4000u);
 }
 
 TEST_F(WalFixture, FlushDisabledWritesButDoesNotFlush)
