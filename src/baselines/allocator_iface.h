@@ -48,13 +48,25 @@ class PmAllocator
      *  implementation is broken there and the paper excludes it. */
     virtual bool supportsLarge() const { return true; }
 
+    /**
+     * Attach the calling thread. Returns nullptr when the allocator
+     * cannot take another thread — its per-thread slots are all in
+     * use, or the heap refused to open — and never aborts. Callers
+     * must check the result; after a nullptr the thread may retry
+     * once some other thread detaches. Passing the nullptr on to
+     * allocTo/freeFrom/threadDetach is undefined.
+     */
     virtual AllocThread *threadAttach() = 0;
     virtual void threadDetach(AllocThread *t) = 0;
 
     /**
      * Allocate `size` bytes, atomically publishing the offset into
      * the persistent word `where` (may be nullptr). Returns the
-     * block's device offset (0 on exhaustion).
+     * block's device offset, or 0 when the heap is exhausted — after
+     * any internal reclamation slow path has already run — or `size`
+     * is unserviceable. A 0 return leaves the heap fully usable for
+     * frees and smaller allocations; callers skip the operation (and
+     * report it, e.g. via noteFailedAlloc in the harness).
      */
     virtual uint64_t allocTo(AllocThread *t, size_t size,
                              uint64_t *where) = 0;

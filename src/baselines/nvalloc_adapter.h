@@ -48,8 +48,11 @@ class NvAllocAdapter : public PmAllocator
     AllocThread *
     threadAttach() override
     {
+        ThreadCtx *ctx = alloc_->attachThread();
+        if (!ctx)
+            return nullptr; // slot exhaustion or failed open
         auto *t = new Thread;
-        t->ctx = alloc_->attachThread();
+        t->ctx = ctx;
         return t;
     }
 

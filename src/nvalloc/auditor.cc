@@ -1,0 +1,688 @@
+#include "nvalloc/auditor.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "nvalloc/nvalloc.h"
+
+namespace nvalloc {
+
+namespace {
+
+// Log-region geometry (mirrors bookkeeping_log.cc): a 64 B header at
+// the region start, then chunks of one header line plus 1 KB of
+// entries each.
+constexpr size_t kLogHeaderArea = 64;
+constexpr size_t kLogChunkStride = sizeof(LogChunk);
+
+constexpr size_t kMaxNotes = 64;
+
+std::string
+fmt(const char *f, uint64_t a, uint64_t b = 0)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), f, (unsigned long long)a,
+                  (unsigned long long)b);
+    return buf;
+}
+
+} // namespace
+
+std::string
+AuditReport::summary() const
+{
+    std::string s;
+    auto add = [&](const char *name, uint64_t v) {
+        if (v == 0)
+            return;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "  %-22s %llu\n", name,
+                      (unsigned long long)v);
+        s += buf;
+    };
+    s += clean() ? "audit: clean\n"
+                 : fmt("audit: %llu violation(s)\n", violations());
+    add("superblock_bad", superblock_bad);
+    add("region_table_bad", region_table_bad);
+    add("extent_overlap", extent_overlap);
+    add("extent_gap", extent_gap);
+    add("slab_header_bad", slab_header_bad);
+    add("slab_veh_mismatch", slab_veh_mismatch);
+    add("bitmap_mismatch", bitmap_mismatch);
+    add("counter_mismatch", counter_mismatch);
+    add("log_chain_bad", log_chain_bad);
+    add("log_entry_bad", log_entry_bad);
+    add("log_entry_orphan", log_entry_orphan);
+    add("veh_unlogged", veh_unlogged);
+    add("wal_entry_bad", wal_entry_bad);
+    add("quarantine_bad", quarantine_bad);
+    add("poisoned_free_lines", poisoned_free_lines);
+    add("poisoned_live_lines", poisoned_live_lines);
+    add("repaired_headers", repaired_headers);
+    add("repaired_bitmaps", repaired_bitmaps);
+    add("repaired_wal_entries", repaired_wal_entries);
+    add("requarantined_slabs", requarantined_slabs);
+    add("scrubbed_lines", scrubbed_lines);
+    for (const auto &n : notes)
+        s += "  - " + n + "\n";
+    return s;
+}
+
+HeapAuditor::HeapAuditor(NvAlloc &alloc) : a_(alloc) {}
+
+AuditReport
+HeapAuditor::audit()
+{
+    return run(false);
+}
+
+AuditReport
+HeapAuditor::repair()
+{
+    return run(true);
+}
+
+void
+HeapAuditor::note(const std::string &msg)
+{
+    if (rep_.notes.size() < kMaxNotes)
+        rep_.notes.push_back(msg);
+}
+
+AuditReport
+HeapAuditor::run(bool repair)
+{
+    rep_ = AuditReport{};
+    repair_ = repair;
+    extents_.clear();
+    regions_.clear();
+    log_chunks_.clear();
+
+    checkSuperblock();
+    if (a_.open_failed_) {
+        // Nothing below the root was adopted; the structural checks
+        // above cover a bad superblock, and a clean superblock means
+        // the refusal came from the log root.
+        if (rep_.clean()) {
+            ++rep_.log_chain_bad;
+            note("heap failed to open: bookkeeping-log root corrupt");
+        }
+        return rep_;
+    }
+
+    checkRegionsAndExtents();
+    checkSlabs();
+    checkExtentJournal();
+    checkWalRings();
+    checkQuarantine();
+    checkPoison();
+    return rep_;
+}
+
+void
+HeapAuditor::checkSuperblock()
+{
+    const NvSuperblock *sb = a_.sb_;
+    PmDevice &dev = a_.dev_;
+
+    if (dev.isPoisoned(sb, sizeof(NvSuperblock))) {
+        ++rep_.superblock_bad;
+        note("superblock: poisoned line");
+    }
+    if (sb->magic != kSuperMagic) {
+        ++rep_.superblock_bad;
+        note("superblock: bad magic");
+        return; // the rest of the fields are noise
+    }
+    if (sb->version != kSuperVersion) {
+        ++rep_.superblock_bad;
+        note(fmt("superblock: version %llu", sb->version));
+    }
+    if (sb->sb_crc != superblockCrc(*sb)) {
+        ++rep_.superblock_bad;
+        note("superblock: crc mismatch");
+    }
+    if (sb->num_arenas == 0 || sb->num_arenas > kMaxArenas) {
+        ++rep_.superblock_bad;
+        note(fmt("superblock: num_arenas %llu", sb->num_arenas));
+    }
+    if (sb->consistency > 2) {
+        ++rep_.superblock_bad;
+        note(fmt("superblock: consistency %llu", sb->consistency));
+    }
+    if (sb->wal_off == 0 ||
+        sb->wal_off + uint64_t(kMaxThreads) * kWalRingBytes > dev.size()) {
+        ++rep_.superblock_bad;
+        note(fmt("superblock: wal region 0x%llx out of bounds",
+                 sb->wal_off));
+    }
+    if (sb->log_off != 0 &&
+        (sb->log_bytes < kLogHeaderArea + 4 * kLogChunkStride ||
+         sb->log_off + sb->log_bytes > dev.size())) {
+        ++rep_.superblock_bad;
+        note(fmt("superblock: log region 0x%llx+%llu out of bounds",
+                 sb->log_off, sb->log_bytes));
+    }
+}
+
+void
+HeapAuditor::checkRegionsAndExtents()
+{
+    PmDevice &dev = a_.dev_;
+
+    a_.large_.forEachRegion(
+        [&](uint64_t off, uint64_t size) { regions_.push_back({off, size}); });
+    std::sort(regions_.begin(), regions_.end());
+
+    a_.large_.forEachVeh([&](Veh *v) {
+        extents_.push_back(
+            {v->off, v->size, int(v->state), v->is_slab});
+    });
+    std::sort(extents_.begin(), extents_.end(),
+              [](const ExtSnap &a, const ExtSnap &b) {
+                  return a.off < b.off;
+              });
+
+    // Region table (persistent) vs the volatile region map.
+    std::unordered_map<uint64_t, uint64_t> table;
+    for (unsigned i = 0; i < a_.region_slots_; ++i) {
+        uint64_t e = a_.region_table_[i];
+        if (e == 0)
+            continue;
+        uint64_t off = regionEntryOff(e);
+        uint64_t size = regionEntrySize(e);
+        if (off % PmDevice::kRegionAlign != 0 || size == 0 ||
+            off < PmDevice::kRegionAlign || off + size > dev.size()) {
+            ++rep_.region_table_bad;
+            note(fmt("region table: bad entry 0x%llx+%llu", off, size));
+            continue;
+        }
+        if (!table.emplace(off, size).second) {
+            ++rep_.region_table_bad;
+            note(fmt("region table: duplicate region 0x%llx", off));
+        }
+    }
+    for (const auto &[off, size] : regions_) {
+        auto it = table.find(off);
+        if (it == table.end() || it->second != size) {
+            ++rep_.region_table_bad;
+            note(fmt("region 0x%llx+%llu missing from table", off, size));
+        } else {
+            table.erase(it);
+        }
+    }
+    for (const auto &[off, size] : table) {
+        ++rep_.region_table_bad;
+        note(fmt("region table: stale entry 0x%llx+%llu", off, size));
+    }
+
+    // Regions must not overlap.
+    for (size_t i = 1; i < regions_.size(); ++i) {
+        if (regions_[i - 1].first + regions_[i - 1].second >
+            regions_[i].first) {
+            ++rep_.region_table_bad;
+            note(fmt("regions 0x%llx and 0x%llx overlap",
+                     regions_[i - 1].first, regions_[i].first));
+        }
+    }
+
+    // Every region's payload must be tiled by extents exactly: start
+    // at the header boundary, no gap, no overlap, flush with the end.
+    size_t ei = 0;
+    for (const auto &[roff, rsize] : regions_) {
+        while (ei < extents_.size() && extents_[ei].off < roff) {
+            // An extent below every remaining region is orphaned.
+            ++rep_.extent_gap;
+            note(fmt("extent 0x%llx outside any region",
+                     extents_[ei].off));
+            ++ei;
+        }
+        uint64_t cursor = roff + kRegionHeaderSize;
+        uint64_t rend = roff + rsize;
+        while (ei < extents_.size() && extents_[ei].off < rend) {
+            const ExtSnap &e = extents_[ei];
+            if (e.off < cursor) {
+                ++rep_.extent_overlap;
+                note(fmt("extent 0x%llx overlaps previous end 0x%llx",
+                         e.off, cursor));
+            } else if (e.off > cursor) {
+                ++rep_.extent_gap;
+                note(fmt("gap [0x%llx, 0x%llx) not covered", cursor,
+                         e.off));
+            }
+            cursor = e.off + e.size;
+            ++ei;
+        }
+        if (cursor != rend) {
+            ++rep_.extent_gap;
+            note(fmt("gap [0x%llx, 0x%llx) at region tail", cursor,
+                     rend));
+        }
+    }
+    while (ei < extents_.size()) {
+        ++rep_.extent_gap;
+        note(fmt("extent 0x%llx outside any region", extents_[ei].off));
+        ++ei;
+    }
+}
+
+void
+HeapAuditor::checkSlabs()
+{
+    PmDevice &dev = a_.dev_;
+
+    for (auto &arena : a_.arenas_) {
+        arena->forEachSlab([&](VSlab *slab) {
+            uint64_t off = slab->slabOffset();
+
+            if (!VSlab::headerLooksValid(&dev, off, true)) {
+                ++rep_.slab_header_bad;
+                note(fmt("slab 0x%llx: header invalid", off));
+                if (repair_) {
+                    if (slab->repairHeader()) {
+                        dev.clearPoison(off); // first line only
+                        ++rep_.repaired_headers;
+                    } else {
+                        note(fmt("slab 0x%llx: header not repairable "
+                                 "(morphing)",
+                                 off));
+                    }
+                }
+            }
+
+            // The whole 2 KB bitmap is popcounted, not just the active
+            // geometry's physical slots, so a stray bit outside the
+            // mapped range is a violation too.
+            const uint8_t *bm = slab->header()->bitmap;
+            uint64_t pop = 0;
+            for (size_t i = 0; i < kSlabBitmapBytes; ++i)
+                pop += std::popcount(unsigned(bm[i]));
+            if (pop != slab->liveBlocks()) {
+                ++rep_.bitmap_mismatch;
+                note(fmt("slab 0x%llx: bitmap popcount %llu != live",
+                         off, pop));
+                if (repair_) {
+                    if (slab->rebuildPersistentBitmap())
+                        ++rep_.repaired_bitmaps;
+                    else
+                        note(fmt("slab 0x%llx: bitmap not repairable "
+                                 "(lent blocks or morphing)",
+                                 off));
+                }
+            }
+
+            unsigned vset = 0;
+            for (unsigned idx = 0; idx < slab->capacity(); ++idx)
+                vset += slab->vbitTest(idx) ? 1 : 0;
+            if (vset != slab->capacity() - slab->available()) {
+                ++rep_.counter_mismatch;
+                note(fmt("slab 0x%llx: vbitmap %llu blocks vs counters",
+                         off, vset));
+            }
+
+            if (slab->morphing()) {
+                const SlabHeader *h = slab->header();
+                unsigned live_old = 0;
+                for (unsigned i = 0; i < h->index_count; ++i)
+                    live_old +=
+                        (h->index_table[i] & kIndexAllocated) ? 1 : 0;
+                if (live_old != slab->cntSlab()) {
+                    ++rep_.counter_mismatch;
+                    note(fmt("slab 0x%llx: index table %llu live old "
+                             "blocks vs cnt_slab",
+                             off, live_old));
+                }
+            }
+
+            Veh *veh = a_.large_.findVeh(off);
+            if (!veh || veh->off != off || veh->size != kSlabSize ||
+                veh->state != Veh::State::Activated || !veh->is_slab) {
+                ++rep_.slab_veh_mismatch;
+                note(fmt("slab 0x%llx: no activated slab extent", off));
+            }
+        });
+    }
+
+    // Reverse direction: every activated slab extent must be backed by
+    // a vslab — or be quarantined, which is exactly what repair does.
+    for (const ExtSnap &e : extents_) {
+        if (e.state != int(Veh::State::Activated) || !e.is_slab)
+            continue;
+        VSlab *slab = a_.slabOf(e.off);
+        if (slab && slab->slabOffset() == e.off)
+            continue;
+        if (a_.isQuarantined(e.off))
+            continue;
+        ++rep_.slab_veh_mismatch;
+        note(fmt("slab extent 0x%llx has no vslab and is not "
+                 "quarantined",
+                 e.off));
+        if (repair_) {
+            a_.quarantineSlab(e.off);
+            ++rep_.requarantined_slabs;
+        }
+    }
+}
+
+void
+HeapAuditor::checkExtentJournal()
+{
+    PmDevice &dev = a_.dev_;
+    const NvSuperblock *sb = a_.sb_;
+
+    if (!a_.usesBookkeepingLog()) {
+        // In-place mode: every activated extent's descriptor slot must
+        // record it as allocated.
+        a_.large_.forEachVeh([&](Veh *v) {
+            if (v->state != Veh::State::Activated)
+                return;
+            if (v->desc_off == 0 ||
+                v->desc_off + sizeof(ExtentDesc) > dev.size()) {
+                ++rep_.veh_unlogged;
+                note(fmt("extent 0x%llx: no descriptor slot", v->off));
+                return;
+            }
+            const auto *d =
+                static_cast<const ExtentDesc *>(dev.at(v->desc_off));
+            if (d->offset != v->off || d->size != v->size ||
+                d->state != 1 || (d->is_slab != 0) != v->is_slab) {
+                ++rep_.veh_unlogged;
+                note(fmt("extent 0x%llx: descriptor mismatch", v->off));
+            }
+        });
+        return;
+    }
+
+    // Independent walk of the persistent chunk chain (same structural
+    // rules as replay, but read-only and cross-checked against the
+    // volatile extent state instead of rebuilding it).
+    const uint64_t log_off = sb->log_off;
+    const uint64_t log_bytes = sb->log_bytes;
+    const auto *lh = static_cast<const LogHeader *>(dev.at(log_off));
+    const size_t max_chunks = (log_bytes - kLogHeaderArea) / kLogChunkStride;
+
+    if (dev.isPoisoned(lh, sizeof(LogHeader)) || lh->magic != kLogMagic ||
+        lh->crc != logHeaderCrc(*lh) || lh->alt > 1 ||
+        lh->num_chunks > max_chunks) {
+        ++rep_.log_chain_bad;
+        note("log header: invalid");
+        return;
+    }
+
+    InterleaveMap map = InterleaveMap::build(
+        kLogEntriesPerChunk, 64,
+        a_.cfg_.interleaved_log ? kLogChunkStripes : 1);
+
+    auto valid_chunk_off = [&](uint64_t o) {
+        return o >= log_off + kLogHeaderArea &&
+               o + kLogChunkStride <= log_off + log_bytes &&
+               (o - log_off - kLogHeaderArea) % kLogChunkStride == 0;
+    };
+    auto key = [](uint32_t id, uint32_t slot) {
+        return (uint64_t(id) << 32) | slot;
+    };
+
+    struct LiveEnt
+    {
+        uint64_t off;
+        uint64_t size;
+        bool is_slab;
+    };
+    std::unordered_map<uint64_t, LiveEnt> live;
+    std::vector<std::pair<uint32_t, uint32_t>> tombs;
+    std::unordered_set<uint32_t> ids;
+
+    uint64_t off = lh->head[lh->alt];
+    while (off) {
+        if (!valid_chunk_off(off)) {
+            ++rep_.log_chain_bad;
+            note(fmt("log chain: bad chunk offset 0x%llx", off));
+            break;
+        }
+        if (!log_chunks_.insert(off).second) {
+            ++rep_.log_chain_bad;
+            note(fmt("log chain: cycle at 0x%llx", off));
+            break;
+        }
+        const auto *pc = static_cast<const LogChunk *>(dev.at(off));
+        if (dev.isPoisoned(pc, kLogHeaderArea) ||
+            pc->crc != logChunkCrc(*pc) || pc->active != 1) {
+            ++rep_.log_chain_bad;
+            note(fmt("log chunk 0x%llx: bad header", off));
+            break;
+        }
+        if (!ids.insert(pc->id).second) {
+            ++rep_.log_chain_bad;
+            note(fmt("log chain: duplicate chunk id %llu", pc->id));
+        }
+        for (unsigned slot = 0; slot < kLogEntriesPerChunk; ++slot) {
+            uint64_t w = pc->entries[map.physical(slot)];
+            if (w == 0)
+                continue; // never appended (appends are dense)
+            if (dev.isPoisoned(&pc->entries[map.physical(slot)], 8) ||
+                !logEntryChecksumOk(w)) {
+                ++rep_.log_entry_bad;
+                note(fmt("log chunk 0x%llx slot %llu: bad entry", off,
+                         slot));
+                continue;
+            }
+            LogType t = logEntryType(w);
+            if (t == kLogTombstone) {
+                tombs.push_back({uint32_t(logEntryAddr(w)),
+                                 uint32_t(logEntrySize(w))});
+            } else if (t == kLogNormal || t == kLogSlab) {
+                live[key(pc->id, slot)] = {logEntryAddr(w) << 12,
+                                           logEntrySize(w),
+                                           t == kLogSlab};
+            }
+        }
+        off = pc->next;
+    }
+    for (const auto &[id, slot] : tombs)
+        live.erase(key(id, slot));
+
+    // Every activated extent must own exactly one live entry, and
+    // every live entry must describe an activated extent.
+    a_.large_.forEachVeh([&](Veh *v) {
+        if (v->state != Veh::State::Activated)
+            return;
+        auto it = live.find(key(v->log_ref.chunk_id, v->log_ref.slot));
+        if (it == live.end() || it->second.off != v->off ||
+            it->second.size != v->size ||
+            it->second.is_slab != v->is_slab) {
+            ++rep_.veh_unlogged;
+            note(fmt("extent 0x%llx: no matching log entry", v->off));
+        } else {
+            live.erase(it);
+        }
+    });
+    for (const auto &[k, e] : live) {
+        (void)k;
+        ++rep_.log_entry_orphan;
+        note(fmt("log entry for 0x%llx+%llu has no extent", e.off,
+                 e.size));
+    }
+}
+
+void
+HeapAuditor::checkWalRings()
+{
+    PmDevice &dev = a_.dev_;
+    const NvSuperblock *sb = a_.sb_;
+
+    for (unsigned slot = 0; slot < kMaxThreads; ++slot) {
+        uint64_t ring_off = sb->wal_off + uint64_t(slot) * kWalRingBytes;
+        auto *ring = static_cast<WalEntry *>(dev.at(ring_off));
+        for (unsigned s = 0; s < kWalRingBytes / sizeof(WalEntry); ++s) {
+            WalEntry &e = ring[s];
+            unsigned op = unsigned(e.block_op & 3);
+            if (op == kWalNone)
+                continue;
+            bool bad = dev.isPoisoned(&e, sizeof(e)) ||
+                       e.crc != walEntryCrc(e) ||
+                       op > unsigned(kWalFree) ||
+                       (e.block_op >> 2) >= dev.size();
+            if (!bad)
+                continue;
+            ++rep_.wal_entry_bad;
+            note(fmt("wal ring %llu entry %llu: torn/poisoned", slot,
+                     s));
+            if (repair_) {
+                std::memset(&e, 0, sizeof(e));
+                dev.persist(&e, sizeof(e), TimeKind::FlushWal);
+                dev.fence();
+                dev.clearPoison(ring_off + s * sizeof(WalEntry));
+                ++rep_.repaired_wal_entries;
+            }
+        }
+    }
+}
+
+void
+HeapAuditor::checkQuarantine()
+{
+    PmDevice &dev = a_.dev_;
+    const NvSuperblock *sb = a_.sb_;
+
+    unsigned count = sb->quarantine_count;
+    if (count > kQuarantineSlots) {
+        ++rep_.quarantine_bad;
+        note(fmt("quarantine: count %llu exceeds capacity", count));
+        count = kQuarantineSlots;
+    }
+    for (unsigned i = 0; i < kQuarantineSlots; ++i) {
+        uint64_t q = sb->quarantine[i];
+        if (i >= count) {
+            if (q != 0) {
+                ++rep_.quarantine_bad;
+                note(fmt("quarantine: slot %llu beyond count not empty",
+                         i));
+            }
+            continue;
+        }
+        if (q == 0 || q % kExtentAlign != 0 ||
+            q < PmDevice::kRegionAlign || q + kSlabSize > dev.size()) {
+            ++rep_.quarantine_bad;
+            note(fmt("quarantine: bad offset 0x%llx", q));
+            continue;
+        }
+        if (a_.slabOf(q) != nullptr) {
+            ++rep_.quarantine_bad;
+            note(fmt("quarantine: slab 0x%llx is simultaneously live",
+                     q));
+        }
+    }
+}
+
+bool
+HeapAuditor::lineIsFree(uint64_t line)
+{
+    PmDevice &dev = a_.dev_;
+    const NvSuperblock *sb = a_.sb_;
+
+    // Root area: superblock + region table are always live metadata;
+    // the rest of the first alignment grain is never handed out.
+    if (line < PmDevice::kRootSize)
+        return false;
+    if (line < PmDevice::kRegionAlign)
+        return true;
+
+    uint64_t wal_end =
+        sb->wal_off + uint64_t(kMaxThreads) * kWalRingBytes;
+    if (line >= sb->wal_off && line < wal_end) {
+        // One WalEntry per line: occupied only if a valid entry sits
+        // there. A torn/poisoned entry is scrubbable by definition —
+        // replay would reject it as uncommitted anyway.
+        const auto *e = static_cast<const WalEntry *>(dev.at(line));
+        return (e->block_op & 3) == kWalNone || e->crc != walEntryCrc(*e);
+    }
+
+    if (a_.usesBookkeepingLog() && line >= sb->log_off &&
+        line < sb->log_off + sb->log_bytes) {
+        if (line < sb->log_off + kLogHeaderArea)
+            return false; // log header
+        uint64_t idx =
+            (line - sb->log_off - kLogHeaderArea) / kLogChunkStride;
+        uint64_t chunk =
+            sb->log_off + kLogHeaderArea + idx * kLogChunkStride;
+        return log_chunks_.count(chunk) == 0; // inactive chunk space
+    }
+
+    if (VSlab *slab = a_.slabOf(line)) {
+        uint64_t so = slab->slabOffset();
+        if (line < so + kSlabHeaderSize)
+            return false; // header / bitmap / index table
+        // Free iff no overlapping block is allocated, lent, or covered
+        // by a live old-geometry block (the vbitmap folds all three).
+        uint64_t rel = line - so - kSlabHeaderSize;
+        unsigned first = unsigned(rel / slab->blockSize());
+        unsigned last =
+            unsigned((rel + kCacheLine - 1) / slab->blockSize());
+        for (unsigned i = first; i <= last && i < slab->capacity(); ++i) {
+            if (slab->vbitTest(i))
+                return false;
+        }
+        return true;
+    }
+
+    // Large extents (activated slabs were handled above; an activated
+    // is_slab snapshot here means a quarantined slab, which is leaked
+    // and must not be rewritten).
+    auto it = std::upper_bound(
+        extents_.begin(), extents_.end(), line,
+        [](uint64_t l, const ExtSnap &e) { return l < e.off; });
+    if (it != extents_.begin()) {
+        const ExtSnap &e = *(it - 1);
+        if (line < e.off + e.size)
+            return e.state != int(Veh::State::Activated);
+    }
+
+    // Region header areas hold live descriptors in in-place mode only.
+    auto rit = std::upper_bound(
+        regions_.begin(), regions_.end(),
+        std::make_pair(line, ~uint64_t{0}));
+    if (rit != regions_.begin()) {
+        const auto &[roff, rsize] = *(rit - 1);
+        if (line < roff + rsize && line < roff + kRegionHeaderSize)
+            return a_.usesBookkeepingLog();
+    }
+
+    return true; // unmapped device space
+}
+
+void
+HeapAuditor::scrubLine(uint64_t line)
+{
+    PmDevice &dev = a_.dev_;
+    std::memset(dev.at(line), 0, kCacheLine);
+    dev.persist(dev.at(line), kCacheLine, TimeKind::FlushMeta);
+    dev.fence();
+    // persist() heals poison only under an active fault-injection
+    // epoch; clear it explicitly so a scrub always lands.
+    dev.clearPoison(line);
+}
+
+void
+HeapAuditor::checkPoison()
+{
+    for (uint64_t line : a_.dev_.poisonedLineOffsets()) {
+        if (lineIsFree(line)) {
+            ++rep_.poisoned_free_lines;
+            if (repair_) {
+                scrubLine(line);
+                ++rep_.scrubbed_lines;
+            }
+        } else {
+            ++rep_.poisoned_live_lines;
+            note(fmt("poisoned live line 0x%llx", line));
+        }
+    }
+}
+
+} // namespace nvalloc

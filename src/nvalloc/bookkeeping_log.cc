@@ -41,7 +41,7 @@ BookkeepingLog::chunkOffset(size_t index) const
     return region_off_ + kHeaderArea + index * kChunkStride;
 }
 
-void
+bool
 BookkeepingLog::attach(PmDevice *dev, uint64_t region_off,
                        size_t region_bytes, bool interleaved,
                        bool flush_enabled, double gc_threshold,
@@ -73,17 +73,18 @@ BookkeepingLog::attach(PmDevice *dev, uint64_t region_off,
         if (flush_)
             dev_->fence();
     } else {
-        NV_ASSERT(header_->magic == kLogMagic);
         // The header is the log's single root: if it cannot be
-        // trusted no chunk can be found, so a corrupt one is fatal
-        // rather than quarantinable. alt is outside the crc (see
-        // layout.h) and gets a structural check instead; head[] is
-        // bounds-checked by replay before being followed.
+        // trusted no chunk can be found, so a corrupt one means the
+        // heap is unopenable rather than quarantinable. alt is outside
+        // the crc (see layout.h) and gets a structural check instead;
+        // head[] is bounds-checked by replay before being followed.
+        if (header_->magic != kLogMagic)
+            return false;
         if (verify_ && (dev_->isPoisoned(header_, sizeof(LogHeader)) ||
                         header_->crc != logHeaderCrc(*header_) ||
                         header_->alt > 1 ||
                         header_->num_chunks > max_chunks_))
-            NV_FATAL("bookkeeping log header corrupt (crc/poison)");
+            return false;
     }
 
     map_ = InterleaveMap::build(kLogEntriesPerChunk, 64, stripes);
@@ -93,6 +94,7 @@ BookkeepingLog::attach(PmDevice *dev, uint64_t region_off,
     carved_chunks_ = header_->num_chunks;
     live_entries_ = 0;
     next_id_ = 1;
+    return true;
 }
 
 void
@@ -195,11 +197,11 @@ BookkeepingLog::writeEntry(VChunk &vc, unsigned slot, uint64_t packed)
         dev_->fence();
 }
 
-void
+bool
 BookkeepingLog::ensureTail()
 {
     if (tail_ && tail_->next_slot < kLogEntriesPerChunk)
-        return;
+        return true;
     if (!free_list_)
         fastGc();
 
@@ -209,28 +211,28 @@ BookkeepingLog::ensureTail()
     double live_frac = double(live_entries_) /
                        double(max_chunks_ * kLogEntriesPerChunk);
     if (used_after > gc_threshold_ && live_frac < gc_threshold_ * 0.75) {
-        slowGc();
-        if (tail_ && tail_->next_slot < kLogEntriesPerChunk)
-            return;
+        if (slowGc() && tail_ && tail_->next_slot < kLogEntriesPerChunk)
+            return true;
     }
 
     VChunk *vc = activateChunk(tail_, header_->alt);
     if (!vc) {
-        slowGc();
-        if (tail_ && tail_->next_slot < kLogEntriesPerChunk)
-            return;
+        if (slowGc() && tail_ && tail_->next_slot < kLogEntriesPerChunk)
+            return true;
         vc = activateChunk(tail_, header_->alt);
         if (!vc)
-            NV_FATAL("bookkeeping log region exhausted");
+            return false; // log region exhausted; caller degrades
     }
     tail_ = vc;
+    return true;
 }
 
 LogEntryRef
 BookkeepingLog::append(LogType type, uint64_t ext_off, uint64_t size,
                        void *owner)
 {
-    ensureTail();
+    if (!ensureTail())
+        return LogEntryRef{};
 
     VChunk &vc = *tail_;
     unsigned slot = vc.next_slot++;
@@ -260,8 +262,14 @@ BookkeepingLog::tombstone(LogEntryRef target)
     --live_entries_;
     ++stats_.tombstones;
 
-    append(kLogTombstone, uint64_t(target.chunk_id) << 12, target.slot,
-           nullptr);
+    // A failed tombstone append (log region completely full) only
+    // means the deletion is not journaled: after a crash the extent
+    // resurrects as allocated — a bounded leak, never corruption — so
+    // the free itself still proceeds.
+    if (!append(kLogTombstone, uint64_t(target.chunk_id) << 12,
+                target.slot, nullptr)
+             .valid())
+        NV_WARN("bookkeeping log full; free not journaled (leak on crash)");
 }
 
 void
@@ -326,9 +334,21 @@ BookkeepingLog::releaseChunk(VChunk *vc, VChunk *prev)
     free_list_ = vc;
 }
 
-void
+bool
 BookkeepingLog::slowGc()
 {
+    // The copy pass relocates owner refs as it goes and cannot be
+    // unwound, so prove the new list fits before touching anything:
+    // every surviving entry needs a slot, and chunks come from the
+    // free list or from carving.
+    size_t needed = (live_entries_ + kLogEntriesPerChunk - 1) /
+                    kLogEntriesPerChunk;
+    size_t avail = max_chunks_ - carved_chunks_;
+    for (VChunk *vc = free_list_; vc; vc = vc->next_free)
+        ++avail;
+    if (needed > avail)
+        return false;
+
     ++stats_.slow_gcs;
 
     // Collect the surviving entries (normal/slab with a set bit) in
@@ -367,8 +387,7 @@ BookkeepingLog::slowGc()
     for (const Live &e : survivors) {
         if (!new_tail || new_tail->next_slot == kLogEntriesPerChunk) {
             VChunk *vc = activateChunk(new_tail, new_alt);
-            if (!vc)
-                NV_FATAL("log region too small for slow GC");
+            NV_ASSERT(vc != nullptr); // guaranteed by the precheck
             new_tail = vc;
         }
         unsigned slot = new_tail->next_slot++;
@@ -406,6 +425,7 @@ BookkeepingLog::slowGc()
     if (flush_)
         dev_->fence();
     tail_ = new_tail;
+    return true;
 }
 
 void

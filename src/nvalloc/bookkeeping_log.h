@@ -68,14 +68,19 @@ class BookkeepingLog
     /**
      * Bind to the log region. `create` formats a fresh header;
      * otherwise the persistent chunk list is adopted (recovery path —
-     * call replay() afterwards to enumerate live entries).
+     * call replay() afterwards to enumerate live entries). Returns
+     * false if an existing header fails validation (bad magic, crc,
+     * poison, or structurally impossible fields): the header is the
+     * log's single root, so the caller must treat the heap as
+     * unopenable rather than guess at chunk locations.
      */
-    void attach(PmDevice *dev, uint64_t region_off, size_t region_bytes,
+    bool attach(PmDevice *dev, uint64_t region_off, size_t region_bytes,
                 bool interleaved, bool flush_enabled, double gc_threshold,
                 bool create, bool verify = true);
 
     /** Append a normal or slab entry; `owner` is the volatile object
-     *  (VEH) to notify on relocation. */
+     *  (VEH) to notify on relocation. Returns an invalid ref if the
+     *  log region is exhausted even after GC. */
     LogEntryRef append(LogType type, uint64_t ext_off, uint64_t size,
                        void *owner);
 
@@ -85,8 +90,10 @@ class BookkeepingLog
 
     void setRelocateFn(RelocateFn fn) { relocate_ = std::move(fn); }
 
-    /** Force a slow GC (also used by recovery to drop tombstones). */
-    void slowGc();
+    /** Force a slow GC (also used by recovery to drop tombstones).
+     *  Returns false — without touching any state — when the region
+     *  cannot hold a full copy of the surviving entries. */
+    bool slowGc();
 
     /**
      * Recovery: walk every live entry of the published chunk list in
@@ -147,7 +154,7 @@ class BookkeepingLog
     uint64_t chunkOffset(size_t index) const;
     void persistHeader();
     void persistChunkHeader(LogChunk *pc);
-    void ensureTail();
+    bool ensureTail();
     VChunk *activateChunk(VChunk *list_tail, uint32_t list);
     VChunk *takeFreeChunk();
     void releaseChunk(VChunk *vc, VChunk *prev);

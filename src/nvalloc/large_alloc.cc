@@ -19,25 +19,6 @@ alignUp(uint64_t v, uint64_t a)
     return (v + a - 1) & ~(a - 1);
 }
 
-// Region-table entry: offset in 4 KB units | total size in 64 KB units.
-uint64_t
-packRegion(uint64_t off, uint64_t size)
-{
-    return ((off >> 12) << 28) | (size >> 16);
-}
-
-uint64_t
-regionEntryOff(uint64_t e)
-{
-    return (e >> 28) << 12;
-}
-
-uint64_t
-regionEntrySize(uint64_t e)
-{
-    return (e & ((uint64_t{1} << 28) - 1)) << 16;
-}
-
 } // namespace
 
 LargeAllocator::~LargeAllocator()
@@ -92,19 +73,19 @@ LargeAllocator::regionOf(uint64_t off) const
     return it->first;
 }
 
-void
+bool
 LargeAllocator::regionTableAdd(uint64_t region_off, uint64_t size)
 {
     for (unsigned i = 0; i < region_slots_; ++i) {
         if (region_table_[i] == 0) {
-            region_table_[i] = packRegion(region_off, size);
+            region_table_[i] = packRegionEntry(region_off, size);
             dev_->persistFence(&region_table_[i], sizeof(uint64_t),
                                TimeKind::FlushMeta);
             regions_[region_off] = size;
-            return;
+            return true;
         }
     }
-    NV_FATAL("persistent region table full; raise kMaxRegions");
+    return false;
 }
 
 void
@@ -126,9 +107,19 @@ LargeAllocator::regionTableRemove(uint64_t region_off)
 Veh *
 LargeAllocator::newRegion()
 {
-    uint64_t off = dev_->mapRegion(kRegionSize);
+    uint64_t off = dev_->tryMapRegion(kRegionSize);
+    if (off == 0) {
+        last_failure_.store(NvStatus::OutOfMemory,
+                            std::memory_order_relaxed);
+        return nullptr;
+    }
+    if (!regionTableAdd(off, kRegionSize)) {
+        dev_->unmapRegion(off, kRegionSize);
+        last_failure_.store(NvStatus::RegionTableFull,
+                            std::memory_order_relaxed);
+        return nullptr;
+    }
     ++stats_.regions_mapped;
-    regionTableAdd(off, kRegionSize);
 
     auto &slots = desc_free_[off];
     slots.clear();
@@ -208,20 +199,28 @@ LargeAllocator::splitFront(Veh *veh, uint64_t size)
     return front;
 }
 
-void
+bool
 LargeAllocator::activate(Veh *veh, bool is_slab)
 {
+    if (log_) {
+        // Append before publishing the volatile state so a log-region
+        // exhaustion can be undone without unwinding list membership.
+        LogEntryRef ref = log_->append(is_slab ? kLogSlab : kLogNormal,
+                                       veh->off, veh->size, veh);
+        if (!ref.valid()) {
+            last_failure_.store(NvStatus::LogExhausted,
+                                std::memory_order_relaxed);
+            return false;
+        }
+        veh->log_ref = ref;
+    }
     veh->state = Veh::State::Activated;
     veh->is_slab = is_slab;
     activated_list_.pushBack(veh);
     activated_bytes_ += veh->size;
-
-    if (log_) {
-        veh->log_ref = log_->append(is_slab ? kLogSlab : kLogNormal,
-                                    veh->off, veh->size, veh);
-    } else {
+    if (!log_)
         descriptorWrite(veh, 1);
-    }
+    return true;
 }
 
 void
@@ -242,12 +241,27 @@ LargeAllocator::retire(Veh *veh)
 uint64_t
 LargeAllocator::allocateDirect(uint64_t size)
 {
-    NV_ASSERT(size < (uint64_t{1} << 26)); // log entry size field
     uint64_t total =
         alignUp(size + kRegionHeaderSize, PmDevice::kRegionAlign);
-    uint64_t off = dev_->mapRegion(total);
+    if (total - kRegionHeaderSize >= (uint64_t{1} << 26)) {
+        // Unrepresentable in the log entry's size field.
+        last_failure_.store(NvStatus::InvalidArgument,
+                            std::memory_order_relaxed);
+        return 0;
+    }
+    uint64_t off = dev_->tryMapRegion(total);
+    if (off == 0) {
+        last_failure_.store(NvStatus::OutOfMemory,
+                            std::memory_order_relaxed);
+        return 0;
+    }
+    if (!regionTableAdd(off, total)) {
+        dev_->unmapRegion(off, total);
+        last_failure_.store(NvStatus::RegionTableFull,
+                            std::memory_order_relaxed);
+        return 0;
+    }
     ++stats_.regions_mapped;
-    regionTableAdd(off, total);
     auto &slots = desc_free_[off];
     for (unsigned i = kDescsPerRegion; i-- > 0;)
         slots.push_back(i);
@@ -257,7 +271,15 @@ LargeAllocator::allocateDirect(uint64_t size)
     veh->size = total - kRegionHeaderSize;
     veh->is_direct = true;
     rtree_.setRange(veh->off, veh->size, veh);
-    activate(veh, false);
+    if (!activate(veh, false)) {
+        rtree_.setRange(veh->off, veh->size, nullptr);
+        regionTableRemove(off);
+        desc_free_.erase(off);
+        dev_->unmapRegion(off, total);
+        ++stats_.regions_unmapped;
+        delete veh;
+        return 0;
+    }
     return veh->off;
 }
 
@@ -280,21 +302,32 @@ LargeAllocator::allocate(uint64_t size, bool is_slab)
         veh = bestFit(retained_tree_, size);
         from_retained = veh != nullptr;
     }
-    if (!veh)
+    if (!veh) {
         veh = newRegion();
+        if (!veh)
+            return 0;
+    }
 
     if (veh->size > size) {
         Veh *front = splitFront(veh, size);
         if (from_retained)
             dev_->recommit(front->off, front->size);
-        activate(front, is_slab);
+        if (!activate(front, is_slab)) {
+            front->freed_at = VClock::now();
+            insertFree(front, Veh::State::Reclaimed);
+            return 0;
+        }
         return front->off;
     }
 
     removeFree(veh);
     if (from_retained)
         dev_->recommit(veh->off, veh->size);
-    activate(veh, is_slab);
+    if (!activate(veh, is_slab)) {
+        veh->freed_at = VClock::now();
+        insertFree(veh, Veh::State::Reclaimed);
+        return 0;
+    }
     return veh->off;
 }
 
@@ -363,6 +396,15 @@ LargeAllocator::free(uint64_t off)
     insertFree(veh, Veh::State::Reclaimed);
     if (!log_)
         descriptorWrite(veh, 2);
+    decayTick();
+}
+
+void
+LargeAllocator::reclaim()
+{
+    VLockGuard guard(lock_);
+    if (log_)
+        (void)log_->slowGc();
     decayTick();
 }
 

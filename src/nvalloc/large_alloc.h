@@ -44,6 +44,7 @@
 #include "nvalloc/bookkeeping_log.h"
 #include "nvalloc/config.h"
 #include "nvalloc/layout.h"
+#include "nvalloc/status.h"
 #include "nvalloc/vlock.h"
 #include "pm/pm_device.h"
 
@@ -114,6 +115,20 @@ class LargeAllocator
     /** Run decay demotions now (also runs opportunistically). */
     void decayTick();
 
+    /**
+     * Exhaustion slow path: force a bookkeeping-log slow GC (log mode)
+     * and a decay pass under the allocator lock, so a retry can reuse
+     * whatever space tombstoned entries and demoted extents pin.
+     */
+    void reclaim();
+
+    /** Why the last allocate() returned 0 (Ok if none failed yet). */
+    NvStatus
+    lastFailure() const
+    {
+        return last_failure_.load(std::memory_order_relaxed);
+    }
+
     // ---- recovery hooks -------------------------------------------
 
     /** Recreate an activated VEH from a replayed log entry. */
@@ -139,6 +154,31 @@ class LargeAllocator
              veh = activated_list_.next(veh)) {
             fn(veh);
         }
+    }
+
+    /** Iterate every VEH on all three state lists (audit). */
+    template <typename Fn>
+    void
+    forEachVeh(Fn &&fn)
+    {
+        for (Veh *v = activated_list_.front(); v;
+             v = activated_list_.next(v))
+            fn(v);
+        for (Veh *v = reclaimed_list_.front(); v;
+             v = reclaimed_list_.next(v))
+            fn(v);
+        for (Veh *v = retained_list_.front(); v;
+             v = retained_list_.next(v))
+            fn(v);
+    }
+
+    /** Iterate live regions as (start offset, total size) (audit). */
+    template <typename Fn>
+    void
+    forEachRegion(Fn &&fn) const
+    {
+        for (const auto &[off, size] : regions_)
+            fn(off, size);
     }
 
     const Stats &stats() const { return stats_; }
@@ -180,11 +220,12 @@ class LargeAllocator
     std::atomic<uint64_t> global_vnow_{0};
 
     Stats stats_;
+    std::atomic<NvStatus> last_failure_{NvStatus::Ok};
 
     Veh *bestFit(SizeTree &tree, uint64_t size);
     Veh *newRegion();
     uint64_t allocateDirect(uint64_t size);
-    void activate(Veh *veh, bool is_slab);
+    bool activate(Veh *veh, bool is_slab);
     void retire(Veh *veh);
     Veh *splitFront(Veh *veh, uint64_t size);
     Veh *coalesce(Veh *veh);
@@ -197,7 +238,7 @@ class LargeAllocator
     void descriptorWrite(Veh *veh, uint32_t state);
     void descriptorRelease(Veh *veh);
     uint64_t regionOf(uint64_t off) const;
-    void regionTableAdd(uint64_t region_off, uint64_t size);
+    bool regionTableAdd(uint64_t region_off, uint64_t size);
     void regionTableRemove(uint64_t region_off);
 
     void chargeSearch(unsigned steps);

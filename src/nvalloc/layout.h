@@ -352,6 +352,31 @@ logHeaderCrc(const LogHeader &h)
     return crc32(&h, offsetof(LogHeader, crc));
 }
 
+/**
+ * Region-table entry codec. The superblock is followed (at root offset
+ * 512) by an array of packed entries, one per live region: offset in
+ * 4 KB units in the high bits, total size in 64 KB units in the low 28.
+ * Shared here so the heap auditor can decode the table independently
+ * of the large allocator's volatile state.
+ */
+constexpr uint64_t
+packRegionEntry(uint64_t off, uint64_t size)
+{
+    return ((off >> 12) << 28) | (size >> 16);
+}
+
+constexpr uint64_t
+regionEntryOff(uint64_t e)
+{
+    return (e >> 28) << 12;
+}
+
+constexpr uint64_t
+regionEntrySize(uint64_t e)
+{
+    return (e & ((uint64_t{1} << 28) - 1)) << 16;
+}
+
 /** Slabs recovery refused to adopt (bad header after a crash +
  *  media fault). Their space is leaked deliberately — quarantined —
  *  instead of aborting the whole heap. */

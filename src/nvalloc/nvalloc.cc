@@ -33,6 +33,14 @@ NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
     else
         createHeap();
 
+    if (open_failed_) {
+        // Failed open: root metadata could not be trusted. Touch no PM
+        // (the corrupt image must stay inspectable), hand out no
+        // threads, and behave like a crashed instance on destruction.
+        mode_.store(HeapMode::Failed, std::memory_order_relaxed);
+        crashed_ = true;
+        return;
+    }
     setArenaStates(ArenaState::Running);
 }
 
@@ -168,6 +176,28 @@ NvAlloc::attachThread()
 {
     std::lock_guard<std::mutex> g(attach_mutex_);
 
+    if (open_failed_) {
+        failOp(open_status_);
+        ++deg_stats_.failed_attaches;
+        return nullptr;
+    }
+
+    // Claim a WAL slot before touching any shared counters so slot
+    // exhaustion can back out without unwinding anything.
+    unsigned slot = kMaxThreads;
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+        if (!wal_slot_used_[i]) {
+            slot = i;
+            wal_slot_used_[i] = true;
+            break;
+        }
+    }
+    if (slot == kMaxThreads) {
+        failOp(NvStatus::TooManyThreads);
+        ++deg_stats_.failed_attaches;
+        return nullptr;
+    }
+
     // Least-loaded arena (paper §4.2), with ties broken round-robin:
     // when threads attach and detach sequentially (as they do under a
     // single-core scheduler) all counts tie at zero, and a fixed
@@ -184,17 +214,6 @@ NvAlloc::attachThread()
     attach_cursor_ = (best->id() + 1) % unsigned(arenas_.size());
     best->thread_count.fetch_add(1);
     attached_threads_.fetch_add(1);
-
-    unsigned slot = kMaxThreads;
-    for (unsigned i = 0; i < kMaxThreads; ++i) {
-        if (!wal_slot_used_[i]) {
-            slot = i;
-            wal_slot_used_[i] = true;
-            break;
-        }
-    }
-    if (slot == kMaxThreads)
-        NV_FATAL("too many concurrent threads (kMaxThreads)");
 
     auto *ctx = new ThreadCtx(this, best, cfg_.bit_stripes,
                               cfg_.interleaved_tcache, cfg_.tcache_slots,
@@ -257,6 +276,38 @@ NvAlloc::publish(uint64_t *where, uint64_t value)
         dev_.persistFence(where, sizeof(uint64_t), TimeKind::FlushData);
 }
 
+NvStatus
+NvAlloc::failOp(NvStatus why)
+{
+    last_status_.store(why, std::memory_order_relaxed);
+    return why;
+}
+
+uint64_t
+NvAlloc::failAlloc()
+{
+    NvStatus why = large_.lastFailure();
+    if (why == NvStatus::Ok)
+        why = NvStatus::OutOfMemory;
+    failOp(why);
+    mode_.store(HeapMode::Exhausted, std::memory_order_relaxed);
+    ++deg_stats_.failed_allocs;
+    return 0;
+}
+
+void
+NvAlloc::reclaimMemory(ThreadCtx &ctx)
+{
+    // Exhaustion slow path: give back everything this thread pins
+    // (lent tcache blocks keep otherwise-free slabs alive), then force
+    // the large allocator's log GC and decay pass so tombstoned log
+    // entries and demoted extents stop holding space.
+    mode_.store(HeapMode::Reclaiming, std::memory_order_relaxed);
+    ++deg_stats_.reclaim_attempts;
+    drainTcache(&ctx);
+    large_.reclaim();
+}
+
 uint64_t
 NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
 {
@@ -265,9 +316,15 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
     CachedBlock blk;
     if (!ctx.tcache.pop(cls, blk)) {
         ctx.arena->refill(ctx.tcache, cls);
-        if (!ctx.tcache.pop(cls, blk))
-            NV_FATAL("persistent heap exhausted (small allocation)");
+        if (!ctx.tcache.pop(cls, blk)) {
+            reclaimMemory(ctx);
+            ctx.arena->refill(ctx.tcache, cls);
+            if (!ctx.tcache.pop(cls, blk))
+                return failAlloc();
+            ++deg_stats_.reclaim_successes;
+        }
     }
+    mode_.store(HeapMode::Normal, std::memory_order_relaxed);
 
     // Journal first (LOG only: the GC variant rebuilds from
     // reachability and the IC variant's bitmaps are self-describing),
@@ -287,8 +344,16 @@ uint64_t
 NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
 {
     uint64_t off = large_.allocate(size, false);
-    if (off == 0)
-        NV_FATAL("persistent heap exhausted (large allocation)");
+    if (off == 0) {
+        if (large_.lastFailure() == NvStatus::InvalidArgument)
+            return failAlloc(); // unrepresentable size; retry is moot
+        reclaimMemory(ctx);
+        off = large_.allocate(size, false);
+        if (off == 0)
+            return failAlloc();
+        ++deg_stats_.reclaim_successes;
+    }
+    mode_.store(HeapMode::Normal, std::memory_order_relaxed);
     // Large allocations journal in both variants (paper Table 2).
     ctx.wal.append(kWalAlloc, off, where_off, size);
     VClock::advance(kMallocCpuNs, TimeKind::Other);
@@ -298,13 +363,19 @@ NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
 uint64_t
 NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
 {
-    NV_ASSERT(size > 0);
+    if (size == 0) {
+        failOp(NvStatus::InvalidArgument);
+        ++deg_stats_.failed_allocs;
+        return 0;
+    }
     uint64_t where_off =
         where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;
 
     uint64_t off = size <= kSmallMax
                        ? allocSmall(ctx, size, where_off)
                        : allocLarge(ctx, size, where_off);
+    if (off == 0)
+        return 0; // failed allocation publishes nothing
     publish(where, off);
     return off;
 }
@@ -312,23 +383,55 @@ NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
 void *
 NvAlloc::mallocTo(ThreadCtx &ctx, size_t size, uint64_t *where)
 {
-    return dev_.at(allocOffset(ctx, size, where));
+    uint64_t off = allocOffset(ctx, size, where);
+    return off ? dev_.at(off) : nullptr;
 }
 
-void
+NvStatus
 NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
 {
+    if (off == 0 || off >= dev_.size()) {
+        ++deg_stats_.invalid_frees;
+        return failOp(NvStatus::InvalidFree);
+    }
+
     uint64_t where_off =
         where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;
 
     VSlab *slab = slabOf(off);
     if (!slab) {
-        // Large extent: journal, clear the attach word, then retire.
+        // Large extent: validate before journaling anything. A foreign
+        // offset (no extent, mid-extent, free extent, or a slab's
+        // interior) must leave both the WAL and the heap untouched.
+        Veh *veh = large_.findVeh(off);
+        if (!veh || veh->off != off ||
+            veh->state != Veh::State::Activated || veh->is_slab) {
+            ++deg_stats_.invalid_frees;
+            return failOp(NvStatus::InvalidFree);
+        }
+        // Journal, clear the attach word, then retire.
         ctx.wal.append(kWalFree, off, where_off, 0);
         publish(where, 0);
         large_.free(off);
         VClock::advance(kFreeCpuNs, TimeKind::Other);
-        return;
+        return NvStatus::Ok;
+    }
+
+    // Validate against the slab's state before journaling: a misaligned
+    // interior pointer or an already-clear bit is an invalid free.
+    // Read without the arena lock — concurrent frees of the *same*
+    // block are undefined behaviour anyway, so this detection is
+    // best-effort by design; the locked path below re-asserts.
+    {
+        unsigned v_old = 0;
+        if (!slab->isOldBlock(off, v_old)) {
+            unsigned idx = slab->blockIndexOf(off);
+            if (idx >= slab->capacity() ||
+                slab->blockOffset(idx) != off || !slab->isAllocated(idx)) {
+                ++deg_stats_.invalid_frees;
+                return failOp(NvStatus::InvalidFree);
+            }
+        }
     }
 
     if (logMode())
@@ -346,7 +449,7 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
             // blocks_before bypass the tcache (paper §5.2).
             arena->freeOld(slab, old_idx);
             VClock::advance(kFreeCpuNs, TimeKind::Other);
-            return;
+            return NvStatus::Ok;
         }
         idx = slab->blockIndexOf(off);
         NV_ASSERT(idx < slab->capacity() && slab->isAllocated(idx));
@@ -372,13 +475,17 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         NV_ASSERT(ok);
     }
     VClock::advance(kFreeCpuNs, TimeKind::Other);
+    return NvStatus::Ok;
 }
 
-void
+NvStatus
 NvAlloc::freeFrom(ThreadCtx &ctx, uint64_t *where)
 {
-    NV_ASSERT(where && *where != 0);
-    freeOffset(ctx, *where, where);
+    if (!where || *where == 0) {
+        ++deg_stats_.invalid_frees;
+        return failOp(NvStatus::InvalidFree);
+    }
+    return freeOffset(ctx, *where, where);
 }
 
 void

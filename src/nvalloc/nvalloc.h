@@ -39,6 +39,7 @@
 #include "nvalloc/config.h"
 #include "nvalloc/large_alloc.h"
 #include "nvalloc/layout.h"
+#include "nvalloc/status.h"
 #include "nvalloc/tcache.h"
 #include "nvalloc/wal.h"
 #include "pm/pm_device.h"
@@ -46,6 +47,7 @@
 namespace nvalloc {
 
 class NvAlloc;
+class HeapAuditor;
 
 /** Per-thread state: the tcache and the WAL ring (paper §2.1, §4.1). */
 struct ThreadCtx
@@ -114,7 +116,12 @@ class NvAlloc
 
     // ---- threads ----------------------------------------------------
 
-    /** Register the calling thread; assigns the least-loaded arena. */
+    /**
+     * Register the calling thread; assigns the least-loaded arena.
+     * Returns nullptr — with lastStatus() = TooManyThreads — when all
+     * kMaxThreads WAL slots are in use (detach a thread to free one),
+     * or CorruptMetadata when the heap failed to open.
+     */
     ThreadCtx *attachThread();
 
     /** Drain the thread's tcache and release its WAL slot. */
@@ -146,18 +153,24 @@ class NvAlloc
      * lie inside the device, or be nullptr for a volatile attach —
      * the latter is crash-unsafe in LOG mode and only sound under the
      * GC variant if the block is reachable from a GC root).
-     * Returns the mapped address of the new block.
+     * Returns the mapped address of the new block, or nullptr when the
+     * heap is exhausted even after the reclamation slow path (drain
+     * this thread's tcache, force a log slow-GC and a decay pass,
+     * retry once); lastStatus() then says why and `where` is left
+     * untouched.
      */
     void *mallocTo(ThreadCtx &ctx, size_t size, uint64_t *where);
 
     /** nvalloc_free_from: free the block whose offset is stored in
-     *  `where`, atomically clearing the word. */
-    void freeFrom(ThreadCtx &ctx, uint64_t *where);
+     *  `where`, atomically clearing the word. Returns InvalidFree —
+     *  leaving the heap untouched — for a null/zero word, a double
+     *  free, or a foreign pointer. */
+    NvStatus freeFrom(ThreadCtx &ctx, uint64_t *where);
 
     /** Offset-returning variants for callers managing their own
-     *  persistent pointers. */
+     *  persistent pointers. allocOffset returns 0 on exhaustion. */
     uint64_t allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where);
-    void freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where);
+    NvStatus freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where);
 
     // ---- roots & helpers --------------------------------------------
 
@@ -181,6 +194,30 @@ class NvAlloc
     PmDevice &device() { return dev_; }
     const NvAllocConfig &config() const { return cfg_; }
     const RecoveryInfo &lastRecovery() const { return recovery_; }
+
+    // ---- degradation ------------------------------------------------
+
+    /** Why the most recent failing operation failed (sticky, errno
+     *  style: successful operations do not reset it). */
+    NvStatus
+    lastStatus() const
+    {
+        return last_status_.load(std::memory_order_relaxed);
+    }
+
+    /** Outcome of opening the heap: Ok, or CorruptMetadata when the
+     *  superblock or log root failed validation — the heap is then in
+     *  Failed mode and only read-only introspection works. */
+    NvStatus openStatus() const { return open_status_; }
+
+    /** Current degradation mode (normal → reclaiming → exhausted). */
+    HeapMode
+    mode() const
+    {
+        return mode_.load(std::memory_order_relaxed);
+    }
+
+    const DegradedStats &degradedStats() const { return deg_stats_; }
 
     // ---- fault containment ------------------------------------------
 
@@ -244,6 +281,15 @@ class NvAlloc
     RecoveryInfo recovery_;
     bool crashed_ = false;
 
+    // Degradation state (status.h).
+    std::atomic<NvStatus> last_status_{NvStatus::Ok};
+    std::atomic<HeapMode> mode_{HeapMode::Normal};
+    NvStatus open_status_ = NvStatus::Ok;
+    bool open_failed_ = false;
+    DegradedStats deg_stats_;
+
+    friend class HeapAuditor;
+
     bool logMode() const { return cfg_.consistency == Consistency::Log; }
     bool gcMode() const { return cfg_.consistency == Consistency::Gc; }
     bool usesBookkeepingLog() const { return cfg_.log_bookkeeping; }
@@ -260,6 +306,9 @@ class NvAlloc
     uint64_t allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off);
     uint64_t allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off);
     void publish(uint64_t *where, uint64_t value);
+    void reclaimMemory(ThreadCtx &ctx);
+    uint64_t failAlloc();
+    NvStatus failOp(NvStatus why);
 };
 
 } // namespace nvalloc

@@ -19,15 +19,18 @@ struct NvInstance
     std::mutex mutex;
     std::unordered_map<std::thread::id, ThreadCtx *> ctxs;
 
-    ThreadCtx &
+    /** Implicit per-thread attach; nullptr when the allocator refused
+     *  the attach (slot exhaustion or a failed open). A refused thread
+     *  retries on its next call rather than caching the failure. */
+    ThreadCtx *
     ctx()
     {
         std::lock_guard<std::mutex> g(mutex);
         auto [it, fresh] = ctxs.emplace(std::this_thread::get_id(),
                                         nullptr);
-        if (fresh)
+        if (fresh || it->second == nullptr)
             it->second = alloc.attachThread();
-        return *it->second;
+        return it->second;
     }
 };
 
@@ -49,8 +52,10 @@ nvalloc_exit(NvInstance *inst)
 {
     {
         std::lock_guard<std::mutex> g(inst->mutex);
-        for (auto &[tid, ctx] : inst->ctxs)
-            inst->alloc.detachThread(ctx);
+        for (auto &[tid, ctx] : inst->ctxs) {
+            if (ctx)
+                inst->alloc.detachThread(ctx);
+        }
         inst->ctxs.clear();
     }
     delete inst;
@@ -59,13 +64,42 @@ nvalloc_exit(NvInstance *inst)
 void *
 nvalloc_malloc_to(NvInstance *inst, size_t size, uint64_t *where)
 {
-    return inst->alloc.mallocTo(inst->ctx(), size, where);
+    ThreadCtx *ctx = inst->ctx();
+    if (!ctx)
+        return nullptr; // attach refused; nvalloc_errno says why
+    return inst->alloc.mallocTo(*ctx, size, where);
 }
 
-void
+int
 nvalloc_free_from(NvInstance *inst, uint64_t *where)
 {
-    inst->alloc.freeFrom(inst->ctx(), where);
+    ThreadCtx *ctx = inst->ctx();
+    if (!ctx)
+        return NVALLOC_EAGAIN;
+    return inst->alloc.freeFrom(*ctx, where) == NvStatus::Ok
+               ? NVALLOC_OK
+               : NVALLOC_EINVAL;
+}
+
+int
+nvalloc_errno(NvInstance *inst)
+{
+    switch (inst->alloc.lastStatus()) {
+    case NvStatus::Ok:
+        return NVALLOC_OK;
+    case NvStatus::OutOfMemory:
+    case NvStatus::LogExhausted:
+    case NvStatus::RegionTableFull:
+        return NVALLOC_ENOMEM;
+    case NvStatus::TooManyThreads:
+        return NVALLOC_EAGAIN;
+    case NvStatus::InvalidFree:
+    case NvStatus::InvalidArgument:
+        return NVALLOC_EINVAL;
+    case NvStatus::CorruptMetadata:
+        return NVALLOC_ECORRUPT;
+    }
+    return NVALLOC_OK;
 }
 
 uint64_t *

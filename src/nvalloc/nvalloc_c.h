@@ -32,6 +32,16 @@ struct NvAllocOptions
     bool slab_morphing = true;
 };
 
+/** errno-style status codes (see nvalloc_errno). */
+enum NvErrno
+{
+    NVALLOC_OK = 0,
+    NVALLOC_ENOMEM,   //!< heap/log exhausted even after reclamation
+    NVALLOC_EAGAIN,   //!< all thread slots in use; detach one first
+    NVALLOC_EINVAL,   //!< bad size, double free, or foreign pointer
+    NVALLOC_ECORRUPT, //!< metadata failed validation; heap degraded
+};
+
 /** Create (or recover) an NVAlloc heap on `dev`. */
 NvInstance *nvalloc_init(PmDevice *dev,
                          const NvAllocOptions *opts = nullptr);
@@ -42,12 +52,22 @@ void nvalloc_exit(NvInstance *inst);
 /**
  * Allocate `size` bytes; atomically publish the block's offset into
  * the persistent word `*where` (may be null for a volatile attach).
- * Returns the mapped address, or nullptr on exhaustion.
+ * Returns the mapped address, or nullptr on failure —
+ * nvalloc_errno() then reports why (NVALLOC_ENOMEM after the
+ * reclamation slow path gave up, NVALLOC_EAGAIN if this thread could
+ * not be attached, NVALLOC_ECORRUPT if the heap failed to open).
  */
 void *nvalloc_malloc_to(NvInstance *inst, size_t size, uint64_t *where);
 
-/** Free the block whose offset `*where` holds; clears the word. */
-void nvalloc_free_from(NvInstance *inst, uint64_t *where);
+/** Free the block whose offset `*where` holds; clears the word.
+ *  Returns NVALLOC_OK, or NVALLOC_EINVAL — leaving the heap
+ *  untouched — for a null/zero word, a double free, or a foreign
+ *  pointer. */
+int nvalloc_free_from(NvInstance *inst, uint64_t *where);
+
+/** Status of the most recent failing call (sticky, errno style;
+ *  successful calls do not reset it). */
+int nvalloc_errno(NvInstance *inst);
 
 /** Persistent root words (attach targets / GC roots). */
 uint64_t *nvalloc_root(NvInstance *inst, unsigned idx);

@@ -40,20 +40,36 @@ NvAlloc::recoverHeap()
         if (st == ArenaState::Running || st == ArenaState::Recovering)
             recovery_.after_failure = true;
     }
-    setArenaStates(ArenaState::Recovering);
 
     // The superblock is the root of trust: if its config fields are
     // torn or poisoned, nothing below it can be located, so this is
-    // the one corruption recovery cannot contain.
+    // the one corruption recovery cannot contain — the open degrades
+    // to Failed mode before any persistent state is touched (the
+    // arena-state stamp above all else), leaving the media exactly as
+    // found for offline fsck.
     recovery_.lines_poisoned = dev_.poisonedLineCount();
     if (cfg_.verify_recovery_checksums &&
         (dev_.isPoisoned(sb_, sizeof(NvSuperblock)) ||
-         sb_->sb_crc != superblockCrc(*sb_)))
-        NV_FATAL("superblock corrupt (crc/poison)");
+         sb_->sb_crc != superblockCrc(*sb_))) {
+        NV_WARN("superblock corrupt (crc/poison); opening in Failed mode");
+        open_failed_ = true;
+        open_status_ = NvStatus::CorruptMetadata;
+        last_status_.store(NvStatus::CorruptMetadata,
+                           std::memory_order_relaxed);
+        return;
+    }
+    if (sb_->version != kSuperVersion) {
+        NV_WARN("superblock version mismatch; opening in Failed mode");
+        open_failed_ = true;
+        open_status_ = NvStatus::CorruptMetadata;
+        last_status_.store(NvStatus::CorruptMetadata,
+                           std::memory_order_relaxed);
+        return;
+    }
+    setArenaStates(ArenaState::Recovering);
 
     // The on-media format pins geometry choices; honour them over the
     // (possibly different) requested config.
-    NV_ASSERT(sb_->version == kSuperVersion);
     cfg_.num_arenas = sb_->num_arenas;
     cfg_.bit_stripes = sb_->stripes;
     cfg_.consistency = sb_->consistency == 0
@@ -103,10 +119,21 @@ NvAlloc::recoverHeap()
     };
 
     if (usesBookkeepingLog()) {
-        log_.attach(&dev_, sb_->log_off, sb_->log_bytes,
-                    cfg_.interleaved_log, cfg_.flush_enabled,
-                    cfg_.log_gc_threshold, /*create=*/false,
-                    cfg_.verify_recovery_checksums);
+        if (!log_.attach(&dev_, sb_->log_off, sb_->log_bytes,
+                         cfg_.interleaved_log, cfg_.flush_enabled,
+                         cfg_.log_gc_threshold, /*create=*/false,
+                         cfg_.verify_recovery_checksums)) {
+            // The log header is the single root of every large-extent
+            // record; with it untrusted, replay would invent or drop
+            // extents. Degrade to Failed mode instead of guessing.
+            NV_WARN("bookkeeping log header corrupt; "
+                    "opening in Failed mode");
+            open_failed_ = true;
+            open_status_ = NvStatus::CorruptMetadata;
+            last_status_.store(NvStatus::CorruptMetadata,
+                               std::memory_order_relaxed);
+            return;
+        }
         // Paper: "perform a slow GC on the persistent bookkeeping log
         // to clean up its tombstone entries. Then scan and process
         // every log entry."

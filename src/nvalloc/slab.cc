@@ -236,6 +236,49 @@ VSlab::markFreeToTcache(unsigned idx)
     persistBit(idx, false);
 }
 
+bool
+VSlab::rebuildPersistentBitmap()
+{
+    if (lent_ != 0 || morphing())
+        return false;
+    std::memset(hdr_->bitmap, 0, kSlabBitmapBytes);
+    for (unsigned idx = 0; idx < geo_.capacity; ++idx) {
+        if (bitmapTest(vbitmap_, idx))
+            bitmapSet(pbitmapWords(), geo_.map.physical(idx));
+    }
+    persistHeaderLine(hdr_->bitmap, kSlabBitmapBytes);
+    if (flush_)
+        dev_->fence();
+    return true;
+}
+
+bool
+VSlab::repairHeader()
+{
+    if (morphing())
+        return false;
+    // index_count is already 0 here: cnt_slab_ == 0 implies any morph
+    // completed, and finishMorph cleared the table.
+    hdr_->magic = kSlabMagic;
+    hdr_->size_class = uint16_t(geo_.size_class);
+    hdr_->flag = 0;
+    hdr_->data_offset = kSlabHeaderSize;
+    hdr_->capacity = uint16_t(geo_.capacity);
+    hdr_->stripes = uint16_t(geo_.map.stripes);
+    hdr_->old_size_class = 0;
+    hdr_->old_data_offset_k = kSlabHeaderSize / kCacheLine;
+    hdr_->index_count = 0;
+    hdr_->old_capacity = 0;
+    hdr_->old_stripes = 0;
+    hdr_->new_size_class = 0;
+    hdr_->new_stripes = 0;
+    updateHeaderCrc();
+    persistHeaderLine(hdr_, kCacheLine);
+    if (flush_)
+        dev_->fence();
+    return true;
+}
+
 void
 VSlab::persistBit(unsigned idx, bool set)
 {

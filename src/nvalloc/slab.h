@@ -147,6 +147,33 @@ class VSlab
         return bitmapTest(pbitmapWords(), geo_.map.physical(idx));
     }
 
+    // -- audit / repair hooks (HeapAuditor) -------------------------
+
+    /** Volatile availability bit: set when the block is allocated,
+     *  lent to a tcache, or shadowed by a live old-geometry block. */
+    bool
+    vbitTest(unsigned idx) const
+    {
+        return bitmapTest(vbitmap_, idx);
+    }
+
+    /**
+     * Repair: rewrite the persistent bitmap from the volatile one.
+     * Only sound when no block is lent (a lent block's persistent bit
+     * is deliberately clear while its vbit is set) and the slab is not
+     * morphing (old-geometry liveness lives in the index table, not
+     * the bitmap). Returns false without writing in those states.
+     */
+    bool rebuildPersistentBitmap();
+
+    /**
+     * Repair: rewrite the header's first line (magic, geometry, flag,
+     * crc) from the volatile mirror. Refused while morphing — the
+     * staged old/new geometry words are then load-bearing and have no
+     * volatile copy that is known-good. Returns false if refused.
+     */
+    bool repairHeader();
+
     // -- morphing (paper §5.2) --------------------------------------
 
     bool

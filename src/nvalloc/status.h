@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Structured error reporting for the NVAlloc runtime.
+ *
+ * Production allocators degrade, they do not abort: every failure that
+ * can be produced by the workload (exhaustion, slot pressure, invalid
+ * frees) or by the media (corrupt metadata at open) is reported as an
+ * NvStatus through the public API instead of an NV_FATAL. The heap
+ * additionally tracks a coarse degradation mode so callers can tell
+ * "allocation failed once" from "the heap is out of space".
+ */
+
+#ifndef NVALLOC_NVALLOC_STATUS_H
+#define NVALLOC_NVALLOC_STATUS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace nvalloc {
+
+/** Outcome of a public allocator operation. */
+enum class NvStatus : int {
+    Ok = 0,
+    OutOfMemory,     //!< device exhausted even after reclamation
+    LogExhausted,    //!< bookkeeping-log region full after slow GC
+    RegionTableFull, //!< persistent region table out of slots
+    TooManyThreads,  //!< all kMaxThreads WAL slots are attached
+    InvalidFree,     //!< double free or foreign/unaligned pointer
+    InvalidArgument, //!< zero or unrepresentable request size
+    CorruptMetadata, //!< superblock/log root failed validation at open
+};
+
+inline const char *
+nvStatusName(NvStatus s)
+{
+    switch (s) {
+    case NvStatus::Ok: return "ok";
+    case NvStatus::OutOfMemory: return "out-of-memory";
+    case NvStatus::LogExhausted: return "log-exhausted";
+    case NvStatus::RegionTableFull: return "region-table-full";
+    case NvStatus::TooManyThreads: return "too-many-threads";
+    case NvStatus::InvalidFree: return "invalid-free";
+    case NvStatus::InvalidArgument: return "invalid-argument";
+    case NvStatus::CorruptMetadata: return "corrupt-metadata";
+    }
+    return "unknown";
+}
+
+/**
+ * Degradation state machine. Normal -> Reclaiming on first exhaustion
+ * (the slow path drains tcaches, forces a log slow-GC and a decay pass,
+ * then retries); Reclaiming -> Normal if the retry succeeds, ->
+ * Exhausted if it does not. Exhausted -> Normal again as soon as any
+ * allocation succeeds (frees opened space back up). Failed is terminal:
+ * the heap refused to open over corrupt root metadata and only
+ * read-only introspection is allowed.
+ */
+enum class HeapMode : int {
+    Normal = 0,
+    Reclaiming,
+    Exhausted,
+    Failed,
+};
+
+inline const char *
+heapModeName(HeapMode m)
+{
+    switch (m) {
+    case HeapMode::Normal: return "normal";
+    case HeapMode::Reclaiming: return "reclaiming";
+    case HeapMode::Exhausted: return "exhausted";
+    case HeapMode::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+/** Counters for the graceful-degradation paths; all monotonic. */
+struct DegradedStats
+{
+    std::atomic<uint64_t> reclaim_attempts{0};
+    std::atomic<uint64_t> reclaim_successes{0};
+    std::atomic<uint64_t> failed_allocs{0};
+    std::atomic<uint64_t> invalid_frees{0};
+    std::atomic<uint64_t> failed_attaches{0};
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_STATUS_H

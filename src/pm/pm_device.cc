@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
@@ -53,6 +54,15 @@ PmDevice::~PmDevice()
 uint64_t
 PmDevice::mapRegion(size_t bytes)
 {
+    uint64_t off = tryMapRegion(bytes);
+    if (off == 0)
+        NV_FATAL("emulated PM device exhausted");
+    return off;
+}
+
+uint64_t
+PmDevice::tryMapRegion(size_t bytes)
+{
     bytes = alignUp(bytes, kRegionAlign);
     std::lock_guard<std::mutex> g(region_mutex_);
 
@@ -72,7 +82,7 @@ PmDevice::mapRegion(size_t bytes)
 
     uint64_t off = bump_;
     if (off + bytes > cfg_.size)
-        NV_FATAL("emulated PM device exhausted");
+        return 0;
     bump_ += bytes;
     high_water_ = bump_;
     mapped_bytes_ += bytes;
@@ -292,6 +302,18 @@ PmDevice::clearPoison(uint64_t off)
 {
     if (fi_)
         fi_->clearPoison(off & ~uint64_t{kCacheLine - 1});
+}
+
+std::vector<uint64_t>
+PmDevice::poisonedLineOffsets() const
+{
+    std::vector<uint64_t> lines;
+    if (fi_) {
+        const auto &set = fi_->poisonSet();
+        lines.assign(set.begin(), set.end());
+        std::sort(lines.begin(), lines.end());
+    }
+    return lines;
 }
 
 bool

@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_set>
+#include <vector>
 
 #include "pm/fault_injector.h"
 #include "pm/latency_model.h"
@@ -100,6 +101,15 @@ class PmDevice
      * file. Returns the region's offset.
      */
     uint64_t mapRegion(size_t bytes);
+
+    /**
+     * Like mapRegion, but returns 0 instead of dying when the device
+     * has no room left. Offset 0 is the root area and is never handed
+     * out as a region, so it is unambiguous as a failure sentinel.
+     * Allocators use this on their exhaustion paths so a full device
+     * degrades to a failed allocation instead of killing the process.
+     */
+    uint64_t tryMapRegion(size_t bytes);
 
     /**
      * Return a region to the device (analogue of munmap +
@@ -224,6 +234,11 @@ class PmDevice
     {
         return fi_ ? fi_->poisonedLines() : 0;
     }
+
+    /** Sorted device offsets of every poisoned media line. Lets an
+     *  auditor classify each poisoned line (free vs live data) instead
+     *  of probing the whole device with isPoisoned(). */
+    std::vector<uint64_t> poisonedLineOffsets() const;
 
     LatencyModel &model() { return model_; }
     const LatencyModel &model() const { return model_; }

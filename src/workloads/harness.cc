@@ -90,10 +90,22 @@ makeAllocator(AllocKind kind, PmDevice &dev, const MakeOptions &opts)
     return nullptr;
 }
 
+namespace {
+std::atomic<uint64_t> g_failed_allocs{0};
+} // namespace
+
+void
+noteFailedAlloc()
+{
+    g_failed_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
 RunResult
 runWorkers(unsigned threads, VtimeEpoch &epoch,
            const std::function<uint64_t(unsigned tid)> &body)
 {
+    const uint64_t failed_base =
+        g_failed_allocs.load(std::memory_order_relaxed);
     struct PerThread
     {
         uint64_t ops = 0;
@@ -128,6 +140,8 @@ runWorkers(unsigned threads, VtimeEpoch &epoch,
         w.join();
 
     RunResult out;
+    out.failed_allocs =
+        g_failed_allocs.load(std::memory_order_relaxed) - failed_base;
     for (const PerThread &r : results) {
         out.total_ops += r.ops;
         if (r.elapsed > out.makespan_ns)

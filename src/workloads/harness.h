@@ -83,6 +83,8 @@ struct RunResult
 {
     uint64_t total_ops = 0;
     uint64_t makespan_ns = 0;
+    /** allocTo calls that returned 0 (exhaustion); see noteFailedAlloc. */
+    uint64_t failed_allocs = 0;
     std::array<uint64_t, kNumTimeKinds> breakdown{};
 
     double
@@ -100,6 +102,14 @@ struct RunResult
  */
 RunResult runWorkers(unsigned threads, VtimeEpoch &epoch,
                      const std::function<uint64_t(unsigned tid)> &body);
+
+/**
+ * Record one allocTo that returned 0. Workload bodies call this on
+ * every failed allocation instead of aborting; runWorkers folds the
+ * count accumulated during the run into RunResult.failed_allocs.
+ * Thread safe.
+ */
+void noteFailedAlloc();
 
 /** Thread counts swept by the paper's figures. */
 std::vector<unsigned> benchThreadCounts(bool quick);

@@ -22,17 +22,35 @@ threadtest(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
     std::barrier<> sync{static_cast<std::ptrdiff_t>(threads)};
     return runWorkers(threads, epoch, [&](unsigned) -> uint64_t {
         AllocThread *t = alloc.threadAttach();
+        if (!t) {
+            // Still participate in the barriers so siblings progress.
+            for (unsigned it = 0; it < iters; ++it) {
+                sync.arrive_and_wait();
+                sync.arrive_and_wait();
+            }
+            return 0;
+        }
         std::vector<uint64_t> offs(objs);
+        uint64_t ops = 0;
         for (unsigned it = 0; it < iters; ++it) {
-            for (unsigned i = 0; i < objs; ++i)
+            for (unsigned i = 0; i < objs; ++i) {
                 offs[i] = alloc.allocTo(t, size, nullptr);
+                if (offs[i])
+                    ++ops;
+                else
+                    noteFailedAlloc();
+            }
             sync.arrive_and_wait();
-            for (unsigned i = 0; i < objs; ++i)
-                alloc.freeFrom(t, offs[i], nullptr);
+            for (unsigned i = 0; i < objs; ++i) {
+                if (offs[i]) {
+                    alloc.freeFrom(t, offs[i], nullptr);
+                    ++ops;
+                }
+            }
             sync.arrive_and_wait();
         }
         alloc.threadDetach(t);
-        return uint64_t(iters) * objs * 2;
+        return ops;
     });
 }
 
@@ -93,12 +111,20 @@ prodcon(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
         // Degenerate single-thread case: produce and consume locally.
         return runWorkers(1, epoch, [&](unsigned) -> uint64_t {
             AllocThread *t = alloc.threadAttach();
+            if (!t)
+                return 0;
+            uint64_t ops = 0;
             for (uint64_t i = 0; i < objs_per_pair; ++i) {
                 uint64_t off = alloc.allocTo(t, size, nullptr);
+                if (!off) {
+                    noteFailedAlloc();
+                    continue;
+                }
                 alloc.freeFrom(t, off, nullptr);
+                ops += 2;
             }
             alloc.threadDetach(t);
-            return objs_per_pair * 2;
+            return ops;
         });
     }
 
@@ -113,19 +139,31 @@ prodcon(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
         AllocThread *t = alloc.threadAttach();
         uint64_t ops = 0;
         if (producer) {
-            for (uint64_t i = 0; i < objs_per_pair; ++i) {
-                queues[pair]->push(alloc.allocTo(t, size, nullptr));
-                ++ops;
+            if (t) {
+                for (uint64_t i = 0; i < objs_per_pair; ++i) {
+                    uint64_t off = alloc.allocTo(t, size, nullptr);
+                    if (!off) {
+                        noteFailedAlloc();
+                        continue;
+                    }
+                    queues[pair]->push(off);
+                    ++ops;
+                }
             }
+            // Always close the queue so the consumer unblocks, even
+            // when this producer could not attach.
             queues[pair]->finish();
         } else {
             uint64_t off;
             while (queues[pair]->pop(off)) {
+                if (!t)
+                    continue; // drain without freeing (no context)
                 alloc.freeFrom(t, off, nullptr); // cross-thread free
                 ++ops;
             }
         }
-        alloc.threadDetach(t);
+        if (t)
+            alloc.threadDetach(t);
         return ops;
     });
 }
@@ -136,6 +174,8 @@ shbench(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
 {
     return runWorkers(threads, epoch, [&](unsigned tid) -> uint64_t {
         AllocThread *t = alloc.threadAttach();
+        if (!t)
+            return 0;
         Rng rng(seed * 977 + tid);
         std::vector<uint64_t> pool;
         uint64_t ops = 0;
@@ -146,8 +186,13 @@ shbench(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
                 size = size * 2;
             if (size > 1000)
                 size = 1000;
-            pool.push_back(alloc.allocTo(t, size, nullptr));
-            ++ops;
+            uint64_t off = alloc.allocTo(t, size, nullptr);
+            if (off) {
+                pool.push_back(off);
+                ++ops;
+            } else {
+                noteFailedAlloc();
+            }
 
             // Short lifetimes for small objects: free with probability
             // inversely tied to size, plus pool-pressure frees.
@@ -185,11 +230,14 @@ larson(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
         Rng rng(seed * 31 + tid);
         uint64_t ops = 0;
         AllocThread *t = alloc.threadAttach();
-        for (unsigned round = 0; round < rounds; ++round) {
+        for (unsigned round = 0; t && round < rounds; ++round) {
             for (unsigned i = 0; i < ops_per_round; ++i) {
                 size_t size = rng.uniform(min_size, max_size);
                 uint64_t fresh = alloc.allocTo(t, size, nullptr);
-                ++ops;
+                if (fresh)
+                    ++ops;
+                else
+                    noteFailedAlloc();
                 size_t s = rng.nextBounded(shared.size());
                 uint64_t old = shared[s].exchange(fresh);
                 if (old) {
@@ -197,22 +245,27 @@ larson(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
                     ++ops;
                 }
             }
-            // Thread churn: a successor thread takes over.
+            // Thread churn: a successor thread takes over. The
+            // successor attach can be refused under slot pressure;
+            // the worker then just stops early.
             alloc.threadDetach(t);
             t = alloc.threadAttach();
         }
-        alloc.threadDetach(t);
+        if (t)
+            alloc.threadDetach(t);
         return ops;
     });
 
     // Drain the surviving objects (not part of the measurement).
     AllocThread *t = alloc.threadAttach();
-    for (auto &s : shared) {
-        uint64_t off = s.load(std::memory_order_relaxed);
-        if (off)
-            alloc.freeFrom(t, off, nullptr);
+    if (t) {
+        for (auto &s : shared) {
+            uint64_t off = s.load(std::memory_order_relaxed);
+            if (off)
+                alloc.freeFrom(t, off, nullptr);
+        }
+        alloc.threadDetach(t);
     }
-    alloc.threadDetach(t);
     return r;
 }
 
@@ -225,6 +278,14 @@ dbmstest(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
     std::barrier<> sync{static_cast<std::ptrdiff_t>(threads)};
     return runWorkers(threads, epoch, [&](unsigned tid) -> uint64_t {
         AllocThread *t = alloc.threadAttach();
+        if (!t) {
+            // Still participate in the barriers so siblings progress.
+            for (unsigned it = 0; it < iters; ++it) {
+                sync.arrive_and_wait();
+                sync.arrive_and_wait();
+            }
+            return 0;
+        }
         Rng rng(seed * 131 + tid);
         std::vector<uint64_t> survivors;
         uint64_t ops = 0;
@@ -234,8 +295,13 @@ dbmstest(PmAllocator &alloc, VtimeEpoch &epoch, unsigned threads,
                 // Truncated Poisson over 32 KB .. 512 KB.
                 uint64_t steps = rng.poisson(6.5);
                 size_t size = (1 + (steps > 15 ? 15 : steps)) * 32 * 1024;
-                batch.push_back(alloc.allocTo(t, size, nullptr));
-                ++ops;
+                uint64_t off = alloc.allocTo(t, size, nullptr);
+                if (off) {
+                    batch.push_back(off);
+                    ++ops;
+                } else {
+                    noteFailedAlloc();
+                }
             }
             sync.arrive_and_wait();
             // Randomly delete 90%.
@@ -287,6 +353,8 @@ fragbench(PmAllocator &alloc, VtimeEpoch &epoch, const FragWorkload &w,
 
     result.run = runWorkers(1, epoch, [&](unsigned) -> uint64_t {
         AllocThread *t = alloc.threadAttach();
+        if (!t)
+            return 0;
         Rng rng(seed);
         uint64_t ops = 0;
 
@@ -305,6 +373,13 @@ fragbench(PmAllocator &alloc, VtimeEpoch &epoch, const FragWorkload &w,
                     ++ops;
                 }
                 uint64_t off = alloc.allocTo(t, size, nullptr);
+                if (!off) {
+                    // Genuinely exhausted: stop the phase rather than
+                    // spin. The fragmentation measurement still uses
+                    // whatever was committed so far.
+                    noteFailedAlloc();
+                    break;
+                }
                 live.push_back({off, uint32_t(size)});
                 live_bytes += size;
                 allocated += size;

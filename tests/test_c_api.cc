@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "nvalloc/auditor.h"
 #include "nvalloc/nvalloc.h"
 #include "nvalloc/nvalloc_c.h"
 
@@ -60,6 +61,111 @@ TEST(CApi, ImplicitThreadContexts)
     }
     for (auto &th : threads)
         th.join();
+    nvalloc_exit(inst);
+}
+
+TEST(CApi, OomSurfacesAsErrno)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{32} << 20; // tiny device
+    PmDevice dev(dcfg);
+    NvInstance *inst = nvalloc_init(&dev);
+
+    std::vector<uint64_t> words(64, 0);
+    unsigned got = 0;
+    for (auto &w : words) {
+        if (nvalloc_malloc_to(inst, 1 << 20, &w) == nullptr)
+            break;
+        ++got;
+    }
+    ASSERT_GT(got, 0u);
+    ASSERT_LT(got, words.size()) << "device never exhausted";
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_ENOMEM);
+
+    // Frees keep working; then allocation resumes.
+    for (auto &w : words) {
+        if (w) {
+            EXPECT_EQ(nvalloc_free_from(inst, &w), NVALLOC_OK);
+        }
+    }
+    uint64_t again = 0;
+    EXPECT_NE(nvalloc_malloc_to(inst, 1 << 20, &again), nullptr);
+    nvalloc_free_from(inst, &again);
+    nvalloc_exit(inst);
+}
+
+TEST(CApi, UnserviceableSizeIsErrnoNotAbort)
+{
+    PmDevice dev;
+    NvInstance *inst = nvalloc_init(&dev);
+    uint64_t w = 0;
+    EXPECT_EQ(nvalloc_malloc_to(inst, 0, &w), nullptr);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(w, 0u);
+    nvalloc_exit(inst);
+}
+
+TEST(CApi, AttachFailureIsEagainAndRetries)
+{
+    PmDevice dev;
+    NvInstance *inst = nvalloc_init(&dev);
+
+    // Fill every thread slot directly through the C++ core, so this
+    // thread's implicit attach cannot get one.
+    NvAlloc *core = nvalloc_impl(inst);
+    std::vector<ThreadCtx *> hogs;
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+        ThreadCtx *ctx = core->attachThread();
+        if (!ctx)
+            break;
+        hogs.push_back(ctx);
+    }
+    ASSERT_EQ(hogs.size(), kMaxThreads);
+
+    uint64_t w = 0;
+    EXPECT_EQ(nvalloc_malloc_to(inst, 64, &w), nullptr);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EAGAIN);
+    EXPECT_EQ(nvalloc_free_from(inst, &w), NVALLOC_EAGAIN);
+
+    // Once a slot frees up, the next implicit attach succeeds.
+    core->detachThread(hogs.back());
+    hogs.pop_back();
+    EXPECT_NE(nvalloc_malloc_to(inst, 64, &w), nullptr);
+    EXPECT_EQ(nvalloc_free_from(inst, &w), NVALLOC_OK);
+
+    for (ThreadCtx *ctx : hogs)
+        core->detachThread(ctx);
+    nvalloc_exit(inst);
+}
+
+TEST(CApi, DoubleFreeAndForeignPointerAreEinvalHeapUnharmed)
+{
+    PmDevice dev;
+    NvInstance *inst = nvalloc_init(&dev);
+    uint64_t *root = nvalloc_root(inst, 0);
+
+    ASSERT_NE(nvalloc_malloc_to(inst, 256, root), nullptr);
+    uint64_t stale = *root;
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
+
+    // Double free through a stale copy of the word.
+    EXPECT_EQ(nvalloc_free_from(inst, &stale), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EINVAL);
+
+    // Null word and foreign (never-allocated) pointer.
+    uint64_t zero = 0;
+    EXPECT_EQ(nvalloc_free_from(inst, &zero), NVALLOC_EINVAL);
+    uint64_t foreign = dev.size() - 8192;
+    EXPECT_EQ(nvalloc_free_from(inst, &foreign), NVALLOC_EINVAL);
+
+    // The rejected frees left no structural damage: the auditor is
+    // the oracle.
+    AuditReport rep = HeapAuditor(*nvalloc_impl(inst)).audit();
+    EXPECT_EQ(rep.violations(), 0u) << rep.summary();
+
+    // And the heap still allocates.
+    EXPECT_NE(nvalloc_malloc_to(inst, 256, root), nullptr);
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
     nvalloc_exit(inst);
 }
 

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Graceful-degradation tests: heap, log, and thread-slot exhaustion
+ * must surface as status codes — never aborts — and the heap must
+ * remain fully usable (frees, then fresh allocations) afterwards.
+ *
+ * The degraded-mode state machine under test (see DESIGN.md):
+ *
+ *   Normal --(alloc fails fast path)--> Reclaiming --(retry ok)--> Normal
+ *                                          |
+ *                                          +--(retry fails)--> Exhausted
+ *
+ * plus the terminal Failed mode entered only at open time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nvalloc/nvalloc.h"
+
+namespace nvalloc {
+namespace {
+
+NvAllocConfig
+logConfig()
+{
+    NvAllocConfig cfg;
+    cfg.consistency = Consistency::Log;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: allocTo returns 0 on exhaustion; heap usable after.
+// ---------------------------------------------------------------------
+
+TEST(Exhaustion, LargeAllocExhaustsGracefullyAndRecovers)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{32} << 20; // tiny device
+    PmDevice dev(dcfg);
+    NvAlloc alloc(dev, logConfig());
+    ThreadCtx *ctx = alloc.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    std::vector<uint64_t> offs;
+    for (unsigned i = 0; i < 1000; ++i) {
+        uint64_t off = alloc.allocOffset(*ctx, 1 << 20, nullptr);
+        if (off == 0)
+            break;
+        offs.push_back(off);
+    }
+    ASSERT_FALSE(offs.empty());
+    ASSERT_LT(offs.size(), 1000u) << "device never exhausted";
+
+    // The failure is a status, not an abort, and is accounted.
+    NvStatus why = alloc.lastStatus();
+    EXPECT_TRUE(why == NvStatus::OutOfMemory ||
+                why == NvStatus::RegionTableFull)
+        << nvStatusName(why);
+    EXPECT_EQ(alloc.mode(), HeapMode::Exhausted);
+    EXPECT_GE(alloc.degradedStats().failed_allocs.load(), 1u);
+    EXPECT_GE(alloc.degradedStats().reclaim_attempts.load(), 1u);
+
+    // The heap stays usable for frees...
+    for (uint64_t off : offs)
+        EXPECT_EQ(alloc.freeOffset(*ctx, off, nullptr), NvStatus::Ok);
+
+    // ...and for fresh allocations, returning the mode to Normal.
+    uint64_t again = alloc.allocOffset(*ctx, 1 << 20, nullptr);
+    EXPECT_NE(again, 0u);
+    EXPECT_EQ(alloc.mode(), HeapMode::Normal);
+    alloc.freeOffset(*ctx, again, nullptr);
+    alloc.detachThread(ctx);
+}
+
+TEST(Exhaustion, SmallAllocExhaustsGracefullyAndRecovers)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{16} << 20;
+    PmDevice dev(dcfg);
+    NvAlloc alloc(dev, logConfig());
+    ThreadCtx *ctx = alloc.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    std::vector<uint64_t> offs;
+    for (unsigned i = 0; i < 100000; ++i) {
+        uint64_t off = alloc.allocOffset(*ctx, 4096, nullptr);
+        if (off == 0)
+            break;
+        offs.push_back(off);
+    }
+    ASSERT_FALSE(offs.empty());
+    ASSERT_LT(offs.size(), 100000u) << "device never exhausted";
+    EXPECT_EQ(alloc.mode(), HeapMode::Exhausted);
+    EXPECT_GE(alloc.degradedStats().failed_allocs.load(), 1u);
+
+    for (uint64_t off : offs)
+        ASSERT_EQ(alloc.freeOffset(*ctx, off, nullptr), NvStatus::Ok);
+
+    uint64_t again = alloc.allocOffset(*ctx, 4096, nullptr);
+    EXPECT_NE(again, 0u);
+    EXPECT_EQ(alloc.mode(), HeapMode::Normal);
+    alloc.freeOffset(*ctx, again, nullptr);
+    alloc.detachThread(ctx);
+}
+
+TEST(Exhaustion, UnserviceableSizesAreInvalidArgument)
+{
+    PmDevice dev;
+    NvAlloc alloc(dev);
+    ThreadCtx *ctx = alloc.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    EXPECT_EQ(alloc.allocOffset(*ctx, 0, nullptr), 0u);
+    EXPECT_EQ(alloc.lastStatus(), NvStatus::InvalidArgument);
+
+    // Beyond the log entry's representable size: refused up front,
+    // without a reclamation attempt (retry is moot).
+    uint64_t before = alloc.degradedStats().reclaim_attempts.load();
+    EXPECT_EQ(alloc.allocOffset(*ctx, uint64_t{1} << 26, nullptr), 0u);
+    EXPECT_EQ(alloc.lastStatus(), NvStatus::InvalidArgument);
+    EXPECT_EQ(alloc.degradedStats().reclaim_attempts.load(), before);
+
+    // The refusals left the heap fully usable.
+    uint64_t off = alloc.allocOffset(*ctx, 256, nullptr);
+    EXPECT_NE(off, 0u);
+    alloc.freeOffset(*ctx, off, nullptr);
+    alloc.detachThread(ctx);
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: the reclamation slow path (drain tcaches, force log GC /
+// decay) runs before an allocation is failed, and a retry after it
+// counts as a reclaim success.
+// ---------------------------------------------------------------------
+
+TEST(Exhaustion, ReclaimThenRetrySucceedsViaTcacheDrain)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{32} << 20;
+    PmDevice dev(dcfg);
+    NvAllocConfig cfg = logConfig();
+    cfg.slab_morphing = false; // frees park in the tcache (lent)
+    NvAlloc alloc(dev, cfg);
+    ThreadCtx *ctx = alloc.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    // Fill the device with one size class.
+    std::vector<uint64_t> offs;
+    for (unsigned i = 0; i < 100000; ++i) {
+        uint64_t off = alloc.allocOffset(*ctx, 16 * 1024, nullptr);
+        if (off == 0)
+            break;
+        offs.push_back(off);
+    }
+    ASSERT_GT(offs.size(), 16u);
+    ASSERT_LT(offs.size(), 100000u) << "device never exhausted";
+
+    // Return the last batch of blocks. With morphing disabled they
+    // sit *lent* in this thread's tcache, pinning their slabs: the
+    // heap now has free memory, but none that an arena refill or the
+    // large allocator can see.
+    for (unsigned i = 0; i < 16; ++i) {
+        ASSERT_EQ(alloc.freeOffset(*ctx, offs.back(), nullptr),
+                  NvStatus::Ok);
+        offs.pop_back();
+    }
+
+    // A different size class needs a fresh slab, which only exists
+    // after the reclamation slow path drains the tcache and releases
+    // the emptied slabs back to the large allocator. The allocation
+    // must succeed on the internal retry — exercising
+    // Normal -> Reclaiming -> Normal, not -> Exhausted.
+    uint64_t succ0 = alloc.degradedStats().reclaim_successes.load();
+    uint64_t off = alloc.allocOffset(*ctx, 64, nullptr);
+    EXPECT_NE(off, 0u) << nvStatusName(alloc.lastStatus());
+    EXPECT_GE(alloc.degradedStats().reclaim_successes.load(), succ0 + 1);
+    EXPECT_EQ(alloc.mode(), HeapMode::Normal);
+
+    alloc.freeOffset(*ctx, off, nullptr);
+    for (uint64_t o : offs)
+        ASSERT_EQ(alloc.freeOffset(*ctx, o, nullptr), NvStatus::Ok);
+    alloc.detachThread(ctx);
+}
+
+TEST(Exhaustion, LogPressureChurnNeverFailsAllocations)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{64} << 20;
+    PmDevice dev(dcfg);
+    NvAllocConfig cfg = logConfig();
+    cfg.log_file_bytes = 64 * 1024; // ~60 chunks; fills quickly
+    NvAlloc alloc(dev, cfg);
+    ThreadCtx *ctx = alloc.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    // Churn large extents: every pair appends an allocation entry and
+    // a tombstone, so the log cycles through full many times over.
+    // The allocator's GC layers (fast GC, opportunistic slow GC, and
+    // the reclamation slow path as last resort) must absorb all of it
+    // without failing a single allocation.
+    for (unsigned i = 0; i < 12000; ++i) {
+        uint64_t off = alloc.allocOffset(*ctx, 32 * 1024, nullptr);
+        ASSERT_NE(off, 0u) << "iteration " << i << ": "
+                           << nvStatusName(alloc.lastStatus());
+        ASSERT_EQ(alloc.freeOffset(*ctx, off, nullptr), NvStatus::Ok);
+    }
+    EXPECT_EQ(alloc.degradedStats().failed_allocs.load(), 0u);
+    EXPECT_EQ(alloc.mode(), HeapMode::Normal);
+    alloc.detachThread(ctx);
+}
+
+TEST(Exhaustion, LogFullOfLiveEntriesFailsThenFreesUnblock)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{256} << 20;
+    PmDevice dev(dcfg);
+    NvAllocConfig cfg = logConfig();
+    cfg.log_file_bytes = 16 * 1024; // ~15 chunks, ~1.9k entries
+    NvAlloc alloc(dev, cfg);
+    ThreadCtx *ctx = alloc.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    // All-live entries: slow GC has nothing to drop, so exhaustion is
+    // real and the allocation must fail with a status.
+    std::vector<uint64_t> offs;
+    for (unsigned i = 0; i < 4000; ++i) {
+        uint64_t off = alloc.allocOffset(*ctx, 32 * 1024, nullptr);
+        if (off == 0)
+            break;
+        offs.push_back(off);
+    }
+    ASSERT_FALSE(offs.empty());
+    ASSERT_LT(offs.size(), 4000u) << "log never exhausted";
+    EXPECT_EQ(alloc.lastStatus(), NvStatus::LogExhausted);
+    EXPECT_EQ(alloc.mode(), HeapMode::Exhausted);
+
+    // Frees still work (a full log only costs crash-journaling of the
+    // deletion), and afterwards allocation resumes.
+    for (uint64_t off : offs)
+        ASSERT_EQ(alloc.freeOffset(*ctx, off, nullptr), NvStatus::Ok);
+    uint64_t again = alloc.allocOffset(*ctx, 32 * 1024, nullptr);
+    EXPECT_NE(again, 0u);
+    EXPECT_EQ(alloc.mode(), HeapMode::Normal);
+    alloc.freeOffset(*ctx, again, nullptr);
+    alloc.detachThread(ctx);
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: thread-slot exhaustion returns nullptr, not an abort.
+// ---------------------------------------------------------------------
+
+TEST(Exhaustion, AttachSlotExhaustionReturnsNull)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{256} << 20;
+    PmDevice dev(dcfg);
+    NvAlloc alloc(dev);
+
+    std::vector<ThreadCtx *> ctxs;
+    for (unsigned i = 0; i < kMaxThreads; ++i) {
+        ThreadCtx *ctx = alloc.attachThread();
+        ASSERT_NE(ctx, nullptr) << "slot " << i;
+        ctxs.push_back(ctx);
+    }
+
+    // Slot 129: refused with a status, heap untouched.
+    EXPECT_EQ(alloc.attachThread(), nullptr);
+    EXPECT_EQ(alloc.lastStatus(), NvStatus::TooManyThreads);
+    EXPECT_GE(alloc.degradedStats().failed_attaches.load(), 1u);
+
+    // Detaching one frees a slot for a fresh attach.
+    alloc.detachThread(ctxs.back());
+    ctxs.pop_back();
+    ThreadCtx *fresh = alloc.attachThread();
+    EXPECT_NE(fresh, nullptr);
+    if (fresh)
+        ctxs.push_back(fresh);
+
+    for (ThreadCtx *ctx : ctxs)
+        alloc.detachThread(ctx);
+}
+
+} // namespace
+} // namespace nvalloc

@@ -13,7 +13,12 @@
  *   1. no lost committed object — every offset whose attach word was
  *      persistently published is still allocated;
  *   2. no leak — live blocks equal published words exactly;
- *   3. the heap remains fully usable after recovery.
+ *   3. the heap remains fully usable after recovery;
+ *   4. the recovered heap passes a full HeapAuditor walk with zero
+ *      violations — the auditor is the sweep's structural oracle;
+ *   5. damage injected *after* recovery (a poisoned free line, a
+ *      stray persistent-bitmap bit) is repaired by the auditor and
+ *      the heap audits clean again.
  *
  * Data *content* is deliberately not asserted here: the workload
  * persists payload bytes after the publishing fence, so a mid-op crash
@@ -30,6 +35,7 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "nvalloc/auditor.h"
 #include "nvalloc/nvalloc.h"
 #include "nvalloc/wal.h"
 #include "test_util.h"
@@ -303,6 +309,37 @@ runCrashSweepPoint(const PolicyCase &pc, bool at_fence, unsigned nth)
         << " undos=" << rep.wal_undos
         << " completions=" << rep.wal_completions
         << " quarantined=" << rep.slabs_quarantined;
+
+    // Property 4: the post-recovery heap audits clean (informational
+    // poison counters aside, which the policies here never produce).
+    HeapAuditor auditor(again);
+    AuditReport audit0 = auditor.audit();
+    EXPECT_EQ(audit0.violations(), 0u) << audit0.summary();
+
+    // Property 5: inject repairable damage — a poisoned free line and
+    // a stray bit in one slab's persistent bitmap — then repair and
+    // re-audit. The stray bit goes to a quiescent slab (no morph, no
+    // lent blocks) so the bitmap is rebuildable from the mirror.
+    dev.poisonLine(dev.size() - kCacheLine); // unmapped => free line
+    VSlab *victim = nullptr;
+    for (unsigned a = 0; a < again.numArenas() && !victim; ++a) {
+        again.arena(a).forEachSlab([&](VSlab *s) {
+            if (!victim && !s->morphing() && s->lentBlocks() == 0)
+                victim = s;
+        });
+    }
+    if (victim)
+        victim->header()->bitmap[kSlabBitmapBytes - 1] ^= 0x80;
+    AuditReport fixed = auditor.repair();
+    EXPECT_EQ(fixed.scrubbed_lines, 1u) << fixed.summary();
+    if (victim) {
+        EXPECT_EQ(fixed.bitmap_mismatch, 1u) << fixed.summary();
+        EXPECT_EQ(fixed.repaired_bitmaps, 1u) << fixed.summary();
+    }
+    AuditReport audit1 = auditor.audit();
+    EXPECT_EQ(audit1.violations(), 0u) << audit1.summary();
+    EXPECT_EQ(audit1.poisoned_free_lines, 0u);
+    EXPECT_EQ(audit1.poisoned_live_lines, 0u);
 
     // Property 3: still usable — free everything, allocate again.
     ThreadCtx *ctx = again.attachThread();

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * nvalloc_fsck: command-line heap checker.
+ *
+ * The emulated PM device lives in anonymous memory, so there is no
+ * heap file to open; instead the tool builds a heap, optionally runs a
+ * workload, optionally injects damage (a dirty restart, poisoned
+ * lines, a flipped bitmap bit, a torn WAL entry), reopens it, and runs
+ * the HeapAuditor over the result — the same audit + repair pipeline
+ * an fsck over a real heap file would run.
+ *
+ * Exit status: 0 = audit clean, 1 = violations remain, 2 = the heap
+ * refused to open (corrupt root metadata).
+ *
+ *   nvalloc_fsck                       # clean build + audit
+ *   nvalloc_fsck --crash               # dirty restart, recover, audit
+ *   nvalloc_fsck --poison-free 4 --flip-bitmap --corrupt-wal --repair
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nvalloc/auditor.h"
+#include "nvalloc/nvalloc.h"
+
+using namespace nvalloc;
+
+namespace {
+
+struct Options
+{
+    bool gc = false;
+    bool base = false; //!< in-place descriptors instead of the log
+    bool crash = false;
+    bool repair = false;
+    bool quiet = false;
+    bool flip_bitmap = false;
+    bool corrupt_wal = false;
+    unsigned poison_free = 0;
+    size_t device_mb = 256;
+    unsigned ops = 20000;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --gc             audit the NVAlloc-GC variant\n"
+        "  --base           in-place descriptors (no bookkeeping log)\n"
+        "  --device-mb N    emulated device size in MB (default 256)\n"
+        "  --ops N          workload operations before the audit\n"
+        "  --crash          dirty-restart mid-life, recover, then audit\n"
+        "  --poison-free N  poison N free lines before the audit\n"
+        "  --flip-bitmap    flip a stray bit in one slab bitmap\n"
+        "  --corrupt-wal    plant a torn WAL entry\n"
+        "  --repair         repair after the audit, then re-audit\n"
+        "  --quiet          print only the verdict\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--gc") {
+            o.gc = true;
+        } else if (a == "--base") {
+            o.base = true;
+        } else if (a == "--crash") {
+            o.crash = true;
+        } else if (a == "--repair") {
+            o.repair = true;
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else if (a == "--flip-bitmap") {
+            o.flip_bitmap = true;
+        } else if (a == "--corrupt-wal") {
+            o.corrupt_wal = true;
+        } else if (a == "--poison-free") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.poison_free = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--device-mb") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.device_mb = std::strtoul(v, nullptr, 0);
+        } else if (a == "--ops") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.ops = unsigned(std::strtoul(v, nullptr, 0));
+        } else {
+            return false;
+        }
+    }
+    return o.device_mb >= 16;
+}
+
+NvAllocConfig
+makeConfig(const Options &o)
+{
+    NvAllocConfig cfg;
+    cfg.consistency = o.gc ? Consistency::Gc : Consistency::Log;
+    cfg.log_bookkeeping = !o.base;
+    return cfg;
+}
+
+/** Mixed small/large churn so the audit walks non-trivial state. */
+void
+runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
+{
+    std::vector<uint64_t> live;
+    uint64_t rng = 0x9e3779b97f4a7c15ULL;
+    auto rnd = [&]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    static const size_t sizes[] = {16, 48, 256, 1024, 4096, 24 * 1024,
+                                   80 * 1024};
+    for (unsigned i = 0; i < ops; ++i) {
+        if (live.empty() || rnd() % 3 != 0) {
+            size_t size = sizes[rnd() % (sizeof(sizes) / sizeof(*sizes))];
+            uint64_t off = alloc.allocOffset(ctx, size, nullptr);
+            if (off != 0)
+                live.push_back(off);
+        } else {
+            size_t pick = rnd() % live.size();
+            alloc.freeOffset(ctx, live[pick], nullptr);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+    // Leave roughly half the objects live for the audit to cover.
+    for (size_t i = 0; i + 1 < live.size(); i += 2)
+        alloc.freeOffset(ctx, live[i], nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    PmDeviceConfig dcfg;
+    dcfg.size = o.device_mb << 20;
+    PmDevice dev(dcfg);
+
+    // Phase 1: build a heap with real history on the device.
+    {
+        NvAlloc alloc(dev, makeConfig(o));
+        ThreadCtx *ctx = alloc.attachThread();
+        if (!ctx) {
+            std::fprintf(stderr, "fsck: could not attach build thread\n");
+            return 2;
+        }
+        runWorkload(alloc, *ctx, o.ops);
+        if (o.crash)
+            alloc.dirtyRestart(); // next open takes failure recovery
+        else
+            alloc.detachThread(ctx);
+        // ~NvAlloc: normal shutdown unless dirtyRestart neutered it.
+    }
+
+    // Phase 2: reopen (runs recovery) and inject the requested damage.
+    NvAlloc alloc(dev, makeConfig(o));
+    if (alloc.openStatus() != NvStatus::Ok) {
+        std::fprintf(stderr, "fsck: heap failed to open: %s\n",
+                     nvStatusName(alloc.openStatus()));
+        return 2;
+    }
+
+    if (o.poison_free > 0) {
+        // Poison lines inside reclaimed (free) extents.
+        unsigned left = o.poison_free;
+        alloc.large().forEachVeh([&](Veh *veh) {
+            if (veh->state != Veh::State::Reclaimed)
+                return;
+            for (uint64_t l = 0; left > 0 && l < veh->size / kCacheLine;
+                 ++l, --left)
+                dev.poisonLine(veh->off + l * kCacheLine);
+        });
+        if (left > 0)
+            std::fprintf(stderr,
+                         "fsck: only %u of %u free lines poisoned "
+                         "(no reclaimed extents)\n",
+                         o.poison_free - left, o.poison_free);
+    }
+    if (o.flip_bitmap) {
+        bool done = false;
+        for (unsigned i = 0; i < alloc.numArenas() && !done; ++i) {
+            alloc.arena(i).forEachSlab([&](VSlab *slab) {
+                if (done)
+                    return;
+                // The last bitmap byte is beyond any geometry's mapped
+                // slots, so this is a stray allocated bit.
+                slab->header()->bitmap[kSlabBitmapBytes - 1] ^= 0x80;
+                done = true;
+            });
+        }
+        if (!done)
+            std::fprintf(stderr, "fsck: no slab to corrupt\n");
+    }
+    if (o.corrupt_wal) {
+        auto *e = static_cast<WalEntry *>(dev.at(alloc.walRingOffset(0)));
+        e->block_op = (uint64_t(0x1234) << 2) | kWalAlloc;
+        e->seq = 1;
+        e->where_off = kWalNoWhere;
+        e->size = 64;
+        e->crc = walEntryCrc(*e) ^ 0xdeadbeef; // deliberately wrong
+    }
+
+    HeapAuditor auditor(alloc);
+    AuditReport rep = auditor.audit();
+    if (!o.quiet)
+        std::fputs(rep.summary().c_str(), stdout);
+
+    if (o.repair && (!rep.clean() || rep.poisoned_free_lines > 0)) {
+        AuditReport fixed = auditor.repair();
+        if (!o.quiet) {
+            std::fputs("after repair:\n", stdout);
+            std::fputs(fixed.summary().c_str(), stdout);
+        }
+        rep = auditor.audit();
+        if (!o.quiet)
+            std::fputs(rep.summary().c_str(), stdout);
+    }
+
+    if (!rep.clean()) {
+        std::printf("fsck: NOT CLEAN (%llu violations)\n",
+                    (unsigned long long)rep.violations());
+        return 1;
+    }
+    std::printf("fsck: clean\n");
+    return 0;
+}
