@@ -68,11 +68,12 @@ main(int argc, char **argv)
             RunResult r = bench.run(*alloc, epoch);
             mops[gc] = r.mops();
             if (gc == 1) {
-                auto &log = dynamic_cast<NvAllocAdapter *>(alloc.get())
-                                ->impl()
-                                .bookkeepingLog();
-                fast = log.stats().fast_gcs;
-                slow = log.stats().slow_gcs;
+                // Read through the ctl tree — same counters the
+                // nvalloc_stat tool and the JSON snapshot report.
+                NvAlloc &impl =
+                    dynamic_cast<NvAllocAdapter *>(alloc.get())->impl();
+                impl.ctlRead("stats.log.fast_gc", &fast);
+                impl.ctlRead("stats.log.slow_gc", &slow);
             }
         }
         std::printf("%-14s %10.3f %10.3f %7.1f%% %10llu %10llu\n",

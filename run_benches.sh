@@ -1,16 +1,33 @@
 #!/bin/bash
 # Regenerate every paper figure/table. Full sweep; pass --quick through
 # by running: BENCH_ARGS=--quick ./run_benches.sh
+#
+# Exits non-zero if any bench fails or times out (timeout exits 124),
+# after running the remaining benches so one bad figure does not hide
+# the others.
+set -euo pipefail
 cd "$(dirname "$0")"
+
+status=0
+fail() {
+    echo "!! $1 failed (exit $2)" >&2
+    status=1
+}
+
 for b in build/bench/fig* build/bench/ablation_variants ; do
     echo "===================================================================="
-    echo "== $(basename $b)"
+    echo "== $(basename "$b")"
     echo "===================================================================="
-    timeout 1200 "$b" $BENCH_ARGS
+    timeout 1200 "$b" ${BENCH_ARGS:-} || fail "$(basename "$b")" $?
     echo
 done
+
 echo "== micro_latency_model"
-timeout 300 build/bench/micro_latency_model --benchmark_min_time=0.05 2>&1 | grep -v "^\*\*\*"
+timeout 300 build/bench/micro_latency_model --benchmark_min_time=0.05 2>&1 \
+    | grep -v "^\*\*\*" || fail micro_latency_model $?
 echo
 echo "== micro_allocators"
-timeout 600 build/bench/micro_allocators --benchmark_min_time=0.05 2>&1 | grep -v "^\*\*\*"
+timeout 600 build/bench/micro_allocators --benchmark_min_time=0.05 2>&1 \
+    | grep -v "^\*\*\*" || fail micro_allocators $?
+
+exit "$status"

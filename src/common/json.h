@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Minimal JSON emitter.
+ *
+ * Builds a JSON document into a std::string with automatic comma
+ * placement. Deliberately tiny: objects, arrays, string/number/bool
+ * scalars — exactly what the stats snapshot, the fsck report and the
+ * bench result dumps need. No parsing, no formatting options beyond
+ * compact output.
+ */
+
+#ifndef NVALLOC_COMMON_JSON_H
+#define NVALLOC_COMMON_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nvalloc {
+
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        prefix();
+        out_ += '{';
+        fresh_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        out_ += '}';
+        fresh_.pop_back();
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        prefix();
+        out_ += '[';
+        fresh_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        out_ += ']';
+        fresh_.pop_back();
+        return *this;
+    }
+
+    /** Member key; must be followed by a value or begin*(). */
+    JsonWriter &
+    key(std::string_view name)
+    {
+        prefix();
+        quote(name);
+        out_ += ':';
+        pending_key_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(uint64_t v)
+    {
+        prefix();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(int64_t v)
+    {
+        prefix();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        return value(static_cast<int64_t>(v));
+    }
+
+    JsonWriter &
+    value(unsigned v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        prefix();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view v)
+    {
+        prefix();
+        quote(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string_view(v));
+    }
+
+    const std::string &str() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    void
+    prefix()
+    {
+        if (pending_key_) {
+            pending_key_ = false;
+            return;
+        }
+        if (!fresh_.empty()) {
+            if (!fresh_.back())
+                out_ += ',';
+            fresh_.back() = false;
+        }
+    }
+
+    void
+    quote(std::string_view s)
+    {
+        out_ += '"';
+        for (char ch : s) {
+            switch (ch) {
+            case '"': out_ += "\\\""; break;
+            case '\\': out_ += "\\\\"; break;
+            case '\n': out_ += "\\n"; break;
+            case '\r': out_ += "\\r"; break;
+            case '\t': out_ += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(ch)));
+                    out_ += buf;
+                } else {
+                    out_ += ch;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<bool> fresh_; //!< per open scope: no members yet
+    bool pending_key_ = false;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_COMMON_JSON_H

@@ -89,6 +89,8 @@ Arena::newSlab(unsigned cls)
     morph_lru_.pushBack(slab);
     enlist(slab);
     ++stats_.slabs_created;
+    if (tel_)
+        tel_->add(StatCounter::SlabCreated);
     return slab;
 }
 
@@ -112,6 +114,11 @@ Arena::morphOne(unsigned cls)
         slab->morphTo(cls, slabStripes());
         enlist(slab);
         ++stats_.morphs;
+        if (tel_) {
+            tel_->add(StatCounter::SlabMorph);
+            tel_->event(TraceOp::Morph, slab->slabOffset(),
+                        uint8_t(cls));
+        }
         VClock::advance(kRefillCpuNs, TimeKind::Other);
         return slab;
     }
@@ -161,6 +168,10 @@ Arena::refill(TCache &tcache, unsigned cls)
             delist(slab);
         if (slab->lru_link.linked())
             morph_lru_.touch(slab);
+    }
+    if (tel_) {
+        tel_->add(StatCounter::ArenaRefill);
+        tel_->event(TraceOp::Refill, added, uint8_t(cls));
     }
     return added;
 }
@@ -234,6 +245,8 @@ Arena::maybeRelease(VSlab *slab)
     large_->free(slab->slabOffset());
     graveyard_.push_back(slab);
     ++stats_.slabs_released;
+    if (tel_)
+        tel_->add(StatCounter::SlabReleased);
 }
 
 void

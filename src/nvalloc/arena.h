@@ -25,6 +25,7 @@
 #include "nvalloc/slab.h"
 #include "nvalloc/tcache.h"
 #include "nvalloc/vlock.h"
+#include "telemetry/telemetry.h"
 
 namespace nvalloc {
 
@@ -97,6 +98,10 @@ class Arena
 
     const Stats &stats() const { return stats_; }
 
+    /** Mirror slab-lifecycle events into the heap's telemetry (the
+     *  local Stats struct keeps counting either way). */
+    void setTelemetry(Telemetry *tel) { tel_ = tel; }
+
   private:
     using SlabList = LruList<VSlab, offsetof(VSlab, free_link)>;
     using MorphLru = LruList<VSlab, offsetof(VSlab, lru_link)>;
@@ -122,6 +127,7 @@ class Arena
     std::vector<VSlab *> graveyard_;
 
     Stats stats_;
+    Telemetry *tel_ = nullptr;
 
     VSlab *newSlab(unsigned cls);
     VSlab *morphOne(unsigned cls);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "nvalloc/nvalloc.h"
 
@@ -72,6 +73,52 @@ AuditReport::summary() const
     for (const auto &n : notes)
         s += "  - " + n + "\n";
     return s;
+}
+
+std::string
+AuditReport::json() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("clean");
+    w.value(clean());
+    w.key("violations");
+    w.value(violations());
+    w.key("counters");
+    w.beginObject();
+    auto add = [&](const char *name, uint64_t v) {
+        w.key(name);
+        w.value(v);
+    };
+    add("superblock_bad", superblock_bad);
+    add("region_table_bad", region_table_bad);
+    add("extent_overlap", extent_overlap);
+    add("extent_gap", extent_gap);
+    add("slab_header_bad", slab_header_bad);
+    add("slab_veh_mismatch", slab_veh_mismatch);
+    add("bitmap_mismatch", bitmap_mismatch);
+    add("counter_mismatch", counter_mismatch);
+    add("log_chain_bad", log_chain_bad);
+    add("log_entry_bad", log_entry_bad);
+    add("log_entry_orphan", log_entry_orphan);
+    add("veh_unlogged", veh_unlogged);
+    add("wal_entry_bad", wal_entry_bad);
+    add("quarantine_bad", quarantine_bad);
+    add("poisoned_free_lines", poisoned_free_lines);
+    add("poisoned_live_lines", poisoned_live_lines);
+    add("repaired_headers", repaired_headers);
+    add("repaired_bitmaps", repaired_bitmaps);
+    add("repaired_wal_entries", repaired_wal_entries);
+    add("requarantined_slabs", requarantined_slabs);
+    add("scrubbed_lines", scrubbed_lines);
+    w.endObject();
+    w.key("notes");
+    w.beginArray();
+    for (const auto &n : notes)
+        w.value(n);
+    w.endArray();
+    w.endObject();
+    return w.take();
 }
 
 HeapAuditor::HeapAuditor(NvAlloc &alloc) : a_(alloc) {}

@@ -108,6 +108,10 @@ struct AuditReport
 
     /** Multi-line counter dump (fsck output, test failure messages). */
     std::string summary() const;
+
+    /** Machine-readable report: every counter (including zeros, so
+     *  consumers need no schema knowledge), verdict, and notes. */
+    std::string json() const;
 };
 
 class HeapAuditor

@@ -244,6 +244,8 @@ BookkeepingLog::append(LogType type, uint64_t ext_off, uint64_t size,
     if (type != kLogTombstone)
         ++live_entries_;
     ++stats_.appends;
+    if (tel_)
+        tel_->add(StatCounter::LogAppend);
     return LogEntryRef{vc.id, slot};
 }
 
@@ -261,6 +263,8 @@ BookkeepingLog::tombstone(LogEntryRef target)
     vc->owners[target.slot] = nullptr;
     --live_entries_;
     ++stats_.tombstones;
+    if (tel_)
+        tel_->add(StatCounter::LogTombstone);
 
     // A failed tombstone append (log region completely full) only
     // means the deletion is not journaled: after a crash the extent
@@ -284,6 +288,10 @@ void
 BookkeepingLog::fastGc()
 {
     ++stats_.fast_gcs;
+    if (tel_) {
+        tel_->add(StatCounter::LogFastGc);
+        tel_->event(TraceOp::LogGc, 0);
+    }
 
     // Scan vchunks; empty ones leave the active list. No PM reads —
     // only the deactivation flag and the predecessor's next pointer
@@ -350,6 +358,10 @@ BookkeepingLog::slowGc()
         return false;
 
     ++stats_.slow_gcs;
+    if (tel_) {
+        tel_->add(StatCounter::LogSlowGc);
+        tel_->event(TraceOp::LogGc, 1);
+    }
 
     // Collect the surviving entries (normal/slab with a set bit) in
     // id/slot order together with their owners.

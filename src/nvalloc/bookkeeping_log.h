@@ -32,6 +32,7 @@
 #include "nvalloc/interleave.h"
 #include "nvalloc/layout.h"
 #include "pm/pm_device.h"
+#include "telemetry/telemetry.h"
 
 namespace nvalloc {
 
@@ -110,6 +111,10 @@ class BookkeepingLog
     size_t activeChunks() const { return active_count_; }
     size_t liveEntries() const { return live_entries_; }
 
+    /** Mirror append/tombstone/GC events into the heap's telemetry
+     *  (the local Stats struct keeps counting either way). */
+    void setTelemetry(Telemetry *tel) { tel_ = tel; }
+
   private:
     struct VChunk
     {
@@ -145,6 +150,7 @@ class BookkeepingLog
 
     RelocateFn relocate_;
     Stats stats_;
+    Telemetry *tel_ = nullptr;
 
     LogChunk *chunkAt(const VChunk &vc) const
     {

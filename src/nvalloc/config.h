@@ -84,6 +84,22 @@ struct NvAllocConfig
     bool flush_enabled = true;
 
     /**
+     * Runtime statistics (the src/telemetry sharded counters and the
+     * ctlRead/statsJson introspection tree). Off, the heap still
+     * answers ctl queries — every counter just stays zero; the Arena
+     * and log-level Stats structs keep counting regardless.
+     */
+    bool telemetry = true;
+
+    /**
+     * When non-zero, event tracing is armed from birth with a
+     * per-thread ring of this many events, so heap creation and
+     * recovery themselves can be traced. Tracing can also be started
+     * later via telemetry().startTracing().
+     */
+    size_t trace_ring_capacity = 0;
+
+    /**
      * Verify checksums (WAL entries, log chunks/entries, slab
      * headers) while recovering, rejecting torn or poisoned metadata
      * instead of interpreting it. Costs a little recovery-time crc

@@ -28,6 +28,18 @@ NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
     NV_ASSERT(cfg_.bit_stripes >= 1 && cfg_.bit_stripes <= 32);
     wal_slot_used_.assign(kMaxThreads, false);
 
+    static_assert(kMaxArenas <= kTelemetryMaxArenas,
+                  "telemetry per-arena flush array too small");
+
+    // Telemetry observes everything from here on, including heap
+    // creation and recovery flushes (attributed to arena 0 until the
+    // thread binds one).
+    tel_.setEnabled(cfg_.telemetry);
+    if (cfg_.trace_ring_capacity)
+        tel_.startTracing(cfg_.trace_ring_capacity);
+    tel_.attachSink(&dev_.model());
+    log_.setTelemetry(&tel_);
+
     if (sb_->magic == kSuperMagic)
         recoverHeap();
     else
@@ -60,6 +72,11 @@ NvAlloc::dirtyRestart()
 
 NvAlloc::~NvAlloc()
 {
+    // Detach from the device's flush stream first — even on the
+    // crashed path. attachSink leaves the model alone if a newer heap
+    // on the same device has already replaced us as the sink.
+    tel_.attachSink(nullptr);
+
     if (crashed_) {
         // The process "died": free only DRAM state, touch no PM.
         std::lock_guard<std::mutex> g(attach_mutex_);
@@ -120,6 +137,7 @@ NvAlloc::createHeap()
         arenas_.push_back(std::make_unique<Arena>(
             i, &dev_, &cfg_, &large_, &slab_radix_,
             &attached_threads_));
+        arenas_.back()->setTelemetry(&tel_);
     }
 
     // Publish the superblock last: the config crc goes durable with
@@ -215,6 +233,10 @@ NvAlloc::attachThread()
     best->thread_count.fetch_add(1);
     attached_threads_.fetch_add(1);
 
+    // Attribute this thread's flush classes to its arena from now on
+    // (attachThread runs on the attaching thread itself).
+    tel_.bindArena(best->id());
+
     auto *ctx = new ThreadCtx(this, best, cfg_.bit_stripes,
                               cfg_.interleaved_tcache, cfg_.tcache_slots,
                               slot);
@@ -249,8 +271,21 @@ NvAlloc::detachThread(ThreadCtx *ctx)
     attached_threads_.fetch_sub(1);
     std::lock_guard<std::mutex> g(attach_mutex_);
     wal_slot_used_[ctx->wal_slot] = false;
+    // Keep the departing ring's append count for stats.wal.commits
+    // (the slot's sequence restarts at zero on the next attach).
+    wal_retired_commits_ += ctx->wal.sequence();
     ctxs_.erase(std::find(ctxs_.begin(), ctxs_.end(), ctx));
     delete ctx;
+}
+
+uint64_t
+NvAlloc::walCommits()
+{
+    std::lock_guard<std::mutex> g(attach_mutex_);
+    uint64_t sum = wal_retired_commits_;
+    for (const ThreadCtx *ctx : ctxs_)
+        sum += ctx->wal.sequence();
+    return sum;
 }
 
 uint64_t *
@@ -283,6 +318,32 @@ NvAlloc::failOp(NvStatus why)
     return why;
 }
 
+void
+NvAlloc::setMode(HeapMode m)
+{
+    // Load-then-store instead of an unconditional store: the common
+    // case (already Normal, staying Normal) must not dirty the mode
+    // line on every allocation. Transition counts are best-effort
+    // under concurrent racing transitions, like the mode itself.
+    if (mode_.load(std::memory_order_relaxed) == m)
+        return;
+    mode_.store(m, std::memory_order_relaxed);
+    switch (m) {
+    case HeapMode::Reclaiming:
+        tel_.add(StatCounter::ModeToReclaiming);
+        break;
+    case HeapMode::Exhausted:
+        tel_.add(StatCounter::ModeToExhausted);
+        break;
+    case HeapMode::Normal:
+        tel_.add(StatCounter::ModeToNormal);
+        break;
+    case HeapMode::Failed:
+        break;
+    }
+    tel_.event(TraceOp::ModeChange, uint64_t(m));
+}
+
 uint64_t
 NvAlloc::failAlloc()
 {
@@ -290,8 +351,9 @@ NvAlloc::failAlloc()
     if (why == NvStatus::Ok)
         why = NvStatus::OutOfMemory;
     failOp(why);
-    mode_.store(HeapMode::Exhausted, std::memory_order_relaxed);
+    setMode(HeapMode::Exhausted);
     ++deg_stats_.failed_allocs;
+    tel_.noteAllocFailed(uint16_t(why));
     return 0;
 }
 
@@ -302,8 +364,9 @@ NvAlloc::reclaimMemory(ThreadCtx &ctx)
     // (lent tcache blocks keep otherwise-free slabs alive), then force
     // the large allocator's log GC and decay pass so tombstoned log
     // entries and demoted extents stop holding space.
-    mode_.store(HeapMode::Reclaiming, std::memory_order_relaxed);
+    setMode(HeapMode::Reclaiming);
     ++deg_stats_.reclaim_attempts;
+    tel_.event(TraceOp::Reclaim, 0);
     drainTcache(&ctx);
     large_.reclaim();
 }
@@ -314,7 +377,8 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
     unsigned cls = sizeToClass(size);
 
     CachedBlock blk;
-    if (!ctx.tcache.pop(cls, blk)) {
+    bool tcache_hit = ctx.tcache.pop(cls, blk);
+    if (!tcache_hit) {
         ctx.arena->refill(ctx.tcache, cls);
         if (!ctx.tcache.pop(cls, blk)) {
             reclaimMemory(ctx);
@@ -324,7 +388,7 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
             ++deg_stats_.reclaim_successes;
         }
     }
-    mode_.store(HeapMode::Normal, std::memory_order_relaxed);
+    setMode(HeapMode::Normal);
 
     // Journal first (LOG only: the GC variant rebuilds from
     // reachability and the IC variant's bitmaps are self-describing),
@@ -337,6 +401,7 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
         blk.slab->markAllocated(blk.idx);
     }
     VClock::advance(kMallocCpuNs, TimeKind::Other);
+    tel_.noteSmallAlloc(cls, tcache_hit, blk.off);
     return blk.off;
 }
 
@@ -353,10 +418,11 @@ NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
             return failAlloc();
         ++deg_stats_.reclaim_successes;
     }
-    mode_.store(HeapMode::Normal, std::memory_order_relaxed);
+    setMode(HeapMode::Normal);
     // Large allocations journal in both variants (paper Table 2).
     ctx.wal.append(kWalAlloc, off, where_off, size);
     VClock::advance(kMallocCpuNs, TimeKind::Other);
+    tel_.noteLargeAlloc(size, off);
     return off;
 }
 
@@ -366,6 +432,7 @@ NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
     if (size == 0) {
         failOp(NvStatus::InvalidArgument);
         ++deg_stats_.failed_allocs;
+        tel_.noteAllocFailed(uint16_t(NvStatus::InvalidArgument));
         return 0;
     }
     uint64_t where_off =
@@ -392,6 +459,7 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
 {
     if (off == 0 || off >= dev_.size()) {
         ++deg_stats_.invalid_frees;
+        tel_.noteInvalidFree(off, uint16_t(NvStatus::InvalidFree));
         return failOp(NvStatus::InvalidFree);
     }
 
@@ -407,13 +475,16 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         if (!veh || veh->off != off ||
             veh->state != Veh::State::Activated || veh->is_slab) {
             ++deg_stats_.invalid_frees;
+            tel_.noteInvalidFree(off, uint16_t(NvStatus::InvalidFree));
             return failOp(NvStatus::InvalidFree);
         }
         // Journal, clear the attach word, then retire.
+        uint64_t veh_size = veh->size;
         ctx.wal.append(kWalFree, off, where_off, 0);
         publish(where, 0);
         large_.free(off);
         VClock::advance(kFreeCpuNs, TimeKind::Other);
+        tel_.noteLargeFree(veh_size, off);
         return NvStatus::Ok;
     }
 
@@ -429,6 +500,8 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
             if (idx >= slab->capacity() ||
                 slab->blockOffset(idx) != off || !slab->isAllocated(idx)) {
                 ++deg_stats_.invalid_frees;
+                tel_.noteInvalidFree(off,
+                                     uint16_t(NvStatus::InvalidFree));
                 return failOp(NvStatus::InvalidFree);
             }
         }
@@ -447,8 +520,10 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         unsigned old_idx = 0;
         if (slab->isOldBlock(off, old_idx)) {
             // blocks_before bypass the tcache (paper §5.2).
+            unsigned old_cls = slab->header()->old_size_class;
             arena->freeOld(slab, old_idx);
             VClock::advance(kFreeCpuNs, TimeKind::Other);
+            tel_.noteSmallFree(old_cls, off);
             return NvStatus::Ok;
         }
         idx = slab->blockIndexOf(off);
@@ -475,6 +550,7 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         NV_ASSERT(ok);
     }
     VClock::advance(kFreeCpuNs, TimeKind::Other);
+    tel_.noteSmallFree(cls, off);
     return NvStatus::Ok;
 }
 
@@ -483,6 +559,7 @@ NvAlloc::freeFrom(ThreadCtx &ctx, uint64_t *where)
 {
     if (!where || *where == 0) {
         ++deg_stats_.invalid_frees;
+        tel_.noteInvalidFree(0, uint16_t(NvStatus::InvalidFree));
         return failOp(NvStatus::InvalidFree);
     }
     return freeOffset(ctx, *where, where);

@@ -43,6 +43,8 @@
 #include "nvalloc/tcache.h"
 #include "nvalloc/wal.h"
 #include "pm/pm_device.h"
+#include "telemetry/ctl.h"
+#include "telemetry/telemetry.h"
 
 namespace nvalloc {
 
@@ -237,7 +239,33 @@ class NvAlloc
         return sb_->wal_off + uint64_t(slot) * kWalRingBytes;
     }
 
-    // ---- introspection (tests, benches) -----------------------------
+    // ---- telemetry / introspection ----------------------------------
+
+    /** The heap's sharded runtime counters and event tracer. */
+    Telemetry &telemetry() { return tel_; }
+    const Telemetry &telemetry() const { return tel_; }
+
+    /**
+     * mallctl-style introspection: read the statistic registered
+     * under the dotted `name` ("stats.arena.0.flush.reflush",
+     * "stats.tcache.hit", ...). Returns UnknownCtl — without touching
+     * lastStatus() — when no such name exists. The registry is built
+     * lazily on first use; names are discoverable via ctl().names().
+     */
+    NvStatus ctlRead(const char *name, uint64_t *out);
+
+    /** The full dotted-name registry (read-only; for enumeration). */
+    const CtlRegistry &ctl();
+
+    /** Whole-heap statistics snapshot as nested JSON. */
+    std::string statsJson();
+
+    /** WAL commits since open: the sum of every thread ring's append
+     *  sequence, plus the rings of threads that have since detached
+     *  (the slot's sequence restarts on reattach). Exposed by ctl as
+     *  "stats.wal.commits"; derived here instead of counted on the
+     *  allocation fast path. */
+    uint64_t walCommits();
 
     LargeAllocator &large() { return large_; }
     BookkeepingLog &bookkeepingLog() { return log_; }
@@ -267,6 +295,11 @@ class NvAlloc
     uint64_t *region_table_;
     unsigned region_slots_;
 
+    // Declared before every subsystem that records into it so it is
+    // destroyed last; also the device model's FlushSink while this
+    // heap is open.
+    Telemetry tel_;
+
     BookkeepingLog log_;
     LargeAllocator large_;
     RadixTree slab_radix_;
@@ -275,6 +308,7 @@ class NvAlloc
     std::mutex attach_mutex_;
     std::vector<ThreadCtx *> ctxs_;
     std::vector<bool> wal_slot_used_;
+    uint64_t wal_retired_commits_ = 0; //!< guarded by attach_mutex_
     unsigned attach_cursor_ = 0;
     std::atomic<unsigned> attached_threads_{0};
 
@@ -287,6 +321,13 @@ class NvAlloc
     NvStatus open_status_ = NvStatus::Ok;
     bool open_failed_ = false;
     DegradedStats deg_stats_;
+
+    // Dotted-name registry, built on first ctl use (stats.cc); the
+    // ~330 readers are not worth constructing for heaps that are
+    // never introspected.
+    std::once_flag ctl_once_;
+    CtlRegistry ctl_;
+    void buildCtlRegistry();
 
     friend class HeapAuditor;
 
@@ -309,6 +350,7 @@ class NvAlloc
     void reclaimMemory(ThreadCtx &ctx);
     uint64_t failAlloc();
     NvStatus failOp(NvStatus why);
+    void setMode(HeapMode m);
 };
 
 } // namespace nvalloc

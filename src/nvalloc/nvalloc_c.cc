@@ -1,5 +1,7 @@
 #include "nvalloc/nvalloc_c.h"
 
+#include <algorithm>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -95,6 +97,7 @@ nvalloc_errno(NvInstance *inst)
         return NVALLOC_EAGAIN;
     case NvStatus::InvalidFree:
     case NvStatus::InvalidArgument:
+    case NvStatus::UnknownCtl:
         return NVALLOC_EINVAL;
     case NvStatus::CorruptMetadata:
         return NVALLOC_ECORRUPT;
@@ -112,6 +115,26 @@ NvAlloc *
 nvalloc_impl(NvInstance *inst)
 {
     return &inst->alloc;
+}
+
+int
+nvalloc_ctl(NvInstance *inst, const char *name, uint64_t *out)
+{
+    return inst->alloc.ctlRead(name, out) == NvStatus::Ok
+               ? NVALLOC_OK
+               : NVALLOC_EINVAL;
+}
+
+size_t
+nvalloc_stats_json(NvInstance *inst, char *buf, size_t cap)
+{
+    std::string json = inst->alloc.statsJson();
+    if (buf && cap > 0) {
+        size_t n = std::min(cap - 1, json.size());
+        std::memcpy(buf, json.data(), n);
+        buf[n] = '\0';
+    }
+    return json.size();
 }
 
 } // namespace nvalloc

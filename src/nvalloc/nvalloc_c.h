@@ -72,6 +72,22 @@ int nvalloc_errno(NvInstance *inst);
 /** Persistent root words (attach targets / GC roots). */
 uint64_t *nvalloc_root(NvInstance *inst, unsigned idx);
 
+/**
+ * mallctl-style statistics query: read the counter registered under
+ * the dotted `name` (e.g. "stats.arena.0.flush.reflush") into *out.
+ * Returns NVALLOC_OK, or NVALLOC_EINVAL for a name not in the
+ * registry (*out untouched; nvalloc_errno is not affected).
+ */
+int nvalloc_ctl(NvInstance *inst, const char *name, uint64_t *out);
+
+/**
+ * Whole-heap statistics snapshot as JSON. Writes up to `cap` bytes
+ * (always NUL-terminated when cap > 0) into `buf` and returns the
+ * full snapshot length excluding the NUL — a return >= cap means the
+ * output was truncated; call again with a larger buffer.
+ */
+size_t nvalloc_stats_json(NvInstance *inst, char *buf, size_t cap);
+
 /** Underlying C++ object, for interop. */
 NvAlloc *nvalloc_impl(NvInstance *inst);
 

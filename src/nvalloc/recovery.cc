@@ -84,6 +84,7 @@ NvAlloc::recoverHeap()
         arenas_.push_back(std::make_unique<Arena>(
             i, &dev_, &cfg_, &large_, &slab_radix_,
             &attached_threads_));
+        arenas_.back()->setTelemetry(&tel_);
     }
 
     auto adopt_slab = [&](uint64_t off) {
@@ -178,6 +179,8 @@ NvAlloc::recoverHeap()
     dev_.fence();
     clearWalRings();
     recovery_.virtual_ns = VClock::now() - t0;
+    tel_.add(StatCounter::RecoveryRun);
+    tel_.event(TraceOp::Recovery, recovery_.virtual_ns);
 }
 
 void

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The heap's introspection registry: every exported statistic is
+ * registered here under its dotted ctl name (see telemetry/ctl.h).
+ *
+ * Three kinds of sources feed the tree:
+ *  - the sharded telemetry counters (hot-path traffic, flush classes),
+ *  - subsystem Stats structs read on demand (Arena, BookkeepingLog,
+ *    RecoveryInfo, DegradedStats, PmDevice),
+ *  - tiny computed values (per-class bytes, live counts, mode).
+ *
+ * The registry is built lazily on the first ctl use and is immutable
+ * afterwards; readers are called with no heap lock held and only load
+ * atomics / read plain counters, so introspection never blocks
+ * allocation.
+ */
+
+#include "nvalloc/nvalloc.h"
+
+#include <string>
+
+#include "common/size_classes.h"
+
+namespace nvalloc {
+
+void
+NvAlloc::buildCtlRegistry()
+{
+    Telemetry *tel = &tel_;
+
+    // Every scalar shard counter under its canonical name.
+    for (unsigned i = 0; i < kNumStatCounters; ++i) {
+        auto ctr = StatCounter(i);
+        ctl_.registerName(std::string("stats.") + statCounterName(ctr),
+                          [tel, ctr] { return tel->total(ctr); });
+    }
+
+    // Derived hot-path totals: the recording path maintains only the
+    // per-class / per-arena families plus tcache.miss (one counter
+    // store per allocation); these names sum them at read time.
+    ctl_.registerName("stats.alloc.small",
+                      [tel] { return tel->smallAllocs(); });
+    ctl_.registerName("stats.free.small",
+                      [tel] { return tel->smallFrees(); });
+    ctl_.registerName("stats.tcache.hit",
+                      [tel] { return tel->tcacheHits(); });
+    ctl_.registerName("stats.alloc.small_bytes",
+                      [tel] { return tel->smallAllocBytes(); });
+    ctl_.registerName("stats.free.small_bytes",
+                      [tel] { return tel->smallFreeBytes(); });
+
+    // Flush classification: per-class totals sum the sink-fed
+    // per-arena attribution matrix; fences come straight from the
+    // latency model (the sink is not called for fences).
+    for (unsigned c = 0; c < kNumFlushClasses; ++c) {
+        auto fc = FlushClass(c);
+        ctl_.registerName(std::string("stats.flush.") +
+                              flushClassName(fc),
+                          [tel, fc] { return tel->flushClassTotal(fc); });
+    }
+    ctl_.registerName("stats.flush.total",
+                      [tel] { return tel->flushTotal(); });
+    {
+        PmDevice *dev = &dev_;
+        ctl_.registerName("stats.flush.fences", [dev] {
+            return dev->model().counts().fences;
+        });
+    }
+
+    // WAL commits are derived from the per-thread rings' own append
+    // sequences (plus detached rings' retained totals) instead of a
+    // hot-path counter.
+    ctl_.registerName("stats.wal.commits",
+                      [this] { return walCommits(); });
+
+    // Per-size-class family, keyed by block size in bytes.
+    for (unsigned cls = 0; cls < kNumSizeClasses; ++cls) {
+        std::string base =
+            "stats.class." + std::to_string(classToSize(cls)) + ".";
+        ctl_.registerName(base + "alloc",
+                          [tel, cls] { return tel->classAllocs(cls); });
+        ctl_.registerName(base + "free",
+                          [tel, cls] { return tel->classFrees(cls); });
+        ctl_.registerName(base + "live", [tel, cls] {
+            uint64_t a = tel->classAllocs(cls);
+            uint64_t f = tel->classFrees(cls);
+            return a > f ? a - f : 0;
+        });
+    }
+
+    // Per-arena family: slab lifecycle from the arena's own Stats,
+    // flush classes from the telemetry attribution array.
+    for (unsigned i = 0; i < arenas_.size(); ++i) {
+        Arena *a = arenas_[i].get();
+        std::string base = "stats.arena." + std::to_string(i) + ".";
+        ctl_.registerName(base + "threads", [a] {
+            return uint64_t(a->thread_count.load());
+        });
+        ctl_.registerName(base + "slabs_created", [a] {
+            return a->stats().slabs_created;
+        });
+        ctl_.registerName(base + "slabs_released", [a] {
+            return a->stats().slabs_released;
+        });
+        ctl_.registerName(base + "morphs",
+                          [a] { return a->stats().morphs; });
+        ctl_.registerName(base + "refills",
+                          [a] { return a->stats().refills; });
+        for (unsigned c = 0; c < kNumFlushClasses; ++c) {
+            auto fc = FlushClass(c);
+            ctl_.registerName(base + "flush." + flushClassName(fc),
+                              [tel, i, fc] {
+                                  return tel->arenaFlush(i, fc);
+                              });
+        }
+    }
+
+    // Bookkeeping log: authoritative Stats struct (includes replay
+    // rejection counts the shards never see).
+    if (usesBookkeepingLog()) {
+        BookkeepingLog *log = &log_;
+        ctl_.registerName("stats.log.entries_copied", [log] {
+            return log->stats().entries_copied;
+        });
+        ctl_.registerName("stats.log.live_entries", [log] {
+            return uint64_t(log->liveEntries());
+        });
+        ctl_.registerName("stats.log.active_chunks", [log] {
+            return uint64_t(log->activeChunks());
+        });
+        ctl_.registerName("stats.log.replay.entries_rejected", [log] {
+            return log->stats().replay_entries_rejected;
+        });
+        ctl_.registerName("stats.log.replay.chunks_rejected", [log] {
+            return log->stats().replay_chunks_rejected;
+        });
+    }
+
+    // Degradation machine.
+    ctl_.registerName("stats.mode.current", [this] {
+        return uint64_t(mode_.load(std::memory_order_relaxed));
+    });
+    const DegradedStats *deg = &deg_stats_;
+    ctl_.registerName("stats.degraded.reclaim_attempts", [deg] {
+        return deg->reclaim_attempts.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.degraded.reclaim_successes", [deg] {
+        return deg->reclaim_successes.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.degraded.failed_allocs", [deg] {
+        return deg->failed_allocs.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.degraded.invalid_frees", [deg] {
+        return deg->invalid_frees.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.degraded.failed_attaches", [deg] {
+        return deg->failed_attaches.load(std::memory_order_relaxed);
+    });
+
+    // What the last recovery did (static after open).
+    const RecoveryInfo *rec = &recovery_;
+    ctl_.registerName("stats.recovery.performed",
+                      [rec] { return uint64_t(rec->performed); });
+    ctl_.registerName("stats.recovery.after_failure",
+                      [rec] { return uint64_t(rec->after_failure); });
+    ctl_.registerName("stats.recovery.slabs_rebuilt",
+                      [rec] { return rec->slabs_rebuilt; });
+    ctl_.registerName("stats.recovery.extents_rebuilt",
+                      [rec] { return rec->extents_rebuilt; });
+    ctl_.registerName("stats.recovery.wal_completions",
+                      [rec] { return rec->wal_completions; });
+    ctl_.registerName("stats.recovery.wal_undos",
+                      [rec] { return rec->wal_undos; });
+    ctl_.registerName("stats.recovery.wal_rejected",
+                      [rec] { return rec->wal_rejected; });
+    ctl_.registerName("stats.recovery.slabs_quarantined",
+                      [rec] { return rec->slabs_quarantined; });
+    ctl_.registerName("stats.recovery.lines_poisoned",
+                      [rec] { return rec->lines_poisoned; });
+    ctl_.registerName("stats.recovery.gc_reclaimed_blocks",
+                      [rec] { return rec->gc_reclaimed_blocks; });
+    ctl_.registerName("stats.recovery.virtual_ns",
+                      [rec] { return rec->virtual_ns; });
+
+    // Whole-heap space accounting.
+    PmDevice *dev = &dev_;
+    ctl_.registerName("stats.heap.device_bytes",
+                      [dev] { return uint64_t(dev->size()); });
+    ctl_.registerName("stats.heap.mapped_bytes",
+                      [dev] { return uint64_t(dev->mappedBytes()); });
+    ctl_.registerName("stats.heap.committed_bytes", [dev] {
+        return uint64_t(dev->committedBytes());
+    });
+    ctl_.registerName("stats.heap.peak_committed_bytes", [dev] {
+        return uint64_t(dev->peakCommittedBytes());
+    });
+    ctl_.registerName("stats.heap.arenas", [this] {
+        return uint64_t(arenas_.size());
+    });
+    ctl_.registerName("stats.heap.threads", [this] {
+        return uint64_t(attached_threads_.load());
+    });
+    ctl_.registerName("stats.heap.stat_shards",
+                      [tel] { return uint64_t(tel->shardCount()); });
+}
+
+const CtlRegistry &
+NvAlloc::ctl()
+{
+    std::call_once(ctl_once_, [this] { buildCtlRegistry(); });
+    return ctl_;
+}
+
+NvStatus
+NvAlloc::ctlRead(const char *name, uint64_t *out)
+{
+    std::call_once(ctl_once_, [this] { buildCtlRegistry(); });
+    uint64_t v = 0;
+    if (ctl_.read(name, v) != CtlStatus::Ok)
+        return NvStatus::UnknownCtl;
+    if (out)
+        *out = v;
+    return NvStatus::Ok;
+}
+
+std::string
+NvAlloc::statsJson()
+{
+    std::call_once(ctl_once_, [this] { buildCtlRegistry(); });
+    return ctl_.json();
+}
+
+} // namespace nvalloc

@@ -28,6 +28,7 @@ enum class NvStatus : int {
     InvalidFree,     //!< double free or foreign/unaligned pointer
     InvalidArgument, //!< zero or unrepresentable request size
     CorruptMetadata, //!< superblock/log root failed validation at open
+    UnknownCtl,      //!< ctlRead name not in the stats registry
 };
 
 inline const char *
@@ -42,6 +43,7 @@ nvStatusName(NvStatus s)
     case NvStatus::InvalidFree: return "invalid-free";
     case NvStatus::InvalidArgument: return "invalid-argument";
     case NvStatus::CorruptMetadata: return "corrupt-metadata";
+    case NvStatus::UnknownCtl: return "unknown-ctl";
     }
     return "unknown";
 }

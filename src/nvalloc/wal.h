@@ -20,6 +20,7 @@
 #ifndef NVALLOC_NVALLOC_WAL_H
 #define NVALLOC_NVALLOC_WAL_H
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/logging.h"
@@ -47,7 +48,7 @@ class Wal
         NV_ASSERT(map_.physicalSlots() * sizeof(WalEntry) <=
                   kWalRingBytes);
         flush_ = flush_enabled;
-        seq_ = 0;
+        seq_.store(0, std::memory_order_relaxed);
     }
 
     bool attached() const { return ring_ != nullptr; }
@@ -57,11 +58,16 @@ class Wal
     append(WalOp op, uint64_t block_off, uint64_t where_off,
            uint64_t size)
     {
-        ++seq_; // seq 0 means "never used"
-        unsigned slot = map_.physical(seq_ % kWalRingEntries);
+        // seq 0 means "never used". Only the owning thread appends, so
+        // a relaxed load+store increment suffices; it is atomic only
+        // so stats readers on other threads (stats.wal.commits sums
+        // the rings' sequences) race-freely observe it.
+        uint64_t seq = seq_.load(std::memory_order_relaxed) + 1;
+        seq_.store(seq, std::memory_order_relaxed);
+        unsigned slot = map_.physical(seq % kWalRingEntries);
         WalEntry &e = ring_[slot];
         e.block_op = (block_off << 2) | uint64_t(op);
-        e.seq = seq_;
+        e.seq = seq;
         e.where_off = where_off;
         e.size = size;
         e.crc = walEntryCrc(e);
@@ -71,7 +77,14 @@ class Wal
         }
     }
 
-    uint64_t sequence() const { return seq_; }
+    /** Entries ever appended since attach (== WAL commits: appending
+     *  entry n implicitly commits entry n-1, and the newest entry is
+     *  committed by its own trailing fence). */
+    uint64_t
+    sequence() const
+    {
+        return seq_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Replay helper: the newest *intact* entry of the ring at
@@ -117,7 +130,7 @@ class Wal
     WalEntry *ring_ = nullptr;
     InterleaveMap map_;
     bool flush_ = true;
-    uint64_t seq_ = 0;
+    std::atomic<uint64_t> seq_{0};
 };
 
 } // namespace nvalloc

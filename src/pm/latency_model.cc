@@ -34,6 +34,13 @@ struct LatencyModel::ThreadState
     uint64_t last_line = ~uint64_t{0};
     uint64_t last_miss_xpline = ~uint64_t{0};
 
+    // Sink attribution row (FlushSink::flushCells), re-resolved
+    // whenever the model's sink epoch moves past sink_epoch. epoch 0
+    // never matches the model's (it starts at 1), so a fresh slot
+    // resolves on its first flush.
+    std::atomic<uint64_t> *sink_cells = nullptr;
+    uint64_t sink_epoch = 0;
+
     /** Reflush distance of `line`, or kMruCap if the line was not
      *  flushed recently (a fresh line is never a reflush, no matter
      *  how short the history is). Also moves/inserts the line to the
@@ -122,6 +129,29 @@ LatencyModel::threadState()
 }
 
 void
+LatencyModel::noteClass(FlushClass cls, ThreadState &ts)
+{
+    n_class_[static_cast<unsigned>(cls)].fetch_add(
+        1, std::memory_order_relaxed);
+    // Sink attribution: resolve the cell row lazily (once per thread
+    // per epoch), then bump it with a relaxed load+store — the row is
+    // owned by this thread, so no read-modify-write is needed. The
+    // epoch is checked before every use, so a row handed out by a
+    // since-replaced sink can never be written.
+    uint64_t ep = sink_epoch_.load(std::memory_order_relaxed);
+    if (ts.sink_epoch != ep) {
+        FlushSink *s = sink_.load(std::memory_order_acquire);
+        ts.sink_cells = s ? s->flushCells() : nullptr;
+        ts.sink_epoch = ep;
+    }
+    if (std::atomic<uint64_t> *row = ts.sink_cells) {
+        auto &cell = row[static_cast<unsigned>(cls)];
+        cell.store(cell.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+    }
+}
+
+void
 LatencyModel::chargeMedia(uint64_t line, ThreadState &ts, TimeKind kind)
 {
     uint64_t xpline = line & ~(kXpLine - 1);
@@ -130,10 +160,8 @@ LatencyModel::chargeMedia(uint64_t line, ThreadState &ts, TimeKind kind)
     ts.last_miss_xpline = xpline;
 
     uint64_t cost = sequential ? params_.media_seq : params_.media_random;
-    if (sequential)
-        n_seq_.fetch_add(1, std::memory_order_relaxed);
-    else
-        n_random_.fetch_add(1, std::memory_order_relaxed);
+    noteClass(sequential ? FlushClass::Sequential : FlushClass::Random,
+              ts);
 
     // Media writes share the drain bandwidth; queueing delay appears
     // as the booked start moving past the thread's current clock.
@@ -159,12 +187,12 @@ LatencyModel::onFlush(uint64_t line, TimeKind kind)
         // (write combining), but distinct lines still drain to media.
         unsigned distance = ts.touchLine(line);
         if (distance < params_.reflush_window) {
-            n_reflush_.fetch_add(1, std::memory_order_relaxed);
+            noteClass(FlushClass::Reflush, ts);
             return;
         }
         uint64_t xpline = line & ~(kXpLine - 1);
         if (ts.touchXpLine(xpline, params_.xpbuf_lines)) {
-            n_hit_.fetch_add(1, std::memory_order_relaxed);
+            noteClass(FlushClass::XpLineHit, ts);
             VClock::advance(params_.eadr_hit, kind);
         } else {
             bool sequential = (xpline == ts.last_miss_xpline ||
@@ -172,10 +200,9 @@ LatencyModel::onFlush(uint64_t line, TimeKind kind)
             ts.last_miss_xpline = xpline;
             uint64_t cost =
                 sequential ? params_.eadr_seq : params_.eadr_random;
-            if (sequential)
-                n_seq_.fetch_add(1, std::memory_order_relaxed);
-            else
-                n_random_.fetch_add(1, std::memory_order_relaxed);
+            noteClass(sequential ? FlushClass::Sequential
+                                 : FlushClass::Random,
+                      ts);
             VClock::advance(cost, kind);
         }
         return;
@@ -187,7 +214,7 @@ LatencyModel::onFlush(uint64_t line, TimeKind kind)
     if (distance < params_.reflush_window) {
         // Reflush: the line is still being written back; cost shrinks
         // as the distance grows (paper: 800 ns at 0 down to 500 at 3).
-        n_reflush_.fetch_add(1, std::memory_order_relaxed);
+        noteClass(FlushClass::Reflush, ts);
         uint64_t cost = params_.reflush_base -
                         params_.reflush_step * distance;
         VClock::advance(cost, kind);
@@ -197,7 +224,7 @@ LatencyModel::onFlush(uint64_t line, TimeKind kind)
 
     uint64_t xpline = line & ~(kXpLine - 1);
     if (ts.touchXpLine(xpline, params_.xpbuf_lines)) {
-        n_hit_.fetch_add(1, std::memory_order_relaxed);
+        noteClass(FlushClass::XpLineHit, ts);
         VClock::advance(params_.xpline_hit, kind);
     } else {
         chargeMedia(line, ts, kind);
@@ -226,10 +253,8 @@ LatencyModel::reset()
     generation_.store(g_generation.fetch_add(1, std::memory_order_relaxed),
                       std::memory_order_relaxed);
     n_total_.store(0);
-    n_reflush_.store(0);
-    n_seq_.store(0);
-    n_random_.store(0);
-    n_hit_.store(0);
+    for (auto &c : n_class_)
+        c.store(0);
     n_fence_.store(0);
     media_.reset();
 }
@@ -239,10 +264,10 @@ LatencyModel::counts() const
 {
     FlushClassCounts c;
     c.total = n_total_.load();
-    c.reflush = n_reflush_.load();
-    c.sequential = n_seq_.load();
-    c.random = n_random_.load();
-    c.xpline_hit = n_hit_.load();
+    c.reflush = n_class_[unsigned(FlushClass::Reflush)].load();
+    c.sequential = n_class_[unsigned(FlushClass::Sequential)].load();
+    c.random = n_class_[unsigned(FlushClass::Random)].load();
+    c.xpline_hit = n_class_[unsigned(FlushClass::XpLineHit)].load();
     c.fences = n_fence_.load();
     return c;
 }
@@ -259,9 +284,23 @@ LatencyModel::startTrace(size_t max_entries)
 std::vector<uint64_t>
 LatencyModel::stopTrace()
 {
+    // Idempotent: a stop with no trace running (never started, or
+    // already stopped) leaves an empty buffer behind and returns an
+    // empty vector, so unbalanced start/stop pairs cannot hand out a
+    // stale trace or touch a moved-from vector.
+    std::vector<uint64_t> out;
     std::lock_guard<std::mutex> g(trace_mutex_);
     tracing_ = false;
-    return std::move(trace_);
+    trace_cap_ = 0;
+    out.swap(trace_);
+    return out;
+}
+
+bool
+LatencyModel::tracing() const
+{
+    std::lock_guard<std::mutex> g(trace_mutex_);
+    return tracing_;
 }
 
 } // namespace nvalloc

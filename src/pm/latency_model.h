@@ -74,6 +74,55 @@ struct FlushClassCounts
     uint64_t fences = 0;
 };
 
+/** How a flush was served; mirrors the FlushClassCounts buckets. */
+enum class FlushClass : unsigned
+{
+    Reflush = 0,
+    Sequential,
+    Random,
+    XpLineHit,
+    NumClasses,
+};
+
+constexpr unsigned kNumFlushClasses =
+    static_cast<unsigned>(FlushClass::NumClasses);
+
+inline const char *
+flushClassName(FlushClass c)
+{
+    switch (c) {
+    case FlushClass::Reflush: return "reflush";
+    case FlushClass::Sequential: return "sequential";
+    case FlushClass::Random: return "random";
+    case FlushClass::XpLineHit: return "xpline_hit";
+    case FlushClass::NumClasses: break;
+    }
+    return "?";
+}
+
+/**
+ * The hook a telemetry layer installs to attribute flush classes to
+ * whatever higher-level context it tracks (heap, arena, thread).
+ *
+ * The model does not make a virtual call per flush. Instead it asks
+ * the sink once per thread — and again whenever the sink epoch moves
+ * (setSink / invalidateSinkCells) — for that thread's *cell row*:
+ * kNumFlushClasses relaxed atomics, indexed by FlushClass, that only
+ * the calling thread will write. Every classified flush then bumps
+ * row[class] directly, so the steady-state cost of an installed sink
+ * is one relaxed load+store. flushCells() runs on the flushing
+ * thread, inside the flush path; it may return nullptr to decline
+ * attribution for that thread and must not flush. The returned row
+ * must stay valid until the sink is uninstalled or the epoch is
+ * bumped again.
+ */
+class FlushSink
+{
+  public:
+    virtual ~FlushSink() = default;
+    virtual std::atomic<uint64_t> *flushCells() = 0;
+};
+
 class LatencyModel
 {
   public:
@@ -97,26 +146,75 @@ class LatencyModel
 
     FlushClassCounts counts() const;
 
-    /** Begin recording flush offsets (for the Fig. 2 scatter). */
+    /**
+     * Install (or, with nullptr, remove) the flush-classification
+     * sink. One sink at a time — installing replaces the previous one
+     * (last writer wins; the allocator that owns the device's traffic
+     * installs its telemetry here and removes it on destruction). The
+     * caller guarantees the sink outlives its installation.
+     */
+    void
+    setSink(FlushSink *sink)
+    {
+        sink_.store(sink, std::memory_order_release);
+        invalidateSinkCells();
+    }
+
+    FlushSink *
+    sink() const
+    {
+        return sink_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Drop every thread's cached cell row; each thread re-asks the
+     * sink on its next flush. setSink calls this itself; a sink whose
+     * attribution target changed out of band (say, a thread re-bound
+     * to a different arena) calls it directly. One atomic increment.
+     */
+    void
+    invalidateSinkCells()
+    {
+        sink_epoch_.fetch_add(1, std::memory_order_release);
+    }
+
+    /**
+     * Begin recording flush offsets (for the Fig. 2 scatter). Calling
+     * it while a trace is already running restarts the trace: the
+     * buffer is cleared and the new capacity applies.
+     */
     void startTrace(size_t max_entries);
+
+    /**
+     * End the trace and return the recorded offsets. Idempotent and
+     * safe without a matching startTrace: a stop when no trace is
+     * running (including a second consecutive stop) returns an empty
+     * vector and changes nothing.
+     */
     std::vector<uint64_t> stopTrace();
+
+    bool tracing() const;
 
     struct ThreadState;
 
   private:
     ThreadState &threadState();
     void chargeMedia(uint64_t line, ThreadState &ts, TimeKind kind);
+    void noteClass(FlushClass cls, ThreadState &ts);
 
     LatencyParams params_;
     bool eadr_ = false;
 
     std::atomic<uint64_t> generation_{1};
+    std::atomic<FlushSink *> sink_{nullptr};
+    //! Bumped on every setSink/invalidateSinkCells; threads compare it
+    //! against their cached row's epoch before trusting the pointer.
+    std::atomic<uint64_t> sink_epoch_{1};
 
     std::atomic<uint64_t> n_total_{0};
-    std::atomic<uint64_t> n_reflush_{0};
-    std::atomic<uint64_t> n_seq_{0};
-    std::atomic<uint64_t> n_random_{0};
-    std::atomic<uint64_t> n_hit_{0};
+    //! Per-class flush counts, indexed by FlushClass (one indexed
+    //! fetch_add on the flush path instead of a switch).
+    std::atomic<uint64_t> n_class_[kNumFlushClasses] = {};
     std::atomic<uint64_t> n_fence_{0};
 
     // Shared media bandwidth (XPBuffer drain ports): a windowed
@@ -124,7 +222,7 @@ class LatencyModel
     VServer media_;
 
     // Optional flush-address trace.
-    std::mutex trace_mutex_;
+    mutable std::mutex trace_mutex_;
     bool tracing_ = false;
     size_t trace_cap_ = 0;
     std::vector<uint64_t> trace_;

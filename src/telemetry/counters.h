@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Telemetry counter taxonomy.
+ *
+ * Every runtime statistic the allocator exports has a stable slot in
+ * this enum; the sharded per-thread counter array in telemetry.h is
+ * indexed by it and the ctl registry (nvalloc/stats.cc) maps each slot
+ * to a dotted introspection name. Keep the enum, statCounterName(),
+ * and the ctl registration in sync when adding a counter.
+ *
+ * Per-size-class allocation/free counts and per-arena flush-class
+ * counts live in separate shard arrays (they are families, not single
+ * scalars); everything else is one monotonic uint64 per slot.
+ *
+ * Deliberately absent: totals the recording path can avoid
+ * maintaining. stats.alloc.small / stats.free.small are the sum of
+ * the per-class arrays, stats.tcache.hit is small allocs minus
+ * TcacheMiss, stats.wal.commits sums the WAL rings' own sequence
+ * counters, and the stats.flush.* family is summed out of the
+ * per-arena attribution matrix (fences come from the LatencyModel's
+ * own counter) — all computed at ctl-read time (nvalloc/stats.cc), so
+ * the allocation fast path stores one counter, not four.
+ */
+
+#ifndef NVALLOC_TELEMETRY_COUNTERS_H
+#define NVALLOC_TELEMETRY_COUNTERS_H
+
+namespace nvalloc {
+
+/** Scalar telemetry counters (all monotonic event counts). */
+enum class StatCounter : unsigned
+{
+    // Allocation / free traffic (small-path totals are derived from
+    // the per-class family at read time).
+    AllocLarge = 0,  //!< large (extent) allocations served
+    AllocFailed,     //!< allocations that returned 0 after slow path
+    FreeLarge,       //!< large extents freed
+    InvalidFree,     //!< frees rejected (double/foreign/null)
+    LargeAllocBytes, //!< requested bytes of served large allocations
+    LargeFreeBytes,  //!< extent bytes released by large frees
+
+    // Thread-cache behaviour: only the (rare) miss is recorded; hits
+    // are small allocs minus misses.
+    TcacheMiss, //!< alloc that needed an arena refill
+
+    // Slab lifecycle (paper §4.2 / §5.2).
+    SlabCreated,
+    SlabReleased,
+    SlabMorph,
+    ArenaRefill,
+
+    // Bookkeeping log (paper §5.3).
+    LogAppend,
+    LogTombstone,
+    LogFastGc,
+    LogSlowGc,
+
+    // Degradation state machine (status.h).
+    ModeToReclaiming, //!< Normal -> Reclaiming transitions
+    ModeToExhausted,  //!< Reclaiming -> Exhausted transitions
+    ModeToNormal,     //!< returns to Normal from a degraded mode
+
+    // Recovery.
+    RecoveryRun, //!< recoverHeap() executions observed by this heap
+
+    NumCounters,
+};
+
+constexpr unsigned kNumStatCounters =
+    static_cast<unsigned>(StatCounter::NumCounters);
+
+/** Arena dimension of the per-shard flush-class attribution array.
+ *  Kept independent of nvalloc/layout.h (telemetry sits below the
+ *  allocator layer); nvalloc static_asserts its kMaxArenas fits. */
+constexpr unsigned kTelemetryMaxArenas = 64;
+
+inline const char *
+statCounterName(StatCounter c)
+{
+    switch (c) {
+    case StatCounter::AllocLarge: return "alloc.large";
+    case StatCounter::AllocFailed: return "alloc.failed";
+    case StatCounter::FreeLarge: return "free.large";
+    case StatCounter::InvalidFree: return "free.invalid";
+    case StatCounter::LargeAllocBytes: return "alloc.large_bytes";
+    case StatCounter::LargeFreeBytes: return "free.large_bytes";
+    case StatCounter::TcacheMiss: return "tcache.miss";
+    case StatCounter::SlabCreated: return "slab.created";
+    case StatCounter::SlabReleased: return "slab.released";
+    case StatCounter::SlabMorph: return "slab.morphs";
+    case StatCounter::ArenaRefill: return "slab.refills";
+    case StatCounter::LogAppend: return "log.appends";
+    case StatCounter::LogTombstone: return "log.tombstones";
+    case StatCounter::LogFastGc: return "log.fast_gc";
+    case StatCounter::LogSlowGc: return "log.slow_gc";
+    case StatCounter::ModeToReclaiming: return "mode.to_reclaiming";
+    case StatCounter::ModeToExhausted: return "mode.to_exhausted";
+    case StatCounter::ModeToNormal: return "mode.to_normal";
+    case StatCounter::RecoveryRun: return "recovery.runs";
+    case StatCounter::NumCounters: break;
+    }
+    return "?";
+}
+
+} // namespace nvalloc
+
+#endif // NVALLOC_TELEMETRY_COUNTERS_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fixed-capacity binary event ring for allocation tracing.
+ *
+ * One ring per telemetry shard (i.e. per thread): recording is a plain
+ * store into a preallocated slot plus a counter bump, so tracing an
+ * allocation storm perturbs the traced workload as little as possible.
+ * The ring overwrites its oldest entry on wraparound and remembers how
+ * many events were lost, so a drained trace is always honest about
+ * truncation.
+ */
+
+#ifndef NVALLOC_TELEMETRY_EVENT_RING_H
+#define NVALLOC_TELEMETRY_EVENT_RING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace nvalloc {
+
+/** What happened; `outcome` carries the NvStatus (or 0) of the op. */
+enum class TraceOp : uint8_t
+{
+    Alloc = 1,   //!< successful allocation; arg = block offset
+    AllocFail,   //!< allocation returned 0; outcome = NvStatus
+    Free,        //!< successful free; arg = block offset
+    InvalidFree, //!< rejected free; arg = offending offset
+    Refill,      //!< arena refill; arg = blocks added
+    Morph,       //!< slab morph; arg = slab offset
+    Reclaim,     //!< exhaustion slow path entered
+    ModeChange,  //!< degradation transition; arg = new HeapMode
+    LogGc,       //!< bookkeeping-log GC; arg = 0 fast, 1 slow
+    Recovery,    //!< recoverHeap ran; arg = virtual ns spent
+};
+
+inline const char *
+traceOpName(TraceOp op)
+{
+    switch (op) {
+    case TraceOp::Alloc: return "alloc";
+    case TraceOp::AllocFail: return "alloc-fail";
+    case TraceOp::Free: return "free";
+    case TraceOp::InvalidFree: return "invalid-free";
+    case TraceOp::Refill: return "refill";
+    case TraceOp::Morph: return "morph";
+    case TraceOp::Reclaim: return "reclaim";
+    case TraceOp::ModeChange: return "mode-change";
+    case TraceOp::LogGc: return "log-gc";
+    case TraceOp::Recovery: return "recovery";
+    }
+    return "?";
+}
+
+/** One traced event; 24 bytes, no pointers (safe to copy around). */
+struct TraceEvent
+{
+    uint64_t ts = 0;  //!< VClock timestamp of the recording thread
+    uint64_t arg = 0; //!< op-specific payload (see TraceOp)
+    uint32_t shard = 0;      //!< recording shard (thread) id
+    TraceOp op = TraceOp::Alloc;
+    uint8_t size_class = 0xff; //!< size class, 0xff = none/large
+    uint16_t outcome = 0;      //!< NvStatus of the op (0 = ok)
+};
+
+class EventRing
+{
+  public:
+    explicit EventRing(size_t capacity)
+        : buf_(capacity ? capacity : 1)
+    {
+    }
+
+    size_t capacity() const { return buf_.size(); }
+
+    void
+    record(const TraceEvent &e)
+    {
+        buf_[head_ % buf_.size()] = e;
+        ++head_;
+    }
+
+    /** Events ever recorded (monotonic; may exceed capacity). */
+    uint64_t recorded() const { return head_; }
+
+    /** Events lost to wraparound so far. */
+    uint64_t
+    dropped() const
+    {
+        return head_ > buf_.size() ? head_ - buf_.size() : 0;
+    }
+
+    /** Copy the surviving events, oldest first. */
+    void
+    drainInto(std::vector<TraceEvent> &out) const
+    {
+        uint64_t n = head_ < buf_.size() ? head_ : buf_.size();
+        uint64_t first = head_ - n;
+        for (uint64_t i = 0; i < n; ++i)
+            out.push_back(buf_[(first + i) % buf_.size()]);
+    }
+
+    void
+    reset()
+    {
+        head_ = 0;
+    }
+
+  private:
+    std::vector<TraceEvent> buf_;
+    uint64_t head_ = 0;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_TELEMETRY_EVENT_RING_H

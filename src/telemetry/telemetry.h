@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Sharded runtime statistics and event tracing.
+ *
+ * One Telemetry instance per heap. Every thread that touches the heap
+ * lazily registers a private *shard* — a cache-line-friendly block of
+ * relaxed atomic counters plus an optional trace ring — and all hot
+ * -path recording is a handful of relaxed loads/stores into that
+ * shard. Only the shard's owning thread ever writes it, so increments
+ * need no read-modify-write; aggregation sums relaxed loads across
+ * shards and never blocks recording threads (a thread takes the
+ * registry lock once, on its first touch of the heap).
+ *
+ * Overhead control is layered:
+ *  - compile time: build with -DNVALLOC_TELEMETRY=0 and every note*
+ *    helper collapses to an empty inline;
+ *  - run time: setEnabled(false) short-circuits each helper on one
+ *    relaxed bool load;
+ *  - tracing: the per-thread event rings cost nothing until
+ *    startTracing() arms them;
+ *  - derived totals: the hot path maintains only the per-class,
+ *    per-arena, and rare-event counters; every total that can be
+ *    summed out of those (alloc.small, tcache.hit, flush.*) is
+ *    computed at read time instead of bumped per event.
+ *
+ * Telemetry implements FlushSink so a LatencyModel can feed it the
+ * flush classification stream; flushes are attributed to the arena the
+ * recording thread most recently bound (bindArena), which yields the
+ * per-arena stats.arena.<i>.flush.* family. The sink protocol is
+ * pull-based: the model asks flushCells() for the calling thread's
+ * attribution row once per sink epoch and bumps it directly, so a
+ * classified flush costs one relaxed increment, not a virtual call
+ * (attachSink() remembers the model so setEnabled/bindArena can
+ * invalidate the rows it cached).
+ */
+
+#ifndef NVALLOC_TELEMETRY_TELEMETRY_H
+#define NVALLOC_TELEMETRY_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/size_classes.h"
+#include "pm/latency_model.h"
+#include "pm/vclock.h"
+#include "telemetry/counters.h"
+#include "telemetry/event_ring.h"
+
+#ifndef NVALLOC_TELEMETRY
+#define NVALLOC_TELEMETRY 1
+#endif
+
+namespace nvalloc {
+
+class Telemetry final : public FlushSink
+{
+  public:
+    Telemetry();
+    ~Telemetry() override;
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    /** Runtime kill switch; counters freeze but keep their values.
+     *  Implemented by parking epoch_ at 0 (which never matches a
+     *  cached shard's generation), so the hot path pays no separate
+     *  enabled check. Also drops the flush-attribution rows a wired
+     *  model caches, so the sink stream freezes/resumes with the
+     *  rest. */
+    void
+    setEnabled(bool on)
+    {
+        epoch_.store(on ? generation_ : 0, std::memory_order_relaxed);
+        if (sink_model_)
+            sink_model_->invalidateSinkCells();
+    }
+
+    bool
+    enabled() const
+    {
+        return epoch_.load(std::memory_order_relaxed) != 0;
+    }
+
+    // ------------------------------------------------------------------
+    // Hot-path recording (one shard lookup per call, relaxed stores).
+    // ------------------------------------------------------------------
+
+#if NVALLOC_TELEMETRY
+    /** Small allocation served: one shard lookup for the whole record
+     *  — class count plus the (rare) tcache miss. The small-alloc
+     *  total and the tcache hit count are derived at read time, so
+     *  the steady state is a single counter store. */
+    void
+    noteSmallAlloc(unsigned cls, bool tcache_hit, uint64_t off)
+    {
+        Shard *s = hot();
+        if (!s)
+            return;
+        bump(s->cls_alloc[cls]);
+        if (!tcache_hit)
+            bump(s->c[idx(StatCounter::TcacheMiss)]);
+        if (tracing_.load(std::memory_order_relaxed)) [[unlikely]]
+            traceInto(s, TraceOp::Alloc, off,
+                      static_cast<uint8_t>(cls), 0);
+    }
+
+    void
+    noteSmallFree(unsigned cls, uint64_t off)
+    {
+        Shard *s = hot();
+        if (!s)
+            return;
+        bump(s->cls_free[cls]);
+        if (tracing_.load(std::memory_order_relaxed)) [[unlikely]]
+            traceInto(s, TraceOp::Free, off,
+                      static_cast<uint8_t>(cls), 0);
+    }
+
+    void
+    noteLargeAlloc(uint64_t bytes, uint64_t off)
+    {
+        Shard *s = hot();
+        if (!s)
+            return;
+        bump(s->c[idx(StatCounter::AllocLarge)]);
+        bump(s->c[idx(StatCounter::LargeAllocBytes)], bytes);
+        if (tracing_.load(std::memory_order_relaxed)) [[unlikely]]
+            traceInto(s, TraceOp::Alloc, off, 0xff, 0);
+    }
+
+    void
+    noteLargeFree(uint64_t bytes, uint64_t off)
+    {
+        Shard *s = hot();
+        if (!s)
+            return;
+        bump(s->c[idx(StatCounter::FreeLarge)]);
+        bump(s->c[idx(StatCounter::LargeFreeBytes)], bytes);
+        if (tracing_.load(std::memory_order_relaxed)) [[unlikely]]
+            traceInto(s, TraceOp::Free, off, 0xff, 0);
+    }
+
+    void
+    noteAllocFailed(uint16_t status)
+    {
+        Shard *s = hot();
+        if (!s)
+            return;
+        bump(s->c[idx(StatCounter::AllocFailed)]);
+        if (tracing_.load(std::memory_order_relaxed)) [[unlikely]]
+            traceInto(s, TraceOp::AllocFail, 0, 0xff, status);
+    }
+
+    void
+    noteInvalidFree(uint64_t off, uint16_t status)
+    {
+        Shard *s = hot();
+        if (!s)
+            return;
+        bump(s->c[idx(StatCounter::InvalidFree)]);
+        if (tracing_.load(std::memory_order_relaxed)) [[unlikely]]
+            traceInto(s, TraceOp::InvalidFree, off, 0xff, status);
+    }
+
+    /** Bump a scalar counter by `n`. */
+    void
+    add(StatCounter ctr, uint64_t n = 1)
+    {
+        if (Shard *s = hot())
+            bump(s->c[idx(ctr)], n);
+    }
+
+    /** Record a trace event with no counter attached (refills, GC,
+     *  mode changes, recovery). No-op unless tracing is armed. */
+    void
+    event(TraceOp op, uint64_t arg, uint8_t size_class = 0xff,
+          uint16_t outcome = 0)
+    {
+        if (!tracing_.load(std::memory_order_relaxed))
+            return;
+        if (Shard *s = hot())
+            traceInto(s, op, arg, size_class, outcome);
+    }
+
+    /**
+     * Attribute this thread's subsequent flush classes to `arena`
+     * (index into stats.arena.<i>.flush.*). Out-of-range indices fall
+     * into the last bucket rather than being dropped. Invalidates the
+     * attribution row any wired model cached, so the next flush lands
+     * in the new arena's cells.
+     */
+    void
+    bindArena(unsigned arena)
+    {
+        if (Shard *s = hot())
+            s->bound_arena = arena < kTelemetryMaxArenas
+                                 ? arena
+                                 : kTelemetryMaxArenas - 1;
+        if (sink_model_)
+            sink_model_->invalidateSinkCells();
+    }
+#else  // !NVALLOC_TELEMETRY
+    void noteSmallAlloc(unsigned, bool, uint64_t) {}
+    void noteSmallFree(unsigned, uint64_t) {}
+    void noteLargeAlloc(uint64_t, uint64_t) {}
+    void noteLargeFree(uint64_t, uint64_t) {}
+    void noteAllocFailed(uint16_t) {}
+    void noteInvalidFree(uint64_t, uint16_t) {}
+    void add(StatCounter, uint64_t = 1) {}
+    void event(TraceOp, uint64_t, uint8_t = 0xff, uint16_t = 0) {}
+    void bindArena(unsigned) {}
+#endif // NVALLOC_TELEMETRY
+
+    /**
+     * Install this instance as `model`'s flush sink, replacing any
+     * model wired earlier; nullptr uninstalls. Remembering the model
+     * lets setEnabled/bindArena drop the per-thread attribution rows
+     * it caches (see FlushSink in pm/latency_model.h).
+     */
+    void attachSink(LatencyModel *model);
+
+    /** FlushSink: the calling thread's arena-attributed flush-class
+     *  cell row (&shard->arena_flush[bound_arena][0]), or nullptr when
+     *  telemetry is disabled or compiled out. */
+    std::atomic<uint64_t> *flushCells() override;
+
+    // ------------------------------------------------------------------
+    // Aggregated reads (sum of relaxed loads over all shards).
+    // ------------------------------------------------------------------
+
+    uint64_t total(StatCounter ctr) const;
+    uint64_t classAllocs(unsigned cls) const;
+    uint64_t classFrees(unsigned cls) const;
+    uint64_t arenaFlush(unsigned arena, FlushClass cls) const;
+
+    /** Derived totals the hot path does not maintain as scalars:
+     *  small allocs/frees sum the per-class family, tcache hits are
+     *  small allocs minus recorded misses, and the flush totals sum
+     *  the per-arena attribution matrix. */
+    uint64_t smallAllocs() const;
+    uint64_t smallFrees() const;
+    uint64_t tcacheHits() const;
+    uint64_t flushClassTotal(FlushClass cls) const;
+    uint64_t flushTotal() const;
+
+    /** Bytes ever handed out / taken back through the small path
+     *  (computed from the per-class counts at read time, so the hot
+     *  path never does a multiply). */
+    uint64_t smallAllocBytes() const;
+    uint64_t smallFreeBytes() const;
+
+    /** Shards registered so far (threads that touched the heap). */
+    unsigned shardCount() const;
+
+    // ------------------------------------------------------------------
+    // Event tracing.
+    // ------------------------------------------------------------------
+
+    /**
+     * Arm every shard (current and future) with a ring of
+     * `per_thread_capacity` events. Restarting while armed discards
+     * buffered events and applies the new capacity.
+     */
+    void startTracing(size_t per_thread_capacity);
+
+    /** Disarm; buffered events survive until drained or restarted. */
+    void stopTracing();
+
+    bool
+    tracingEvents() const
+    {
+        return tracing_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Append all buffered events, merged across shards and sorted by
+     * timestamp, to `out`; returns the number of events lost to ring
+     * wraparound. Call after stopTracing() for a consistent dump.
+     */
+    uint64_t drainEvents(std::vector<TraceEvent> &out) const;
+
+    /**
+     * This thread's virtual-time attribution buckets. A thin veneer
+     * over VClock so harnesses take their Fig. 11 breakdowns from the
+     * telemetry layer instead of reaching into the pm layer.
+     */
+    static std::array<uint64_t, kNumTimeKinds>
+    threadTimeBreakdown()
+    {
+        return VClock::snapshot();
+    }
+
+    /** Per-thread counter block. Public only so the .cc's thread-local
+     *  cache can name it; not part of the API surface. */
+    struct Shard
+    {
+        std::atomic<uint64_t> c[kNumStatCounters] = {};
+        std::atomic<uint64_t> cls_alloc[kNumSizeClasses] = {};
+        std::atomic<uint64_t> cls_free[kNumSizeClasses] = {};
+        std::atomic<uint64_t>
+            arena_flush[kTelemetryMaxArenas][kNumFlushClasses] = {};
+
+        uint32_t id = 0;            //!< registration index
+        unsigned bound_arena = 0;   //!< flush attribution target
+
+        // Trace ring; guarded by ring_mutex (cold unless tracing).
+        std::mutex ring_mutex;
+        std::unique_ptr<EventRing> ring;
+    };
+
+  private:
+    static constexpr unsigned
+    idx(StatCounter ctr)
+    {
+        return static_cast<unsigned>(ctr);
+    }
+
+    /** Owner-thread increment: the shard is private to this thread,
+     *  so a relaxed load+store beats a fetch_add. */
+    static void
+    bump(std::atomic<uint64_t> &a, uint64_t n = 1)
+    {
+        a.store(a.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+    }
+
+    /** Single-entry thread-local shard cache. POD with constant
+     *  initialization, so the compiler emits a direct TLS access with
+     *  no guard check — this is what keeps the per-record cost at a
+     *  couple of compares. Caches the most recently used instance;
+     *  alternating between heaps on one thread falls back to the
+     *  (short) per-thread registry scan in shardSlow(). */
+    struct FastRef
+    {
+        const Telemetry *owner;
+        uint64_t generation;
+        Shard *shard;
+    };
+    static thread_local FastRef tl_fast_;
+
+    /** Enabled check + this thread's shard, or nullptr when off. The
+     *  two are one comparison: epoch_ equals generation_ while
+     *  enabled and 0 while disabled, and a cached entry always holds
+     *  generation_ (nonzero), so a single match proves both "right
+     *  instance" and "enabled". */
+    Shard *
+    hot()
+    {
+        if (tl_fast_.owner == this &&
+            tl_fast_.generation ==
+                epoch_.load(std::memory_order_relaxed))
+            return tl_fast_.shard;
+        return shardSlow();
+    }
+
+    Shard *shardSlow();
+    Shard *registerShard();
+    void traceInto(Shard *s, TraceOp op, uint64_t arg,
+                   uint8_t size_class, uint16_t outcome);
+
+    //! generation_ while enabled, 0 while disabled (see setEnabled).
+    std::atomic<uint64_t> epoch_{0};
+    std::atomic<bool> tracing_{false};
+
+    //! The model this instance is installed on as flush sink (via
+    //! attachSink), kept so state changes that move attribution
+    //! targets can invalidate the cell rows the model cached.
+    LatencyModel *sink_model_ = nullptr;
+
+    // Shard registry. The mutex serializes registration and trace
+    // arm/disarm/drain; recording threads never take it after their
+    // first touch. unique_ptr keeps shard addresses stable across
+    // vector growth.
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    //! Ring capacity while tracing; atomic so traceInto can size a
+    //! late-created ring without touching mutex_.
+    std::atomic<size_t> trace_cap_{0};
+
+    // Identity of this instance for the thread-local shard cache;
+    // process-wide unique so a recycled address can never revive a
+    // stale cached shard (same pattern as LatencyModel).
+    uint64_t generation_ = 0;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_TELEMETRY_TELEMETRY_H

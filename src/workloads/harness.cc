@@ -10,6 +10,7 @@
 #include "baselines/pallocator.h"
 #include "baselines/pmdk_alloc.h"
 #include "baselines/ralloc_alloc.h"
+#include "telemetry/telemetry.h"
 
 namespace nvalloc {
 
@@ -125,12 +126,16 @@ runWorkers(unsigned threads, VtimeEpoch &epoch,
         workers.emplace_back([&, tid] {
             VClock::reset();
             VClock::setNow(phase_base);
-            auto kinds0 = VClock::snapshot();
+            // RunResult.breakdown comes from the telemetry layer (a
+            // veneer over the same per-thread attribution buckets the
+            // ctl tree's flush counters are keyed against), so figure
+            // benches and nvalloc_stat report from one source.
+            auto kinds0 = Telemetry::threadTimeBreakdown();
 
             results[tid].ops = body(tid);
 
             results[tid].elapsed = VClock::now() - phase_base;
-            auto kinds1 = VClock::snapshot();
+            auto kinds1 = Telemetry::threadTimeBreakdown();
             for (unsigned k = 0; k < kNumTimeKinds; ++k)
                 results[tid].kinds[k] = kinds1[k] - kinds0[k];
             epoch.observe(VClock::now());

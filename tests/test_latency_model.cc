@@ -166,6 +166,43 @@ TEST_F(LatencyModelTest, TraceCapturesOffsets)
         EXPECT_EQ(trace[i], i * 4096);
 }
 
+TEST_F(LatencyModelTest, StopWithoutStartIsEmptyNoop)
+{
+    EXPECT_FALSE(dev_->model().tracing());
+    EXPECT_TRUE(dev_->model().stopTrace().empty());
+    // Flushes after a stray stop must not be recorded anywhere.
+    flushCost(0);
+    EXPECT_TRUE(dev_->model().stopTrace().empty());
+}
+
+TEST_F(LatencyModelTest, DoubleStopSecondIsEmpty)
+{
+    dev_->model().startTrace(8);
+    flushCost(0);
+    flushCost(4096);
+    auto first = dev_->model().stopTrace();
+    EXPECT_EQ(first.size(), 2u);
+    EXPECT_FALSE(dev_->model().tracing());
+    EXPECT_TRUE(dev_->model().stopTrace().empty())
+        << "second stop returns nothing, not the old buffer";
+}
+
+TEST_F(LatencyModelTest, RestartWhileTracingClearsBuffer)
+{
+    dev_->model().startTrace(8);
+    flushCost(0);
+    flushCost(64);
+    // Restart discards the two buffered offsets and applies the new
+    // capacity.
+    dev_->model().startTrace(1);
+    EXPECT_TRUE(dev_->model().tracing());
+    flushCost(8192);
+    flushCost(12288); // over the restarted cap; dropped
+    auto trace = dev_->model().stopTrace();
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0], 8192u);
+}
+
 TEST_F(LatencyModelTest, ResetInvalidatesPerThreadHistory)
 {
     // Build up reflush history, reset, and check the next flush of

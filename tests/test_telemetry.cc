@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests of the telemetry subsystem: the ctl registry, the event ring,
+ * the sharded counter aggregation under concurrency, and the NvAlloc
+ * integration (ctlRead, statsJson, tracing, DegradedStats exposure).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "nvalloc/nvalloc.h"
+#include "telemetry/ctl.h"
+#include "telemetry/event_ring.h"
+#include "telemetry/telemetry.h"
+
+namespace nvalloc {
+namespace {
+
+// ---------------------------------------------------------------------
+// CtlRegistry.
+// ---------------------------------------------------------------------
+
+TEST(CtlRegistry, ReadAndUnknownName)
+{
+    CtlRegistry reg;
+    reg.registerName("a.b.c", [] { return uint64_t{7}; });
+    reg.registerName("a.b.d", [] { return uint64_t{9}; });
+
+    uint64_t v = 0;
+    EXPECT_EQ(reg.read("a.b.c", v), CtlStatus::Ok);
+    EXPECT_EQ(v, 7u);
+    EXPECT_EQ(reg.read("a.b.d", v), CtlStatus::Ok);
+    EXPECT_EQ(v, 9u);
+
+    EXPECT_EQ(reg.read("a.b", v), CtlStatus::UnknownName)
+        << "interior node is not a leaf";
+    EXPECT_EQ(reg.read("a.b.e", v), CtlStatus::UnknownName);
+    EXPECT_EQ(reg.read("", v), CtlStatus::UnknownName);
+    EXPECT_TRUE(reg.contains("a.b.c"));
+    EXPECT_FALSE(reg.contains("a.b"));
+}
+
+TEST(CtlRegistry, PrefixMatchesWholeComponents)
+{
+    CtlRegistry reg;
+    reg.registerName("stats.flush.total", [] { return uint64_t{1}; });
+    reg.registerName("stats.flushes", [] { return uint64_t{2}; });
+
+    auto under = reg.names("stats.flush");
+    ASSERT_EQ(under.size(), 1u);
+    EXPECT_EQ(under[0], "stats.flush.total")
+        << "\"stats.flushes\" shares the string prefix but not the "
+           "component";
+    EXPECT_EQ(reg.names().size(), 2u);
+    EXPECT_EQ(reg.names("stats.flushes").size(), 1u)
+        << "exact leaf matches its own prefix";
+}
+
+TEST(CtlRegistry, JsonNestsDottedNames)
+{
+    CtlRegistry reg;
+    reg.registerName("s.a.x", [] { return uint64_t{1}; });
+    reg.registerName("s.a.y", [] { return uint64_t{2}; });
+    reg.registerName("s.b", [] { return uint64_t{3}; });
+    EXPECT_EQ(reg.json(), R"({"s":{"a":{"x":1,"y":2},"b":3}})");
+}
+
+// ---------------------------------------------------------------------
+// EventRing.
+// ---------------------------------------------------------------------
+
+TEST(EventRing, WraparoundKeepsNewestAndCountsDropped)
+{
+    EventRing ring(4);
+    for (uint64_t i = 0; i < 10; ++i) {
+        TraceEvent e;
+        e.ts = i;
+        e.arg = 100 + i;
+        ring.record(e);
+    }
+    EXPECT_EQ(ring.recorded(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+
+    std::vector<TraceEvent> out;
+    ring.drainInto(out);
+    ASSERT_EQ(out.size(), 4u);
+    for (uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(out[i].ts, 6 + i) << "oldest surviving event first";
+        EXPECT_EQ(out[i].arg, 106 + i);
+    }
+
+    ring.reset();
+    EXPECT_EQ(ring.recorded(), 0u);
+    out.clear();
+    ring.drainInto(out);
+    EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------
+// Telemetry (standalone instance).
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, AggregatesAcrossThreads)
+{
+    Telemetry tel;
+    const unsigned kThreads = 8;
+    const unsigned kPerThread = 1000;
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&tel, t] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                tel.noteSmallAlloc(t % kNumSizeClasses, i % 2 == 0, i);
+                tel.add(StatCounter::LogAppend);
+            }
+            tel.noteSmallFree(t % kNumSizeClasses, 0);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(tel.smallAllocs(), kThreads * kPerThread);
+    EXPECT_EQ(tel.total(StatCounter::LogAppend), kThreads * kPerThread);
+    EXPECT_EQ(tel.tcacheHits() + tel.total(StatCounter::TcacheMiss),
+              kThreads * kPerThread);
+    EXPECT_EQ(tel.total(StatCounter::TcacheMiss),
+              kThreads * kPerThread / 2)
+        << "every other alloc was recorded as a miss";
+    EXPECT_EQ(tel.smallFrees(), kThreads);
+    EXPECT_EQ(tel.shardCount(), kThreads);
+
+    uint64_t class_total = 0;
+    for (unsigned c = 0; c < kNumSizeClasses; ++c)
+        class_total += tel.classAllocs(c);
+    EXPECT_EQ(class_total, kThreads * kPerThread);
+}
+
+TEST(Telemetry, DisabledFreezesCounters)
+{
+    Telemetry tel;
+    tel.noteSmallAlloc(0, true, 0);
+    EXPECT_EQ(tel.smallAllocs(), 1u);
+
+    tel.setEnabled(false);
+    tel.noteSmallAlloc(0, true, 0);
+    tel.add(StatCounter::LogAppend, 42);
+    EXPECT_EQ(tel.smallAllocs(), 1u)
+        << "value survives, increments stop";
+    EXPECT_EQ(tel.total(StatCounter::LogAppend), 0u);
+
+    tel.setEnabled(true);
+    tel.noteSmallAlloc(0, true, 0);
+    EXPECT_EQ(tel.smallAllocs(), 2u);
+}
+
+TEST(Telemetry, SinkCellsAttributeFlushes)
+{
+    // The pull-based FlushSink protocol end to end: the model resolves
+    // the attribution row once, bumps it per classified flush, and
+    // re-resolves after every epoch bump (setEnabled, bindArena).
+    LatencyModel model;
+    Telemetry tel;
+    tel.attachSink(&model);
+    tel.bindArena(2);
+
+    for (uint64_t i = 0; i < 8; ++i)
+        model.onFlush(i * 64, TimeKind::FlushMeta);
+    uint64_t before = tel.flushTotal();
+    EXPECT_EQ(before, 8u);
+    EXPECT_EQ(tel.flushClassTotal(FlushClass::Reflush) +
+                  tel.flushClassTotal(FlushClass::Sequential) +
+                  tel.flushClassTotal(FlushClass::Random) +
+                  tel.flushClassTotal(FlushClass::XpLineHit),
+              before)
+        << "class totals partition the flush total";
+    uint64_t arena2 = 0;
+    for (unsigned c = 0; c < kNumFlushClasses; ++c)
+        arena2 += tel.arenaFlush(2, FlushClass(c));
+    EXPECT_EQ(arena2, before) << "attributed to the bound arena";
+
+    // Disabling drops the cached row; flushes stop being attributed.
+    tel.setEnabled(false);
+    model.onFlush(0x100000, TimeKind::FlushMeta);
+    EXPECT_EQ(tel.flushTotal(), before);
+
+    // Re-enabling re-arms it on the next flush.
+    tel.setEnabled(true);
+    model.onFlush(0x200000, TimeKind::FlushMeta);
+    EXPECT_EQ(tel.flushTotal(), before + 1);
+
+    // Rebinding moves subsequent attribution to the new arena.
+    tel.bindArena(5);
+    model.onFlush(0x300000, TimeKind::FlushMeta);
+    uint64_t arena5 = 0;
+    for (unsigned c = 0; c < kNumFlushClasses; ++c)
+        arena5 += tel.arenaFlush(5, FlushClass(c));
+    EXPECT_EQ(arena5, 1u);
+
+    tel.attachSink(nullptr);
+    model.onFlush(0x400000, TimeKind::FlushMeta);
+    EXPECT_EQ(tel.flushTotal(), before + 2) << "detached sink is quiet";
+}
+
+TEST(Telemetry, TraceDrainMergesSortedAndCountsDrops)
+{
+    Telemetry tel;
+    tel.startTracing(4);
+    const unsigned kThreads = 4;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&tel] {
+            VClock::reset();
+            for (unsigned i = 0; i < 10; ++i) {
+                VClock::advance(1, TimeKind::Other);
+                tel.event(TraceOp::Refill, i);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    tel.stopTracing();
+
+    std::vector<TraceEvent> events;
+    uint64_t dropped = tel.drainEvents(events);
+    EXPECT_EQ(events.size(), kThreads * 4u) << "ring cap per thread";
+    EXPECT_EQ(dropped, kThreads * 6u);
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].ts, events[i - 1].ts) << "sorted by vclock";
+
+    // Restarting clears the drained buffers.
+    tel.startTracing(4);
+    tel.stopTracing();
+    events.clear();
+    EXPECT_EQ(tel.drainEvents(events), 0u);
+    EXPECT_TRUE(events.empty());
+}
+
+// ---------------------------------------------------------------------
+// NvAlloc integration.
+// ---------------------------------------------------------------------
+
+class TelemetryHeap : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PmDeviceConfig dcfg;
+        dcfg.size = size_t{1} << 28;
+        dev_ = std::make_unique<PmDevice>(dcfg);
+        alloc_ = std::make_unique<NvAlloc>(*dev_);
+        ctx_ = alloc_->attachThread();
+        ASSERT_NE(ctx_, nullptr);
+    }
+
+    void
+    TearDown() override
+    {
+        if (ctx_)
+            alloc_->detachThread(ctx_);
+        alloc_.reset();
+        dev_.reset();
+    }
+
+    uint64_t
+    ctl(const char *name)
+    {
+        uint64_t v = 0;
+        EXPECT_EQ(alloc_->ctlRead(name, &v), NvStatus::Ok) << name;
+        return v;
+    }
+
+    std::unique_ptr<PmDevice> dev_;
+    std::unique_ptr<NvAlloc> alloc_;
+    ThreadCtx *ctx_ = nullptr;
+};
+
+TEST_F(TelemetryHeap, CountersFollowTraffic)
+{
+    std::vector<uint64_t> offs;
+    for (int i = 0; i < 100; ++i)
+        offs.push_back(alloc_->allocOffset(*ctx_, 64, nullptr));
+    uint64_t big = alloc_->allocOffset(*ctx_, 100 * 1024, nullptr);
+    ASSERT_NE(big, 0u);
+
+    EXPECT_EQ(ctl("stats.alloc.small"), 100u);
+    EXPECT_EQ(ctl("stats.alloc.large"), 1u);
+    EXPECT_EQ(ctl("stats.alloc.large_bytes"), 100u * 1024);
+    EXPECT_EQ(ctl("stats.tcache.hit") + ctl("stats.tcache.miss"), 100u);
+    EXPECT_EQ(ctl("stats.class.64.alloc"), 100u);
+    EXPECT_EQ(ctl("stats.class.64.live"), 100u);
+    EXPECT_EQ(ctl("stats.alloc.small_bytes"), 100u * 64);
+
+    for (uint64_t off : offs)
+        EXPECT_EQ(alloc_->freeOffset(*ctx_, off, nullptr), NvStatus::Ok);
+    EXPECT_EQ(alloc_->freeOffset(*ctx_, big, nullptr), NvStatus::Ok);
+
+    EXPECT_EQ(ctl("stats.free.small"), 100u);
+    EXPECT_EQ(ctl("stats.free.large"), 1u);
+    EXPECT_EQ(ctl("stats.class.64.live"), 0u);
+    EXPECT_GT(ctl("stats.wal.commits"), 0u);
+    EXPECT_GT(ctl("stats.flush.total"), 0u);
+    EXPECT_GT(ctl("stats.heap.stat_shards"), 0u);
+}
+
+TEST_F(TelemetryHeap, UnknownCtlNameIsAnError)
+{
+    uint64_t v = 0;
+    EXPECT_EQ(alloc_->ctlRead("stats.no.such.name", &v),
+              NvStatus::UnknownCtl);
+    EXPECT_EQ(alloc_->ctlRead("", &v), NvStatus::UnknownCtl);
+    // The family root is interior, not a leaf.
+    EXPECT_EQ(alloc_->ctlRead("stats.alloc", &v), NvStatus::UnknownCtl);
+}
+
+TEST_F(TelemetryHeap, DegradedStatsReachTheSnapshot)
+{
+    // A free of a never-allocated offset is rejected and counted in
+    // both the DegradedStats mirror and the shard counter.
+    EXPECT_NE(alloc_->freeOffset(*ctx_, 0x1234, nullptr), NvStatus::Ok);
+    EXPECT_EQ(ctl("stats.degraded.invalid_frees"), 1u);
+    EXPECT_EQ(ctl("stats.free.invalid"), 1u);
+
+    std::string json = alloc_->statsJson();
+    EXPECT_NE(json.find("\"degraded\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"invalid_frees\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"mode\":{"), std::string::npos);
+}
+
+TEST_F(TelemetryHeap, ModeTransitionsAreCounted)
+{
+    // Fill the device with 32 MB extents until one cannot be placed:
+    // the failing request drives the reclaim slow path and leaves the
+    // heap Exhausted...
+    const size_t kChunk = 32 * 1024 * 1024;
+    unsigned served = 0;
+    while (alloc_->allocOffset(*ctx_, kChunk, nullptr) != 0)
+        ++served;
+    ASSERT_GT(served, 0u);
+    ASSERT_LT(served, 100u) << "256 MB device must fill up";
+    EXPECT_EQ(ctl("stats.alloc.failed"), 1u);
+    EXPECT_GE(ctl("stats.mode.to_reclaiming"), 1u);
+    EXPECT_EQ(ctl("stats.mode.to_exhausted"), 1u);
+    EXPECT_EQ(ctl("stats.mode.current"),
+              uint64_t(HeapMode::Exhausted));
+
+    // ...and the next success returns it to Normal.
+    uint64_t off = alloc_->allocOffset(*ctx_, 64, nullptr);
+    ASSERT_NE(off, 0u);
+    EXPECT_EQ(ctl("stats.mode.to_normal"), 1u);
+    EXPECT_EQ(ctl("stats.mode.current"), uint64_t(HeapMode::Normal));
+}
+
+TEST_F(TelemetryHeap, TracingCapturesAllocFlow)
+{
+    alloc_->telemetry().startTracing(8);
+    std::vector<uint64_t> offs;
+    for (int i = 0; i < 20; ++i)
+        offs.push_back(alloc_->allocOffset(*ctx_, 128, nullptr));
+    for (uint64_t off : offs)
+        alloc_->freeOffset(*ctx_, off, nullptr);
+    alloc_->telemetry().stopTracing();
+
+    std::vector<TraceEvent> events;
+    uint64_t dropped = alloc_->telemetry().drainEvents(events);
+    EXPECT_EQ(events.size(), 8u) << "ring capacity bounds the dump";
+    EXPECT_GT(dropped, 0u) << "40 ops through an 8-slot ring";
+    for (const TraceEvent &e : events) {
+        EXPECT_TRUE(e.op == TraceOp::Alloc || e.op == TraceOp::Free ||
+                    e.op == TraceOp::Refill || e.op == TraceOp::Morph);
+    }
+}
+
+TEST_F(TelemetryHeap, ConfigDisableZeroesEverything)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{1} << 28;
+    PmDevice dev(dcfg);
+    NvAllocConfig cfg;
+    cfg.telemetry = false;
+    NvAlloc quiet(dev, cfg);
+    ThreadCtx *ctx = quiet.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    uint64_t off = quiet.allocOffset(*ctx, 64, nullptr);
+    ASSERT_NE(off, 0u);
+    quiet.freeOffset(*ctx, off, nullptr);
+
+    uint64_t v = 1;
+    EXPECT_EQ(quiet.ctlRead("stats.alloc.small", &v), NvStatus::Ok)
+        << "the tree still answers";
+    EXPECT_EQ(v, 0u) << "but counters never move";
+    quiet.detachThread(ctx);
+}
+
+TEST_F(TelemetryHeap, EveryRegisteredNameIsReadable)
+{
+    // Walk the whole tree through the public read path; this is the
+    // same sweep the nvalloc_stat CLI default mode performs.
+    size_t n = 0;
+    for (const std::string &name : alloc_->ctl().names()) {
+        uint64_t v = 0;
+        EXPECT_EQ(alloc_->ctlRead(name.c_str(), &v), NvStatus::Ok)
+            << name;
+        ++n;
+    }
+    EXPECT_GT(n, 100u) << "counter families registered";
+    EXPECT_EQ(n, alloc_->ctl().size());
+}
+
+} // namespace
+} // namespace nvalloc

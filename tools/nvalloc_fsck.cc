@@ -37,6 +37,7 @@ struct Options
     bool crash = false;
     bool repair = false;
     bool quiet = false;
+    bool json = false;
     bool flip_bitmap = false;
     bool corrupt_wal = false;
     unsigned poison_free = 0;
@@ -59,7 +60,8 @@ usage(const char *argv0)
         "  --flip-bitmap    flip a stray bit in one slab bitmap\n"
         "  --corrupt-wal    plant a torn WAL entry\n"
         "  --repair         repair after the audit, then re-audit\n"
-        "  --quiet          print only the verdict\n",
+        "  --quiet          print only the verdict\n"
+        "  --json           machine-readable report + stats snapshot\n",
         argv0);
 }
 
@@ -81,6 +83,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.repair = true;
         } else if (a == "--quiet") {
             o.quiet = true;
+        } else if (a == "--json") {
+            o.json = true;
         } else if (a == "--flip-bitmap") {
             o.flip_bitmap = true;
         } else if (a == "--corrupt-wal") {
@@ -229,18 +233,36 @@ main(int argc, char **argv)
 
     HeapAuditor auditor(alloc);
     AuditReport rep = auditor.audit();
-    if (!o.quiet)
+    const bool text = !o.quiet && !o.json;
+    if (text)
         std::fputs(rep.summary().c_str(), stdout);
 
+    const std::string initial_json = o.json ? rep.json() : std::string();
+    std::string repair_json; // empty when no repair pass ran
     if (o.repair && (!rep.clean() || rep.poisoned_free_lines > 0)) {
         AuditReport fixed = auditor.repair();
-        if (!o.quiet) {
+        repair_json = fixed.json();
+        if (text) {
             std::fputs("after repair:\n", stdout);
             std::fputs(fixed.summary().c_str(), stdout);
         }
         rep = auditor.audit();
-        if (!o.quiet)
+        if (text)
             std::fputs(rep.summary().c_str(), stdout);
+    }
+
+    if (o.json) {
+        // Component documents are already JSON; splice them together
+        // rather than re-walking the structures through a writer.
+        std::string doc = "{\"clean\":";
+        doc += rep.clean() ? "true" : "false";
+        doc += ",\"audit\":" + initial_json;
+        if (!repair_json.empty())
+            doc += ",\"repair\":" + repair_json +
+                   ",\"final_audit\":" + rep.json();
+        doc += ",\"stats\":" + alloc.statsJson() + "}";
+        std::printf("%s\n", doc.c_str());
+        return rep.clean() ? 0 : 1;
     }
 
     if (!rep.clean()) {

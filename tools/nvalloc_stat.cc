@@ -1,0 +1,251 @@
+/**
+ * @file
+ * nvalloc_stat: command-line heap statistics viewer.
+ *
+ * The emulated PM device lives in anonymous memory, so — like
+ * nvalloc_fsck — the tool builds a heap, runs a mixed workload on it,
+ * and then serves the telemetry ctl tree over the result. It is both a
+ * smoke test for the introspection API (every registered name is
+ * readable) and a discovery aid: `--list` enumerates the tree,
+ * `--ctl NAME` reads one leaf exactly as an embedding application
+ * would via nvalloc_ctl().
+ *
+ * Exit status: 0 = ok, 1 = unknown ctl name, 2 = usage error or the
+ * heap refused to open.
+ *
+ *   nvalloc_stat                      # full name/value table
+ *   nvalloc_stat --json               # whole-heap JSON snapshot
+ *   nvalloc_stat --ctl stats.alloc.small
+ *   nvalloc_stat --list stats.arena.0
+ *   nvalloc_stat --reopen --trace 64  # recovery stats + event trace
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nvalloc/nvalloc.h"
+
+using namespace nvalloc;
+
+namespace {
+
+struct Options
+{
+    bool gc = false;
+    bool base = false; //!< in-place descriptors instead of the log
+    bool json = false;
+    bool list = false;
+    bool reopen = false; //!< dirty-restart + recover before reporting
+    size_t trace = 0;    //!< per-thread event-ring capacity
+    size_t device_mb = 256;
+    unsigned ops = 20000;
+    std::string prefix;       //!< --list filter
+    std::vector<std::string> ctls; //!< --ctl names, in order
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --gc           report on the NVAlloc-GC variant\n"
+        "  --base         in-place descriptors (no bookkeeping log)\n"
+        "  --device-mb N  emulated device size in MB (default 256)\n"
+        "  --ops N        workload operations before reporting\n"
+        "  --reopen       dirty-restart and recover before reporting\n"
+        "  --trace N      arm per-thread event rings of N events and\n"
+        "                 dump the merged trace\n"
+        "  --ctl NAME     read one ctl leaf (repeatable)\n"
+        "  --list [PFX]   list registered ctl names (under PFX)\n"
+        "  --json         whole-heap JSON snapshot\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--gc") {
+            o.gc = true;
+        } else if (a == "--base") {
+            o.base = true;
+        } else if (a == "--json") {
+            o.json = true;
+        } else if (a == "--reopen") {
+            o.reopen = true;
+        } else if (a == "--list") {
+            o.list = true;
+            // Optional prefix: consume the next token unless it is
+            // another flag.
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+                o.prefix = argv[++i];
+        } else if (a == "--ctl") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.ctls.push_back(v);
+        } else if (a == "--trace") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.trace = std::strtoul(v, nullptr, 0);
+        } else if (a == "--device-mb") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.device_mb = std::strtoul(v, nullptr, 0);
+        } else if (a == "--ops") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.ops = unsigned(std::strtoul(v, nullptr, 0));
+        } else {
+            return false;
+        }
+    }
+    return o.device_mb >= 16;
+}
+
+NvAllocConfig
+makeConfig(const Options &o)
+{
+    NvAllocConfig cfg;
+    cfg.consistency = o.gc ? Consistency::Gc : Consistency::Log;
+    cfg.log_bookkeeping = !o.base;
+    cfg.trace_ring_capacity = o.trace;
+    return cfg;
+}
+
+/** Mixed small/large churn (same shape as nvalloc_fsck's). */
+void
+runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
+{
+    std::vector<uint64_t> live;
+    uint64_t rng = 0x9e3779b97f4a7c15ULL;
+    auto rnd = [&]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    static const size_t sizes[] = {16, 48, 256, 1024, 4096, 24 * 1024,
+                                   80 * 1024};
+    for (unsigned i = 0; i < ops; ++i) {
+        if (live.empty() || rnd() % 3 != 0) {
+            size_t size = sizes[rnd() % (sizeof(sizes) / sizeof(*sizes))];
+            uint64_t off = alloc.allocOffset(ctx, size, nullptr);
+            if (off != 0)
+                live.push_back(off);
+        } else {
+            size_t pick = rnd() % live.size();
+            alloc.freeOffset(ctx, live[pick], nullptr);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+    }
+    for (size_t i = 0; i + 1 < live.size(); i += 2)
+        alloc.freeOffset(ctx, live[i], nullptr);
+}
+
+void
+dumpTrace(NvAlloc &alloc)
+{
+    alloc.telemetry().stopTracing();
+    std::vector<TraceEvent> events;
+    uint64_t dropped = alloc.telemetry().drainEvents(events);
+    std::printf("trace: %zu event(s), %llu dropped\n", events.size(),
+                (unsigned long long)dropped);
+    for (const TraceEvent &e : events) {
+        std::printf("  %12llu shard=%u %-12s arg=0x%llx",
+                    (unsigned long long)e.ts, e.shard,
+                    traceOpName(e.op), (unsigned long long)e.arg);
+        if (e.size_class != 0xff)
+            std::printf(" class=%u", e.size_class);
+        if (e.outcome != 0)
+            std::printf(" status=%u", e.outcome);
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    PmDeviceConfig dcfg;
+    dcfg.size = o.device_mb << 20;
+    PmDevice dev(dcfg);
+
+    if (o.reopen) {
+        // Build a first life whose shutdown is dirty, so the reporting
+        // instance below runs failure recovery and the stats.recovery.*
+        // family is populated.
+        NvAlloc first(dev, makeConfig(o));
+        ThreadCtx *ctx = first.attachThread();
+        if (!ctx) {
+            std::fprintf(stderr, "stat: could not attach build thread\n");
+            return 2;
+        }
+        runWorkload(first, *ctx, o.ops);
+        first.dirtyRestart();
+    }
+
+    NvAlloc alloc(dev, makeConfig(o));
+    if (alloc.openStatus() != NvStatus::Ok) {
+        std::fprintf(stderr, "stat: heap failed to open: %s\n",
+                     nvStatusName(alloc.openStatus()));
+        return 2;
+    }
+    if (!o.reopen) {
+        ThreadCtx *ctx = alloc.attachThread();
+        if (!ctx) {
+            std::fprintf(stderr, "stat: could not attach thread\n");
+            return 2;
+        }
+        runWorkload(alloc, *ctx, o.ops);
+        alloc.detachThread(ctx);
+    }
+
+    int rc = 0;
+    if (o.list) {
+        for (const std::string &name : alloc.ctl().names(o.prefix))
+            std::printf("%s\n", name.c_str());
+    } else if (!o.ctls.empty()) {
+        for (const std::string &name : o.ctls) {
+            uint64_t v = 0;
+            if (alloc.ctlRead(name.c_str(), &v) != NvStatus::Ok) {
+                std::fprintf(stderr, "stat: unknown ctl name: %s\n",
+                             name.c_str());
+                rc = 1;
+                continue;
+            }
+            std::printf("%s: %llu\n", name.c_str(),
+                        (unsigned long long)v);
+        }
+    } else if (o.json) {
+        std::printf("%s\n", alloc.statsJson().c_str());
+    } else {
+        alloc.ctl().forEach([](const std::string &name, uint64_t v) {
+            std::printf("%-40s %llu\n", name.c_str(),
+                        (unsigned long long)v);
+        });
+    }
+
+    if (o.trace > 0 && !o.json)
+        dumpTrace(alloc);
+    return rc;
+}
