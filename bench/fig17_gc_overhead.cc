@@ -81,5 +81,54 @@ main(int argc, char **argv)
                     100.0 * (1.0 - mops[1] / mops[0]),
                     (unsigned long long)fast, (unsigned long long)slow);
     }
+
+    // Foreground vs. background: the same GC-pressure config, with the
+    // maintenance service either off (GC runs inline on the allocating
+    // threads, as above) or in Thread mode (a dedicated worker absorbs
+    // it). "fg GC ns/op" is the GC virtual time that stayed on the
+    // allocating threads per operation: the log's total gc_ns minus
+    // whatever the maintenance worker ran (gc_virtual_ns). The bg row
+    // should show this share dropping — that is the point of the
+    // subsystem.
+    std::printf("\n## Fig 17 (cont.) — foreground vs background GC\n");
+    std::printf("%-14s %-4s %10s %13s %8s %10s %10s\n", "benchmark",
+                "gc", "Mops/s", "fg GC ns/op", "fg %", "slices",
+                "slow GCs");
+    for (const Bench &bench : benches) {
+        for (int bg = 0; bg < 2; ++bg) {
+            auto dev = makeBenchDevice();
+            MakeOptions opts;
+            opts.tweak_nvalloc = [&](NvAllocConfig &c) {
+                c.log_file_bytes = 32 * 1024;
+                c.log_gc_threshold = 0.25;
+                if (bg) {
+                    c.maintenance_mode = MaintenanceMode::Thread;
+                    c.maintenance_interval_ms = 0; // busy-poll worker
+                }
+            };
+            auto alloc = makeAllocator(AllocKind::NvAllocLog, *dev, opts);
+            VtimeEpoch epoch;
+            RunResult r = bench.run(*alloc, epoch);
+            NvAlloc &impl =
+                dynamic_cast<NvAllocAdapter *>(alloc.get())->impl();
+            uint64_t gc_total = 0, gc_maint = 0, slices = 0,
+                     slow_gcs = 0;
+            impl.ctlRead("stats.log.gc_ns", &gc_total);
+            impl.ctlRead("stats.maintenance.gc_virtual_ns", &gc_maint);
+            impl.ctlRead("stats.maintenance.slices", &slices);
+            impl.ctlRead("stats.maintenance.log_slow_gc", &slow_gcs);
+            uint64_t fg_ns = gc_total - gc_maint;
+            double fg_ns_op =
+                r.total_ops ? double(fg_ns) / double(r.total_ops) : 0.0;
+            double fg_pct =
+                gc_total ? 100.0 * double(fg_ns) / double(gc_total)
+                         : 100.0;
+            std::printf("%-14s %-4s %10.3f %13.2f %7.1f%% %10llu "
+                        "%10llu\n",
+                        bench.name, bg ? "bg" : "fg", r.mops(), fg_ns_op,
+                        fg_pct, (unsigned long long)slices,
+                        (unsigned long long)slow_gcs);
+        }
+    }
     return 0;
 }

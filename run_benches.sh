@@ -2,6 +2,13 @@
 # Regenerate every paper figure/table. Full sweep; pass --quick through
 # by running: BENCH_ARGS=--quick ./run_benches.sh
 #
+# NVALLOC_BENCH_ALLOCATORS limits the allocators every harness-driven
+# figure runs, as a comma-separated list of PmAllocatorRegistry names
+# ("pmdk", "nvm_malloc", "pallocator", "makalu", "ralloc", "nvalloc",
+# "nvalloc-gc"), e.g.:
+#   NVALLOC_BENCH_ALLOCATORS=nvalloc,nvalloc-gc,pmdk ./run_benches.sh
+# Unset (the default) runs the full comparison set.
+#
 # Exits non-zero if any bench fails or times out (timeout exits 124),
 # after running the remaining benches so one bad figure does not hide
 # the others.

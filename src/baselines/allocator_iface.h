@@ -21,8 +21,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "nvalloc/config.h"
 #include "pm/pm_device.h"
 
 namespace nvalloc {
@@ -88,6 +93,60 @@ class PmAllocator
      * every allocator, so crash sweeps can drive baselines too.
      */
     virtual void simulateCrash() { device().crash(); }
+};
+
+/** Construction knobs shared by every allocator factory. */
+struct MakeOptions
+{
+    bool flush_enabled = true; //!< false on the emulated eADR platform
+    bool eadr = false;         //!< put the device model in eADR mode
+    /** Overrides applied to NVAlloc variants only. */
+    std::function<void(NvAllocConfig &)> tweak_nvalloc;
+};
+
+/**
+ * Name-keyed allocator factory: the single construction path for every
+ * bench, tool, and test. Benches that used to switch over AllocKind go
+ * through make() so a new allocator (or variant) only needs one
+ * registration here and immediately appears everywhere, including in
+ * run_benches.sh's NVALLOC_BENCH_ALLOCATORS filter.
+ *
+ * Built-in names: "pmdk", "nvm_malloc", "pallocator", "makalu",
+ * "ralloc", "nvalloc" (LOG variant), "nvalloc-gc".
+ *
+ * The registry is a construct-on-first-use singleton with the builtins
+ * registered in its constructor — not via static registrar objects,
+ * which a static-library link is free to drop.
+ */
+class PmAllocatorRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<PmAllocator>(
+        PmDevice &, const MakeOptions &)>;
+
+    static PmAllocatorRegistry &instance();
+
+    /** Register (or replace) a factory under `name`. */
+    void registerFactory(const std::string &name, Factory fn);
+
+    /**
+     * Construct allocator `name` on `dev`. Device-level options
+     * (eADR) are applied here, centrally, before the factory runs.
+     * Returns nullptr for an unknown name.
+     */
+    std::unique_ptr<PmAllocator> make(const std::string &name,
+                                      PmDevice &dev,
+                                      const MakeOptions &opts = {}) const;
+
+    bool known(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    PmAllocatorRegistry(); //!< registers the builtins
+
+    std::map<std::string, Factory> factories_;
 };
 
 } // namespace nvalloc

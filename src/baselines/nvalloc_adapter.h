@@ -25,29 +25,31 @@ class NvAllocAdapter : public PmAllocator
 
     NvAllocAdapter(PmDevice &dev, NvAllocConfig cfg = {},
                    const char *name = nullptr)
-        : dev_(dev), alloc_(std::make_unique<NvAlloc>(dev, cfg))
+        : dev_(dev), strong_(cfg.consistency == Consistency::Log)
     {
+        // Factory open: a rejected config leaves alloc_ null (every
+        // threadAttach then returns nullptr, the interface's "heap
+        // refused to open" signal); a degraded heap is kept so its
+        // ctl tree stays inspectable through impl().
+        alloc_ = NvAlloc::open(dev, cfg).heap;
         if (name) {
             name_ = name;
         } else {
-            name_ = cfg.consistency == Consistency::Log ? "NVAlloc-LOG"
-                                                        : "NVAlloc-GC";
+            name_ = strong_ ? "NVAlloc-LOG" : "NVAlloc-GC";
         }
     }
 
     const char *name() const override { return name_; }
 
-    bool
-    stronglyConsistent() const override
-    {
-        return alloc_->config().consistency == Consistency::Log;
-    }
+    bool stronglyConsistent() const override { return strong_; }
 
     PmDevice &device() override { return dev_; }
 
     AllocThread *
     threadAttach() override
     {
+        if (!alloc_)
+            return nullptr; // config was rejected at construction
         ThreadCtx *ctx = alloc_->attachThread();
         if (!ctx)
             return nullptr; // slot exhaustion or failed open
@@ -87,7 +89,7 @@ class NvAllocAdapter : public PmAllocator
         NvAllocConfig cfg = alloc_->config();
         alloc_->dirtyRestart();
         alloc_.reset();
-        alloc_ = std::make_unique<NvAlloc>(dev_, cfg);
+        alloc_ = NvAlloc::open(dev_, cfg).heap;
         return alloc_->lastRecovery().virtual_ns;
     }
 
@@ -103,6 +105,7 @@ class NvAllocAdapter : public PmAllocator
 
   private:
     PmDevice &dev_;
+    bool strong_;
     std::unique_ptr<NvAlloc> alloc_;
     const char *name_;
 };

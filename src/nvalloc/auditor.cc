@@ -145,6 +145,19 @@ HeapAuditor::note(const std::string &msg)
 AuditReport
 HeapAuditor::run(bool repair)
 {
+    // The auditor needs a quiescent heap: a concurrent maintenance
+    // slice could scrub a poisoned line or compact the log between two
+    // checks and turn a consistent image into a phantom violation.
+    struct MaintQuiesce
+    {
+        MaintenanceService &m;
+        explicit MaintQuiesce(MaintenanceService &m_) : m(m_)
+        {
+            m.pause();
+        }
+        ~MaintQuiesce() { m.resume(); }
+    } quiesce(a_.maint_);
+
     rep_ = AuditReport{};
     repair_ = repair;
     extents_.clear();

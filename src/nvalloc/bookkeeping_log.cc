@@ -287,6 +287,7 @@ BookkeepingLog::setOwner(LogEntryRef ref, void *owner)
 void
 BookkeepingLog::fastGc()
 {
+    const uint64_t t0 = VClock::now();
     ++stats_.fast_gcs;
     if (tel_) {
         tel_->add(StatCounter::LogFastGc);
@@ -307,6 +308,7 @@ BookkeepingLog::fastGc()
         }
         vc = next;
     }
+    stats_.gc_ns += VClock::now() - t0;
 }
 
 void
@@ -357,6 +359,7 @@ BookkeepingLog::slowGc()
     if (needed > avail)
         return false;
 
+    const uint64_t t0 = VClock::now();
     ++stats_.slow_gcs;
     if (tel_) {
         tel_->add(StatCounter::LogSlowGc);
@@ -437,6 +440,7 @@ BookkeepingLog::slowGc()
     if (flush_)
         dev_->fence();
     tail_ = new_tail;
+    stats_.gc_ns += VClock::now() - t0;
     return true;
 }
 

@@ -24,6 +24,7 @@
 #ifndef NVALLOC_NVALLOC_BOOKKEEPING_LOG_H
 #define NVALLOC_NVALLOC_BOOKKEEPING_LOG_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -59,6 +60,10 @@ class BookkeepingLog
         uint64_t fast_gcs = 0;
         uint64_t slow_gcs = 0;
         uint64_t entries_copied = 0;
+        /** Virtual ns spent inside fast/slow GC passes, accrued on
+         *  whichever thread ran them (mutator inline vs. maintenance
+         *  service — the fig17 foreground/background split). */
+        uint64_t gc_ns = 0;
         uint64_t replay_entries_rejected = 0; //!< bad fold csum/poison
         uint64_t replay_chunks_rejected = 0;  //!< bad header crc/poison
     };
@@ -108,8 +113,30 @@ class BookkeepingLog
     void setOwner(LogEntryRef ref, void *owner);
 
     const Stats &stats() const { return stats_; }
-    size_t activeChunks() const { return active_count_; }
-    size_t liveEntries() const { return live_entries_; }
+
+    /** Lock-free occupancy snapshots: the maintenance service polls
+     *  these from mutator threads (pollLogPressure), hence atomic. */
+    size_t
+    activeChunks() const
+    {
+        return active_count_.load(std::memory_order_relaxed);
+    }
+    size_t
+    liveEntries() const
+    {
+        return live_entries_.load(std::memory_order_relaxed);
+    }
+
+    /** Region capacity in chunks (fixed after attach). */
+    size_t maxChunks() const { return max_chunks_; }
+
+    double gcThreshold() const { return gc_threshold_; }
+
+    /** Run one fast-GC pass (free chunks whose bitmap is empty; no PM
+     *  reads, never relocates an entry). Must be called under the
+     *  owner's lock, like append/tombstone — the maintenance service
+     *  reaches it through LargeAllocator::maintainLog. */
+    void collectFast() { fastGc(); }
 
     /** Mirror append/tombstone/GC events into the heap's telemetry
      *  (the local Stats struct keeps counting either way). */
@@ -142,8 +169,8 @@ class BookkeepingLog
     VChunkTree active_;       //!< by activation id
     VChunk *tail_ = nullptr;  //!< current append chunk
     VChunk *free_list_ = nullptr;
-    size_t active_count_ = 0;
-    size_t live_entries_ = 0;
+    std::atomic<size_t> active_count_{0};  //!< see activeChunks()
+    std::atomic<size_t> live_entries_{0};  //!< see liveEntries()
     uint32_t next_id_ = 1;
     size_t carved_chunks_ = 0;
     size_t max_chunks_ = 0;

@@ -32,6 +32,17 @@ enum class Consistency
     InternalCollection,
 };
 
+/**
+ * Where heap housekeeping (bookkeeping-log GC, extent decay, poison
+ * scrubbing, tcache trimming) runs; see maintenance.h and DESIGN.md §8.
+ */
+enum class MaintenanceMode : uint8_t
+{
+    Off,    //!< all housekeeping inline on the mutator slow paths
+    Manual, //!< only explicit step() calls — deterministic under test
+    Thread, //!< a per-heap background thread, woken on pressure
+};
+
 struct NvAllocConfig
 {
     Consistency consistency = Consistency::Log;
@@ -108,6 +119,63 @@ struct NvAllocConfig
      * no-fault device.
      */
     bool verify_recovery_checksums = true;
+
+    // ---- background maintenance (maintenance.h, DESIGN.md §8) -------
+
+    MaintenanceMode maintenance_mode = MaintenanceMode::Off;
+
+    /** Virtual-ns budget of one maintenance slice: the slice stops
+     *  starting new work units once the budget is spent (a unit in
+     *  flight — one slow GC, one decay tick — always completes). */
+    uint64_t maintenance_slice_ns = 200'000;
+
+    /** Wake/slow-GC level as a fraction of log_gc_threshold: the
+     *  service compacts the log once occupancy reaches
+     *  wake_fraction * gc_threshold, i.e. *before* the append path's
+     *  own inline trigger would fire. Must be in (0, 1]. */
+    double maintenance_wake_fraction = 0.75;
+
+    /** Thread mode: host-time poll cadence between slices when no
+     *  wake arrives; 0 busy-polls (benchmarks forcing background GC
+     *  to keep up with a fast mutator). */
+    unsigned maintenance_interval_ms = 1;
+
+    /** Max media-poisoned lines scrubbed per slice (bounds the slice
+     *  even when a fault storm poisons many lines at once). */
+    unsigned maintenance_scrub_lines = 8;
+
+    /**
+     * Validate the knobs an NvAlloc::open() caller can get wrong
+     * without tripping anything immediately. Returns nullptr when the
+     * config is usable, else a human-readable reason; open() maps a
+     * non-null reason to NvStatus::InvalidArgument before construction.
+     */
+    const char *
+    invalidReason() const
+    {
+        if (bit_stripes < 1 || bit_stripes > 32)
+            return "bit_stripes must be in [1, 32]";
+        if (num_arenas < 1)
+            return "num_arenas must be >= 1";
+        if (tcache_slots < 1)
+            return "tcache_slots must be >= 1";
+        if (!(morph_threshold >= 0.0 && morph_threshold <= 1.0))
+            return "morph_threshold must be in [0, 1]";
+        if (!(log_gc_threshold > 0.0))
+            return "log_gc_threshold must be > 0";
+        if (log_bookkeeping && log_file_bytes < 4096)
+            return "log_file_bytes must be >= 4096";
+        if (maintenance_mode > MaintenanceMode::Thread)
+            return "maintenance_mode out of range";
+        if (maintenance_slice_ns == 0)
+            return "maintenance_slice_ns must be > 0";
+        if (!(maintenance_wake_fraction > 0.0 &&
+              maintenance_wake_fraction <= 1.0))
+            return "maintenance_wake_fraction must be in (0, 1]";
+        if (maintenance_scrub_lines == 0)
+            return "maintenance_scrub_lines must be > 0";
+        return nullptr;
+    }
 };
 
 } // namespace nvalloc

@@ -1,6 +1,7 @@
 #include "nvalloc/large_alloc.h"
 
 #include <bit>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/size_classes.h"
@@ -406,6 +407,79 @@ LargeAllocator::reclaim()
     if (log_)
         (void)log_->slowGc();
     decayTick();
+}
+
+bool
+LargeAllocator::maintainLog(bool want_slow, bool *ran_slow,
+                            uint64_t *gc_ns)
+{
+    if (ran_slow)
+        *ran_slow = false;
+    if (gc_ns)
+        *gc_ns = 0;
+    if (!log_)
+        return false;
+    VLockGuard guard(lock_);
+    size_t before = log_->activeChunks();
+    uint64_t gc_ns_before = log_->stats().gc_ns;
+    log_->collectFast();
+    bool did = log_->activeChunks() != before;
+    if (want_slow && log_->slowGc()) {
+        did = true;
+        if (ran_slow)
+            *ran_slow = true;
+    }
+    if (gc_ns)
+        *gc_ns = log_->stats().gc_ns - gc_ns_before;
+    return did;
+}
+
+void
+LargeAllocator::decayPass()
+{
+    VLockGuard guard(lock_);
+    decayTick();
+}
+
+unsigned
+LargeAllocator::scrubUnmappedPoison(
+    unsigned max_lines,
+    const std::vector<std::pair<uint64_t, uint64_t>> &keep)
+{
+    if (!dev_ || max_lines == 0)
+        return 0;
+    VLockGuard guard(lock_);
+    unsigned scrubbed = 0;
+    for (uint64_t off : dev_->poisonedLineOffsets()) {
+        if (scrubbed >= max_lines)
+            break;
+        if (off < PmDevice::kRootSize)
+            continue; // superblock root: never rewrite blindly
+        bool protect = false;
+        for (const auto &[start, len] : keep) {
+            if (off >= start && off < start + len) {
+                protect = true;
+                break;
+            }
+        }
+        if (protect)
+            continue;
+        auto it = regions_.upper_bound(off);
+        if (it != regions_.begin()) {
+            --it;
+            if (off < it->first + it->second)
+                continue; // inside a live region: the auditor's job
+        }
+        // Dead space: zero + persist rewrites the line, then clear
+        // the flag explicitly (persist() only heals poison under an
+        // active fault-injection epoch).
+        std::memset(dev_->at(off), 0, kCacheLine);
+        dev_->persistFence(dev_->at(off), kCacheLine,
+                           TimeKind::FlushMeta);
+        dev_->clearPoison(off);
+        ++scrubbed;
+    }
+    return scrubbed;
 }
 
 void

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/lru_list.h"
@@ -121,6 +122,38 @@ class LargeAllocator
      * whatever space tombstoned entries and demoted extents pin.
      */
     void reclaim();
+
+    // ---- maintenance hooks (maintenance.h) ------------------------
+    // Granular versions of reclaim()'s work, each taking the
+    // allocator lock itself so the maintenance service can run them
+    // from any thread in bounded units.
+
+    /**
+     * One log-GC unit under the lock: a fast-GC pass always, plus a
+     * slow GC when `want_slow`. Returns true if anything was freed or
+     * compacted; *ran_slow reports whether the slow GC actually ran
+     * (it declines when the region cannot hold a survivor copy), and
+     * *gc_ns the log's Stats.gc_ns growth — the virtual time this call
+     * put on the calling (maintenance) thread's clock, read under the
+     * lock so concurrent inline GCs cannot tear it.
+     */
+    bool maintainLog(bool want_slow, bool *ran_slow,
+                     uint64_t *gc_ns = nullptr);
+
+    /** One decay tick under the lock. */
+    void decayPass();
+
+    /**
+     * Scrub up to `max_lines` media-poisoned lines that lie outside
+     * every live region and outside every `keep` range (offset, len):
+     * zero the line, persist, clear the poison flag. Runs under the
+     * lock so no region can be mapped over a line mid-scrub. Returns
+     * the number of lines scrubbed. Poison *inside* live regions is
+     * left for the auditor's full classification.
+     */
+    unsigned scrubUnmappedPoison(
+        unsigned max_lines,
+        const std::vector<std::pair<uint64_t, uint64_t>> &keep);
 
     /** Why the last allocate() returned 0 (Ok if none failed yet). */
     NvStatus

@@ -1,0 +1,290 @@
+#include "nvalloc/maintenance.h"
+
+#include <chrono>
+
+#include "nvalloc/bookkeeping_log.h"
+#include "nvalloc/large_alloc.h"
+#include "pm/pm_device.h"
+#include "pm/vclock.h"
+#include "telemetry/telemetry.h"
+
+namespace nvalloc {
+
+MaintenanceService::~MaintenanceService()
+{
+    shutdown();
+}
+
+void
+MaintenanceService::init(Wiring wiring, const NvAllocConfig &cfg)
+{
+    w_ = std::move(wiring);
+    cfg_ = cfg;
+    mode_ = cfg.maintenance_mode;
+    wired_ = w_.large != nullptr;
+}
+
+void
+MaintenanceService::start()
+{
+    if (mode_ != MaintenanceMode::Thread || !wired_)
+        return;
+    std::lock_guard<std::mutex> l(mu_);
+    if (stop_ || thread_.joinable())
+        return;
+    thread_ = std::thread(&MaintenanceService::threadMain, this);
+}
+
+void
+MaintenanceService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> l(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    done_cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+MaintenanceService::pause()
+{
+    pause_depth_.fetch_add(1, std::memory_order_acq_rel);
+    // Wait out an in-flight slice so the caller observes quiescence.
+    std::lock_guard<std::mutex> g(slice_mu_);
+}
+
+void
+MaintenanceService::resume()
+{
+    pause_depth_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+MaintenanceService::wake(MaintWakeReason reason)
+{
+    stats_.wakes.fetch_add(1, std::memory_order_relaxed);
+    if (w_.tel)
+        w_.tel->event(TraceOp::MaintWake, uint64_t(reason));
+    if (mode_ != MaintenanceMode::Thread)
+        return; // Manual mode: the harness drives step() itself
+    {
+        std::lock_guard<std::mutex> l(mu_);
+        ++wake_pending_;
+    }
+    cv_.notify_all();
+}
+
+void
+MaintenanceService::reclaimSync()
+{
+    stats_.wakes.fetch_add(1, std::memory_order_relaxed);
+    if (w_.tel)
+        w_.tel->event(TraceOp::MaintWake,
+                      uint64_t(MaintWakeReason::Reclaim));
+
+    if (mode_ != MaintenanceMode::Thread || !thread_.joinable()) {
+        // Manual mode (and Thread mode before start / after shutdown):
+        // the deterministic path — one forced slice, caller's clock.
+        runSlice(/*forced=*/true);
+        return;
+    }
+
+    std::unique_lock<std::mutex> l(mu_);
+    uint64_t target = forced_done_ + 1;
+    force_pending_ = true;
+    cv_.notify_all();
+    done_cv_.wait(l, [&] { return forced_done_ >= target || stop_; });
+    if (forced_done_ < target) {
+        // shutdown() raced the request; do the work inline so the
+        // out-of-memory retry still observes a reclamation attempt.
+        l.unlock();
+        runSlice(/*forced=*/true);
+    }
+}
+
+double
+MaintenanceService::logOccupancy() const
+{
+    if (!w_.log)
+        return 0.0;
+    size_t max = w_.log->maxChunks();
+    return max ? double(w_.log->activeChunks()) / double(max) : 0.0;
+}
+
+double
+MaintenanceService::wakeLevel() const
+{
+    return cfg_.maintenance_wake_fraction * cfg_.log_gc_threshold;
+}
+
+bool
+MaintenanceService::logHasGarbage() const
+{
+    // Slow GC copies every live entry, holding the allocator lock
+    // while mutators accrue LockWait — it only pays off when the copy
+    // would actually shrink the chunk list. Gate on the dead share of
+    // the *current* log (not of capacity, like the append path's
+    // inline trigger): a steady-state log whose live set compacts to
+    // about as many chunks as it already occupies would otherwise be
+    // rewritten on every wake, reclaiming nothing.
+    if (!w_.log)
+        return false;
+    size_t slots = w_.log->activeChunks() * kLogEntriesPerChunk;
+    return slots != 0 && w_.log->liveEntries() * 2 <= slots;
+}
+
+void
+MaintenanceService::pollLogPressure()
+{
+    if (mode_ != MaintenanceMode::Thread || !wired_ || !w_.log)
+        return;
+    if (logOccupancy() < wakeLevel() || !logHasGarbage())
+        return;
+    // Edge trigger: one handoff per crossing; the latch re-arms when
+    // the next slice completes.
+    if (wake_armed_.exchange(true, std::memory_order_relaxed))
+        return;
+    wake(MaintWakeReason::LogPressure);
+
+    // Synchronous handoff (see header): lend the worker this thread's
+    // wall time so the slice actually runs, even on a host where the
+    // worker is starved. The wait costs no virtual time, which is the
+    // entire point — GC nanoseconds accrue on the worker's clock.
+    std::unique_lock<std::mutex> l(mu_);
+    if (stop_ || !thread_.joinable())
+        return; // append-path inline GC remains the backstop
+    uint64_t target = slices_done_ + 1;
+    done_cv_.wait(l, [&] { return slices_done_ >= target || stop_; });
+}
+
+bool
+MaintenanceService::runSlice(bool forced)
+{
+    if (!wired_)
+        return false;
+    if (!forced && paused())
+        return false;
+
+    std::lock_guard<std::mutex> g(slice_mu_);
+    stats_.slices.fetch_add(1, std::memory_order_relaxed);
+
+    const uint64_t t0 = VClock::now();
+    const uint64_t budget = cfg_.maintenance_slice_ns;
+    auto budget_left = [&] { return VClock::now() - t0 < budget; };
+    bool did = false;
+
+    // 1. Bookkeeping-log GC, paced by occupancy against the wake
+    //    level (a fraction of the append path's own inline trigger,
+    //    so background compaction normally wins the race). Fast GC is
+    //    free of PM reads and always worth a pass; slow GC relocates
+    //    live entries and therefore honours the pin epoch.
+    if (w_.log) {
+        bool want_slow =
+            forced ||
+            (logOccupancy() >= wakeLevel() && logHasGarbage());
+        if (want_slow && pins_.load(std::memory_order_acquire) != 0) {
+            stats_.deferred.fetch_add(1, std::memory_order_relaxed);
+            want_slow = false;
+        }
+        bool ran_slow = false;
+        uint64_t gc_ns = 0;
+        if (w_.large->maintainLog(want_slow, &ran_slow, &gc_ns))
+            did = true;
+        stats_.log_fast_gc.fetch_add(1, std::memory_order_relaxed);
+        if (ran_slow)
+            stats_.log_slow_gc.fetch_add(1, std::memory_order_relaxed);
+        if (gc_ns)
+            stats_.gc_virtual_ns.fetch_add(gc_ns,
+                                           std::memory_order_relaxed);
+    }
+
+    // 2. Extent decay: demote cooled reclaimed extents, evict
+    //    whole-region retained ones (one tick per slice).
+    if (forced || budget_left()) {
+        w_.large->decayPass();
+        stats_.decay_ticks.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // 3. Poison scrubbing, bounded per slice. Only clearly-dead lines
+    //    (outside every live region and every protected range) are
+    //    scrubbed here; classifying poison inside live regions needs
+    //    the auditor's full walk and stays its job. The quarantine
+    //    depth counts as pressure because quarantining correlates
+    //    with media faults.
+    if ((forced || budget_left()) && w_.dev &&
+        (w_.dev->poisonedLineCount() > 0 ||
+         (w_.quarantine_depth && w_.quarantine_depth() > 0))) {
+        unsigned n = w_.large->scrubUnmappedPoison(
+            cfg_.maintenance_scrub_lines, w_.protected_ranges);
+        if (n) {
+            did = true;
+            stats_.scrubbed_lines.fetch_add(n,
+                                            std::memory_order_relaxed);
+        }
+    }
+
+    // 4. Cooperative tcache trimming under failed-alloc pressure:
+    //    tcaches are thread-private, so the service only raises a flag
+    //    each owner honours on its next cold path.
+    uint64_t failed = w_.failed_allocs ? w_.failed_allocs() : 0;
+    if ((forced || failed > last_failed_allocs_) && w_.request_trim) {
+        w_.request_trim();
+        stats_.trim_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+    last_failed_allocs_ = failed;
+
+    wake_armed_.store(false, std::memory_order_relaxed);
+    uint64_t spent = VClock::now() - t0;
+    stats_.virtual_ns.fetch_add(spent, std::memory_order_relaxed);
+    if (w_.tel)
+        w_.tel->event(TraceOp::MaintSlice, spent);
+    return did;
+}
+
+void
+MaintenanceService::threadMain()
+{
+    // The worker owns its virtual clock: GC time accrues here, not on
+    // the allocating threads (the fig17 foreground-vs-background
+    // comparison measures exactly this split).
+    VClock::reset();
+
+    std::unique_lock<std::mutex> l(mu_);
+    for (;;) {
+        if (!stop_ && !force_pending_ && wake_pending_ == 0) {
+            if (cfg_.maintenance_interval_ms == 0) {
+                l.unlock();
+                std::this_thread::yield();
+                l.lock();
+            } else {
+                cv_.wait_for(
+                    l,
+                    std::chrono::milliseconds(
+                        cfg_.maintenance_interval_ms),
+                    [&] {
+                        return stop_ || force_pending_ ||
+                               wake_pending_ != 0;
+                    });
+            }
+        }
+        if (stop_)
+            break;
+        bool forced = force_pending_;
+        force_pending_ = false;
+        wake_pending_ = 0;
+        l.unlock();
+
+        runSlice(forced);
+
+        l.lock();
+        ++slices_done_;
+        if (forced)
+            ++forced_done_;
+        done_cv_.notify_all();
+    }
+}
+
+} // namespace nvalloc

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Per-heap background maintenance service (DESIGN.md §8).
+ *
+ * The heap's housekeeping — bookkeeping-log fast/slow GC (§5.3),
+ * extent decay, media-poison scrubbing, and tcache trimming — used to
+ * run entirely inline on the allocating thread: slow GC fired from the
+ * append path and the whole set fired from the exhaustion
+ * reclaim-then-retry slow path, so fig17 charged every nanosecond of
+ * GC to the request path. This service moves that work into bounded
+ * *slices* that run off the hot path, jemalloc-background-thread
+ * style.
+ *
+ * Three modes (NvAllocConfig::maintenance_mode):
+ *  - Off:    nothing here runs; the mutator slow paths keep doing the
+ *            work inline exactly as before.
+ *  - Manual: slices run only when step() is called — by a test, the
+ *            bench harness, or the ctl surface — on the calling
+ *            thread's virtual clock, so runs are bit-reproducible.
+ *            The exhaustion slow path still runs one forced slice
+ *            synchronously (the deterministic analogue of a wake).
+ *  - Thread: a real background thread runs slices, paced by a host
+ *            timer and woken early by pressure: log occupancy
+ *            crossing wake_fraction * gc_threshold (pollLogPressure
+ *            on the large-object paths) and the exhaustion slow path
+ *            (reclaimSync, which hands the caller back only after a
+ *            forced slice completed).
+ *
+ * Pacing inputs are the PR 3 telemetry/degradation counters: log
+ * occupancy vs. gc_threshold, the device's poisoned-line count plus
+ * the persistent quarantine depth, and DegradedStats.failed_allocs
+ * (a rise between slices triggers cooperative tcache trimming).
+ *
+ * Epoch-based deferral: slow GC relocates live log entries, so a
+ * caller that holds a LogEntryRef across operations (tests, external
+ * steppers) pins the epoch with pin()/unpin() (or PinGuard); a slice
+ * that wants slow GC while pins are held defers it (stats.deferred)
+ * and retries on a later slice. Internal mutators only touch refs
+ * under the large allocator's lock, which every GC entry point also
+ * takes, so they never need to pin.
+ *
+ * Shutdown ordering: NvAlloc::~NvAlloc, simulateCrash() and
+ * dirtyRestart() all shut the service down *first*, so no slice can
+ * persist into a device being rolled back or torn down; a failed open
+ * never starts the thread at all.
+ */
+
+#ifndef NVALLOC_NVALLOC_MAINTENANCE_H
+#define NVALLOC_NVALLOC_MAINTENANCE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "nvalloc/config.h"
+
+namespace nvalloc {
+
+class BookkeepingLog;
+class LargeAllocator;
+class PmDevice;
+class Telemetry;
+
+/** Why the service was woken (TraceOp::MaintWake payload). */
+enum class MaintWakeReason : uint8_t
+{
+    Timer = 0,       //!< Thread-mode poll interval elapsed
+    LogPressure = 1, //!< occupancy crossed the wake level
+    Reclaim = 2,     //!< exhaustion slow path (reclaimSync)
+    Explicit = 3,    //!< ctl "maintenance.wake" / API call
+};
+
+/** Service counters, exported as the stats.maintenance.* ctl family.
+ *  All relaxed atomics: written by whichever thread runs a slice,
+ *  read lock-free by the ctl tree. */
+struct MaintenanceStats
+{
+    std::atomic<uint64_t> slices{0};      //!< slices that ran
+    std::atomic<uint64_t> wakes{0};       //!< explicit wake-ups
+    std::atomic<uint64_t> log_fast_gc{0}; //!< fast-GC passes run
+    std::atomic<uint64_t> log_slow_gc{0}; //!< slow GCs that compacted
+    std::atomic<uint64_t> decay_ticks{0}; //!< decay passes run
+    std::atomic<uint64_t> scrubbed_lines{0}; //!< poison lines healed
+    std::atomic<uint64_t> trim_requests{0};  //!< tcache trims asked
+    std::atomic<uint64_t> deferred{0};   //!< slow GCs blocked by pins
+    std::atomic<uint64_t> virtual_ns{0}; //!< modeled time in slices
+    /** Share of BookkeepingLog::Stats.gc_ns that accrued inside
+     *  maintenance slices. stats.log.gc_ns minus this is what the
+     *  allocating threads still paid inline (fig17 fg/bg split). */
+    std::atomic<uint64_t> gc_virtual_ns{0};
+};
+
+class MaintenanceService
+{
+  public:
+    /** Everything a slice touches, provided by the owning NvAlloc.
+     *  Callbacks must stay valid until shutdown(). */
+    struct Wiring
+    {
+        PmDevice *dev = nullptr;
+        LargeAllocator *large = nullptr;
+        BookkeepingLog *log = nullptr; //!< null in in-place/Base mode
+        Telemetry *tel = nullptr;
+        std::function<uint64_t()> failed_allocs;
+        std::function<uint64_t()> quarantine_depth;
+        std::function<void()> request_trim;
+        /** Device ranges the scrub pass must never touch (superblock
+         *  root, WAL rings, the log region). */
+        std::vector<std::pair<uint64_t, uint64_t>> protected_ranges;
+    };
+
+    MaintenanceService() = default;
+    ~MaintenanceService();
+
+    MaintenanceService(const MaintenanceService &) = delete;
+    MaintenanceService &operator=(const MaintenanceService &) = delete;
+
+    /** Bind to a heap. Copies the maintenance knobs out of `cfg`. */
+    void init(Wiring wiring, const NvAllocConfig &cfg);
+
+    /** Spawn the background thread (Thread mode only; no-op in Off
+     *  and Manual modes, and after shutdown()). */
+    void start();
+
+    /** Stop and join the background thread; releases any reclaimSync
+     *  waiters (they finish their forced slice inline). Idempotent,
+     *  and safe to call in any mode. */
+    void shutdown();
+
+    /**
+     * Run one bounded maintenance slice on the calling thread (the
+     * Manual-mode driver; also serves ctl "maintenance.step").
+     * Returns true if the slice did any work. Respects pause().
+     */
+    bool step() { return runSlice(/*forced=*/false); }
+
+    /**
+     * Suspend slices. Synchronous: an in-flight slice completes
+     * before pause() returns, so the heap is maintenance-quiescent
+     * afterwards (the auditor relies on this). Counted — nested
+     * pause/resume pairs compose.
+     */
+    void pause();
+    void resume();
+    bool
+    paused() const
+    {
+        return pause_depth_.load(std::memory_order_relaxed) > 0;
+    }
+
+    /** Nudge the Thread-mode worker to run a slice now (asynchronous;
+     *  counted in stats().wakes in every mode). */
+    void wake(MaintWakeReason reason);
+
+    /**
+     * The exhaustion slow path's entry point. Manual mode (or Thread
+     * mode with no live worker): runs one forced slice inline on the
+     * calling thread. Thread mode: wakes the worker and blocks until
+     * a forced slice completed, so the caller's retry observes the
+     * reclaimed space. Forced slices ignore pause() — the caller is
+     * out of memory *now*.
+     */
+    void reclaimSync();
+
+    /**
+     * Cheap mutator-side pressure probe: in Thread mode, once log
+     * occupancy reaches the wake level the probing thread performs a
+     * *synchronous handoff* — it wakes the worker and blocks (wall
+     * clock) until one slice completed. Blocking costs the mutator
+     * zero *virtual* time, so the GC's modeled nanoseconds land on the
+     * worker's clock; without the handoff a starved worker (e.g. a
+     * single-core host) loses the race and the append path's inline
+     * slow GC charges the mutator anyway. Edge triggered: one handoff
+     * per crossing, re-armed when the slice completes.
+     */
+    void pollLogPressure();
+
+    // ---- epoch-based deferral ---------------------------------------
+
+    /** While any pin is held, slices defer slow GC (the only stage
+     *  that relocates live log entries). */
+    void pin() { pins_.fetch_add(1, std::memory_order_acq_rel); }
+    void unpin() { pins_.fetch_sub(1, std::memory_order_acq_rel); }
+
+    class PinGuard
+    {
+      public:
+        explicit PinGuard(MaintenanceService &s) : s_(s) { s_.pin(); }
+        ~PinGuard() { s_.unpin(); }
+        PinGuard(const PinGuard &) = delete;
+        PinGuard &operator=(const PinGuard &) = delete;
+
+      private:
+        MaintenanceService &s_;
+    };
+
+    // ---- introspection ----------------------------------------------
+
+    MaintenanceMode mode() const { return mode_; }
+    bool active() const { return wired_ && mode_ != MaintenanceMode::Off; }
+    bool threadRunning() const { return thread_.joinable(); }
+    const MaintenanceStats &stats() const { return stats_; }
+
+  private:
+    bool runSlice(bool forced);
+    void threadMain();
+    double logOccupancy() const;
+    double wakeLevel() const;
+    bool logHasGarbage() const;
+
+    Wiring w_;
+    NvAllocConfig cfg_;
+    MaintenanceMode mode_ = MaintenanceMode::Off;
+    bool wired_ = false;
+
+    std::atomic<int> pause_depth_{0};
+    std::atomic<uint64_t> pins_{0};
+    std::atomic<bool> wake_armed_{false}; //!< pressure-wake edge latch
+
+    // Thread-mode handshake state, guarded by mu_.
+    std::mutex mu_;
+    std::condition_variable cv_;      //!< work signal
+    std::condition_variable done_cv_; //!< cycle-completion signal
+    bool stop_ = false;
+    bool force_pending_ = false;
+    uint64_t wake_pending_ = 0;
+    uint64_t forced_done_ = 0;
+    uint64_t slices_done_ = 0; //!< all worker slices, forced or not
+    std::thread thread_;
+
+    /** Serializes slices against each other and against pause(); also
+     *  guards the slice-local pacing state below. */
+    std::mutex slice_mu_;
+    uint64_t last_failed_allocs_ = 0;
+
+    MaintenanceStats stats_;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_MAINTENANCE_H

@@ -16,6 +16,23 @@ constexpr uint64_t kFreeCpuNs = 40;
 
 } // namespace
 
+OpenResult
+NvAlloc::open(PmDevice &dev, const NvAllocConfig &cfg)
+{
+    OpenResult r;
+    if (const char *why = cfg.invalidReason()) {
+        NV_WARN(why);
+        r.status = NvStatus::InvalidArgument;
+        return r; // nothing constructed, device untouched
+    }
+    r.heap = std::make_unique<NvAlloc>(dev, cfg);
+    // A degraded heap (CorruptMetadata) is still returned: read-only
+    // introspection over the corrupt image is the whole point of the
+    // failed-open mode.
+    r.status = r.heap->openStatus();
+    return r;
+}
+
 NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
     : dev_(dev), cfg_(cfg),
       sb_(static_cast<NvSuperblock *>(dev.root())),
@@ -48,17 +65,81 @@ NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
     if (open_failed_) {
         // Failed open: root metadata could not be trusted. Touch no PM
         // (the corrupt image must stay inspectable), hand out no
-        // threads, and behave like a crashed instance on destruction.
+        // threads, start no maintenance thread, and behave like a
+        // crashed instance on destruction.
         mode_.store(HeapMode::Failed, std::memory_order_relaxed);
         crashed_ = true;
         return;
     }
     setArenaStates(ArenaState::Running);
+    initMaintenance();
+}
+
+void
+NvAlloc::initMaintenance()
+{
+    MaintenanceService::Wiring w;
+    w.dev = &dev_;
+    w.large = &large_;
+    w.log = usesBookkeepingLog() ? &log_ : nullptr;
+    w.tel = &tel_;
+    w.failed_allocs = [this] {
+        return deg_stats_.failed_allocs.load(std::memory_order_relaxed);
+    };
+    w.quarantine_depth = [this] {
+        return uint64_t(sb_->quarantine_count);
+    };
+    w.request_trim = [this] { requestTcacheTrim(); };
+    // Ranges the scrub pass must never rewrite, live or not: the
+    // superblock root area, the WAL rings, and the log region (all
+    // mapped outside the large allocator's region table).
+    w.protected_ranges.emplace_back(0, PmDevice::kRootSize);
+    w.protected_ranges.emplace_back(
+        sb_->wal_off, uint64_t(kMaxThreads) * kWalRingBytes);
+    if (usesBookkeepingLog())
+        w.protected_ranges.emplace_back(sb_->log_off, sb_->log_bytes);
+    maint_.init(std::move(w), cfg_);
+    maint_.start();
+}
+
+void
+NvAlloc::requestTcacheTrim()
+{
+    std::lock_guard<std::mutex> g(attach_mutex_);
+    for (ThreadCtx *ctx : ctxs_)
+        ctx->trim_pending.store(true, std::memory_order_relaxed);
+}
+
+NvStatus
+NvAlloc::maintenanceControl(const char *action)
+{
+    if (!action)
+        return NvStatus::InvalidArgument;
+    if (std::strcmp(action, "pause") == 0) {
+        maint_.pause();
+        return NvStatus::Ok;
+    }
+    if (std::strcmp(action, "resume") == 0) {
+        maint_.resume();
+        return NvStatus::Ok;
+    }
+    if (std::strcmp(action, "step") == 0) {
+        maint_.step();
+        return NvStatus::Ok;
+    }
+    if (std::strcmp(action, "wake") == 0) {
+        maint_.wake(MaintWakeReason::Explicit);
+        return NvStatus::Ok;
+    }
+    return NvStatus::InvalidArgument;
 }
 
 void
 NvAlloc::simulateCrash()
 {
+    // Stop maintenance before rolling the device back: a slice
+    // persisting mid-rollback would tear the "power failed" fiction.
+    maint_.shutdown();
     dev_.crash();
     crashed_ = true;
 }
@@ -66,15 +147,20 @@ NvAlloc::simulateCrash()
 void
 NvAlloc::dirtyRestart()
 {
+    maint_.shutdown();
     setArenaStates(ArenaState::Running);
     crashed_ = true;
 }
 
 NvAlloc::~NvAlloc()
 {
-    // Detach from the device's flush stream first — even on the
-    // crashed path. attachSink leaves the model alone if a newer heap
-    // on the same device has already replaced us as the sink.
+    // Maintenance first — even on the crashed path — so no slice can
+    // run into a heap being dismantled.
+    maint_.shutdown();
+
+    // Detach from the device's flush stream next. attachSink leaves
+    // the model alone if a newer heap on the same device has already
+    // replaced us as the sink.
     tel_.attachSink(nullptr);
 
     if (crashed_) {
@@ -368,7 +454,10 @@ NvAlloc::reclaimMemory(ThreadCtx &ctx)
     ++deg_stats_.reclaim_attempts;
     tel_.event(TraceOp::Reclaim, 0);
     drainTcache(&ctx);
-    large_.reclaim();
+    if (maint_.active())
+        maint_.reclaimSync(); // forced slice: log GC + decay + scrub
+    else
+        large_.reclaim();
 }
 
 uint64_t
@@ -379,6 +468,11 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
     CachedBlock blk;
     bool tcache_hit = ctx.tcache.pop(cls, blk);
     if (!tcache_hit) {
+        // Cooperative trim: the maintenance service cannot touch other
+        // threads' caches, so it flags them and each thread drains its
+        // own on the next refill boundary (never on the hit path).
+        if (ctx.trim_pending.exchange(false, std::memory_order_relaxed))
+            drainTcache(&ctx);
         ctx.arena->refill(ctx.tcache, cls);
         if (!ctx.tcache.pop(cls, blk)) {
             reclaimMemory(ctx);
@@ -408,6 +502,7 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
 uint64_t
 NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
 {
+    maint_.pollLogPressure();
     uint64_t off = large_.allocate(size, false);
     if (off == 0) {
         if (large_.lastFailure() == NvStatus::InvalidArgument)
@@ -485,6 +580,7 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         large_.free(off);
         VClock::advance(kFreeCpuNs, TimeKind::Other);
         tel_.noteLargeFree(veh_size, off);
+        maint_.pollLogPressure(); // the tombstone may cross the wake level
         return NvStatus::Ok;
     }
 

@@ -39,6 +39,7 @@
 #include "nvalloc/config.h"
 #include "nvalloc/large_alloc.h"
 #include "nvalloc/layout.h"
+#include "nvalloc/maintenance.h"
 #include "nvalloc/status.h"
 #include "nvalloc/tcache.h"
 #include "nvalloc/wal.h"
@@ -66,6 +67,12 @@ struct ThreadCtx
     TCache tcache;
     Wal wal;
     unsigned wal_slot;
+
+    /** Raised by the maintenance service under failed-alloc pressure;
+     *  the owning thread honours it on its next tcache miss by
+     *  draining the cache (tcaches are thread-private, so trimming is
+     *  cooperative by construction). */
+    std::atomic<bool> trim_pending{false};
 };
 
 /**
@@ -98,14 +105,49 @@ struct RecoveryInfo
 /** Public name for the structured recovery report. */
 using RecoveryReport = RecoveryInfo;
 
+/**
+ * Status-or-heap result of NvAlloc::open(). Exactly one of three
+ * shapes:
+ *  - status == Ok:              heap is open and fully usable;
+ *  - status == InvalidArgument: the config failed validation
+ *                               (NvAllocConfig::invalidReason);
+ *                               heap is null — nothing was touched;
+ *  - status == CorruptMetadata: the superblock or log root failed
+ *                               validation; heap is non-null but in
+ *                               HeapMode::Failed — only read-only
+ *                               introspection (ctl, stats, auditor)
+ *                               works, which is why it is returned at
+ *                               all.
+ */
+struct OpenResult
+{
+    NvStatus status = NvStatus::Ok;
+    std::unique_ptr<NvAlloc> heap;
+
+    explicit operator bool() const { return status == NvStatus::Ok; }
+};
+
 class NvAlloc
 {
   public:
     /**
-     * Open (or create) an NVAlloc heap on `dev`. If the device root
-     * holds a valid superblock, recovery runs: normal-shutdown
-     * recovery always, plus WAL replay (LOG) or conservative GC (GC)
-     * when the arena flags show a failure (paper §4.4).
+     * The factory: validate `cfg`, then open (or create) an NVAlloc
+     * heap on `dev`. If the device root holds a valid superblock,
+     * recovery runs: normal-shutdown recovery always, plus WAL replay
+     * (LOG) or conservative GC (GC) when the arena flags show a
+     * failure (paper §4.4). When cfg.maintenance_mode is Thread, the
+     * background maintenance service is running by the time open()
+     * returns (never on a failed open). See OpenResult for the
+     * outcome shapes.
+     */
+    static OpenResult open(PmDevice &dev, const NvAllocConfig &cfg = {});
+
+    /**
+     * Deprecated two-step construction, kept as a thin wrapper so
+     * pre-factory callers compile: behaves like open() except that
+     * config validation is only asserted, and the outcome must be
+     * fished out of openStatus() afterwards. New code should call
+     * NvAlloc::open().
      */
     explicit NvAlloc(PmDevice &dev, NvAllocConfig cfg = {});
 
@@ -239,6 +281,21 @@ class NvAlloc
         return sb_->wal_off + uint64_t(slot) * kWalRingBytes;
     }
 
+    // ---- maintenance ------------------------------------------------
+
+    /** The background maintenance service (DESIGN.md §8). In Manual
+     *  mode, drive it with maintenance().step(); pin()/PinGuard defer
+     *  slow GC while a log-entry reference is held. */
+    MaintenanceService &maintenance() { return maint_; }
+    const MaintenanceService &maintenance() const { return maint_; }
+
+    /** String-dispatched maintenance control, shared by the ctl
+     *  surface ("maintenance.pause" etc. via ctlRead), the C API and
+     *  nvalloc_stat: action is "pause", "resume", "step" or "wake".
+     *  Returns InvalidArgument — without touching lastStatus() — for
+     *  anything else. */
+    NvStatus maintenanceControl(const char *action);
+
     // ---- telemetry / introspection ----------------------------------
 
     /** The heap's sharded runtime counters and event tracer. */
@@ -329,6 +386,10 @@ class NvAlloc
     CtlRegistry ctl_;
     void buildCtlRegistry();
 
+    // Declared last so it is destroyed first; the destructor also
+    // shuts it down explicitly before touching any other subsystem.
+    MaintenanceService maint_;
+
     friend class HeapAuditor;
 
     bool logMode() const { return cfg_.consistency == Consistency::Log; }
@@ -344,6 +405,8 @@ class NvAlloc
     void setArenaStates(ArenaState state);
     VSlab *slabOf(uint64_t off) const;
     void drainTcache(ThreadCtx *ctx);
+    void initMaintenance();
+    void requestTcacheTrim();
     uint64_t allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off);
     uint64_t allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off);
     void publish(uint64_t *where, uint64_t value);

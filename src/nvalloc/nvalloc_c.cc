@@ -12,12 +12,12 @@ namespace nvalloc {
 
 struct NvInstance
 {
-    explicit NvInstance(PmDevice &dev, NvAllocConfig cfg)
-        : alloc(dev, cfg)
+    explicit NvInstance(std::unique_ptr<NvAlloc> a)
+        : alloc(std::move(a))
     {
     }
 
-    NvAlloc alloc;
+    std::unique_ptr<NvAlloc> alloc;
     std::mutex mutex;
     std::unordered_map<std::thread::id, ThreadCtx *> ctxs;
 
@@ -31,7 +31,7 @@ struct NvInstance
         auto [it, fresh] = ctxs.emplace(std::this_thread::get_id(),
                                         nullptr);
         if (fresh || it->second == nullptr)
-            it->second = alloc.attachThread();
+            it->second = alloc->attachThread();
         return it->second;
     }
 };
@@ -39,6 +39,9 @@ struct NvInstance
 NvInstance *
 nvalloc_init(PmDevice *dev, const NvAllocOptions *opts)
 {
+    // Deprecated path: keeps the historical "always returns an
+    // instance" contract (a corrupt image yields a degraded heap with
+    // no out-of-band signal beyond nvalloc_errno).
     NvAllocConfig cfg;
     if (opts) {
         cfg.consistency =
@@ -46,7 +49,56 @@ nvalloc_init(PmDevice *dev, const NvAllocOptions *opts)
         cfg.bit_stripes = opts->bit_stripes;
         cfg.slab_morphing = opts->slab_morphing;
     }
-    return new NvInstance(*dev, cfg);
+    return new NvInstance(std::make_unique<NvAlloc>(*dev, cfg));
+}
+
+int
+nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
+                NvInstance **out)
+{
+    if (!dev || !opts || !out)
+        return NVALLOC_EINVAL;
+    if (opts->version == 0 || opts->version > NVALLOC_OPTIONS_VERSION)
+        return NVALLOC_EINVAL;
+
+    // All fields below exist since version 1; a future version 2
+    // field would be read only when opts->version >= 2.
+    NvAllocConfig cfg;
+    cfg.consistency =
+        opts->gc_variant ? Consistency::Gc : Consistency::Log;
+    cfg.bit_stripes = opts->bit_stripes;
+    cfg.slab_morphing = opts->slab_morphing != 0;
+    switch (opts->maintenance_mode) {
+    case NVALLOC_MAINT_OFF:
+        cfg.maintenance_mode = MaintenanceMode::Off;
+        break;
+    case NVALLOC_MAINT_MANUAL:
+        cfg.maintenance_mode = MaintenanceMode::Manual;
+        break;
+    case NVALLOC_MAINT_THREAD:
+        cfg.maintenance_mode = MaintenanceMode::Thread;
+        break;
+    default:
+        return NVALLOC_EINVAL;
+    }
+    cfg.maintenance_slice_ns = opts->maintenance_slice_ns;
+    cfg.maintenance_wake_fraction = opts->maintenance_wake_fraction;
+    cfg.maintenance_scrub_lines = opts->maintenance_scrub_lines;
+
+    OpenResult r = NvAlloc::open(*dev, cfg);
+    if (!r.heap)
+        return NVALLOC_EINVAL; // config rejected; device untouched
+    *out = new NvInstance(std::move(r.heap));
+    return r.status == NvStatus::CorruptMetadata ? NVALLOC_ECORRUPT
+                                                 : NVALLOC_OK;
+}
+
+int
+nvalloc_maintenance(NvInstance *inst, const char *action)
+{
+    return inst->alloc->maintenanceControl(action) == NvStatus::Ok
+               ? NVALLOC_OK
+               : NVALLOC_EINVAL;
 }
 
 void
@@ -56,7 +108,7 @@ nvalloc_exit(NvInstance *inst)
         std::lock_guard<std::mutex> g(inst->mutex);
         for (auto &[tid, ctx] : inst->ctxs) {
             if (ctx)
-                inst->alloc.detachThread(ctx);
+                inst->alloc->detachThread(ctx);
         }
         inst->ctxs.clear();
     }
@@ -69,7 +121,7 @@ nvalloc_malloc_to(NvInstance *inst, size_t size, uint64_t *where)
     ThreadCtx *ctx = inst->ctx();
     if (!ctx)
         return nullptr; // attach refused; nvalloc_errno says why
-    return inst->alloc.mallocTo(*ctx, size, where);
+    return inst->alloc->mallocTo(*ctx, size, where);
 }
 
 int
@@ -78,7 +130,7 @@ nvalloc_free_from(NvInstance *inst, uint64_t *where)
     ThreadCtx *ctx = inst->ctx();
     if (!ctx)
         return NVALLOC_EAGAIN;
-    return inst->alloc.freeFrom(*ctx, where) == NvStatus::Ok
+    return inst->alloc->freeFrom(*ctx, where) == NvStatus::Ok
                ? NVALLOC_OK
                : NVALLOC_EINVAL;
 }
@@ -86,7 +138,7 @@ nvalloc_free_from(NvInstance *inst, uint64_t *where)
 int
 nvalloc_errno(NvInstance *inst)
 {
-    switch (inst->alloc.lastStatus()) {
+    switch (inst->alloc->lastStatus()) {
     case NvStatus::Ok:
         return NVALLOC_OK;
     case NvStatus::OutOfMemory:
@@ -108,19 +160,19 @@ nvalloc_errno(NvInstance *inst)
 uint64_t *
 nvalloc_root(NvInstance *inst, unsigned idx)
 {
-    return inst->alloc.rootWord(idx);
+    return inst->alloc->rootWord(idx);
 }
 
 NvAlloc *
 nvalloc_impl(NvInstance *inst)
 {
-    return &inst->alloc;
+    return inst->alloc.get();
 }
 
 int
 nvalloc_ctl(NvInstance *inst, const char *name, uint64_t *out)
 {
-    return inst->alloc.ctlRead(name, out) == NvStatus::Ok
+    return inst->alloc->ctlRead(name, out) == NvStatus::Ok
                ? NVALLOC_OK
                : NVALLOC_EINVAL;
 }
@@ -128,7 +180,7 @@ nvalloc_ctl(NvInstance *inst, const char *name, uint64_t *out)
 size_t
 nvalloc_stats_json(NvInstance *inst, char *buf, size_t cap)
 {
-    std::string json = inst->alloc.statsJson();
+    std::string json = inst->alloc->statsJson();
     if (buf && cap > 0) {
         size_t n = std::min(cap - 1, json.size());
         std::memcpy(buf, json.data(), n);

@@ -25,12 +25,61 @@ class NvAlloc;
 
 struct NvInstance; //!< opaque
 
+/** Options for the original nvalloc_init() entry point (deprecated —
+ *  unversioned, so it can never grow; new code uses nvalloc_options
+ *  and nvalloc_open_ex below). */
 struct NvAllocOptions
 {
     bool gc_variant = false;   //!< NVAlloc-GC instead of NVAlloc-LOG
     unsigned bit_stripes = 6;
     bool slab_morphing = true;
 };
+
+/** Current nvalloc_options layout revision. */
+#define NVALLOC_OPTIONS_VERSION 1u
+
+/** Maintenance modes for nvalloc_options.maintenance_mode. */
+enum NvMaintenanceMode
+{
+    NVALLOC_MAINT_OFF = 0,    //!< no background work (default)
+    NVALLOC_MAINT_MANUAL = 1, //!< slices run only via "step"
+    NVALLOC_MAINT_THREAD = 2, //!< dedicated background thread
+};
+
+/**
+ * Versioned open options for nvalloc_open_ex(). Always initialise
+ * with nvalloc_options_init() (which stamps `version`) and then
+ * override fields; a caller compiled against an older revision of
+ * this header passes its smaller version number and the library only
+ * reads the fields that revision defined.
+ */
+struct nvalloc_options
+{
+    uint32_t version;       //!< NVALLOC_OPTIONS_VERSION at build time
+    /* -- version 1 fields ------------------------------------------ */
+    int gc_variant;         //!< NVAlloc-GC instead of NVAlloc-LOG
+    unsigned bit_stripes;   //!< interleaved bitmap stripes [1,32]
+    int slab_morphing;      //!< enable slab morphing (§5.2)
+    int maintenance_mode;   //!< an NvMaintenanceMode value
+    uint64_t maintenance_slice_ns;    //!< slice budget, virtual ns
+    double maintenance_wake_fraction; //!< wake at this share of the
+                                      //!< log GC threshold, (0,1]
+    unsigned maintenance_scrub_lines; //!< poison lines per slice
+};
+
+/** Fill `o` with the defaults of this header revision. */
+inline void
+nvalloc_options_init(nvalloc_options *o)
+{
+    o->version = NVALLOC_OPTIONS_VERSION;
+    o->gc_variant = 0;
+    o->bit_stripes = 6;
+    o->slab_morphing = 1;
+    o->maintenance_mode = NVALLOC_MAINT_OFF;
+    o->maintenance_slice_ns = 200000;
+    o->maintenance_wake_fraction = 0.75;
+    o->maintenance_scrub_lines = 8;
+}
 
 /** errno-style status codes (see nvalloc_errno). */
 enum NvErrno
@@ -42,9 +91,42 @@ enum NvErrno
     NVALLOC_ECORRUPT, //!< metadata failed validation; heap degraded
 };
 
-/** Create (or recover) an NVAlloc heap on `dev`. */
+/** Create (or recover) an NVAlloc heap on `dev`. Deprecated in favor
+ *  of nvalloc_open_ex(), which validates its options and reports
+ *  *why* an open failed instead of returning a silently degraded
+ *  instance. */
 NvInstance *nvalloc_init(PmDevice *dev,
                          const NvAllocOptions *opts = nullptr);
+
+/**
+ * Versioned open. On success stores the new instance in *out and
+ * returns NVALLOC_OK. Error contract (errno-style return; *out is
+ * written only where stated):
+ *
+ *  - NVALLOC_EINVAL: `dev`, `opts` or `out` is null, opts->version is
+ *    0 or newer than this library, or an option value fails
+ *    validation (bad bit_stripes, maintenance knobs out of range).
+ *    *out is untouched and the device was not modified.
+ *  - NVALLOC_ECORRUPT: the heap image failed validation. *out
+ *    receives a *degraded* instance: allocation calls fail with
+ *    NVALLOC_ECORRUPT, but nvalloc_ctl / nvalloc_stats_json /
+ *    nvalloc_impl work, so callers can run the auditor and decide
+ *    whether to repair. Release it with nvalloc_exit as usual.
+ *  - NVALLOC_OK: *out receives a fully usable instance.
+ *
+ * nvalloc_errno on the new instance reflects the open status.
+ */
+int nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
+                    NvInstance **out);
+
+/**
+ * Drive the maintenance service: `action` is one of "pause",
+ * "resume", "step" (run one bounded slice on the calling thread —
+ * the Manual-mode pacing hook), or "wake" (nudge the background
+ * thread). Returns NVALLOC_OK or NVALLOC_EINVAL for an unknown
+ * action. Also reachable as nvalloc_ctl("maintenance.<action>").
+ */
+int nvalloc_maintenance(NvInstance *inst, const char *action);
 
 /** Normal shutdown; detaches any implicitly attached threads. */
 void nvalloc_exit(NvInstance *inst);

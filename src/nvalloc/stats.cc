@@ -17,6 +17,7 @@
 
 #include "nvalloc/nvalloc.h"
 
+#include <cstring>
 #include <string>
 
 #include "common/size_classes.h"
@@ -128,6 +129,8 @@ NvAlloc::buildCtlRegistry()
         ctl_.registerName("stats.log.active_chunks", [log] {
             return uint64_t(log->activeChunks());
         });
+        ctl_.registerName("stats.log.gc_ns",
+                          [log] { return log->stats().gc_ns; });
         ctl_.registerName("stats.log.replay.entries_rejected", [log] {
             return log->stats().replay_entries_rejected;
         });
@@ -182,6 +185,45 @@ NvAlloc::buildCtlRegistry()
     ctl_.registerName("stats.recovery.virtual_ns",
                       [rec] { return rec->virtual_ns; });
 
+    // Maintenance service (PR 4). All monotonic except mode/paused.
+    const MaintenanceStats *ms = &maint_.stats();
+    ctl_.registerName("stats.maintenance.slices", [ms] {
+        return ms->slices.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.wakes", [ms] {
+        return ms->wakes.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.log_fast_gc", [ms] {
+        return ms->log_fast_gc.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.log_slow_gc", [ms] {
+        return ms->log_slow_gc.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.decay_ticks", [ms] {
+        return ms->decay_ticks.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.scrubbed_lines", [ms] {
+        return ms->scrubbed_lines.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.trim_requests", [ms] {
+        return ms->trim_requests.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.deferred", [ms] {
+        return ms->deferred.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.virtual_ns", [ms] {
+        return ms->virtual_ns.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.gc_virtual_ns", [ms] {
+        return ms->gc_virtual_ns.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.maintenance.mode", [this] {
+        return uint64_t(maint_.mode());
+    });
+    ctl_.registerName("stats.maintenance.paused", [this] {
+        return uint64_t(maint_.paused());
+    });
+
     // Whole-heap space accounting.
     PmDevice *dev = &dev_;
     ctl_.registerName("stats.heap.device_bytes",
@@ -215,6 +257,18 @@ NvStatus
 NvAlloc::ctlRead(const char *name, uint64_t *out)
 {
     std::call_once(ctl_once_, [this] { buildCtlRegistry(); });
+    // "maintenance.<action>" names are commands, not statistics: they
+    // are dispatched here instead of being registered, because registry
+    // readers must be side-effect free (forEach/json invoke them all).
+    static const char kMaintPrefix[] = "maintenance.";
+    if (name && std::strncmp(name, kMaintPrefix,
+                             sizeof(kMaintPrefix) - 1) == 0) {
+        NvStatus s =
+            maintenanceControl(name + sizeof(kMaintPrefix) - 1);
+        if (s == NvStatus::Ok && out)
+            *out = maint_.stats().slices.load(std::memory_order_relaxed);
+        return s == NvStatus::Ok ? NvStatus::Ok : NvStatus::UnknownCtl;
+    }
     uint64_t v = 0;
     if (ctl_.read(name, v) != CtlStatus::Ok)
         return NvStatus::UnknownCtl;

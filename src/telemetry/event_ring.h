@@ -31,6 +31,8 @@ enum class TraceOp : uint8_t
     ModeChange,  //!< degradation transition; arg = new HeapMode
     LogGc,       //!< bookkeeping-log GC; arg = 0 fast, 1 slow
     Recovery,    //!< recoverHeap ran; arg = virtual ns spent
+    MaintSlice,  //!< maintenance slice ran; arg = virtual ns spent
+    MaintWake,   //!< maintenance woken; arg = MaintWakeReason
 };
 
 inline const char *
@@ -47,6 +49,8 @@ traceOpName(TraceOp op)
     case TraceOp::ModeChange: return "mode-change";
     case TraceOp::LogGc: return "log-gc";
     case TraceOp::Recovery: return "recovery";
+    case TraceOp::MaintSlice: return "maint-slice";
+    case TraceOp::MaintWake: return "maint-wake";
     }
     return "?";
 }

@@ -1,30 +1,60 @@
 #include "workloads/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
-#include "baselines/makalu_alloc.h"
-#include "baselines/nvalloc_adapter.h"
-#include "baselines/nvm_malloc_alloc.h"
-#include "baselines/pallocator.h"
-#include "baselines/pmdk_alloc.h"
-#include "baselines/ralloc_alloc.h"
 #include "telemetry/telemetry.h"
 
 namespace nvalloc {
 
+namespace {
+
+/** NVALLOC_BENCH_ALLOCATORS filter: true when unset/empty or when the
+ *  kind's registry name appears in the comma-separated list. */
+bool
+allocEnabled(AllocKind kind)
+{
+    const char *env = std::getenv("NVALLOC_BENCH_ALLOCATORS");
+    if (!env || !*env)
+        return true;
+    const char *want = allocRegistryName(kind);
+    size_t want_len = std::strlen(want);
+    for (const char *p = env; *p;) {
+        const char *comma = std::strchr(p, ',');
+        size_t len = comma ? size_t(comma - p) : std::strlen(p);
+        if (len == want_len && std::strncmp(p, want, len) == 0)
+            return true;
+        p += len + (comma ? 1 : 0);
+    }
+    return false;
+}
+
+std::vector<AllocKind>
+filtered(std::vector<AllocKind> kinds)
+{
+    std::vector<AllocKind> out;
+    for (AllocKind k : kinds)
+        if (allocEnabled(k))
+            out.push_back(k);
+    return out;
+}
+
+} // namespace
+
 std::vector<AllocKind>
 strongGroup()
 {
-    return {AllocKind::Pmdk, AllocKind::NvmMalloc, AllocKind::PAllocator,
-            AllocKind::NvAllocLog};
+    return filtered({AllocKind::Pmdk, AllocKind::NvmMalloc,
+                     AllocKind::PAllocator, AllocKind::NvAllocLog});
 }
 
 std::vector<AllocKind>
 weakGroup()
 {
-    return {AllocKind::Makalu, AllocKind::Ralloc, AllocKind::NvAllocGc};
+    return filtered(
+        {AllocKind::Makalu, AllocKind::Ralloc, AllocKind::NvAllocGc});
 }
 
 const char *
@@ -42,6 +72,21 @@ allocName(AllocKind kind)
     return "?";
 }
 
+const char *
+allocRegistryName(AllocKind kind)
+{
+    switch (kind) {
+      case AllocKind::Pmdk: return "pmdk";
+      case AllocKind::NvmMalloc: return "nvm_malloc";
+      case AllocKind::PAllocator: return "pallocator";
+      case AllocKind::Makalu: return "makalu";
+      case AllocKind::Ralloc: return "ralloc";
+      case AllocKind::NvAllocLog: return "nvalloc";
+      case AllocKind::NvAllocGc: return "nvalloc-gc";
+    }
+    return "?";
+}
+
 std::unique_ptr<PmDevice>
 makeBenchDevice(size_t size)
 {
@@ -53,42 +98,8 @@ makeBenchDevice(size_t size)
 std::unique_ptr<PmAllocator>
 makeAllocator(AllocKind kind, PmDevice &dev, const MakeOptions &opts)
 {
-    if (opts.eadr)
-        dev.model().setEadr(true);
-
-    bool flush = opts.flush_enabled;
-    switch (kind) {
-      case AllocKind::Pmdk:
-        return std::make_unique<PmdkAlloc>(dev, flush);
-      case AllocKind::NvmMalloc:
-        return std::make_unique<NvmMallocAlloc>(dev, flush);
-      case AllocKind::PAllocator:
-        return std::make_unique<PalAllocator>(dev, flush);
-      case AllocKind::Makalu:
-        return std::make_unique<MakaluAlloc>(dev, flush);
-      case AllocKind::Ralloc:
-        return std::make_unique<RallocAlloc>(dev, flush);
-      case AllocKind::NvAllocLog:
-      case AllocKind::NvAllocGc: {
-        NvAllocConfig cfg;
-        cfg.consistency = kind == AllocKind::NvAllocLog
-                              ? Consistency::Log
-                              : Consistency::Gc;
-        cfg.flush_enabled = flush;
-        if (opts.eadr) {
-            // pmem_has_auto_flush() detected eADR: interleaving is
-            // disabled because it only spreads cache pressure (§6.7).
-            cfg.interleaved_bitmap = false;
-            cfg.interleaved_tcache = false;
-            cfg.interleaved_wal = false;
-            cfg.interleaved_log = false;
-        }
-        if (opts.tweak_nvalloc)
-            opts.tweak_nvalloc(cfg);
-        return std::make_unique<NvAllocAdapter>(dev, cfg);
-      }
-    }
-    return nullptr;
+    return PmAllocatorRegistry::instance().make(allocRegistryName(kind),
+                                                dev, opts);
 }
 
 namespace {

@@ -40,23 +40,25 @@ enum class AllocKind
     NvAllocGc,
 };
 
-/** The paper's two comparison groups (§6.1). */
+/**
+ * The paper's two comparison groups (§6.1). When the environment
+ * variable NVALLOC_BENCH_ALLOCATORS is set to a comma-separated list
+ * of registry names (e.g. "pmdk,nvalloc"), each group is filtered to
+ * the named allocators so run_benches.sh can sweep subsets.
+ */
 std::vector<AllocKind> strongGroup();
 std::vector<AllocKind> weakGroup();
 
 const char *allocName(AllocKind kind);
 
-struct MakeOptions
-{
-    bool flush_enabled = true; //!< false on the emulated eADR platform
-    bool eadr = false;         //!< put the device model in eADR mode
-    /** Overrides applied to NVAlloc variants only. */
-    std::function<void(NvAllocConfig &)> tweak_nvalloc;
-};
+/** Registry name (PmAllocatorRegistry key) for a paper AllocKind. */
+const char *allocRegistryName(AllocKind kind);
 
 /** Device size used by the benches. */
 std::unique_ptr<PmDevice> makeBenchDevice(size_t size = size_t{4} << 30);
 
+/** Thin wrapper over PmAllocatorRegistry::make(allocRegistryName(kind)):
+ *  MakeOptions lives in allocator_iface.h next to the registry. */
 std::unique_ptr<PmAllocator> makeAllocator(AllocKind kind, PmDevice &dev,
                                            const MakeOptions &opts = {});
 

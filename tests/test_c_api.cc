@@ -169,5 +169,114 @@ TEST(CApi, DoubleFreeAndForeignPointerAreEinvalHeapUnharmed)
     nvalloc_exit(inst);
 }
 
+// ---------------------------------------------------------------------
+// The versioned nvalloc_open_ex surface.
+// ---------------------------------------------------------------------
+
+TEST(CApiOpenEx, EinvalContractLeavesOutUntouched)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *sentinel = reinterpret_cast<NvInstance *>(0x1);
+    NvInstance *out = sentinel;
+
+    EXPECT_EQ(nvalloc_open_ex(nullptr, &opts, &out), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_open_ex(&dev, nullptr, &out), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, nullptr), NVALLOC_EINVAL);
+
+    opts.version = 0; // never a valid revision
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    opts.version = NVALLOC_OPTIONS_VERSION + 1; // from the future
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+
+    nvalloc_options_init(&opts);
+    opts.bit_stripes = 0; // fails NvAllocConfig::invalidReason
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    opts.bit_stripes = 6;
+    opts.maintenance_mode = 42; // not an NvMaintenanceMode
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    opts.maintenance_mode = NVALLOC_MAINT_MANUAL;
+    opts.maintenance_wake_fraction = 2.0;
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+
+    EXPECT_EQ(out, sentinel) << "*out must be untouched on EINVAL";
+}
+
+TEST(CApiOpenEx, OkPathDrivesMaintenanceByAction)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    opts.maintenance_mode = NVALLOC_MAINT_MANUAL;
+
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_impl(inst)->config().maintenance_mode,
+              MaintenanceMode::Manual);
+
+    uint64_t *root = nvalloc_root(inst, 0);
+    ASSERT_NE(nvalloc_malloc_to(inst, 128, root), nullptr);
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
+
+    EXPECT_EQ(nvalloc_maintenance(inst, "step"), NVALLOC_OK);
+    uint64_t slices = 0;
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.maintenance.slices", &slices),
+              NVALLOC_OK);
+    EXPECT_EQ(slices, 1u);
+    EXPECT_EQ(nvalloc_maintenance(inst, "pause"), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_maintenance(inst, "resume"), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_maintenance(inst, "wake"), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_maintenance(inst, "defragment"), NVALLOC_EINVAL);
+
+    // The ctl alias runs the same dispatcher.
+    uint64_t v = 0;
+    EXPECT_EQ(nvalloc_ctl(inst, "maintenance.step", &v), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.maintenance.slices", &v),
+              NVALLOC_OK);
+    EXPECT_EQ(v, 2u);
+
+    nvalloc_exit(inst);
+}
+
+TEST(CApiOpenEx, CorruptImageReturnsDegradedInstanceForAuditing)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{128} << 20;
+    PmDevice dev(dcfg);
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    {
+        NvInstance *inst = nullptr;
+        ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+        uint64_t w = 0;
+        ASSERT_NE(nvalloc_malloc_to(inst, 512, &w), nullptr);
+        nvalloc_impl(inst)->dirtyRestart(); // reopen takes recovery
+        nvalloc_exit(inst);
+    }
+    // Corrupt the superblock body so the recovery crc check fails.
+    static_cast<uint8_t *>(dev.at(0))[16] ^= 0xff;
+
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_ECORRUPT);
+    ASSERT_NE(inst, nullptr) << "degraded instance must be returned";
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_ECORRUPT);
+
+    // Allocation is refused with the open status...
+    uint64_t w = 0;
+    EXPECT_EQ(nvalloc_malloc_to(inst, 64, &w), nullptr);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_ECORRUPT);
+
+    // ...but introspection works: the auditor sees the violations.
+    uint64_t mode = 0;
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.mode.current", &mode), NVALLOC_OK);
+    EXPECT_EQ(mode, uint64_t(HeapMode::Failed));
+    AuditReport rep = HeapAuditor(*nvalloc_impl(inst)).audit();
+    EXPECT_GT(rep.violations(), 0u) << rep.summary();
+    nvalloc_exit(inst);
+}
+
 } // namespace
 } // namespace nvalloc

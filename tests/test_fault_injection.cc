@@ -30,6 +30,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <system_error>
 #include <tuple>
@@ -217,6 +218,23 @@ TEST_F(FaultDeviceFixture, PoisonReadsSentinelUntilRewritten)
 constexpr unsigned kSlots = 64;
 constexpr unsigned kMaxOps = 400;
 
+/** The sweep honours NVALLOC_MAINTENANCE=off|manual|thread (the CI
+ *  matrix's background-maintenance legs): every heap below opens with
+ *  that mode, so in the thread leg crash points land while a live
+ *  maintenance worker races the workload, and recovery itself runs
+ *  with the service restarted. */
+NvAllocConfig
+sweepConfig()
+{
+    NvAllocConfig cfg;
+    const char *env = std::getenv("NVALLOC_MAINTENANCE");
+    if (env && std::strcmp(env, "thread") == 0)
+        cfg.maintenance_mode = MaintenanceMode::Thread;
+    else if (env && std::strcmp(env, "manual") == 0)
+        cfg.maintenance_mode = MaintenanceMode::Manual;
+    return cfg;
+}
+
 struct PolicyCase
 {
     const char *name;
@@ -254,7 +272,7 @@ runCrashSweepPoint(const PolicyCase &pc, bool at_fence, unsigned nth)
 
     uint64_t table_off;
     {
-        NvAlloc alloc(dev);
+        NvAlloc alloc(dev, sweepConfig());
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, kSlots * 8, alloc.rootWord(0));
         table_off = *alloc.rootWord(0);
@@ -285,7 +303,7 @@ runCrashSweepPoint(const PolicyCase &pc, bool at_fence, unsigned nth)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev);
+    NvAlloc again(dev, sweepConfig());
     const RecoveryReport &rep = again.lastRecovery();
     EXPECT_TRUE(rep.performed);
     EXPECT_TRUE(rep.after_failure);
@@ -320,6 +338,10 @@ runCrashSweepPoint(const PolicyCase &pc, bool at_fence, unsigned nth)
     // a stray bit in one slab's persistent bitmap — then repair and
     // re-audit. The stray bit goes to a quiescent slab (no morph, no
     // lent blocks) so the bitmap is rebuildable from the mirror.
+    // Maintenance is paused across the injection so a background scrub
+    // slice cannot heal the poisoned line before the auditor gets to
+    // count and repair it (the counters below are exact).
+    again.maintenance().pause();
     dev.poisonLine(dev.size() - kCacheLine); // unmapped => free line
     VSlab *victim = nullptr;
     for (unsigned a = 0; a < again.numArenas() && !victim; ++a) {
@@ -340,6 +362,7 @@ runCrashSweepPoint(const PolicyCase &pc, bool at_fence, unsigned nth)
     EXPECT_EQ(audit1.violations(), 0u) << audit1.summary();
     EXPECT_EQ(audit1.poisoned_free_lines, 0u);
     EXPECT_EQ(audit1.poisoned_live_lines, 0u);
+    again.maintenance().resume();
 
     // Property 3: still usable — free everything, allocate again.
     ThreadCtx *ctx = again.attachThread();
@@ -533,7 +556,7 @@ TEST_P(DoubleRecovery, CrashDuringRecoveryIsIdempotent)
     // Phase 1: a workload crash leaves real recovery work behind.
     uint64_t table_off;
     {
-        NvAlloc alloc(dev);
+        NvAlloc alloc(dev, sweepConfig());
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, kSlots * 8, alloc.rootWord(0));
         table_off = *alloc.rootWord(0);
@@ -557,13 +580,13 @@ TEST_P(DoubleRecovery, CrashDuringRecoveryIsIdempotent)
     // Phase 2: the first recovery itself crashes at the nth flush.
     dev.armCrashAtFlush(nth);
     {
-        NvAlloc once(dev);
+        NvAlloc once(dev, sweepConfig());
         once.simulateCrash();
     }
 
     // Phase 3: the second recovery must complete and the safety
     // properties must hold exactly as after a single recovery.
-    NvAlloc again(dev);
+    NvAlloc again(dev, sweepConfig());
     const RecoveryReport &rep = again.lastRecovery();
     EXPECT_TRUE(rep.performed);
     EXPECT_TRUE(rep.after_failure);

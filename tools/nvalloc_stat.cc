@@ -42,8 +42,10 @@ struct Options
     size_t trace = 0;    //!< per-thread event-ring capacity
     size_t device_mb = 256;
     unsigned ops = 20000;
+    MaintenanceMode maintenance = MaintenanceMode::Off;
     std::string prefix;       //!< --list filter
     std::vector<std::string> ctls; //!< --ctl names, in order
+    std::vector<std::string> maint_actions; //!< --maint, in order
 };
 
 void
@@ -61,7 +63,11 @@ usage(const char *argv0)
         "                 dump the merged trace\n"
         "  --ctl NAME     read one ctl leaf (repeatable)\n"
         "  --list [PFX]   list registered ctl names (under PFX)\n"
-        "  --json         whole-heap JSON snapshot\n",
+        "  --json         whole-heap JSON snapshot\n"
+        "  --maintenance M  background maintenance: off|manual|thread\n"
+        "                 (manual steps a slice every 512 workload ops)\n"
+        "  --maint A      run a maintenance action after the workload:\n"
+        "                 pause|resume|step|wake (repeatable)\n",
         argv0);
 }
 
@@ -107,6 +113,23 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.ops = unsigned(std::strtoul(v, nullptr, 0));
+        } else if (a == "--maintenance") {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "off") == 0)
+                o.maintenance = MaintenanceMode::Off;
+            else if (std::strcmp(v, "manual") == 0)
+                o.maintenance = MaintenanceMode::Manual;
+            else if (std::strcmp(v, "thread") == 0)
+                o.maintenance = MaintenanceMode::Thread;
+            else
+                return false;
+        } else if (a == "--maint") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.maint_actions.push_back(v);
         } else {
             return false;
         }
@@ -121,10 +144,13 @@ makeConfig(const Options &o)
     cfg.consistency = o.gc ? Consistency::Gc : Consistency::Log;
     cfg.log_bookkeeping = !o.base;
     cfg.trace_ring_capacity = o.trace;
+    cfg.maintenance_mode = o.maintenance;
     return cfg;
 }
 
-/** Mixed small/large churn (same shape as nvalloc_fsck's). */
+/** Mixed small/large churn (same shape as nvalloc_fsck's). In Manual
+ *  maintenance mode a slice is stepped every 512 operations, so the
+ *  stats.maintenance.* family is populated deterministically. */
 void
 runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
 {
@@ -139,6 +165,9 @@ runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
     static const size_t sizes[] = {16, 48, 256, 1024, 4096, 24 * 1024,
                                    80 * 1024};
     for (unsigned i = 0; i < ops; ++i) {
+        if (i % 512 == 511 &&
+            alloc.config().maintenance_mode == MaintenanceMode::Manual)
+            alloc.maintenance().step();
         if (live.empty() || rnd() % 3 != 0) {
             size_t size = sizes[rnd() % (sizeof(sizes) / sizeof(*sizes))];
             uint64_t off = alloc.allocOffset(ctx, size, nullptr);
@@ -218,6 +247,14 @@ main(int argc, char **argv)
         }
         runWorkload(alloc, *ctx, o.ops);
         alloc.detachThread(ctx);
+    }
+
+    for (const std::string &action : o.maint_actions) {
+        if (alloc.maintenanceControl(action.c_str()) != NvStatus::Ok) {
+            std::fprintf(stderr, "stat: unknown maintenance action: %s\n",
+                         action.c_str());
+            return 2;
+        }
     }
 
     int rc = 0;
