@@ -288,7 +288,7 @@ void
 BookkeepingLog::fastGc()
 {
     const uint64_t t0 = VClock::now();
-    ++stats_.fast_gcs;
+    stats_.fast_gcs.fetch_add(1, std::memory_order_relaxed);
     if (tel_) {
         tel_->add(StatCounter::LogFastGc);
         tel_->event(TraceOp::LogGc, 0);
@@ -308,7 +308,8 @@ BookkeepingLog::fastGc()
         }
         vc = next;
     }
-    stats_.gc_ns += VClock::now() - t0;
+    stats_.gc_ns.fetch_add(VClock::now() - t0,
+                           std::memory_order_relaxed);
 }
 
 void
@@ -360,7 +361,7 @@ BookkeepingLog::slowGc()
         return false;
 
     const uint64_t t0 = VClock::now();
-    ++stats_.slow_gcs;
+    stats_.slow_gcs.fetch_add(1, std::memory_order_relaxed);
     if (tel_) {
         tel_->add(StatCounter::LogSlowGc);
         tel_->event(TraceOp::LogGc, 1);
@@ -415,7 +416,7 @@ BookkeepingLog::slowGc()
         if (e.owner && relocate_)
             relocate_(e.owner, LogEntryRef{new_tail->id, slot});
     }
-    stats_.entries_copied += copied;
+    stats_.entries_copied.fetch_add(copied, std::memory_order_relaxed);
 
     // Publish: one persistent word flip moves recovery to list_new.
     // All of list_new is durable (each activation and entry write was
@@ -440,7 +441,8 @@ BookkeepingLog::slowGc()
     if (flush_)
         dev_->fence();
     tail_ = new_tail;
-    stats_.gc_ns += VClock::now() - t0;
+    stats_.gc_ns.fetch_add(VClock::now() - t0,
+                           std::memory_order_relaxed);
     return true;
 }
 

@@ -57,13 +57,19 @@ class BookkeepingLog
     {
         uint64_t appends = 0;
         uint64_t tombstones = 0;
-        uint64_t fast_gcs = 0;
-        uint64_t slow_gcs = 0;
-        uint64_t entries_copied = 0;
+        /** The GC counters are written under the large-allocator lock
+         *  (by the maintenance worker in Thread mode as well as by
+         *  mutator inline GC) but read lock-free by the ctl tree and
+         *  by tests, hence atomic; relaxed ordering suffices for
+         *  monotonic counters. The replay counters stay plain: they
+         *  are written only during single-threaded open/replay. */
+        std::atomic<uint64_t> fast_gcs{0};
+        std::atomic<uint64_t> slow_gcs{0};
+        std::atomic<uint64_t> entries_copied{0};
         /** Virtual ns spent inside fast/slow GC passes, accrued on
          *  whichever thread ran them (mutator inline vs. maintenance
          *  service — the fig17 foreground/background split). */
-        uint64_t gc_ns = 0;
+        std::atomic<uint64_t> gc_ns{0};
         uint64_t replay_entries_rejected = 0; //!< bad fold csum/poison
         uint64_t replay_chunks_rejected = 0;  //!< bad header crc/poison
     };

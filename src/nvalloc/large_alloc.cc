@@ -421,7 +421,8 @@ LargeAllocator::maintainLog(bool want_slow, bool *ran_slow,
         return false;
     VLockGuard guard(lock_);
     size_t before = log_->activeChunks();
-    uint64_t gc_ns_before = log_->stats().gc_ns;
+    uint64_t gc_ns_before =
+        log_->stats().gc_ns.load(std::memory_order_relaxed);
     log_->collectFast();
     bool did = log_->activeChunks() != before;
     if (want_slow && log_->slowGc()) {
@@ -430,7 +431,8 @@ LargeAllocator::maintainLog(bool want_slow, bool *ran_slow,
             *ran_slow = true;
     }
     if (gc_ns)
-        *gc_ns = log_->stats().gc_ns - gc_ns_before;
+        *gc_ns = log_->stats().gc_ns.load(std::memory_order_relaxed) -
+                 gc_ns_before;
     return did;
 }
 

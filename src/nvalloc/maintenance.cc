@@ -30,36 +30,53 @@ MaintenanceService::start()
     if (mode_ != MaintenanceMode::Thread || !wired_)
         return;
     std::lock_guard<std::mutex> l(mu_);
-    if (stop_ || thread_.joinable())
+    if (stop_ || running_)
         return;
     thread_ = std::thread(&MaintenanceService::threadMain, this);
+    running_ = true;
 }
 
 void
 MaintenanceService::shutdown()
 {
+    // Claim the thread object under mu_ so no other caller ever races
+    // a join (std::thread is not safe for concurrent joinable()/join);
+    // a second shutdown() moves an empty thread and is a no-op.
+    std::thread worker;
     {
         std::lock_guard<std::mutex> l(mu_);
         stop_ = true;
+        running_ = false;
+        worker = std::move(thread_);
     }
     cv_.notify_all();
     done_cv_.notify_all();
-    if (thread_.joinable())
-        thread_.join();
+    if (worker.joinable())
+        worker.join();
 }
 
 void
 MaintenanceService::pause()
 {
-    pause_depth_.fetch_add(1, std::memory_order_acq_rel);
-    // Wait out an in-flight slice so the caller observes quiescence.
+    // Taking slice_mu_ both waits out an in-flight slice (the caller
+    // observes quiescence) and orders that slice's writes before the
+    // caller's subsequent unlocked reads; bumping the depth under the
+    // lock means every later slice sees it at its own slice_mu_-held
+    // check.
     std::lock_guard<std::mutex> g(slice_mu_);
+    pause_depth_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
 MaintenanceService::resume()
 {
-    pause_depth_.fetch_sub(1, std::memory_order_acq_rel);
+    // Dropping the depth under slice_mu_ gives the symmetric edge:
+    // the pausing thread's reads happen-before the next slice's
+    // writes via the mutex, not via the counter (a lock-free counter
+    // handoff would leave the auditor's quiescent walk formally racing
+    // the first post-resume slice).
+    std::lock_guard<std::mutex> g(slice_mu_);
+    pause_depth_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void
@@ -85,24 +102,25 @@ MaintenanceService::reclaimSync()
         w_.tel->event(TraceOp::MaintWake,
                       uint64_t(MaintWakeReason::Reclaim));
 
-    if (mode_ != MaintenanceMode::Thread || !thread_.joinable()) {
-        // Manual mode (and Thread mode before start / after shutdown):
-        // the deterministic path — one forced slice, caller's clock.
-        runSlice(/*forced=*/true);
-        return;
+    if (mode_ == MaintenanceMode::Thread) {
+        std::unique_lock<std::mutex> l(mu_);
+        if (running_ && !stop_) {
+            uint64_t target = forced_done_ + 1;
+            force_pending_ = true;
+            cv_.notify_all();
+            done_cv_.wait(l,
+                          [&] { return forced_done_ >= target || stop_; });
+            if (forced_done_ >= target)
+                return;
+            // shutdown() raced the request; fall through and do the
+            // work inline so the out-of-memory retry still observes a
+            // reclamation attempt.
+        }
     }
 
-    std::unique_lock<std::mutex> l(mu_);
-    uint64_t target = forced_done_ + 1;
-    force_pending_ = true;
-    cv_.notify_all();
-    done_cv_.wait(l, [&] { return forced_done_ >= target || stop_; });
-    if (forced_done_ < target) {
-        // shutdown() raced the request; do the work inline so the
-        // out-of-memory retry still observes a reclamation attempt.
-        l.unlock();
-        runSlice(/*forced=*/true);
-    }
+    // Manual mode (and Thread mode before start / after shutdown):
+    // the deterministic path — one forced slice, caller's clock.
+    runSlice(/*forced=*/true);
 }
 
 double
@@ -147,16 +165,27 @@ MaintenanceService::pollLogPressure()
     // the next slice completes.
     if (wake_armed_.exchange(true, std::memory_order_relaxed))
         return;
-    wake(MaintWakeReason::LogPressure);
+
+    stats_.wakes.fetch_add(1, std::memory_order_relaxed);
+    if (w_.tel)
+        w_.tel->event(TraceOp::MaintWake,
+                      uint64_t(MaintWakeReason::LogPressure));
 
     // Synchronous handoff (see header): lend the worker this thread's
     // wall time so the slice actually runs, even on a host where the
     // worker is starved. The wait costs no virtual time, which is the
     // entire point — GC nanoseconds accrue on the worker's clock.
+    // The wake is registered and the completion target read under ONE
+    // mu_ critical section: posting the wake first (as wake() would)
+    // lets the worker consume it and finish the slice before we read
+    // slices_done_, leaving us waiting on a slice nobody will run
+    // until the next timer tick.
     std::unique_lock<std::mutex> l(mu_);
-    if (stop_ || !thread_.joinable())
+    if (stop_ || !running_)
         return; // append-path inline GC remains the backstop
+    ++wake_pending_;
     uint64_t target = slices_done_ + 1;
+    cv_.notify_all();
     done_cv_.wait(l, [&] { return slices_done_ >= target || stop_; });
 }
 
@@ -165,10 +194,17 @@ MaintenanceService::runSlice(bool forced)
 {
     if (!wired_)
         return false;
-    if (!forced && paused())
-        return false;
 
     std::lock_guard<std::mutex> g(slice_mu_);
+    // Checked under slice_mu_ so pause()'s own slice_mu_ acquisition
+    // is a real barrier: either pause() bumped pause_depth_ before we
+    // took the lock (we see it and back off), or pause() blocks on
+    // slice_mu_ until this slice completes. Checking before the lock
+    // would let a slice that passed the check run to completion after
+    // pause() already returned, breaking the quiescence guarantee the
+    // auditor relies on.
+    if (!forced && paused())
+        return false;
     stats_.slices.fetch_add(1, std::memory_order_relaxed);
 
     const uint64_t t0 = VClock::now();

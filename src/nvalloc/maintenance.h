@@ -203,7 +203,12 @@ class MaintenanceService
 
     MaintenanceMode mode() const { return mode_; }
     bool active() const { return wired_ && mode_ != MaintenanceMode::Off; }
-    bool threadRunning() const { return thread_.joinable(); }
+    bool
+    threadRunning() const
+    {
+        std::lock_guard<std::mutex> l(mu_);
+        return running_;
+    }
     const MaintenanceStats &stats() const { return stats_; }
 
   private:
@@ -218,15 +223,22 @@ class MaintenanceService
     MaintenanceMode mode_ = MaintenanceMode::Off;
     bool wired_ = false;
 
+    /** Mutated only under slice_mu_ (pause/resume), so quiescence
+     *  ordering flows through the mutex; atomic only so paused() can
+     *  be probed lock-free. */
     std::atomic<int> pause_depth_{0};
     std::atomic<uint64_t> pins_{0};
     std::atomic<bool> wake_armed_{false}; //!< pressure-wake edge latch
 
-    // Thread-mode handshake state, guarded by mu_.
-    std::mutex mu_;
+    // Thread-mode handshake state, guarded by mu_. thread_ itself is
+    // only assigned/moved under mu_ and joined by the one shutdown()
+    // call that claimed it, so joinable()/join() never race; liveness
+    // checks go through running_ instead of thread_.joinable().
+    mutable std::mutex mu_;
     std::condition_variable cv_;      //!< work signal
     std::condition_variable done_cv_; //!< cycle-completion signal
     bool stop_ = false;
+    bool running_ = false; //!< worker spawned and not yet shut down
     bool force_pending_ = false;
     uint64_t wake_pending_ = 0;
     uint64_t forced_done_ = 0;

@@ -121,7 +121,8 @@ NvAlloc::buildCtlRegistry()
     if (usesBookkeepingLog()) {
         BookkeepingLog *log = &log_;
         ctl_.registerName("stats.log.entries_copied", [log] {
-            return log->stats().entries_copied;
+            return log->stats().entries_copied.load(
+                std::memory_order_relaxed);
         });
         ctl_.registerName("stats.log.live_entries", [log] {
             return uint64_t(log->liveEntries());
@@ -129,8 +130,9 @@ NvAlloc::buildCtlRegistry()
         ctl_.registerName("stats.log.active_chunks", [log] {
             return uint64_t(log->activeChunks());
         });
-        ctl_.registerName("stats.log.gc_ns",
-                          [log] { return log->stats().gc_ns; });
+        ctl_.registerName("stats.log.gc_ns", [log] {
+            return log->stats().gc_ns.load(std::memory_order_relaxed);
+        });
         ctl_.registerName("stats.log.replay.entries_rejected", [log] {
             return log->stats().replay_entries_rejected;
         });
