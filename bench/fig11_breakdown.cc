@@ -27,13 +27,19 @@ struct Config
 {
     const char *name;
     bool tcache_il, bitmap_il, wal_il, log;
+    bool harden;
 };
 
 const Config kConfigs[] = {
-    {"Base", false, false, false, false},
-    {"+Interleaved", true, false, false, false},
-    {"+Log", false, false, false, true},
-    {"NVAlloc-LOG", true, true, true, true},
+    {"Base", false, false, false, false, false},
+    {"+Interleaved", true, false, false, false, false},
+    {"+Log", false, false, false, true, false},
+    {"NVAlloc-LOG", true, true, true, true, false},
+    // Full system plus the hardened free pipeline (free-side
+    // validation, redzone canaries, a 16-deep quarantine). Guard
+    // sampling stays off: it reroutes allocations to guard extents
+    // and would change what is measured, not just how fast.
+    {"+HardenedFree", true, true, true, true, true},
 };
 
 } // namespace
@@ -85,6 +91,9 @@ main(int argc, char **argv)
                 c.interleaved_wal = cfg.wal_il;
                 c.interleaved_log = cfg.log && cfg.wal_il;
                 c.log_bookkeeping = cfg.log;
+                c.hardened_free = cfg.harden;
+                c.redzone_canaries = cfg.harden;
+                c.quarantine_depth = cfg.harden ? 16 : 0;
             };
             RunResult r = runOn(AllocKind::NvAllocLog, opts,
                                 [&](PmAllocator &a, VtimeEpoch &e) {

@@ -65,6 +65,7 @@ AuditReport::summary() const
     add("quarantine_bad", quarantine_bad);
     add("poisoned_free_lines", poisoned_free_lines);
     add("poisoned_live_lines", poisoned_live_lines);
+    add("canary_stomped", canary_stomped);
     add("repaired_headers", repaired_headers);
     add("repaired_bitmaps", repaired_bitmaps);
     add("repaired_wal_entries", repaired_wal_entries);
@@ -106,6 +107,7 @@ AuditReport::json() const
     add("quarantine_bad", quarantine_bad);
     add("poisoned_free_lines", poisoned_free_lines);
     add("poisoned_live_lines", poisoned_live_lines);
+    add("canary_stomped", canary_stomped);
     add("repaired_headers", repaired_headers);
     add("repaired_bitmaps", repaired_bitmaps);
     add("repaired_wal_entries", repaired_wal_entries);
@@ -397,6 +399,31 @@ HeapAuditor::checkSlabs()
                     note(fmt("slab 0x%llx: index table %llu live old "
                              "blocks vs cnt_slab",
                              off, live_old));
+                }
+            }
+
+            // Canary sweep (informational): a dirtied canary word in a
+            // live block is application damage, not metadata damage —
+            // reported so operators see overflows before the free-time
+            // check would, but never counted as a heap violation.
+            // Morphing slabs are skipped: old-geometry blocks carry
+            // stamps from a different block size.
+            if (a_.cfg_.redzone_canaries && !slab->morphing()) {
+                unsigned bsize = slab->blockSize();
+                for (unsigned idx = 0; idx < slab->capacity(); ++idx) {
+                    if (!slab->isAllocated(idx))
+                        continue;
+                    uint64_t boff = slab->blockOffset(idx);
+                    uint64_t word = 0;
+                    std::memcpy(&word,
+                                static_cast<const uint8_t *>(
+                                    dev.at(boff)) +
+                                    bsize - HardeningManager::kCanaryBytes,
+                                sizeof(word));
+                    if (word != HardeningManager::canaryValue(boff)) {
+                        ++rep_.canary_stomped;
+                        note(fmt("block 0x%llx: canary stomped", boff));
+                    }
                 }
             }
 

@@ -83,6 +83,8 @@ struct AuditReport
     // Informational (do not make the heap un-clean).
     uint64_t poisoned_free_lines = 0;
     uint64_t poisoned_live_lines = 0;
+    uint64_t canary_stomped = 0; //!< live block, dirtied canary word
+                                 //!< (app overflow, not metadata)
 
     // Repair outcomes (repair() only).
     uint64_t repaired_headers = 0;

@@ -43,6 +43,17 @@ enum class MaintenanceMode : uint8_t
     Thread, //!< a per-heap background thread, woken on pressure
 };
 
+/**
+ * What a detected corruption (double free, canary stomp, guard
+ * redzone hit, ...) does; see hardening.h and DESIGN.md §9.
+ */
+enum class HardeningPolicy : uint8_t
+{
+    Report,     //!< count + warn + CorruptionReport; leak the block
+    Quarantine, //!< report, then delay the block's reuse in the FIFO
+    Abort,      //!< std::abort at the faulting operation
+};
+
 struct NvAllocConfig
 {
     Consistency consistency = Consistency::Log;
@@ -144,6 +155,41 @@ struct NvAllocConfig
      *  even when a fault storm poisons many lines at once). */
     unsigned maintenance_scrub_lines = 8;
 
+    // ---- heap hardening (hardening.h, DESIGN.md §9) -----------------
+
+    /**
+     * Classified free validation: rejected frees are sorted into
+     * double/misaligned/wild/cross-heap (stats.hardening.*) and go
+     * through the HardeningPolicy report machinery. The ordered
+     * under-lock validation itself always runs — this flag only
+     * controls the classification extras (including the cross-heap
+     * registry probe) and the guard sampler.
+     */
+    bool hardened_free = true;
+
+    /** Redirect one in N small allocations to a guard extent with a
+     *  poisoned redzone tail (GWP-ASan style). 0 disables sampling;
+     *  requires hardened_free. */
+    unsigned guard_sample_rate = 0;
+
+    /**
+     * Reserve the last 8 bytes of every small block for a per-block
+     * canary word, checked at free and by the auditor. Recorded in the
+     * superblock (hardening_flags) because it changes how much of each
+     * block the application owns: reopening an existing heap always
+     * adopts the image's setting, whatever this says.
+     */
+    bool redzone_canaries = false;
+
+    /** Delay the reuse of freed small blocks through a FIFO of this
+     *  many blocks, poison-filled and verified at eviction so a
+     *  use-after-free write is detectable. 0 disables. */
+    unsigned quarantine_depth = 0;
+
+    /** What a detected corruption does (report-and-leak / quarantine
+     *  / abort). */
+    HardeningPolicy hardening_policy = HardeningPolicy::Report;
+
     /**
      * Validate the knobs an NvAlloc::open() caller can get wrong
      * without tripping anything immediately. Returns nullptr when the
@@ -174,6 +220,12 @@ struct NvAllocConfig
             return "maintenance_wake_fraction must be in (0, 1]";
         if (maintenance_scrub_lines == 0)
             return "maintenance_scrub_lines must be > 0";
+        if (hardening_policy > HardeningPolicy::Abort)
+            return "hardening_policy out of range";
+        if (guard_sample_rate != 0 && !hardened_free)
+            return "guard_sample_rate requires hardened_free";
+        if (quarantine_depth > (1u << 20))
+            return "quarantine_depth must be <= 2^20";
         return nullptr;
     }
 };

@@ -443,6 +443,24 @@ LargeAllocator::decayPass()
     decayTick();
 }
 
+int
+LargeAllocator::verifyReclaimedFill(uint64_t off, uint64_t size,
+                                    uint64_t check_bytes, uint8_t expect)
+{
+    VLockGuard guard(lock_);
+    Veh *veh = findVeh(off);
+    if (!veh || veh->off != off || veh->size != size ||
+        veh->state != Veh::State::Reclaimed) {
+        return -1;
+    }
+    const uint8_t *p = static_cast<const uint8_t *>(dev_->at(off));
+    for (uint64_t i = 0; i < check_bytes; ++i) {
+        if (p[i] != expect)
+            return 1;
+    }
+    return 0;
+}
+
 unsigned
 LargeAllocator::scrubUnmappedPoison(
     unsigned max_lines,

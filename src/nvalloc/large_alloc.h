@@ -155,6 +155,18 @@ class LargeAllocator
         unsigned max_lines,
         const std::vector<std::pair<uint64_t, uint64_t>> &keep);
 
+    /**
+     * Hardening probe (hardening.h): if the extent at `off` is still
+     * a Reclaimed extent of exactly `size` bytes, verify that its
+     * first `check_bytes` bytes all hold `expect` and return 0 (fill
+     * intact) or 1 (fill dirtied — a use-after-free wrote into it).
+     * Returns -1 when the extent was already reused, coalesced or
+     * decommitted (nothing can be concluded). Runs under the allocator
+     * lock so the extent cannot be handed back out mid-check.
+     */
+    int verifyReclaimedFill(uint64_t off, uint64_t size,
+                            uint64_t check_bytes, uint8_t expect);
+
     /** Why the last allocate() returned 0 (Ok if none failed yet). */
     NvStatus
     lastFailure() const

@@ -409,7 +409,19 @@ struct NvSuperblock
      *  runtime-mutable fields (gc_roots, arena_state, quarantine) are
      *  excluded and protected by their own update protocols. */
     uint32_t sb_crc;
+
+    /**
+     * Hardening layout flags (hardening.h): bit 0 = per-block redzone
+     * canaries are active on this image, i.e. the last 8 bytes of
+     * every small block belong to the allocator, not the application.
+     * Outside the crc so pre-hardening images (where this word is
+     * zero — canaries off) verify unchanged; written once at
+     * createHeap and adopted verbatim by every reopen.
+     */
+    uint32_t hardening_flags;
 };
+
+constexpr uint32_t kHardeningFlagCanaries = 1u << 0;
 
 static_assert(sizeof(NvSuperblock) <= 512);
 

@@ -73,6 +73,10 @@ NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
     }
     setArenaStates(ArenaState::Running);
     initMaintenance();
+    // After recovery: recoverHeap may have adopted the image's canary
+    // flag into cfg_, and a failed open must never enter the
+    // cross-heap registry (it owns nothing).
+    hardening_.init(this, &dev_, &tel_, cfg_);
 }
 
 void
@@ -140,6 +144,9 @@ NvAlloc::simulateCrash()
     // Stop maintenance before rolling the device back: a slice
     // persisting mid-rollback would tear the "power failed" fiction.
     maint_.shutdown();
+    // Forget guards and the quarantine without touching slabs — the
+    // "process" died, and the next open must not find us registered.
+    hardening_.shutdown(/*crashed=*/true);
     dev_.crash();
     crashed_ = true;
 }
@@ -148,6 +155,7 @@ void
 NvAlloc::dirtyRestart()
 {
     maint_.shutdown();
+    hardening_.shutdown(/*crashed=*/true);
     setArenaStates(ArenaState::Running);
     crashed_ = true;
 }
@@ -165,14 +173,18 @@ NvAlloc::~NvAlloc()
 
     if (crashed_) {
         // The process "died": free only DRAM state, touch no PM.
+        hardening_.shutdown(/*crashed=*/true);
         std::lock_guard<std::mutex> g(attach_mutex_);
         for (ThreadCtx *ctx : ctxs_)
             delete ctx;
         ctxs_.clear();
         return;
     }
-    // nvalloc_exit: drain any still-attached threads' tcaches so no
-    // block stays lent, then make the GC variant's bitmaps durable.
+    // nvalloc_exit: evict the delayed-reuse quarantine (returns lent
+    // blocks to their arenas while those still exist), drain any
+    // still-attached threads' tcaches so no block stays lent, then
+    // make the GC variant's bitmaps durable.
+    hardening_.shutdown(/*crashed=*/false);
     {
         std::lock_guard<std::mutex> g(attach_mutex_);
         for (ThreadCtx *ctx : ctxs_) {
@@ -207,6 +219,8 @@ NvAlloc::createHeap()
     sb_->num_arenas = cfg_.num_arenas;
     sb_->stripes = cfg_.bit_stripes;
     sb_->consistency = logMode() ? 0 : (gcMode() ? 1 : 2);
+    sb_->hardening_flags =
+        cfg_.redzone_canaries ? kHardeningFlagCanaries : 0;
 
     sb_->wal_off = dev_.mapRegion(kMaxThreads * kWalRingBytes);
     if (usesBookkeepingLog()) {
@@ -454,6 +468,11 @@ NvAlloc::reclaimMemory(ThreadCtx &ctx)
     ++deg_stats_.reclaim_attempts;
     tel_.event(TraceOp::Reclaim, 0);
     drainTcache(&ctx);
+    // Quarantined blocks pin their slabs (they stay lent) and watched
+    // guard extents hold reclaimed space; give both back before the
+    // retry.
+    hardening_.drainQuarantine();
+    hardening_.sweepGuardWatch();
     if (maint_.active())
         maint_.reclaimSync(); // forced slice: log GC + decay + scrub
     else
@@ -463,7 +482,12 @@ NvAlloc::reclaimMemory(ThreadCtx &ctx)
 uint64_t
 NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
 {
-    unsigned cls = sizeToClass(size);
+    // With canaries on, the block must also hold the canary word, so
+    // the class is chosen for size + 8 (smallLimit() keeps size + 8
+    // representable).
+    unsigned cls = sizeToClass(
+        cfg_.redzone_canaries ? size + HardeningManager::kCanaryBytes
+                              : size);
 
     CachedBlock blk;
     bool tcache_hit = ctx.tcache.pop(cls, blk);
@@ -483,6 +507,12 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
         }
     }
     setMode(HeapMode::Normal);
+
+    // Stamp the canary before the block is published anywhere. Not
+    // flushed — recovery restamps every allocated block, so a torn
+    // canary line can never read as an application stomp.
+    if (cfg_.redzone_canaries)
+        stampCanary(blk.off, classToSize(cls));
 
     // Journal first (LOG only: the GC variant rebuilds from
     // reachability and the IC variant's bitmaps are self-describing),
@@ -521,6 +551,155 @@ NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
     return off;
 }
 
+// ---- hardening hooks (hardening.h, DESIGN.md §9) --------------------
+
+/** Largest request the small path serves: with canaries on, the last
+ *  8 bytes of the largest class are the canary word, so a full-size
+ *  request must go to the large allocator instead. */
+size_t
+NvAlloc::smallLimit() const
+{
+    return cfg_.redzone_canaries
+               ? kSmallMax - HardeningManager::kCanaryBytes
+               : kSmallMax;
+}
+
+bool
+NvAlloc::guardDue(ThreadCtx &ctx)
+{
+    if (++ctx.guard_tick < cfg_.guard_sample_rate)
+        return false;
+    ctx.guard_tick = 0;
+    return true;
+}
+
+/**
+ * Serve a sampled small allocation from a dedicated guard extent: the
+ * 16 KB extent grain guarantees at least a cache line of tail past any
+ * small request, which is filled with the redzone pattern and verified
+ * at free. Falls back to the ordinary small path if the large
+ * allocator cannot serve the extent — sampling must never turn a
+ * servable allocation into a failure.
+ */
+uint64_t
+NvAlloc::guardAlloc(ThreadCtx &ctx, size_t size, uint64_t where_off)
+{
+    maint_.pollLogPressure();
+    uint64_t off = large_.allocate(size + kCacheLine, false);
+    if (off == 0)
+        return allocSmall(ctx, size, where_off);
+    setMode(HeapMode::Normal);
+    // Journal like any large allocation: after a crash the guard is
+    // recovered as a plain activated extent (its registration is
+    // volatile, so the redzone is no longer checked — documented
+    // best-effort).
+    ctx.wal.append(kWalAlloc, off, where_off, size);
+    Veh *veh = large_.findVeh(off); // just allocated by this thread
+    NV_ASSERT(veh && veh->off == off);
+    hardening_.armGuard(off, size, veh->size);
+    VClock::advance(kMallocCpuNs, TimeKind::Other);
+    tel_.noteLargeAlloc(veh->size, off);
+    return off;
+}
+
+NvStatus
+NvAlloc::guardFree(ThreadCtx &ctx, uint64_t off, uint64_t *where,
+                   uint64_t where_off)
+{
+    HardeningManager::GuardInfo info;
+    if (!hardening_.takeGuard(off, &info))
+        return rejectFree(off, CorruptionKind::DoubleFree);
+    if (!hardening_.guardRedzoneIntact(off, info)) {
+        hardening_.report(
+            CorruptionKind::GuardOverflow, off, ~0u,
+            "guard redzone dirtied — overflow past the allocation");
+    }
+    ctx.wal.append(kWalFree, off, where_off, 0);
+    publish(where, 0);
+    // Poison the user area, retire the extent, and watch it: a
+    // use-after-free write lands in the poison fill, which the watch
+    // list verifies (under the large allocator's lock) while the
+    // extent is still reclaimed.
+    std::memset(dev_.at(off), HardeningManager::kGuardFreeByte,
+                info.user_size);
+    large_.free(off);
+    hardening_.watchFreedGuard(off, info);
+    hardening_.noteGuardFree();
+    VClock::advance(kFreeCpuNs, TimeKind::Other);
+    tel_.noteLargeFree(info.extent_size, off);
+    maint_.pollLogPressure();
+    return NvStatus::Ok;
+}
+
+/** Reject a free: classify it, bump the degradation and hardening
+ *  counters, run the report/policy machinery, and leave the heap (and
+ *  the WAL) untouched. */
+NvStatus
+NvAlloc::rejectFree(uint64_t off, CorruptionKind kind)
+{
+    ++deg_stats_.invalid_frees;
+    tel_.noteInvalidFree(off, uint16_t(NvStatus::InvalidFree));
+    if (cfg_.hardened_free) {
+        // A locally-unowned offset that another live heap owns is the
+        // classic cross-heap free; only probed on the cold reject
+        // path, and only when nothing local claimed the offset.
+        if (kind == CorruptionKind::WildFree &&
+            hardening_.ownedByAnotherHeap(off)) {
+            kind = CorruptionKind::CrossHeapFree;
+        }
+        hardening_.report(kind, off, ~0u,
+                          std::string("rejected free (") +
+                              corruptionKindName(kind) + ")");
+    }
+    return failOp(NvStatus::InvalidFree);
+}
+
+void
+NvAlloc::stampCanary(uint64_t off, unsigned block_size)
+{
+    uint64_t *w = reinterpret_cast<uint64_t *>(
+        static_cast<char *>(dev_.at(off)) + block_size -
+        HardeningManager::kCanaryBytes);
+    *w = HardeningManager::canaryValue(off);
+}
+
+bool
+NvAlloc::canaryOk(uint64_t off, unsigned block_size) const
+{
+    const uint64_t *w = reinterpret_cast<const uint64_t *>(
+        static_cast<const char *>(dev_.at(off)) + block_size -
+        HardeningManager::kCanaryBytes);
+    return *w == HardeningManager::canaryValue(off);
+}
+
+/**
+ * Recovery epilogue: rewrite the canary of every allocated small
+ * block (current and old geometry). Canaries are deliberately never
+ * flushed, so after a crash they may hold torn or stale words; without
+ * the restamp every post-crash free would report a phantom stomp.
+ */
+void
+NvAlloc::restampCanaries()
+{
+    if (!cfg_.redzone_canaries)
+        return;
+    forEachAllocated([this](uint64_t off, size_t size, bool small) {
+        if (small)
+            stampCanary(off, unsigned(size));
+    });
+}
+
+bool
+NvAlloc::ownsOffset(uint64_t off) const
+{
+    if (off == 0 || off >= dev_.size())
+        return false;
+    if (slabOf(off))
+        return true;
+    Veh *veh = large_.findVeh(off);
+    return veh && veh->state == Veh::State::Activated;
+}
+
 uint64_t
 NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
 {
@@ -533,9 +712,15 @@ NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
     uint64_t where_off =
         where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;
 
-    uint64_t off = size <= kSmallMax
-                       ? allocSmall(ctx, size, where_off)
-                       : allocLarge(ctx, size, where_off);
+    uint64_t off;
+    if (size <= smallLimit()) {
+        off = cfg_.hardened_free && cfg_.guard_sample_rate &&
+                      guardDue(ctx)
+                  ? guardAlloc(ctx, size, where_off)
+                  : allocSmall(ctx, size, where_off);
+    } else {
+        off = allocLarge(ctx, size, where_off);
+    }
     if (off == 0)
         return 0; // failed allocation publishes nothing
     publish(where, off);
@@ -549,17 +734,31 @@ NvAlloc::mallocTo(ThreadCtx &ctx, size_t size, uint64_t *where)
     return off ? dev_.at(off) : nullptr;
 }
 
+/**
+ * The hardened free pipeline: one ordered validator shared by free,
+ * free_from and the C API. Provenance (guard registry → slab radix →
+ * extent radix) decides the path; each path validates *inside* the
+ * critical section that also journals and mutates, so validation and
+ * mutation see the same state — the PR 3/4 seed race was an unlocked
+ * bitmap probe that raced markAllocated/morphTo under the arena lock.
+ * Rejections are classified (rejectFree) and leave the WAL and the
+ * heap untouched.
+ */
 NvStatus
 NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
 {
-    if (off == 0 || off >= dev_.size()) {
-        ++deg_stats_.invalid_frees;
-        tel_.noteInvalidFree(off, uint16_t(NvStatus::InvalidFree));
-        return failOp(NvStatus::InvalidFree);
-    }
+    if (off == 0 || off >= dev_.size())
+        return rejectFree(off, CorruptionKind::WildFree);
 
     uint64_t where_off =
         where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;
+
+    // Guard extents first: underneath they are large extents, but
+    // their free verifies the redzone and poisons the user area.
+    if (cfg_.hardened_free && cfg_.guard_sample_rate &&
+        hardening_.isGuard(off)) {
+        return guardFree(ctx, off, where, where_off);
+    }
 
     VSlab *slab = slabOf(off);
     if (!slab) {
@@ -567,72 +766,103 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         // offset (no extent, mid-extent, free extent, or a slab's
         // interior) must leave both the WAL and the heap untouched.
         Veh *veh = large_.findVeh(off);
-        if (!veh || veh->off != off ||
-            veh->state != Veh::State::Activated || veh->is_slab) {
-            ++deg_stats_.invalid_frees;
-            tel_.noteInvalidFree(off, uint16_t(NvStatus::InvalidFree));
-            return failOp(NvStatus::InvalidFree);
-        }
+        if (!veh)
+            return rejectFree(off, CorruptionKind::WildFree);
+        if (veh->off != off)
+            return rejectFree(off, CorruptionKind::MisalignedFree);
+        if (veh->state != Veh::State::Activated)
+            return rejectFree(off, CorruptionKind::DoubleFree);
+        if (veh->is_slab)
+            return rejectFree(off, CorruptionKind::MisalignedFree);
         // Journal, clear the attach word, then retire.
         uint64_t veh_size = veh->size;
         ctx.wal.append(kWalFree, off, where_off, 0);
         publish(where, 0);
         large_.free(off);
+        hardening_.noteValidatedFree();
         VClock::advance(kFreeCpuNs, TimeKind::Other);
         tel_.noteLargeFree(veh_size, off);
         maint_.pollLogPressure(); // the tombstone may cross the wake level
         return NvStatus::Ok;
     }
 
-    // Validate against the slab's state before journaling: a misaligned
-    // interior pointer or an already-clear bit is an invalid free.
-    // Read without the arena lock — concurrent frees of the *same*
-    // block are undefined behaviour anyway, so this detection is
-    // best-effort by design; the locked path below re-asserts.
-    {
-        unsigned v_old = 0;
-        if (!slab->isOldBlock(off, v_old)) {
-            unsigned idx = slab->blockIndexOf(off);
-            if (idx >= slab->capacity() ||
-                slab->blockOffset(idx) != off || !slab->isAllocated(idx)) {
-                ++deg_stats_.invalid_frees;
-                tel_.noteInvalidFree(off,
-                                     uint16_t(NvStatus::InvalidFree));
-                return failOp(NvStatus::InvalidFree);
-            }
-        }
-    }
-
-    if (logMode())
-        ctx.wal.append(kWalFree, off, where_off, 0);
-    publish(where, 0);
-
     Arena *arena = slab->arena;
     unsigned cls = 0;
     bool to_tcache = false;
+    bool to_quarantine = false;
+    unsigned bsize = 0;
     unsigned idx = 0;
     {
+        // One critical section: validate (alignment, double free,
+        // canary) against the same state the journal/publish/bitmap
+        // mutation will see. The WAL and attach-word flushes inside
+        // the hold grow the modeled critical section — that is the
+        // honest cost of a race-free validator.
         VLockGuard g(arena->lock);
         unsigned old_idx = 0;
         if (slab->isOldBlock(off, old_idx)) {
             // blocks_before bypass the tcache (paper §5.2).
             unsigned old_cls = slab->header()->old_size_class;
+            if (cfg_.redzone_canaries &&
+                !canaryOk(off, classToSize(old_cls))) {
+                hardening_.report(CorruptionKind::CanaryStomp, off,
+                                  old_cls,
+                                  "old-geometry block canary dirtied");
+                // Report policy: leak the block (it stays allocated,
+                // the audit stays clean); Quarantine has no lent-block
+                // path for old-geometry blocks, so it leaks too.
+                hardening_.noteLeakedBlock();
+                publish(where, 0);
+                return NvStatus::Ok;
+            }
+            if (logMode())
+                ctx.wal.append(kWalFree, off, where_off, 0);
+            publish(where, 0);
             arena->freeOld(slab, old_idx);
+            hardening_.noteValidatedFree();
             VClock::advance(kFreeCpuNs, TimeKind::Other);
             tel_.noteSmallFree(old_cls, off);
             return NvStatus::Ok;
         }
         idx = slab->blockIndexOf(off);
-        NV_ASSERT(idx < slab->capacity() && slab->isAllocated(idx));
+        if (idx >= slab->capacity() || slab->blockOffset(idx) != off)
+            return rejectFree(off, CorruptionKind::MisalignedFree);
+        if (!slab->isAllocated(idx))
+            return rejectFree(off, CorruptionKind::DoubleFree);
         cls = slab->sizeClass();
+        bsize = slab->blockSize();
+        if (cfg_.redzone_canaries && !canaryOk(off, bsize)) {
+            hardening_.report(CorruptionKind::CanaryStomp, off, cls,
+                              "block canary dirtied — overflow into "
+                              "the canary word");
+            if (hardening_.policy() != HardeningPolicy::Quarantine) {
+                // Report-and-leak: the persistent bit stays set, the
+                // caller's word is cleared, nothing is journaled.
+                hardening_.noteLeakedBlock();
+                publish(where, 0);
+                return NvStatus::Ok;
+            }
+            // Quarantine policy: complete the free below, but force
+            // the block through the delayed-reuse FIFO.
+        }
+        if (logMode())
+            ctx.wal.append(kWalFree, off, where_off, 0);
+        publish(where, 0);
         // Mostly-idle slabs are morph candidates; blocks freed into a
-        // tcache would pin them (a lent block cannot be re-indexed by
-        // a transformation), so their frees bypass the tcache, like
-        // blocks_before do (§5.2).
+        // tcache (or the quarantine — both keep the block lent) would
+        // pin them, so their frees bypass both, like blocks_before do
+        // (§5.2).
         bool keep_unpinned =
             cfg_.slab_morphing &&
             slab->occupancy() <= cfg_.morph_threshold;
-        if (ctx.tcache.full(cls) || keep_unpinned) {
+        bool quarantine_on =
+            cfg_.quarantine_depth > 0 ||
+            (cfg_.redzone_canaries &&
+             hardening_.policy() == HardeningPolicy::Quarantine);
+        if (quarantine_on && !keep_unpinned) {
+            slab->markFreeToTcache(idx);
+            to_quarantine = true;
+        } else if (ctx.tcache.full(cls) || keep_unpinned) {
             arena->freeDirect(slab, idx);
         } else {
             slab->markFreeToTcache(idx);
@@ -644,7 +874,12 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         bool ok = ctx.tcache.push(
             cls, CachedBlock{off, slab, idx});
         NV_ASSERT(ok);
+    } else if (to_quarantine) {
+        // Outside the arena lock: evicting the FIFO's oldest entry
+        // locks that entry's (possibly different) arena.
+        hardening_.quarantinePush(slab, idx, off, bsize);
     }
+    hardening_.noteValidatedFree();
     VClock::advance(kFreeCpuNs, TimeKind::Other);
     tel_.noteSmallFree(cls, off);
     return NvStatus::Ok;

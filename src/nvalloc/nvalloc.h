@@ -37,6 +37,7 @@
 #include "nvalloc/arena.h"
 #include "nvalloc/bookkeeping_log.h"
 #include "nvalloc/config.h"
+#include "nvalloc/hardening.h"
 #include "nvalloc/large_alloc.h"
 #include "nvalloc/layout.h"
 #include "nvalloc/maintenance.h"
@@ -73,6 +74,11 @@ struct ThreadCtx
      *  draining the cache (tcaches are thread-private, so trimming is
      *  cooperative by construction). */
     std::atomic<bool> trim_pending{false};
+
+    /** Guard-sampling tick (hardening.h): the guard sampler redirects
+     *  this thread's small allocation to a guard extent every
+     *  guard_sample_rate-th increment. Thread-private. */
+    unsigned guard_tick = 0;
 };
 
 /**
@@ -296,6 +302,19 @@ class NvAlloc
      *  anything else. */
     NvStatus maintenanceControl(const char *action);
 
+    // ---- hardening --------------------------------------------------
+
+    /** The heap-hardening subsystem (hardening.h, DESIGN.md §9):
+     *  guard-sampling state, the delayed-reuse quarantine, detection
+     *  counters and retained CorruptionReports. */
+    HardeningManager &hardening() { return hardening_; }
+    const HardeningManager &hardening() const { return hardening_; }
+
+    /** Does this heap currently own an allocation at `off` (a slab
+     *  block area or an activated extent)? Lock-free and best-effort;
+     *  the cross-heap free classifier probes other heaps with it. */
+    bool ownsOffset(uint64_t off) const;
+
     // ---- telemetry / introspection ----------------------------------
 
     /** The heap's sharded runtime counters and event tracer. */
@@ -379,6 +398,12 @@ class NvAlloc
     bool open_failed_ = false;
     DegradedStats deg_stats_;
 
+    // Hardening state (guard map, quarantine FIFO, detection
+    // counters). Declared after the arenas/large allocator it
+    // references; its destructor only frees DRAM — the quarantine is
+    // drained explicitly in ~NvAlloc while the arenas still exist.
+    HardeningManager hardening_;
+
     // Dotted-name registry, built on first ctl use (stats.cc); the
     // ~330 readers are not worth constructing for heaps that are
     // never introspected.
@@ -409,6 +434,18 @@ class NvAlloc
     void requestTcacheTrim();
     uint64_t allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off);
     uint64_t allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off);
+
+    // Hardening hooks (nvalloc.cc, hardening.h).
+    size_t smallLimit() const;
+    bool guardDue(ThreadCtx &ctx);
+    uint64_t guardAlloc(ThreadCtx &ctx, size_t size, uint64_t where_off);
+    NvStatus guardFree(ThreadCtx &ctx, uint64_t off, uint64_t *where,
+                       uint64_t where_off);
+    NvStatus rejectFree(uint64_t off, CorruptionKind kind);
+    void stampCanary(uint64_t off, unsigned block_size);
+    bool canaryOk(uint64_t off, unsigned block_size) const;
+    void restampCanaries();
+
     void publish(uint64_t *where, uint64_t value);
     void reclaimMemory(ThreadCtx &ctx);
     uint64_t failAlloc();

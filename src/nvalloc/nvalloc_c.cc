@@ -61,8 +61,8 @@ nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
     if (opts->version == 0 || opts->version > NVALLOC_OPTIONS_VERSION)
         return NVALLOC_EINVAL;
 
-    // All fields below exist since version 1; a future version 2
-    // field would be read only when opts->version >= 2.
+    // Version-1 fields are read unconditionally; version-2 (hardening)
+    // fields only when the caller's header revision defined them.
     NvAllocConfig cfg;
     cfg.consistency =
         opts->gc_variant ? Consistency::Gc : Consistency::Log;
@@ -84,6 +84,25 @@ nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
     cfg.maintenance_slice_ns = opts->maintenance_slice_ns;
     cfg.maintenance_wake_fraction = opts->maintenance_wake_fraction;
     cfg.maintenance_scrub_lines = opts->maintenance_scrub_lines;
+
+    if (opts->version >= 2) {
+        cfg.guard_sample_rate = opts->guard_sample_rate;
+        cfg.redzone_canaries = opts->redzone_canaries != 0;
+        cfg.quarantine_depth = opts->quarantine_depth;
+        switch (opts->hardening_policy) {
+        case NVALLOC_HARDEN_REPORT:
+            cfg.hardening_policy = HardeningPolicy::Report;
+            break;
+        case NVALLOC_HARDEN_QUARANTINE:
+            cfg.hardening_policy = HardeningPolicy::Quarantine;
+            break;
+        case NVALLOC_HARDEN_ABORT:
+            cfg.hardening_policy = HardeningPolicy::Abort;
+            break;
+        default:
+            return NVALLOC_EINVAL;
+        }
+    }
 
     OpenResult r = NvAlloc::open(*dev, cfg);
     if (!r.heap)
@@ -127,6 +146,11 @@ nvalloc_malloc_to(NvInstance *inst, size_t size, uint64_t *where)
 int
 nvalloc_free_from(NvInstance *inst, uint64_t *where)
 {
+    // On a degraded instance no free can ever be serviced: refuse it
+    // as an invalid free (part of the hostile-free error contract)
+    // instead of reporting a transient attach problem.
+    if (inst->alloc->openStatus() != NvStatus::Ok)
+        return NVALLOC_EINVAL;
     ThreadCtx *ctx = inst->ctx();
     if (!ctx)
         return NVALLOC_EAGAIN;

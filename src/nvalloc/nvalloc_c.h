@@ -36,7 +36,17 @@ struct NvAllocOptions
 };
 
 /** Current nvalloc_options layout revision. */
-#define NVALLOC_OPTIONS_VERSION 1u
+#define NVALLOC_OPTIONS_VERSION 2u
+
+/** Hardening policies for nvalloc_options.hardening_policy: what to
+ *  do after a corruption (double free, canary stomp, ...) is
+ *  detected. */
+enum NvHardeningPolicy
+{
+    NVALLOC_HARDEN_REPORT = 0,     //!< count, report, contain (leak)
+    NVALLOC_HARDEN_QUARANTINE = 1, //!< also delay reuse via the FIFO
+    NVALLOC_HARDEN_ABORT = 2,      //!< abort() on first detection
+};
 
 /** Maintenance modes for nvalloc_options.maintenance_mode. */
 enum NvMaintenanceMode
@@ -65,6 +75,14 @@ struct nvalloc_options
     double maintenance_wake_fraction; //!< wake at this share of the
                                       //!< log GC threshold, (0,1]
     unsigned maintenance_scrub_lines; //!< poison lines per slice
+    /* -- version 2 fields (hardening, PR 5) ------------------------ */
+    unsigned guard_sample_rate;  //!< redirect 1-in-N small allocs to a
+                                 //!< guard extent; 0 disables sampling
+    int redzone_canaries;        //!< per-block canary words (on-media
+                                 //!< property; adopted from the image
+                                 //!< when reopening an existing heap)
+    unsigned quarantine_depth;   //!< delayed-reuse FIFO depth; 0 = off
+    int hardening_policy;        //!< an NvHardeningPolicy value
 };
 
 /** Fill `o` with the defaults of this header revision. */
@@ -79,6 +97,10 @@ nvalloc_options_init(nvalloc_options *o)
     o->maintenance_slice_ns = 200000;
     o->maintenance_wake_fraction = 0.75;
     o->maintenance_scrub_lines = 8;
+    o->guard_sample_rate = 0;
+    o->redzone_canaries = 0;
+    o->quarantine_depth = 0;
+    o->hardening_policy = NVALLOC_HARDEN_REPORT;
 }
 
 /** errno-style status codes (see nvalloc_errno). */

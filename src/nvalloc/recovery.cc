@@ -77,6 +77,13 @@ NvAlloc::recoverHeap()
                            : (sb_->consistency == 1
                                   ? Consistency::Gc
                                   : Consistency::InternalCollection);
+    // The canary flag is likewise an on-media property: stamping
+    // canaries into an image created without them would smash the last
+    // word of full-size live blocks, and dropping them would leave
+    // stale stamps the auditor reads as stomps. Adopt the image's
+    // choice in both directions (zero on pre-hardening images).
+    cfg_.redzone_canaries =
+        (sb_->hardening_flags & kHardeningFlagCanaries) != 0;
 
     large_.init(&dev_, cfg_, usesBookkeepingLog() ? &log_ : nullptr,
                 region_table_, region_slots_);
@@ -170,6 +177,13 @@ NvAlloc::recoverHeap()
         // allocated-but-unpublished block, which the application can
         // always reach through forEachAllocated — no replay needed.
     }
+
+    // Canary stamps are never flushed (they are detection state, not
+    // heap state), so a crash may have dropped any subset of them with
+    // the cut. Restamp every live small block so the first
+    // post-recovery free of a surviving block is not misreported as a
+    // stomp. No-op unless the image carries the canary flag.
+    restampCanaries();
 
     // Seal every replay/repair effect before destroying the WAL
     // entries that describe it: if the effects and the entry clears

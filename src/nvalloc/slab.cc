@@ -35,9 +35,13 @@ VSlab::VSlab(PmDevice *dev, uint64_t slab_off, unsigned cls,
 {
     NV_ASSERT(geo_.map.physicalSlots() <= kSlabBitmapBytes * 8);
 
-    // The extent arrives zeroed (fresh mapping or recycled hole), so
-    // the bitmap and index table are already clear; only the fixed
-    // fields need writing.
+    // The extent is NOT guaranteed to arrive zeroed: only fresh
+    // mappings and recycled holes are, while an extent reused from the
+    // reclaimed list keeps whatever its previous owner wrote there
+    // (user data, a guard's redzone fill, ...). A stale bitmap or
+    // index table would fabricate allocated blocks, so the header
+    // establishes its own zero state before the fields are written.
+    std::memset(hdr_, 0, kSlabHeaderSize);
     hdr_->magic = kSlabMagic;
     hdr_->size_class = uint16_t(cls);
     hdr_->flag = 0;
@@ -52,7 +56,11 @@ VSlab::VSlab(PmDevice *dev, uint64_t slab_off, unsigned cls,
     hdr_->new_size_class = 0;
     hdr_->new_stripes = 0;
     updateHeaderCrc();
-    persistHeaderLine(hdr_, kCacheLine);
+    // Persist the whole header, not just the first line: the zeroed
+    // bitmap and index table must reach media with the magic, or a
+    // crash could recover a trusted header over the previous owner's
+    // stale bytes.
+    persistHeaderLine(hdr_, kSlabHeaderSize);
     if (flush_)
         dev_->fence();
 
@@ -340,12 +348,17 @@ VSlab::headerLooksValid(PmDevice *dev, uint64_t slab_off, bool verify_crc)
     bool new_ok = targetValid(h->new_size_class, h->new_stripes);
 
     if (verify_crc) {
+        // The staged interpretations only apply while a morph is in
+        // flight (flag 2/3): a completed morph leaves its stale
+        // old_*/new_* staging behind, and accepting those at flag 0
+        // would let a forged current geometry ride a stale staging
+        // crc.
         bool ok = stored_ok && h->crc == slabHeaderCrc(*h);
-        if (!ok && old_ok)
+        if (!ok && h->flag >= 2 && old_ok)
             ok = h->crc == slabGeometryCrc(h->old_size_class,
                                            h->old_capacity,
                                            h->old_stripes);
-        if (!ok && new_ok) {
+        if (!ok && h->flag >= 2 && new_ok) {
             SlabGeometry g = SlabGeometry::compute(h->new_size_class,
                                                    h->new_stripes);
             ok = h->crc == slabGeometryCrc(h->new_size_class,

@@ -226,6 +226,59 @@ NvAlloc::buildCtlRegistry()
         return uint64_t(maint_.paused());
     });
 
+    // Hardening (PR 5): detection and containment counters, plus the
+    // live depths of the guard watch and the quarantine FIFO. All
+    // relaxed atomics / mutex-free reads.
+    const HardeningStats *hs = &hardening_.stats();
+    ctl_.registerName("stats.hardening.validated_frees", [hs] {
+        return hs->validated_frees.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.double_frees", [hs] {
+        return hs->double_frees.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.misaligned_frees", [hs] {
+        return hs->misaligned_frees.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.wild_frees", [hs] {
+        return hs->wild_frees.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.cross_heap_frees", [hs] {
+        return hs->cross_heap_frees.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.canary_stomps", [hs] {
+        return hs->canary_stomps.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.guard_allocs", [hs] {
+        return hs->guard_allocs.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.guard_frees", [hs] {
+        return hs->guard_frees.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.guard_overflows", [hs] {
+        return hs->guard_overflows.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.guard_uaf", [hs] {
+        return hs->guard_uaf.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.quarantine_pushes", [hs] {
+        return hs->quarantine_pushes.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.quarantine_evictions", [hs] {
+        return hs->quarantine_evictions.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.quarantine_uaf", [hs] {
+        return hs->quarantine_uaf.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.leaked_blocks", [hs] {
+        return hs->leaked_blocks.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.reports", [hs] {
+        return hs->reports.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.hardening.quarantine_depth", [this] {
+        return uint64_t(hardening_.quarantineDepth());
+    });
+
     // Whole-heap space accounting.
     PmDevice *dev = &dev_;
     ctl_.registerName("stats.heap.device_bytes",

@@ -33,6 +33,8 @@ enum class TraceOp : uint8_t
     Recovery,    //!< recoverHeap ran; arg = virtual ns spent
     MaintSlice,  //!< maintenance slice ran; arg = virtual ns spent
     MaintWake,   //!< maintenance woken; arg = MaintWakeReason
+    Corruption,  //!< hardening detection; arg = offending offset,
+                 //!< outcome = CorruptionKind
 };
 
 inline const char *
@@ -51,6 +53,7 @@ traceOpName(TraceOp op)
     case TraceOp::Recovery: return "recovery";
     case TraceOp::MaintSlice: return "maint-slice";
     case TraceOp::MaintWake: return "maint-wake";
+    case TraceOp::Corruption: return "corruption";
     }
     return "?";
 }

@@ -241,6 +241,176 @@ TEST(CApiOpenEx, OkPathDrivesMaintenanceByAction)
     nvalloc_exit(inst);
 }
 
+TEST(CApiOpenEx, BadHardeningPolicyIsEinval)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *sentinel = reinterpret_cast<NvInstance *>(0x1);
+    NvInstance *out = sentinel;
+
+    opts.hardening_policy = 7; // not an NvHardeningPolicy
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    EXPECT_EQ(out, sentinel);
+
+    opts.hardening_policy = NVALLOC_HARDEN_QUARANTINE;
+    opts.quarantine_depth = 1u << 21; // fails invalidReason
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    EXPECT_EQ(out, sentinel);
+}
+
+TEST(CApiOpenEx, HardeningOptionsMapThrough)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    opts.guard_sample_rate = 64;
+    opts.redzone_canaries = 1;
+    opts.quarantine_depth = 8;
+    opts.hardening_policy = NVALLOC_HARDEN_QUARANTINE;
+
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    const NvAllocConfig &cfg = nvalloc_impl(inst)->config();
+    EXPECT_EQ(cfg.guard_sample_rate, 64u);
+    EXPECT_TRUE(cfg.redzone_canaries);
+    EXPECT_EQ(cfg.quarantine_depth, 8u);
+    EXPECT_EQ(cfg.hardening_policy, HardeningPolicy::Quarantine);
+
+    // The hardening counter family is reachable through nvalloc_ctl.
+    uint64_t v = ~0ull;
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.hardening.validated_frees", &v),
+              NVALLOC_OK);
+    EXPECT_EQ(v, 0u);
+    nvalloc_exit(inst);
+}
+
+// ---------------------------------------------------------------------
+// Hostile-free error contract: every class of bad free returns
+// NVALLOC_EINVAL, never aborts, and leaves the heap audit-clean and
+// serviceable.
+// ---------------------------------------------------------------------
+
+TEST(CApi, HostileFreeContractUnderFullHardening)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    opts.redzone_canaries = 1;
+    opts.quarantine_depth = 8;
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    uint64_t *root = nvalloc_root(inst, 0);
+
+    // Interior pointer into a small block.
+    ASSERT_NE(nvalloc_malloc_to(inst, 256, root), nullptr);
+    uint64_t small_off = *root;
+    uint64_t interior = small_off + 8;
+    EXPECT_EQ(nvalloc_free_from(inst, &interior), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EINVAL);
+
+    // Interior pointer into a large extent (past the slab radix, into
+    // extent-classification territory).
+    uint64_t lw = 0;
+    ASSERT_NE(nvalloc_malloc_to(inst, 64 * 1024, &lw), nullptr);
+    uint64_t large_interior = lw + 4096;
+    EXPECT_EQ(nvalloc_free_from(inst, &large_interior), NVALLOC_EINVAL);
+
+    // Double free through a stale copy; the real free goes first.
+    uint64_t stale = small_off;
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_free_from(inst, &stale), NVALLOC_EINVAL);
+
+    // Wild pointer into never-allocated space.
+    uint64_t wild = dev.size() - 4096;
+    EXPECT_EQ(nvalloc_free_from(inst, &wild), NVALLOC_EINVAL);
+
+    // Each rejection was classified and counted.
+    uint64_t misaligned = 0, doubled = 0, wilds = 0;
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.hardening.misaligned_frees",
+                          &misaligned),
+              NVALLOC_OK);
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.hardening.double_frees", &doubled),
+              NVALLOC_OK);
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.hardening.wild_frees", &wilds),
+              NVALLOC_OK);
+    EXPECT_EQ(misaligned, 2u) << "small + large interior";
+    EXPECT_EQ(doubled, 1u);
+    EXPECT_EQ(wilds, 1u);
+
+    // Contained: the heap audits clean and still serves.
+    EXPECT_EQ(nvalloc_free_from(inst, &lw), NVALLOC_OK);
+    AuditReport rep = HeapAuditor(*nvalloc_impl(inst)).audit();
+    EXPECT_EQ(rep.violations(), 0u) << rep.summary();
+    ASSERT_NE(nvalloc_malloc_to(inst, 256, root), nullptr);
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
+    nvalloc_exit(inst);
+}
+
+TEST(CApi, CrossHeapFreeIsEinvalAndAttributed)
+{
+    // Two live heaps on separate devices. Padding pushes heap B's
+    // probe block to an offset heap A has never mapped, so the free
+    // into A classifies as wild there — and the heap registry
+    // attributes it to B.
+    PmDevice dev_a, dev_b;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *a = nullptr, *b = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev_a, &opts, &a), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_open_ex(&dev_b, &opts, &b), NVALLOC_OK);
+
+    uint64_t pad = 0;
+    ASSERT_NE(nvalloc_malloc_to(b, 16u << 20, &pad), nullptr);
+    uint64_t probe = 0;
+    ASSERT_NE(nvalloc_malloc_to(b, 128, &probe), nullptr);
+    ASSERT_FALSE(nvalloc_impl(a)->ownsOffset(probe))
+        << "probe collided with heap A's own layout";
+
+    uint64_t stale = probe;
+    EXPECT_EQ(nvalloc_free_from(a, &stale), NVALLOC_EINVAL);
+    uint64_t cross = 0;
+    EXPECT_EQ(nvalloc_ctl(a, "stats.hardening.cross_heap_frees", &cross),
+              NVALLOC_OK);
+    EXPECT_EQ(cross, 1u);
+
+    // Heap B's block is untouched by the rejected free.
+    EXPECT_EQ(nvalloc_free_from(b, &probe), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_free_from(b, &pad), NVALLOC_OK);
+    nvalloc_exit(a);
+    nvalloc_exit(b);
+}
+
+TEST(CApi, FreeAfterDegradedOpenIsEinvalNotAbort)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{128} << 20;
+    PmDevice dev(dcfg);
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    uint64_t leaked = 0;
+    {
+        NvInstance *inst = nullptr;
+        ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+        ASSERT_NE(nvalloc_malloc_to(inst, 512, &leaked), nullptr);
+        nvalloc_impl(inst)->dirtyRestart();
+        nvalloc_exit(inst);
+    }
+    static_cast<uint8_t *>(dev.at(0))[16] ^= 0xff; // break the crc
+
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_ECORRUPT);
+    ASSERT_NE(inst, nullptr);
+
+    // A free against the degraded instance — even of a once-valid
+    // offset — is refused with a status, not an abort, and touches no
+    // persistent state.
+    EXPECT_EQ(nvalloc_free_from(inst, &leaked), NVALLOC_EINVAL);
+    uint64_t zero = 0;
+    EXPECT_EQ(nvalloc_free_from(inst, &zero), NVALLOC_EINVAL);
+    nvalloc_exit(inst);
+}
+
 TEST(CApiOpenEx, CorruptImageReturnsDegradedInstanceForAuditing)
 {
     PmDeviceConfig dcfg;

@@ -248,6 +248,59 @@ TEST(Exhaustion, LogFullOfLiveEntriesFailsThenFreesUnblock)
 }
 
 // ---------------------------------------------------------------------
+// Hostile frees against an exhausted heap: the hardened validator
+// keeps rejecting bad frees with a status while the heap is degraded,
+// and valid frees still recover it.
+// ---------------------------------------------------------------------
+
+TEST(Exhaustion, HostileFreesWhileExhaustedAreRejectedAndHeapRecovers)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{16} << 20;
+    PmDevice dev(dcfg);
+    NvAllocConfig cfg = logConfig();
+    cfg.redzone_canaries = true;
+    cfg.quarantine_depth = 8;
+    NvAlloc alloc(dev, cfg);
+    ThreadCtx *ctx = alloc.attachThread();
+    ASSERT_NE(ctx, nullptr);
+
+    std::vector<uint64_t> offs;
+    for (unsigned i = 0; i < 100000; ++i) {
+        uint64_t off = alloc.allocOffset(*ctx, 4096, nullptr);
+        if (off == 0)
+            break;
+        offs.push_back(off);
+    }
+    ASSERT_FALSE(offs.empty());
+    ASSERT_LT(offs.size(), 100000u) << "device never exhausted";
+    ASSERT_EQ(alloc.mode(), HeapMode::Exhausted);
+
+    // Bad frees while exhausted: rejected, classified, no abort, and
+    // the heap does not leave Exhausted on their account.
+    const HardeningStats &hs = alloc.hardening().stats();
+    EXPECT_EQ(alloc.freeOffset(*ctx, offs.front() + 8, nullptr),
+              NvStatus::InvalidFree);
+    ASSERT_EQ(alloc.freeOffset(*ctx, offs.back(), nullptr), NvStatus::Ok);
+    uint64_t stale = offs.back();
+    offs.pop_back();
+    EXPECT_EQ(alloc.freeOffset(*ctx, stale, nullptr),
+              NvStatus::InvalidFree);
+    EXPECT_GE(hs.misaligned_frees.load(), 1u);
+    EXPECT_GE(hs.double_frees.load(), 1u);
+    EXPECT_EQ(alloc.mode(), HeapMode::Exhausted);
+
+    // Valid frees still drain the heap and allocation resumes.
+    for (uint64_t off : offs)
+        ASSERT_EQ(alloc.freeOffset(*ctx, off, nullptr), NvStatus::Ok);
+    uint64_t again = alloc.allocOffset(*ctx, 4096, nullptr);
+    EXPECT_NE(again, 0u);
+    EXPECT_EQ(alloc.mode(), HeapMode::Normal);
+    alloc.freeOffset(*ctx, again, nullptr);
+    alloc.detachThread(ctx);
+}
+
+// ---------------------------------------------------------------------
 // Satellite 2: thread-slot exhaustion returns nullptr, not an abort.
 // ---------------------------------------------------------------------
 

@@ -222,7 +222,14 @@ constexpr unsigned kMaxOps = 400;
  *  matrix's background-maintenance legs): every heap below opens with
  *  that mode, so in the thread leg crash points land while a live
  *  maintenance worker races the workload, and recovery itself runs
- *  with the service restarted. */
+ *  with the service restarted.
+ *
+ *  NVALLOC_HARDENING=full additionally turns canaries and the
+ *  delayed-reuse quarantine on, so the CI hardening leg proves crash
+ *  points landing inside canary stamps and quarantine traffic still
+ *  recover to a clean heap. Guard sampling stays off here: guards are
+ *  large extents, which would skew this sweep's small-block leak
+ *  oracle (the chaos harness crash-sweeps guards instead). */
 NvAllocConfig
 sweepConfig()
 {
@@ -232,6 +239,11 @@ sweepConfig()
         cfg.maintenance_mode = MaintenanceMode::Thread;
     else if (env && std::strcmp(env, "manual") == 0)
         cfg.maintenance_mode = MaintenanceMode::Manual;
+    const char *hard = std::getenv("NVALLOC_HARDENING");
+    if (hard && std::strcmp(hard, "full") == 0) {
+        cfg.redzone_canaries = true;
+        cfg.quarantine_depth = 16;
+    }
     return cfg;
 }
 

@@ -1,0 +1,627 @@
+/**
+ * @file
+ * Chaos soak harness for the hardening subsystem (DESIGN.md §9).
+ *
+ * A seeded, deterministic (under Manual maintenance) loop that
+ * interleaves a mutator workload with two kinds of trouble:
+ *
+ *  - fault-injector events: mid-operation crashes at arbitrary flush
+ *    points under a torn-word policy, plus media poison — the same
+ *    substrate as the flush-granularity crash sweep;
+ *  - deliberate application-level corruption: double frees, wild and
+ *    misaligned frees, cross-heap frees (against a live donor heap),
+ *    canary stomps, guard redzone overflows, quarantine stomps and
+ *    slab-header smashes.
+ *
+ * After every round the harness asserts the containment contract: the
+ * corruption was detected (the matching stats.hardening.* counter
+ * moved) and contained (the heap still audits clean, repairable damage
+ * was repaired, and — after a crash — recovery converged with every
+ * persistently published block still allocated).
+ *
+ * Shared by tools/nvalloc_chaos.cc (CLI soak) and tests/test_chaos.cc
+ * (ctest registration, including the soak-labeled long run).
+ */
+
+#ifndef NVALLOC_TOOLS_CHAOS_HARNESS_H
+#define NVALLOC_TOOLS_CHAOS_HARNESS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nvalloc/auditor.h"
+#include "nvalloc/nvalloc.h"
+
+namespace nvalloc {
+
+/** One trouble class the harness can inject into a round. */
+enum class ChaosEvent : unsigned
+{
+    DoubleFree = 0,
+    WildFree,
+    MisalignedFree,
+    CanaryStomp,
+    CrossHeapFree,
+    GuardOverflow,
+    QuarantineStomp,
+    HeaderSmash,
+    PoisonLine,
+    Crash,
+    kCount,
+};
+
+inline const char *
+chaosEventName(ChaosEvent e)
+{
+    switch (e) {
+    case ChaosEvent::DoubleFree: return "double-free";
+    case ChaosEvent::WildFree: return "wild-free";
+    case ChaosEvent::MisalignedFree: return "misaligned-free";
+    case ChaosEvent::CanaryStomp: return "canary-stomp";
+    case ChaosEvent::CrossHeapFree: return "cross-heap-free";
+    case ChaosEvent::GuardOverflow: return "guard-overflow";
+    case ChaosEvent::QuarantineStomp: return "quarantine-stomp";
+    case ChaosEvent::HeaderSmash: return "header-smash";
+    case ChaosEvent::PoisonLine: return "poison-line";
+    case ChaosEvent::Crash: return "crash";
+    case ChaosEvent::kCount: break;
+    }
+    return "?";
+}
+
+struct ChaosOptions
+{
+    uint64_t seed = 1;
+    unsigned rounds = 200;
+    unsigned ops_per_round = 256;
+    size_t device_mb = 256;
+    bool gc = false; //!< NVAlloc-GC instead of NVAlloc-LOG
+    bool verbose = false;
+    HardeningPolicy policy = HardeningPolicy::Report;
+};
+
+class ChaosHarness
+{
+  public:
+    static constexpr unsigned kSlots = 96;
+    static constexpr unsigned kEventCount =
+        unsigned(ChaosEvent::kCount);
+
+    explicit ChaosHarness(const ChaosOptions &o)
+        : opt_(o), rng_(o.seed ? o.seed : 1)
+    {
+    }
+
+    /** Run the soak; false on the first containment failure (see
+     *  error()). Deterministic for a given ChaosOptions. */
+    bool run();
+
+    const std::string &error() const { return error_; }
+    unsigned roundsRun() const { return rounds_run_; }
+    uint64_t injected(ChaosEvent e) const { return injected_[unsigned(e)]; }
+    uint64_t detected(ChaosEvent e) const { return detected_[unsigned(e)]; }
+    uint64_t skipped(ChaosEvent e) const { return skipped_[unsigned(e)]; }
+
+    std::string
+    summary() const
+    {
+        std::string s;
+        char buf[128];
+        for (unsigned e = 0; e < kEventCount; ++e) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %-16s injected=%llu detected=%llu "
+                          "skipped=%llu\n",
+                          chaosEventName(ChaosEvent(e)),
+                          (unsigned long long)injected_[e],
+                          (unsigned long long)detected_[e],
+                          (unsigned long long)skipped_[e]);
+            s += buf;
+        }
+        return s;
+    }
+
+  private:
+    NvAllocConfig
+    config() const
+    {
+        NvAllocConfig cfg;
+        cfg.consistency =
+            opt_.gc ? Consistency::Gc : Consistency::Log;
+        // Manual maintenance keeps the run single-threaded, hence
+        // deterministic for a given seed.
+        cfg.maintenance_mode = MaintenanceMode::Manual;
+        cfg.redzone_canaries = true;
+        cfg.quarantine_depth = 16;
+        cfg.guard_sample_rate = 32;
+        cfg.hardening_policy = opt_.policy;
+        return cfg;
+    }
+
+    bool
+    fail(unsigned round, ChaosEvent ev, const std::string &msg)
+    {
+        error_ = "round " + std::to_string(round) + " (" +
+                 chaosEventName(ev) + "): " + msg;
+        return false;
+    }
+
+    /** Is `off` still allocated (small block, old block, or extent)? */
+    static bool
+    offsetLive(NvAlloc &heap, uint64_t off)
+    {
+        if (auto *slab =
+                static_cast<VSlab *>(heap.slabRadix().get(off))) {
+            unsigned old_idx = 0;
+            if (slab->isOldBlock(off, old_idx))
+                return true;
+            unsigned idx = slab->blockIndexOf(off);
+            return idx < slab->capacity() && slab->isAllocated(idx);
+        }
+        Veh *veh = heap.large().findVeh(off);
+        return veh && veh->off == off &&
+               veh->state == Veh::State::Activated && !veh->is_slab;
+    }
+
+    size_t
+    pickSize()
+    {
+        static const size_t small[] = {16,  32,   64,   96,  256,
+                                       512, 1024, 2048, 4096, 8192};
+        static const size_t large[] = {24 * 1024, 48 * 1024, 96 * 1024};
+        if (rng_.nextBounded(24) == 0)
+            return large[rng_.nextBounded(3)];
+        return small[rng_.nextBounded(10)];
+    }
+
+    /** Seeded alloc/free churn over the persistent slot table; steps a
+     *  maintenance slice periodically. In crash mode, stops once the
+     *  armed crash point has triggered. */
+    void
+    churn(NvAlloc &heap, ThreadCtx &ctx, uint64_t *slots, unsigned ops,
+          PmDevice &dev, bool crash_mode)
+    {
+        for (unsigned op = 0; op < ops; ++op) {
+            if (crash_mode && dev.crashTriggered())
+                return;
+            if (op % 64 == 63)
+                heap.maintenance().step();
+            unsigned s = unsigned(rng_.nextBounded(kSlots));
+            if (slots[s] == 0) {
+                size_t size = pickSize();
+                void *p = heap.mallocTo(ctx, size, &slots[s]);
+                if (p) {
+                    sizes_[s] = size;
+                    std::memset(p, int(0x41 + (s & 31)),
+                                std::min<size_t>(size, 32));
+                    dev.persistFence(p, 32, TimeKind::FlushData);
+                }
+            } else {
+                heap.freeFrom(ctx, &slots[s]);
+                sizes_[s] = 0;
+            }
+        }
+    }
+
+    /** A live slot holding a current-geometry small block that is not
+     *  a guard; kSlots if none qualifies. */
+    unsigned
+    pickSmallSlot(NvAlloc &heap, const uint64_t *slots,
+                  size_t min_size = 0)
+    {
+        for (unsigned tries = 0; tries < kSlots; ++tries) {
+            unsigned s = unsigned(rng_.nextBounded(kSlots));
+            uint64_t off = slots[s];
+            if (off == 0 || sizes_[s] < min_size)
+                continue;
+            if (heap.hardening().isGuard(off))
+                continue;
+            auto *slab =
+                static_cast<VSlab *>(heap.slabRadix().get(off));
+            if (!slab)
+                continue;
+            unsigned old_idx = 0;
+            if (slab->isOldBlock(off, old_idx))
+                continue;
+            return s;
+        }
+        return kSlots;
+    }
+
+    bool inject(ChaosEvent ev, NvAlloc &heap, ThreadCtx &ctx,
+                PmDevice &dev, uint64_t *slots, unsigned round,
+                const std::vector<uint64_t> &donor_offs);
+
+    ChaosOptions opt_;
+    Rng rng_;
+    std::string error_;
+    unsigned rounds_run_ = 0;
+    uint64_t injected_[kEventCount] = {};
+    uint64_t detected_[kEventCount] = {};
+    uint64_t skipped_[kEventCount] = {};
+    std::vector<size_t> sizes_; //!< per-slot sizes (volatile oracle)
+    bool pending_crash_ = false;
+};
+
+inline bool
+ChaosHarness::inject(ChaosEvent ev, NvAlloc &heap, ThreadCtx &ctx,
+                     PmDevice &dev, uint64_t *slots, unsigned round,
+                     const std::vector<uint64_t> &donor_offs)
+{
+    const HardeningStats &hs = heap.hardening().stats();
+    auto count = [](const std::atomic<uint64_t> &a) {
+        return a.load(std::memory_order_relaxed);
+    };
+    auto skip = [&](const char *why) {
+        ++skipped_[unsigned(ev)];
+        if (opt_.verbose)
+            std::fprintf(stderr, "chaos: round %u %s skipped (%s)\n",
+                         round, chaosEventName(ev), why);
+        return true;
+    };
+
+    switch (ev) {
+    case ChaosEvent::DoubleFree: {
+        unsigned s = pickSmallSlot(heap, slots);
+        if (s == kSlots)
+            return skip("no small block live");
+        uint64_t off = slots[s];
+        uint64_t before = count(hs.double_frees);
+        if (heap.freeFrom(ctx, &slots[s]) != NvStatus::Ok)
+            return fail(round, ev, "priming free rejected");
+        sizes_[s] = 0;
+        if (heap.freeOffset(ctx, off, nullptr) != NvStatus::InvalidFree)
+            return fail(round, ev, "double free not rejected");
+        if (count(hs.double_frees) != before + 1)
+            return fail(round, ev, "double_frees did not move");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::WildFree: {
+        // The device tail is never mapped by the workload's footprint.
+        uint64_t off = dev.size() - kCacheLine;
+        uint64_t before = count(hs.wild_frees);
+        if (heap.ownsOffset(off))
+            return skip("device tail mapped");
+        if (heap.freeOffset(ctx, off, nullptr) != NvStatus::InvalidFree)
+            return fail(round, ev, "wild free not rejected");
+        if (count(hs.wild_frees) != before + 1)
+            return fail(round, ev, "wild_frees did not move");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::MisalignedFree: {
+        unsigned s = pickSmallSlot(heap, slots, /*min_size=*/16);
+        if (s == kSlots)
+            return skip("no block >= 16B live");
+        uint64_t before = count(hs.misaligned_frees);
+        if (heap.freeOffset(ctx, slots[s] + 8, nullptr) !=
+            NvStatus::InvalidFree)
+            return fail(round, ev, "interior free not rejected");
+        if (count(hs.misaligned_frees) != before + 1)
+            return fail(round, ev, "misaligned_frees did not move");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::CanaryStomp: {
+        unsigned s = pickSmallSlot(heap, slots);
+        if (s == kSlots)
+            return skip("no small block live");
+        uint64_t off = slots[s];
+        auto *slab = static_cast<VSlab *>(heap.slabRadix().get(off));
+        unsigned bsize = slab->blockSize();
+        // The application overflow: the canary word gets clobbered.
+        auto *w = reinterpret_cast<uint64_t *>(
+            static_cast<char *>(heap.at(off)) + bsize -
+            HardeningManager::kCanaryBytes);
+        *w ^= 0xdeadbeefcafef00dULL;
+        uint64_t before = count(hs.canary_stomps);
+        NvStatus st = heap.freeFrom(ctx, &slots[s]);
+        sizes_[s] = 0;
+        if (st != NvStatus::Ok)
+            return fail(round, ev,
+                        "stomped free should contain, not error");
+        if (count(hs.canary_stomps) != before + 1)
+            return fail(round, ev, "canary_stomps did not move");
+        if (slots[s] != 0)
+            return fail(round, ev, "attach word not cleared");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::CrossHeapFree: {
+        uint64_t victim = 0;
+        for (uint64_t cand : donor_offs) {
+            if (cand < dev.size() && !heap.ownsOffset(cand)) {
+                victim = cand;
+                break;
+            }
+        }
+        if (victim == 0)
+            return skip("all donor offsets collide with this heap");
+        uint64_t before = count(hs.cross_heap_frees);
+        if (heap.freeOffset(ctx, victim, nullptr) !=
+            NvStatus::InvalidFree)
+            return fail(round, ev, "cross-heap free not rejected");
+        if (count(hs.cross_heap_frees) != before + 1)
+            return fail(round, ev, "cross_heap_frees did not move");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::GuardOverflow: {
+        // Allocate until the sampler hands out a guard extent.
+        uint64_t goff = 0;
+        std::vector<uint64_t> chaff;
+        for (unsigned i = 0; i < 4 * 32 && goff == 0; ++i) {
+            uint64_t off = heap.allocOffset(ctx, 48, nullptr);
+            if (off == 0)
+                break;
+            if (heap.hardening().isGuard(off))
+                goff = off;
+            else
+                chaff.push_back(off);
+        }
+        for (uint64_t off : chaff)
+            heap.freeOffset(ctx, off, nullptr);
+        if (goff == 0)
+            return skip("sampler produced no guard");
+        // Linear overflow: one byte past the allocation, into the
+        // redzone fill.
+        static_cast<uint8_t *>(heap.at(goff))[48] = 0xaa;
+        uint64_t before = count(hs.guard_overflows);
+        if (heap.freeOffset(ctx, goff, nullptr) != NvStatus::Ok)
+            return fail(round, ev, "guard free should contain");
+        if (count(hs.guard_overflows) != before + 1)
+            return fail(round, ev, "guard_overflows did not move");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::QuarantineStomp: {
+        // Start from an empty FIFO: a saturated one evicts on push,
+        // leaving the depth unchanged. Morph-candidate blocks bypass
+        // the quarantine, so try a few victims.
+        heap.hardening().drainQuarantine();
+        uint64_t off = 0;
+        for (unsigned tries = 0; tries < 8 && off == 0; ++tries) {
+            unsigned s = pickSmallSlot(heap, slots);
+            if (s == kSlots)
+                break;
+            uint64_t cand = slots[s];
+            if (heap.freeFrom(ctx, &slots[s]) != NvStatus::Ok)
+                return fail(round, ev, "priming free rejected");
+            sizes_[s] = 0;
+            if (heap.hardening().quarantineDepth() > 0)
+                off = cand;
+        }
+        if (off == 0)
+            return skip("every victim bypassed the quarantine");
+        // The use-after-free write, into the poison fill.
+        std::memset(heap.at(off), 0x5a, 8);
+        uint64_t before = count(hs.quarantine_uaf);
+        heap.hardening().drainQuarantine();
+        if (count(hs.quarantine_uaf) != before + 1)
+            return fail(round, ev, "quarantine_uaf did not move");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::HeaderSmash: {
+        VSlab *victim = nullptr;
+        for (unsigned a = 0; a < heap.numArenas() && !victim; ++a) {
+            heap.arena(a).forEachSlab([&](VSlab *sl) {
+                if (!victim && !sl->morphing())
+                    victim = sl;
+            });
+        }
+        if (!victim)
+            return skip("no repairable slab");
+        victim->header()->size_class ^= 0x55;
+        HeapAuditor auditor(heap);
+        AuditReport rep = auditor.audit();
+        if (rep.slab_header_bad == 0)
+            return fail(round, ev, "smashed header not detected");
+        // Containment: repaired from the volatile mirror (the common
+        // post-round repair pass re-audits clean below).
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::PoisonLine: {
+        dev.poisonLine(dev.size() - kCacheLine);
+        HeapAuditor auditor(heap);
+        AuditReport rep = auditor.audit();
+        if (rep.poisoned_free_lines == 0)
+            return fail(round, ev, "poisoned line not detected");
+        ++detected_[unsigned(ev)];
+        return true;
+    }
+    case ChaosEvent::Crash:
+    case ChaosEvent::kCount:
+        break; // handled by the round loop
+    }
+    return true;
+}
+
+inline bool
+ChaosHarness::run()
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = opt_.device_mb << 20;
+    dcfg.shadow = true;
+    PmDevice dev(dcfg);
+
+    // The cross-heap donor: a second live heap on its own device. Its
+    // blocks' offsets are valid device offsets of the primary heap too
+    // (the devices are the same address space model), which is exactly
+    // the bug shape: a pointer from heap A freed into heap B. Padding
+    // pushes the donor's candidate blocks to high offsets the primary
+    // heap never maps, so the free classifies as wild there and the
+    // registry can attribute it to the donor.
+    PmDeviceConfig donor_cfg;
+    donor_cfg.size = opt_.device_mb << 20;
+    PmDevice donor_dev(donor_cfg);
+    NvAllocConfig donor_heap_cfg;
+    NvAlloc donor(donor_dev, donor_heap_cfg);
+    ThreadCtx *donor_ctx = donor.attachThread();
+    if (!donor_ctx) {
+        error_ = "donor heap attach failed";
+        return false;
+    }
+    size_t pad = (opt_.device_mb / 8) << 20;
+    for (unsigned i = 0; i < 2; ++i)
+        donor.allocOffset(*donor_ctx, pad, nullptr);
+    std::vector<uint64_t> donor_offs;
+    for (unsigned i = 0; i < 48; ++i) {
+        uint64_t off = donor.allocOffset(
+            *donor_ctx, i % 5 == 0 ? 32 * 1024 : 128, nullptr);
+        if (off)
+            donor_offs.push_back(off);
+    }
+
+    sizes_.assign(kSlots, 0);
+    uint64_t table_off = 0;
+
+    for (unsigned round = 0; round < opt_.rounds; ++round) {
+        ChaosEvent ev = ChaosEvent(round % kEventCount);
+        if (opt_.verbose)
+            std::fprintf(stderr, "chaos: round %u event %s\n", round,
+                         chaosEventName(ev));
+
+        // Fresh fault policy per round (reseeded): unfenced flushes
+        // may tear or drop when this round crashes.
+        FaultPolicy fp;
+        fp.seed = opt_.seed * 1000003ULL + round + 1;
+        fp.staged_persist_fraction = 0.7;
+        fp.word_granularity = true;
+        dev.enableFaultInjection(fp);
+
+        NvAlloc heap(dev, config());
+        if (heap.openStatus() != NvStatus::Ok)
+            return fail(round, ev, "heap failed to open");
+        ThreadCtx *ctx = heap.attachThread();
+        if (!ctx)
+            return fail(round, ev, "attach failed");
+
+        uint64_t *slots;
+        if (round == 0) {
+            heap.mallocTo(*ctx, kSlots * 8, heap.rootWord(0));
+            table_off = *heap.rootWord(0);
+            if (!table_off)
+                return fail(round, ev, "slot table alloc failed");
+            slots = static_cast<uint64_t *>(heap.at(table_off));
+            std::memset(slots, 0, kSlots * 8);
+            dev.persistFence(slots, kSlots * 8, TimeKind::FlushData);
+        } else {
+            if (*heap.rootWord(0) != table_off)
+                return fail(round, ev, "slot table root lost");
+            slots = static_cast<uint64_t *>(heap.at(table_off));
+            // Recovery convergence: every persistently published block
+            // must have survived; sizes are volatile and rebuilt lazily
+            // (a slot whose size is unknown is still freeable).
+            for (unsigned s = 0; s < kSlots; ++s) {
+                if (slots[s] != 0 && !offsetLive(heap, slots[s]))
+                    return fail(round, ev,
+                                "published block lost at slot " +
+                                    std::to_string(s));
+                if (slots[s] == 0)
+                    sizes_[s] = 0;
+            }
+        }
+
+        // Post-open audit: whatever the previous round did (including
+        // a mid-operation crash), recovery converged to a clean heap.
+        {
+            HeapAuditor auditor(heap);
+            AuditReport rep = auditor.audit();
+            if (rep.violations() != 0)
+                return fail(round, ev,
+                            "post-open audit:\n" + rep.summary());
+        }
+        if (pending_crash_) {
+            ++detected_[unsigned(ChaosEvent::Crash)];
+            pending_crash_ = false;
+        }
+
+        ++injected_[unsigned(ev)];
+        if (ev == ChaosEvent::Crash) {
+            unsigned nth = 1 + unsigned(rng_.nextBounded(150));
+            dev.armCrashAtFlush(nth);
+            churn(heap, *ctx, slots, opt_.ops_per_round, dev,
+                  /*crash_mode=*/true);
+            heap.simulateCrash();
+            pending_crash_ = true; // verified at the next open
+            ++rounds_run_;
+            continue;
+        }
+
+        churn(heap, *ctx, slots, opt_.ops_per_round, dev,
+              /*crash_mode=*/false);
+        if (!inject(ev, heap, *ctx, dev, slots, round, donor_offs))
+            return false;
+
+        // Containment: repair what is repairable (smashed header,
+        // poisoned free line), then the heap must audit clean again.
+        {
+            HeapAuditor auditor(heap);
+            auditor.repair();
+            AuditReport rep = auditor.audit();
+            if (rep.violations() != 0)
+                return fail(round, ev,
+                            "post-round audit:\n" + rep.summary());
+        }
+        heap.detachThread(ctx);
+        ++rounds_run_;
+    }
+
+    // Final life: everything still frees cleanly, and the emptied heap
+    // audits clean — the soak converged.
+    {
+        NvAlloc heap(dev, config());
+        if (heap.openStatus() != NvStatus::Ok) {
+            error_ = "final open failed";
+            return false;
+        }
+        ThreadCtx *ctx = heap.attachThread();
+        if (!ctx) {
+            error_ = "final attach failed";
+            return false;
+        }
+        if (pending_crash_) {
+            // The last round crashed; recovery converged iff this open
+            // audits clean (the free sweep below re-checks every slot).
+            HeapAuditor auditor(heap);
+            AuditReport rep = auditor.audit();
+            if (rep.violations() != 0) {
+                error_ = "post-crash final audit:\n" + rep.summary();
+                return false;
+            }
+            ++detected_[unsigned(ChaosEvent::Crash)];
+            pending_crash_ = false;
+        }
+        auto *slots = static_cast<uint64_t *>(heap.at(table_off));
+        for (unsigned s = 0; s < kSlots; ++s) {
+            if (slots[s] != 0 &&
+                heap.freeFrom(*ctx, &slots[s]) != NvStatus::Ok) {
+                error_ = "final free of slot " + std::to_string(s) +
+                         " rejected";
+                return false;
+            }
+        }
+        heap.hardening().drainQuarantine();
+        HeapAuditor auditor(heap);
+        AuditReport rep = auditor.audit();
+        if (rep.violations() != 0) {
+            error_ = "final audit:\n" + rep.summary();
+            return false;
+        }
+        heap.detachThread(ctx);
+    }
+
+    donor.detachThread(donor_ctx);
+    return true;
+}
+
+} // namespace nvalloc
+
+#endif // NVALLOC_TOOLS_CHAOS_HARNESS_H

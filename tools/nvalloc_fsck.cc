@@ -260,6 +260,7 @@ main(int argc, char **argv)
         if (!repair_json.empty())
             doc += ",\"repair\":" + repair_json +
                    ",\"final_audit\":" + rep.json();
+        doc += ",\"hardening\":" + alloc.hardening().json();
         doc += ",\"stats\":" + alloc.statsJson() + "}";
         std::printf("%s\n", doc.c_str());
         return rep.clean() ? 0 : 1;

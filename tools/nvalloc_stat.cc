@@ -20,6 +20,7 @@
  *   nvalloc_stat --reopen --trace 64  # recovery stats + event trace
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +40,7 @@ struct Options
     bool json = false;
     bool list = false;
     bool reopen = false; //!< dirty-restart + recover before reporting
+    bool hardening = false; //!< full hardening + hostile-free traffic
     size_t trace = 0;    //!< per-thread event-ring capacity
     size_t device_mb = 256;
     unsigned ops = 20000;
@@ -59,6 +61,9 @@ usage(const char *argv0)
         "  --device-mb N  emulated device size in MB (default 256)\n"
         "  --ops N        workload operations before reporting\n"
         "  --reopen       dirty-restart and recover before reporting\n"
+        "  --hardening    enable canaries/quarantine/guard sampling,\n"
+        "                 mix hostile frees into the workload, and\n"
+        "                 append the hardening report section\n"
         "  --trace N      arm per-thread event rings of N events and\n"
         "                 dump the merged trace\n"
         "  --ctl NAME     read one ctl leaf (repeatable)\n"
@@ -87,6 +92,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.json = true;
         } else if (a == "--reopen") {
             o.reopen = true;
+        } else if (a == "--hardening") {
+            o.hardening = true;
         } else if (a == "--list") {
             o.list = true;
             // Optional prefix: consume the next token unless it is
@@ -145,6 +152,11 @@ makeConfig(const Options &o)
     cfg.log_bookkeeping = !o.base;
     cfg.trace_ring_capacity = o.trace;
     cfg.maintenance_mode = o.maintenance;
+    if (o.hardening) {
+        cfg.redzone_canaries = true;
+        cfg.quarantine_depth = 32;
+        cfg.guard_sample_rate = 128;
+    }
     return cfg;
 }
 
@@ -164,10 +176,22 @@ runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
     };
     static const size_t sizes[] = {16, 48, 256, 1024, 4096, 24 * 1024,
                                    80 * 1024};
+    bool hostile = alloc.config().hardened_free &&
+                   alloc.config().quarantine_depth > 0;
     for (unsigned i = 0; i < ops; ++i) {
         if (i % 512 == 511 &&
             alloc.config().maintenance_mode == MaintenanceMode::Manual)
             alloc.maintenance().step();
+        if (hostile && i % 1024 == 1023 && !live.empty()) {
+            // Hostile-free traffic (--hardening): a double free and an
+            // interior-pointer free, both rejected and counted.
+            uint64_t off = live[rnd() % live.size()];
+            alloc.freeOffset(ctx, off + 1, nullptr);
+            alloc.freeOffset(ctx, off, nullptr);
+            alloc.freeOffset(ctx, off, nullptr);
+            live.erase(std::find(live.begin(), live.end(), off));
+            continue;
+        }
         if (live.empty() || rnd() % 3 != 0) {
             size_t size = sizes[rnd() % (sizeof(sizes) / sizeof(*sizes))];
             uint64_t off = alloc.allocOffset(ctx, size, nullptr);
@@ -280,6 +304,14 @@ main(int argc, char **argv)
             std::printf("%-40s %llu\n", name.c_str(),
                         (unsigned long long)v);
         });
+    }
+
+    if (o.hardening) {
+        if (o.json)
+            std::printf("%s\n", alloc.hardening().json().c_str());
+        else
+            std::printf("hardening: %s\n",
+                        alloc.hardening().json().c_str());
     }
 
     if (o.trace > 0 && !o.json)
