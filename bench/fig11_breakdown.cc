@@ -117,6 +117,21 @@ main(int argc, char **argv)
                         pct(TimeKind::FlushMeta), pct(TimeKind::FlushWal),
                         pct(TimeKind::FlushLog), pct(TimeKind::Search),
                         pct(TimeKind::LockWait), other);
+
+            std::string section = std::string("Fig 11 ") + bench.name;
+            benchJsonPoint(section, cfg.name, "rel_time",
+                           total / base_time);
+            benchJsonPoint(section, cfg.name, "FlushMeta",
+                           pct(TimeKind::FlushMeta));
+            benchJsonPoint(section, cfg.name, "FlushWAL",
+                           pct(TimeKind::FlushWal));
+            benchJsonPoint(section, cfg.name, "FlushLog",
+                           pct(TimeKind::FlushLog));
+            benchJsonPoint(section, cfg.name, "Search",
+                           pct(TimeKind::Search));
+            benchJsonPoint(section, cfg.name, "Lock",
+                           pct(TimeKind::LockWait));
+            benchJsonPoint(section, cfg.name, "Other", other);
         }
         std::printf("\n");
     }

@@ -9,11 +9,21 @@
 #   NVALLOC_BENCH_ALLOCATORS=nvalloc,nvalloc-gc,pmdk ./run_benches.sh
 # Unset (the default) runs the full comparison set.
 #
+# Every figure bench also writes a machine-readable
+# $NVALLOC_BENCH_JSON_DIR/BENCH_<fig>.json (default build/bench_json).
+# The virtual clock makes single-thread rows exactly reproducible for
+# a given seed (multi-thread rows jitter a few percent with host
+# scheduling); compare two runs (or a run against bench/baselines/)
+# with tools/bench_compare.py.
+#
 # Exits non-zero if any bench fails or times out (timeout exits 124),
 # after running the remaining benches so one bad figure does not hide
 # the others.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+export NVALLOC_BENCH_JSON_DIR="${NVALLOC_BENCH_JSON_DIR:-build/bench_json}"
+mkdir -p "$NVALLOC_BENCH_JSON_DIR"
 
 status=0
 fail() {

@@ -62,6 +62,8 @@ AuditReport::summary() const
     add("log_entry_orphan", log_entry_orphan);
     add("veh_unlogged", veh_unlogged);
     add("wal_entry_bad", wal_entry_bad);
+    add("tx_orphan_entries", tx_orphan_entries);
+    add("tx_conflict_staged", tx_conflict_staged);
     add("quarantine_bad", quarantine_bad);
     add("poisoned_free_lines", poisoned_free_lines);
     add("poisoned_live_lines", poisoned_live_lines);
@@ -69,6 +71,7 @@ AuditReport::summary() const
     add("repaired_headers", repaired_headers);
     add("repaired_bitmaps", repaired_bitmaps);
     add("repaired_wal_entries", repaired_wal_entries);
+    add("repaired_tx_entries", repaired_tx_entries);
     add("requarantined_slabs", requarantined_slabs);
     add("scrubbed_lines", scrubbed_lines);
     for (const auto &n : notes)
@@ -104,6 +107,8 @@ AuditReport::json() const
     add("log_entry_orphan", log_entry_orphan);
     add("veh_unlogged", veh_unlogged);
     add("wal_entry_bad", wal_entry_bad);
+    add("tx_orphan_entries", tx_orphan_entries);
+    add("tx_conflict_staged", tx_conflict_staged);
     add("quarantine_bad", quarantine_bad);
     add("poisoned_free_lines", poisoned_free_lines);
     add("poisoned_live_lines", poisoned_live_lines);
@@ -111,6 +116,7 @@ AuditReport::json() const
     add("repaired_headers", repaired_headers);
     add("repaired_bitmaps", repaired_bitmaps);
     add("repaired_wal_entries", repaired_wal_entries);
+    add("repaired_tx_entries", repaired_tx_entries);
     add("requarantined_slabs", requarantined_slabs);
     add("scrubbed_lines", scrubbed_lines);
     w.endObject();
@@ -182,6 +188,7 @@ HeapAuditor::run(bool repair)
     checkSlabs();
     checkExtentJournal();
     checkWalRings();
+    checkTxRecords();
     checkQuarantine();
     checkPoison();
     return rep_;
@@ -611,10 +618,28 @@ HeapAuditor::checkWalRings()
             unsigned op = unsigned(e.block_op & 3);
             if (op == kWalNone)
                 continue;
-            bool bad = dev.isPoisoned(&e, sizeof(e)) ||
-                       e.crc != walEntryCrc(e) ||
-                       op > unsigned(kWalFree) ||
-                       (e.block_op >> 2) >= dev.size();
+            bool bad =
+                dev.isPoisoned(&e, sizeof(e)) || e.crc != walEntryCrc(e);
+            if (!bad) {
+                // Structural rules per entry flavour. kWalTxData exists
+                // only inside a transaction: a word-write op (offset
+                // bounded) or a commit/abort record (op count bounded).
+                // Plain alloc/free entries carry a bounded offset and a
+                // tag that is either absent or a tx op.
+                if (op == unsigned(kWalTxData)) {
+                    bad = e.tx_id == 0 ||
+                          (e.tx_mark != kWalTxOp &&
+                           e.tx_mark != kWalTxCommit &&
+                           e.tx_mark != kWalTxAbort) ||
+                          (e.tx_mark == kWalTxOp
+                               ? (e.block_op >> 2) >= dev.size()
+                               : (e.block_op >> 2) > kWalRingEntries);
+                } else {
+                    bad = (e.block_op >> 2) >= dev.size() ||
+                          (e.tx_id == 0 ? e.tx_mark != kWalTxNone
+                                        : e.tx_mark != kWalTxOp);
+                }
+            }
             if (!bad)
                 continue;
             ++rep_.wal_entry_bad;
@@ -627,6 +652,117 @@ HeapAuditor::checkWalRings()
                 dev.clearPoison(ring_off + s * sizeof(WalEntry));
                 ++rep_.repaired_wal_entries;
             }
+        }
+    }
+}
+
+/**
+ * Transaction-layer invariants over the WAL rings and the volatile
+ * staged registry (DESIGN.md §11):
+ *
+ *  - every intact tx-tagged op entry belongs to a transaction that is
+ *    either still open (live audit) or has its commit/abort record in
+ *    the same ring — anything else is an orphan: its tx can never be
+ *    resolved (a stomped record, or entries that leaked past
+ *    recovery), and replay would mis-handle the run after the next
+ *    crash. Repair scrubs the orphaned entries; the run was either
+ *    fully applied (record stomped after apply) or will be undone as
+ *    recordless on recovery, so the entries carry no information a
+ *    future replay may rely on once flagged;
+ *  - no transaction has both a commit and an abort record (ambiguous
+ *    resolution; reported, never repaired by guessing);
+ *  - every offset in the staged registry is a currently-allocated
+ *    block: a staged-but-free block means tx bookkeeping and the heap
+ *    disagree, and a plain allocation could now hand the same block
+ *    out twice. Repair re-claims slab blocks.
+ */
+void
+HeapAuditor::checkTxRecords()
+{
+    PmDevice &dev = a_.dev_;
+    const NvSuperblock *sb = a_.sb_;
+
+    for (unsigned slot = 0; slot < kMaxThreads; ++slot) {
+        uint64_t ring_off = sb->wal_off + uint64_t(slot) * kWalRingBytes;
+        auto *ring = static_cast<WalEntry *>(dev.at(ring_off));
+
+        struct TxRun
+        {
+            std::vector<unsigned> op_slots;
+            bool commit = false;
+            bool abort = false;
+        };
+        std::unordered_map<uint32_t, TxRun> runs;
+        for (unsigned s = 0; s < kWalRingBytes / sizeof(WalEntry); ++s) {
+            WalEntry &e = ring[s];
+            if ((e.block_op & 3) == kWalNone || e.tx_id == 0)
+                continue;
+            if (dev.isPoisoned(&e, sizeof(e)) || e.crc != walEntryCrc(e))
+                continue; // checkWalRings already counted/repaired it
+            TxRun &r = runs[e.tx_id];
+            if (e.tx_mark == kWalTxCommit)
+                r.commit = true;
+            else if (e.tx_mark == kWalTxAbort)
+                r.abort = true;
+            else
+                r.op_slots.push_back(s);
+        }
+
+        for (auto &[id, r] : runs) {
+            if (r.commit && r.abort) {
+                ++rep_.tx_orphan_entries;
+                note(fmt("wal ring %llu: tx %llu has both commit and "
+                         "abort records",
+                         slot, id));
+                continue;
+            }
+            if (r.op_slots.empty() || r.commit || r.abort ||
+                a_.tx_mgr_.isOpen(id))
+                continue;
+            ++rep_.tx_orphan_entries;
+            note(fmt("wal ring %llu: orphaned entries of tx %llu", slot,
+                     id));
+            if (repair_) {
+                for (unsigned s : r.op_slots) {
+                    WalEntry &e = ring[s];
+                    std::memset(&e, 0, sizeof(e));
+                    dev.persist(&e, sizeof(e), TimeKind::FlushWal);
+                    dev.fence();
+                    dev.clearPoison(ring_off + s * sizeof(WalEntry));
+                    ++rep_.repaired_tx_entries;
+                }
+            }
+        }
+    }
+
+    for (uint64_t off : a_.tx_mgr_.stagedSnapshot()) {
+        bool allocated = false;
+        VSlab *slab = off < dev.size() ? a_.slabOf(off) : nullptr;
+        unsigned idx = 0;
+        if (slab) {
+            unsigned old_idx = 0;
+            if (slab->isOldBlock(off, old_idx)) {
+                allocated = true;
+            } else {
+                idx = slab->blockIndexOf(off);
+                allocated = idx < slab->capacity() &&
+                            slab->blockOffset(idx) == off &&
+                            slab->isAllocated(idx);
+            }
+        } else if (off < dev.size()) {
+            Veh *veh = a_.large_.findVeh(off);
+            allocated = veh && veh->off == off &&
+                        veh->state == Veh::State::Activated;
+        }
+        if (allocated)
+            continue;
+        ++rep_.tx_conflict_staged;
+        note(fmt("tx-staged block 0x%llx is not allocated", off));
+        if (repair_ && slab && idx < slab->capacity() &&
+            slab->blockOffset(idx) == off) {
+            VLockGuard g(slab->arena->lock);
+            slab->claimBlock(idx);
+            ++rep_.repaired_tx_entries;
         }
     }
 }

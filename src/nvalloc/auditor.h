@@ -78,6 +78,9 @@ struct AuditReport
     uint64_t log_entry_orphan = 0;  //!< live entry, no extent
     uint64_t veh_unlogged = 0;      //!< activated extent, no entry
     uint64_t wal_entry_bad = 0;     //!< occupied entry, bad crc
+    uint64_t tx_orphan_entries = 0; //!< tx entries of a tx that is
+                                    //!< neither open nor resolved
+    uint64_t tx_conflict_staged = 0; //!< staged block not allocated
     uint64_t quarantine_bad = 0;
 
     // Informational (do not make the heap un-clean).
@@ -90,6 +93,7 @@ struct AuditReport
     uint64_t repaired_headers = 0;
     uint64_t repaired_bitmaps = 0;
     uint64_t repaired_wal_entries = 0;
+    uint64_t repaired_tx_entries = 0; //!< orphaned tx entries scrubbed
     uint64_t requarantined_slabs = 0;
     uint64_t scrubbed_lines = 0;
 
@@ -103,7 +107,8 @@ struct AuditReport
                extent_gap + slab_header_bad + slab_veh_mismatch +
                bitmap_mismatch + counter_mismatch + log_chain_bad +
                log_entry_bad + log_entry_orphan + veh_unlogged +
-               wal_entry_bad + quarantine_bad;
+               wal_entry_bad + tx_orphan_entries + tx_conflict_staged +
+               quarantine_bad;
     }
 
     bool clean() const { return violations() == 0; }
@@ -154,6 +159,7 @@ class HeapAuditor
     void checkSlabs();
     void checkExtentJournal();
     void checkWalRings();
+    void checkTxRecords();
     void checkQuarantine();
     void checkPoison();
     bool lineIsFree(uint64_t line);

@@ -118,6 +118,7 @@ HardeningManager::report(CorruptionKind kind, uint64_t off,
         break;
     case CorruptionKind::CanaryStomp: bump(stats_.canary_stomps); break;
     case CorruptionKind::QuarantineStomp: bump(stats_.quarantine_uaf); break;
+    case CorruptionKind::TxStagedFree: bump(stats_.tx_staged_frees); break;
     }
     bump(stats_.reports);
 
@@ -362,6 +363,7 @@ HardeningManager::json() const
     field("wild_frees", v(stats_.wild_frees));
     field("cross_heap_frees", v(stats_.cross_heap_frees));
     field("canary_stomps", v(stats_.canary_stomps));
+    field("tx_staged_frees", v(stats_.tx_staged_frees));
     field("guard_allocs", v(stats_.guard_allocs));
     field("guard_frees", v(stats_.guard_frees));
     field("guard_overflows", v(stats_.guard_overflows));

@@ -71,6 +71,7 @@ enum class CorruptionKind : uint8_t
     CrossHeapFree,     //!< offset owned by a *different* live heap
     CanaryStomp,       //!< per-block canary overwritten
     QuarantineStomp,   //!< quarantined block's poison fill dirtied
+    TxStagedFree,      //!< plain free of a block staged in an open tx
 };
 
 inline const char *
@@ -85,6 +86,7 @@ corruptionKindName(CorruptionKind k)
     case CorruptionKind::CrossHeapFree: return "cross-heap-free";
     case CorruptionKind::CanaryStomp: return "canary-stomp";
     case CorruptionKind::QuarantineStomp: return "quarantine-stomp";
+    case CorruptionKind::TxStagedFree: return "tx-staged-free";
     }
     return "?";
 }
@@ -116,6 +118,7 @@ struct HardeningStats
     std::atomic<uint64_t> wild_frees{0};
     std::atomic<uint64_t> cross_heap_frees{0};
     std::atomic<uint64_t> canary_stomps{0};
+    std::atomic<uint64_t> tx_staged_frees{0}; //!< frees racing an open tx
     std::atomic<uint64_t> guard_allocs{0};
     std::atomic<uint64_t> guard_frees{0};
     std::atomic<uint64_t> guard_overflows{0};

@@ -201,8 +201,11 @@ LargeAllocator::splitFront(Veh *veh, uint64_t size)
 }
 
 bool
-LargeAllocator::activate(Veh *veh, bool is_slab)
+LargeAllocator::activate(Veh *veh, bool is_slab,
+                         const PreLogHook &pre_log)
 {
+    if (pre_log)
+        pre_log(veh->off);
     if (log_) {
         // Append before publishing the volatile state so a log-region
         // exhaustion can be undone without unwinding list membership.
@@ -240,7 +243,8 @@ LargeAllocator::retire(Veh *veh)
 }
 
 uint64_t
-LargeAllocator::allocateDirect(uint64_t size)
+LargeAllocator::allocateDirect(uint64_t size,
+                               const PreLogHook &pre_log)
 {
     uint64_t total =
         alignUp(size + kRegionHeaderSize, PmDevice::kRegionAlign);
@@ -272,7 +276,7 @@ LargeAllocator::allocateDirect(uint64_t size)
     veh->size = total - kRegionHeaderSize;
     veh->is_direct = true;
     rtree_.setRange(veh->off, veh->size, veh);
-    if (!activate(veh, false)) {
+    if (!activate(veh, false, pre_log)) {
         rtree_.setRange(veh->off, veh->size, nullptr);
         regionTableRemove(off);
         desc_free_.erase(off);
@@ -285,7 +289,8 @@ LargeAllocator::allocateDirect(uint64_t size)
 }
 
 uint64_t
-LargeAllocator::allocate(uint64_t size, bool is_slab)
+LargeAllocator::allocate(uint64_t size, bool is_slab,
+                         const PreLogHook &pre_log)
 {
     VLockGuard guard(lock_);
     decayTick();
@@ -293,7 +298,7 @@ LargeAllocator::allocate(uint64_t size, bool is_slab)
     size = alignUp(size, kExtentAlign);
 
     if (size > kLargeMax)
-        return allocateDirect(size);
+        return allocateDirect(size, pre_log);
 
     // Best fit in the reclaimed list first, then the retained list
     // (paper §4.3); a hit in retained re-commits physical memory.
@@ -313,7 +318,7 @@ LargeAllocator::allocate(uint64_t size, bool is_slab)
         Veh *front = splitFront(veh, size);
         if (from_retained)
             dev_->recommit(front->off, front->size);
-        if (!activate(front, is_slab)) {
+        if (!activate(front, is_slab, pre_log)) {
             front->freed_at = VClock::now();
             insertFree(front, Veh::State::Reclaimed);
             return 0;
@@ -324,7 +329,7 @@ LargeAllocator::allocate(uint64_t size, bool is_slab)
     removeFree(veh);
     if (from_retained)
         dev_->recommit(veh->off, veh->size);
-    if (!activate(veh, is_slab)) {
+    if (!activate(veh, is_slab, pre_log)) {
         veh->freed_at = VClock::now();
         insertFree(veh, Veh::State::Reclaimed);
         return 0;

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <utility>
@@ -97,11 +98,26 @@ class LargeAllocator
               uint64_t *region_table, unsigned region_slots);
 
     /**
+     * Pre-durability hook for allocate(): invoked with the chosen
+     * extent's offset immediately before the extent's own durability
+     * point (the bookkeeping-log append, or the descriptor write in
+     * in-place mode), so the caller can journal the allocation first.
+     * Ordering the journal entry before the extent's record means a
+     * crash between the two leaves a WAL intent recovery can undo —
+     * never an activated extent no journal knows about.
+     */
+    using PreLogHook = std::function<void(uint64_t off)>;
+
+    /**
      * Allocate an extent of exactly `size` bytes (rounded up to the
      * 16 KB extent grain; sizes above 2 MB get a direct region).
      * Returns the device offset, or 0 if the device is exhausted.
+     * When `pre_log` is set it runs once per attempt that reached an
+     * extent; on a 0 return the caller must unwind whatever the hook
+     * journalled (the extent itself was returned to the free lists).
      */
-    uint64_t allocate(uint64_t size, bool is_slab);
+    uint64_t allocate(uint64_t size, bool is_slab,
+                      const PreLogHook &pre_log = {});
 
     /** Free the extent starting at `off` (must be a start address). */
     void free(uint64_t off);
@@ -269,8 +285,8 @@ class LargeAllocator
 
     Veh *bestFit(SizeTree &tree, uint64_t size);
     Veh *newRegion();
-    uint64_t allocateDirect(uint64_t size);
-    bool activate(Veh *veh, bool is_slab);
+    uint64_t allocateDirect(uint64_t size, const PreLogHook &pre_log);
+    bool activate(Veh *veh, bool is_slab, const PreLogHook &pre_log);
     void retire(Veh *veh);
     Veh *splitFront(Veh *veh, uint64_t size);
     Veh *coalesce(Veh *veh);

@@ -35,8 +35,9 @@ constexpr uint64_t kLogMagic = 0x4e564c4f47484452ULL;   // "NVLOGHDR"
 
 /** On-media format version. 2 added checksums on every persistent
  *  header (WAL entries, log chunks, slab headers, superblock) and the
- *  superblock quarantine list. */
-constexpr uint32_t kSuperVersion = 2;
+ *  superblock quarantine list. 3 added the transaction fields of the
+ *  WAL entry (tx_id/tx_mark under the crc) and the kWalTxData op. */
+constexpr uint32_t kSuperVersion = 3;
 
 constexpr size_t kRegionSize = 4 * 1024 * 1024;  //!< heap growth grain
 constexpr size_t kRegionHeaderSize = 64 * 1024;  //!< in-place desc area
@@ -180,10 +181,19 @@ constexpr unsigned kDescsPerRegion = kRegionHeaderSize / sizeof(ExtentDesc);
  * completion by checking whether the user's attach word holds the
  * block offset.
  *
- * The crc covers the four payload words. A torn or poisoned entry
- * fails verification and replay treats it as uncommitted: the
- * operation it described never finished, so it is undone, never
- * replayed forward from garbage.
+ * The crc covers the payload words, including the transaction tag. A
+ * torn or poisoned entry fails verification and replay treats it as
+ * uncommitted: the operation it described never finished, so it is
+ * undone, never replayed forward from garbage.
+ *
+ * Transactions (DESIGN.md §11) reuse the same entries: a tx op carries
+ * the owning transaction id in tx_id (0 = non-transactional, the
+ * entire fast path), and the tx layer's control records — the single
+ * commit record, and the abort record written after a live rollback —
+ * are entries with op kWalTxData and tx_mark kWalTxCommit/kWalTxAbort.
+ * kWalTxData entries with tx_mark kWalTxOp journal an 8-byte undo/redo
+ * word write: block_op holds the target offset, where_off the old
+ * (undo) value and size the new (redo) value.
  *
  * Sized to exactly one line so an entry can never straddle two lines:
  * the append stays a single flush and a torn persist cannot split one
@@ -194,10 +204,14 @@ struct WalEntry
     uint64_t block_op;  //!< [63:2] block device offset, [1:0] op
     uint64_t seq;
     uint64_t where_off; //!< attach word's device offset (kWalNoWhere
-                        //!< if the attach target is volatile)
-    uint64_t size;
-    uint64_t crc;       //!< crc32c of the 32 payload bytes above
-    uint8_t pad[kCacheLine - 40];
+                        //!< if the attach target is volatile); the old
+                        //!< word value for kWalTxData writes
+    uint64_t size;      //!< request size; the new word value for
+                        //!< kWalTxData writes
+    uint32_t tx_id;     //!< owning transaction (0 = not transactional)
+    uint32_t tx_mark;   //!< WalTxMark role of a tx-tagged entry
+    uint64_t crc;       //!< crc32c of the 40 payload bytes above
+    uint8_t pad[kCacheLine - 48];
 };
 
 static_assert(sizeof(WalEntry) == kCacheLine);
@@ -213,6 +227,19 @@ enum WalOp : uint64_t
     kWalNone = 0,
     kWalAlloc = 1,
     kWalFree = 2,
+    /** Transaction-layer entry: an undo/redo word write (tx_mark
+     *  kWalTxOp) or a commit/abort control record. Never appears with
+     *  tx_id == 0. */
+    kWalTxData = 3,
+};
+
+/** Role of a tx-tagged WAL entry (tx_id != 0). */
+enum WalTxMark : uint32_t
+{
+    kWalTxNone = 0,   //!< not transactional (tx_id == 0)
+    kWalTxOp = 1,     //!< one alloc/free/write op of transaction tx_id
+    kWalTxCommit = 2, //!< the commit record: tx_id is durable
+    kWalTxAbort = 3,  //!< rollback of tx_id completed before the crash
 };
 
 constexpr uint64_t kWalNoWhere = ~uint64_t{0};
@@ -222,6 +249,14 @@ constexpr uint64_t kWalNoWhere = ~uint64_t{0};
 // for any stripe count <= 32).
 constexpr unsigned kWalRingEntries = 32;
 constexpr size_t kWalRingBytes = 4096;
+
+/**
+ * Transaction size bound: ops per transaction, chosen so a tx's whole
+ * WAL run — every op entry plus the commit/abort record — fits the
+ * owning thread's ring without wrapping onto itself. The run is the
+ * only rollback record there is, so an overwrite would be data loss.
+ */
+constexpr unsigned kTxMaxOps = kWalRingEntries - 2;
 
 /** Bookkeeping log entry (8 B; paper §5.3): [63:62] type,
  *  [61:54] fold checksum, [53:26] addr in 4 KB units (covers a 1 TB

@@ -188,6 +188,10 @@ NvAlloc::~NvAlloc()
     {
         std::lock_guard<std::mutex> g(attach_mutex_);
         for (ThreadCtx *ctx : ctxs_) {
+            // Clean shutdown mid-transaction: roll back, exactly like
+            // a detach would — recovery must find nothing in flight.
+            if (ctx->tx.open())
+                txAbort(*ctx);
             drainTcache(ctx);
             delete ctx;
         }
@@ -366,6 +370,10 @@ NvAlloc::drainTcache(ThreadCtx *ctx)
 void
 NvAlloc::detachThread(ThreadCtx *ctx)
 {
+    // A detach mid-transaction rolls the transaction back: the staged
+    // registry must not outlive the thread that can resolve it.
+    if (ctx->tx.open())
+        txAbort(*ctx);
     drainTcache(ctx);
     ctx->arena->thread_count.fetch_sub(1);
     attached_threads_.fetch_sub(1);
@@ -519,7 +527,8 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
     // then persist the allocation bit; the attach word write that
     // commits the operation happens in the caller.
     if (logMode())
-        ctx.wal.append(kWalAlloc, blk.off, where_off, size);
+        ctx.wal.append(kWalAlloc, blk.off, where_off, size,
+                       ctx.journal_tx_id);
     {
         VLockGuard g(blk.slab->arena->lock);
         blk.slab->markAllocated(blk.idx);
@@ -533,19 +542,35 @@ uint64_t
 NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
 {
     maint_.pollLogPressure();
-    uint64_t off = large_.allocate(size, false);
+    // Large allocations journal in both variants (paper Table 2), and
+    // the WAL entry must reach media before the extent's own
+    // bookkeeping-log entry does: the pre-log hook runs once an extent
+    // is chosen, so a crash between the two durability points leaves a
+    // WAL intent recovery can undo — not an activated extent that no
+    // journal (and no transaction run) knows about.
+    bool journaled = false;
+    auto journal = [&](uint64_t off) {
+        ctx.wal.append(kWalAlloc, off, where_off, size,
+                       ctx.journal_tx_id);
+        journaled = true;
+    };
+    uint64_t off = large_.allocate(size, false, journal);
     if (off == 0) {
+        if (journaled) // extent chosen, then its log append refused
+            ctx.wal.retireNewest();
         if (large_.lastFailure() == NvStatus::InvalidArgument)
             return failAlloc(); // unrepresentable size; retry is moot
         reclaimMemory(ctx);
-        off = large_.allocate(size, false);
-        if (off == 0)
+        journaled = false;
+        off = large_.allocate(size, false, journal);
+        if (off == 0) {
+            if (journaled)
+                ctx.wal.retireNewest();
             return failAlloc();
+        }
         ++deg_stats_.reclaim_successes;
     }
     setMode(HeapMode::Normal);
-    // Large allocations journal in both variants (paper Table 2).
-    ctx.wal.append(kWalAlloc, off, where_off, size);
     VClock::advance(kMallocCpuNs, TimeKind::Other);
     tel_.noteLargeAlloc(size, off);
     return off;
@@ -585,15 +610,23 @@ uint64_t
 NvAlloc::guardAlloc(ThreadCtx &ctx, size_t size, uint64_t where_off)
 {
     maint_.pollLogPressure();
-    uint64_t off = large_.allocate(size + kCacheLine, false);
-    if (off == 0)
+    // Journal like any large allocation (and like allocLarge, via the
+    // pre-log hook so the WAL entry is durable before the extent's log
+    // entry): after a crash the guard is recovered as a plain activated
+    // extent (its registration is volatile, so the redzone is no longer
+    // checked — documented best-effort).
+    bool journaled = false;
+    uint64_t off = large_.allocate(
+        size + kCacheLine, false, [&](uint64_t o) {
+            ctx.wal.append(kWalAlloc, o, where_off, size);
+            journaled = true;
+        });
+    if (off == 0) {
+        if (journaled)
+            ctx.wal.retireNewest();
         return allocSmall(ctx, size, where_off);
+    }
     setMode(HeapMode::Normal);
-    // Journal like any large allocation: after a crash the guard is
-    // recovered as a plain activated extent (its registration is
-    // volatile, so the redzone is no longer checked — documented
-    // best-effort).
-    ctx.wal.append(kWalAlloc, off, where_off, size);
     Veh *veh = large_.findVeh(off); // just allocated by this thread
     NV_ASSERT(veh && veh->off == off);
     hardening_.armGuard(off, size, veh->size);
@@ -703,6 +736,14 @@ NvAlloc::ownsOffset(uint64_t off) const
 uint64_t
 NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
 {
+    // See freeOffset: plain ops would shadow the open tx run's WAL
+    // resolution; the tx surface (txAlloc) is the way to allocate here.
+    if (ctx.tx.open()) {
+        tx_mgr_.stats().plain_ops_rejected.fetch_add(
+            1, std::memory_order_relaxed);
+        failOp(NvStatus::InvalidArgument);
+        return 0;
+    }
     if (size == 0) {
         failOp(NvStatus::InvalidArgument);
         ++deg_stats_.failed_allocs;
@@ -747,8 +788,21 @@ NvAlloc::mallocTo(ThreadCtx &ctx, size_t size, uint64_t *where)
 NvStatus
 NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
 {
+    // While this thread holds an open transaction, an untagged entry at
+    // its ring tail would shadow the run's all-or-nothing resolution
+    // after a crash — plain ops are rejected until commit/abort.
+    if (ctx.tx.open()) {
+        tx_mgr_.stats().plain_ops_rejected.fetch_add(
+            1, std::memory_order_relaxed);
+        return failOp(NvStatus::InvalidArgument);
+    }
     if (off == 0 || off >= dev_.size())
         return rejectFree(off, CorruptionKind::WildFree);
+    // A block staged by ANY open transaction (allocated-but-unpublished
+    // or pending a deferred free) is off-limits to plain free until
+    // the transaction resolves. One relaxed load when no tx is staging.
+    if (tx_mgr_.isStaged(off))
+        return rejectFree(off, CorruptionKind::TxStagedFree);
 
     uint64_t where_off =
         where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;

@@ -43,6 +43,7 @@
 #include "nvalloc/maintenance.h"
 #include "nvalloc/status.h"
 #include "nvalloc/tcache.h"
+#include "nvalloc/tx.h"
 #include "nvalloc/wal.h"
 #include "pm/pm_device.h"
 #include "telemetry/ctl.h"
@@ -79,6 +80,14 @@ struct ThreadCtx
      *  this thread's small allocation to a guard extent every
      *  guard_sample_rate-th increment. Thread-private. */
     unsigned guard_tick = 0;
+
+    /** Open-transaction state (tx.h). Thread-private. */
+    TxContext tx;
+
+    /** Tx id the internal alloc paths tag their WAL entries with; set
+     *  only by the tx layer around its own allocSmall/allocLarge
+     *  calls, zero (untagged) for every plain operation. */
+    uint32_t journal_tx_id = 0;
 };
 
 /**
@@ -97,6 +106,8 @@ struct RecoveryInfo
     uint64_t free_extents_rebuilt = 0;
     uint64_t wal_completions = 0;    //!< in-flight ops rolled forward
     uint64_t wal_undos = 0;          //!< in-flight ops rolled back
+    uint64_t tx_committed = 0;       //!< in-flight txs rolled forward
+    uint64_t tx_rolled_back = 0;     //!< in-flight txs rolled back
     uint64_t wal_rejected = 0;       //!< torn/poisoned WAL entries
     uint64_t log_entries_rejected = 0; //!< bad bookkeeping-log entries
     uint64_t log_chunks_rejected = 0;  //!< bad log chunk headers
@@ -221,6 +232,56 @@ class NvAlloc
      *  persistent pointers. allocOffset returns 0 on exhaustion. */
     uint64_t allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where);
     NvStatus freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where);
+
+    // ---- transactions (tx.h, DESIGN.md §11) -------------------------
+
+    /**
+     * Open a transaction on this thread. InvalidArgument when one is
+     * already open, when the heap is degraded, or under the GC/IC
+     * variants (the tx protocol journals through the per-thread WALs,
+     * which only the LOG variant maintains). While the tx is open,
+     * plain alloc/free on this ThreadCtx are rejected; commit or abort
+     * closes it. Detach and shutdown auto-abort an open tx.
+     */
+    NvStatus txBegin(ThreadCtx &ctx);
+
+    /** Allocate inside the open tx. The block is durable immediately
+     *  but unreachable — its offset is published into `where` only at
+     *  commit; a crash before the commit record rolls it back. Returns
+     *  0 on failure (exhaustion, no open tx, tx full). */
+    uint64_t txAlloc(ThreadCtx &ctx, size_t size, uint64_t *where);
+
+    /** Stage a free inside the open tx: validated now (same ordered
+     *  validator contract as freeOffset), applied at commit. The block
+     *  stays allocated — and rejected by plain free() — until then. */
+    NvStatus txFree(ThreadCtx &ctx, uint64_t off);
+
+    /** Transactional 8-byte update of a persistent word inside the
+     *  device. The old value is journaled (bounded undo), the new
+     *  value lands in place immediately; abort or crash-rollback
+     *  restores the old value. */
+    NvStatus txWrite(ThreadCtx &ctx, uint64_t *word, uint64_t value);
+
+    /** Commit: one epoch-separated commit record + flush, then apply
+     *  (publish attach words, perform deferred frees). After the
+     *  record's flush returns, the tx is durable — a crash mid-apply
+     *  redoes the remainder on recovery. */
+    NvStatus txCommit(ThreadCtx &ctx);
+
+    /** Abort: roll every staged op back (restore words, free staged
+     *  allocations), then journal an abort record. */
+    NvStatus txAbort(ThreadCtx &ctx);
+
+    TxManager &txManager() { return tx_mgr_; }
+    const TxManager &txManager() const { return tx_mgr_; }
+
+    /** The stats.tx.* family plus live staged/open gauges as a JSON
+     *  object, for nvalloc_fsck --json and nvalloc_stat --tx. */
+    std::string txJson() const;
+
+    /** C-API helper: record a tx call rejected before a ThreadCtx even
+     *  exists (degraded-open heap) so nvalloc_errno reads EINVAL. */
+    NvStatus txRejected();
 
     // ---- roots & helpers --------------------------------------------
 
@@ -404,6 +465,10 @@ class NvAlloc
     // drained explicitly in ~NvAlloc while the arenas still exist.
     HardeningManager hardening_;
 
+    // Transaction bookkeeping (tx.h): open ids, the staged-offset
+    // registry the free validator probes, stats.tx.* counters.
+    TxManager tx_mgr_;
+
     // Dotted-name registry, built on first ctl use (stats.cc); the
     // ~330 readers are not worth constructing for heaps that are
     // never introspected.
@@ -445,6 +510,14 @@ class NvAlloc
     void stampCanary(uint64_t off, unsigned block_size);
     bool canaryOk(uint64_t off, unsigned block_size) const;
     void restampCanaries();
+
+    // Transaction internals (tx.cc).
+    void applyTxFree(uint64_t off);
+    void undoTxAlloc(uint64_t off);
+    void finishTx(ThreadCtx &ctx, bool committed);
+    void resolveTxRun(uint64_t ring_off, uint32_t tx_id);
+    void txRedoRun(const std::vector<WalEntry> &run);
+    void txUndoRun(const std::vector<WalEntry> &run);
 
     void publish(uint64_t *where, uint64_t value);
     void reclaimMemory(ThreadCtx &ctx);

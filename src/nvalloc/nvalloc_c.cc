@@ -10,6 +10,9 @@
 
 namespace nvalloc {
 
+static_assert(NVALLOC_TX_MAX_OPS == kTxMaxOps,
+              "C header tx-op bound out of sync with layout.h");
+
 struct NvInstance
 {
     explicit NvInstance(std::unique_ptr<NvAlloc> a)
@@ -159,10 +162,14 @@ nvalloc_free_from(NvInstance *inst, uint64_t *where)
                : NVALLOC_EINVAL;
 }
 
+namespace {
+
+/** The errno mapping shared by nvalloc_errno and the tx calls'
+ *  return values. */
 int
-nvalloc_errno(NvInstance *inst)
+mapStatus(NvStatus s)
 {
-    switch (inst->alloc->lastStatus()) {
+    switch (s) {
     case NvStatus::Ok:
         return NVALLOC_OK;
     case NvStatus::OutOfMemory:
@@ -179,6 +186,99 @@ nvalloc_errno(NvInstance *inst)
         return NVALLOC_ECORRUPT;
     }
     return NVALLOC_OK;
+}
+
+} // namespace
+
+int
+nvalloc_errno(NvInstance *inst)
+{
+    return mapStatus(inst->alloc->lastStatus());
+}
+
+/** Shared preamble of the tx entry points: a degraded instance rejects
+ *  every tx call outright (EINVAL, with nvalloc_errno set via
+ *  txRejected — the heap is read-only); then the implicit per-thread
+ *  attach. Returns nullptr with *err set on refusal. */
+static ThreadCtx *
+txEnter(NvInstance *inst, int *err)
+{
+    if (inst->alloc->openStatus() != NvStatus::Ok) {
+        inst->alloc->txRejected();
+        *err = NVALLOC_EINVAL;
+        return nullptr;
+    }
+    ThreadCtx *ctx = inst->ctx();
+    if (!ctx) {
+        *err = NVALLOC_EAGAIN;
+        return nullptr;
+    }
+    return ctx;
+}
+
+int
+nvalloc_tx_begin(NvInstance *inst)
+{
+    int err = NVALLOC_OK;
+    ThreadCtx *ctx = txEnter(inst, &err);
+    if (!ctx)
+        return err;
+    return mapStatus(inst->alloc->txBegin(*ctx));
+}
+
+void *
+nvalloc_tx_alloc(NvInstance *inst, size_t size, uint64_t *where)
+{
+    int err = NVALLOC_OK;
+    ThreadCtx *ctx = txEnter(inst, &err);
+    if (!ctx)
+        return nullptr;
+    uint64_t off = inst->alloc->txAlloc(*ctx, size, where);
+    return off ? inst->alloc->device().at(off) : nullptr;
+}
+
+int
+nvalloc_tx_free(NvInstance *inst, uint64_t *where)
+{
+    int err = NVALLOC_OK;
+    ThreadCtx *ctx = txEnter(inst, &err);
+    if (!ctx)
+        return err;
+    if (!where || *where == 0) {
+        inst->alloc->txRejected();
+        return NVALLOC_EINVAL;
+    }
+    return mapStatus(inst->alloc->txFree(*ctx, *where));
+}
+
+int
+nvalloc_tx_write(NvInstance *inst, uint64_t *word, uint64_t value)
+{
+    int err = NVALLOC_OK;
+    ThreadCtx *ctx = txEnter(inst, &err);
+    if (!ctx)
+        return err;
+    return mapStatus(inst->alloc->txWrite(*ctx, word, value));
+}
+
+int
+nvalloc_tx_commit(NvInstance *inst)
+{
+    int err = NVALLOC_OK;
+    ThreadCtx *ctx = txEnter(inst, &err);
+    if (!ctx)
+        return err;
+    return mapStatus(inst->alloc->txCommit(*ctx));
+}
+
+int
+nvalloc_tx_abort(NvInstance *inst)
+{
+    int err = NVALLOC_OK;
+    ThreadCtx *ctx = txEnter(inst, &err);
+    if (!ctx)
+        return err;
+    return mapStatus(inst->alloc->txAbort(*ctx));
 }
 
 uint64_t *

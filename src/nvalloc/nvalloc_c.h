@@ -173,6 +173,52 @@ int nvalloc_free_from(NvInstance *inst, uint64_t *where);
  *  successful calls do not reset it). */
 int nvalloc_errno(NvInstance *inst);
 
+/* ---- transactions (DESIGN.md §11) ---------------------------------
+ *
+ * A transaction groups allocations, frees and 8-byte word updates on
+ * the calling thread into one atomic unit: after a crash, recovery
+ * resolves the whole group all-or-nothing. One transaction may be open
+ * per thread; while it is open, plain nvalloc_malloc_to /
+ * nvalloc_free_from on the same thread fail with NVALLOC_EINVAL.
+ *
+ * Error contract (all calls): NVALLOC_EINVAL — with nvalloc_errno set
+ * and the heap untouched — for a nested begin, any op/commit/abort
+ * without an open transaction, a txWrite target outside the device or
+ * misaligned, more than NVALLOC_TX_MAX_OPS staged ops, or any call on
+ * a degraded (ECORRUPT-opened) instance; NVALLOC_EAGAIN when the
+ * calling thread cannot be attached.
+ */
+
+/** Ops one transaction can stage (see kTxMaxOps). */
+#define NVALLOC_TX_MAX_OPS 30u
+
+/** Open a transaction on the calling thread. */
+int nvalloc_tx_begin(NvInstance *inst);
+
+/** Stage an allocation of `size` bytes inside the open transaction.
+ *  Returns the mapped address (or nullptr; nvalloc_errno says why).
+ *  The offset is published into `*where` at commit — until then the
+ *  block is invisible to recovery and rolled back on abort/crash. */
+void *nvalloc_tx_alloc(NvInstance *inst, size_t size, uint64_t *where);
+
+/** Stage a free of the block whose offset `*where` holds. The block
+ *  stays allocated (and usable) until commit; pair with
+ *  nvalloc_tx_write(where, 0) to clear the pointer word in the same
+ *  atomic unit. Validation (double free, foreign pointer, ...) runs
+ *  immediately and fails with NVALLOC_EINVAL. */
+int nvalloc_tx_free(NvInstance *inst, uint64_t *where);
+
+/** Stage an 8-byte write of `value` to the persistent word `*word`
+ *  (must lie inside the heap, 8-aligned). The write lands in place
+ *  now and is rolled back on abort or an uncommitted crash. */
+int nvalloc_tx_write(NvInstance *inst, uint64_t *word, uint64_t value);
+
+/** Commit: one flush makes every staged op durable atomically. */
+int nvalloc_tx_commit(NvInstance *inst);
+
+/** Abort: roll back every staged op and close the transaction. */
+int nvalloc_tx_abort(NvInstance *inst);
+
 /** Persistent root words (attach targets / GC roots). */
 uint64_t *nvalloc_root(NvInstance *inst, unsigned idx);
 

@@ -272,6 +272,16 @@ NvAlloc::replayWals()
         if (!e)
             continue;
 
+        // A tx-tagged newest entry means the crash hit inside a
+        // transaction's journal / commit / apply window: resolve the
+        // whole run all-or-nothing (tx.cc) instead of replaying the
+        // one entry. A *non*-newest tx record needs nothing — the
+        // owning thread continued past it, so its apply completed.
+        if (e->tx_id != 0) {
+            resolveTxRun(ring_off, e->tx_id);
+            continue;
+        }
+
         WalOp op = WalOp(e->block_op & 3);
         uint64_t block = e->block_op >> 2;
         bool published = false;

@@ -278,6 +278,48 @@ NvAlloc::buildCtlRegistry()
     ctl_.registerName("stats.hardening.quarantine_depth", [this] {
         return uint64_t(hardening_.quarantineDepth());
     });
+    ctl_.registerName("stats.hardening.tx_staged_frees", [hs] {
+        return hs->tx_staged_frees.load(std::memory_order_relaxed);
+    });
+
+    // Transaction layer (PR 6): lifecycle counters, rejections, and
+    // the live open/staged depths.
+    const TxStats *txs = &tx_mgr_.stats();
+    ctl_.registerName("stats.tx.begins", [txs] {
+        return txs->begins.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.commits", [txs] {
+        return txs->commits.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.aborts", [txs] {
+        return txs->aborts.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.ops_alloc", [txs] {
+        return txs->ops_alloc.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.ops_free", [txs] {
+        return txs->ops_free.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.ops_write", [txs] {
+        return txs->ops_write.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.rejected", [txs] {
+        return txs->rejected.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.oversize", [txs] {
+        return txs->oversize.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.plain_ops_rejected", [txs] {
+        return txs->plain_ops_rejected.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.tx.recovered_committed",
+                      [txs] { return txs->recovered_committed; });
+    ctl_.registerName("stats.tx.recovered_rolled_back",
+                      [txs] { return txs->recovered_rolled_back; });
+    ctl_.registerName("stats.tx.open",
+                      [this] { return tx_mgr_.openCount(); });
+    ctl_.registerName("stats.tx.staged_blocks",
+                      [this] { return tx_mgr_.stagedCount(); });
 
     // Whole-heap space accounting.
     PmDevice *dev = &dev_;

@@ -1,0 +1,603 @@
+/**
+ * @file
+ * Transaction layer implementation (tx.h, DESIGN.md §11): the
+ * txBegin/txAlloc/txFree/txWrite/txCommit/txAbort surface, the
+ * commit/abort apply paths, and the recovery-side run resolution
+ * called from replayWals.
+ */
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "nvalloc/nvalloc.h"
+#include "pm/vclock.h"
+
+namespace nvalloc {
+
+namespace {
+
+constexpr uint64_t kTxCpuNs = 20; //!< modeled per-tx-call CPU cost
+
+void
+bumpRejected(TxStats &s)
+{
+    s.rejected.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+NvStatus
+NvAlloc::txRejected()
+{
+    bumpRejected(tx_mgr_.stats());
+    return failOp(NvStatus::InvalidArgument);
+}
+
+NvStatus
+NvAlloc::txBegin(ThreadCtx &ctx)
+{
+    if (open_failed_ || mode() == HeapMode::Failed)
+        return txRejected();
+    if (!logMode()) {
+        // The protocol journals tx-tagged entries through the
+        // per-thread WAL; the GC variant skips small-op journaling
+        // entirely and the IC variant has no replay, so neither can
+        // resolve a run after a crash.
+        return txRejected();
+    }
+    if (ctx.tx.open())
+        return txRejected(); // nested begin
+    ctx.tx.id = tx_mgr_.beginTx();
+    ctx.tx.ops.reserve(kTxMaxOps);
+    // Hold a maintenance pin for the whole tx lifetime: background
+    // slow GC relocates bookkeeping-log entries, and an uncommitted
+    // tx's large allocations must keep their log refs stable until
+    // commit or abort resolves them.
+    maint_.pin();
+    tx_mgr_.stats().begins.fetch_add(1, std::memory_order_relaxed);
+    tel_.event(TraceOp::TxBegin, ctx.tx.id);
+    VClock::advance(kTxCpuNs, TimeKind::Other);
+    return NvStatus::Ok;
+}
+
+uint64_t
+NvAlloc::txAlloc(ThreadCtx &ctx, size_t size, uint64_t *where)
+{
+    if (!ctx.tx.open()) {
+        txRejected();
+        return 0;
+    }
+    if (ctx.tx.ops.size() >= kTxMaxOps) {
+        tx_mgr_.stats().oversize.fetch_add(1, std::memory_order_relaxed);
+        failOp(NvStatus::InvalidArgument);
+        return 0;
+    }
+    if (size == 0) {
+        txRejected();
+        return 0;
+    }
+    uint64_t where_off =
+        where && dev_.contains(where) ? dev_.offsetOf(where) : kWalNoWhere;
+
+    // Reuse the plain small/large paths; journal_tx_id makes their one
+    // WAL append tx-tagged. Guard sampling is deliberately bypassed:
+    // guard registrations are volatile and a sampled tx alloc would
+    // lose its redzone contract across the crash the tx exists for.
+    ctx.journal_tx_id = ctx.tx.id;
+    uint64_t off = size <= smallLimit()
+                       ? allocSmall(ctx, size, where_off)
+                       : allocLarge(ctx, size, where_off);
+    ctx.journal_tx_id = 0;
+    if (off == 0)
+        return 0; // failAlloc already classified it
+
+    // The block is allocated and journaled but unpublished: stage it
+    // so plain free() rejects it until commit publishes the offset.
+    tx_mgr_.stage(off);
+    TxOp op;
+    op.kind = TxOp::Kind::Alloc;
+    op.off = off;
+    op.where = where;
+    op.size = size;
+    ctx.tx.ops.push_back(op);
+    tx_mgr_.stats().ops_alloc.fetch_add(1, std::memory_order_relaxed);
+    return off;
+}
+
+NvStatus
+NvAlloc::txFree(ThreadCtx &ctx, uint64_t off)
+{
+    if (!ctx.tx.open())
+        return txRejected();
+    if (ctx.tx.ops.size() >= kTxMaxOps) {
+        tx_mgr_.stats().oversize.fetch_add(1, std::memory_order_relaxed);
+        return failOp(NvStatus::InvalidArgument);
+    }
+    if (off == 0 || off >= dev_.size())
+        return rejectFree(off, CorruptionKind::WildFree);
+
+    // Stage before validating so no other thread can pass its own
+    // staged-probe between our validation and the commit; back out on
+    // any rejection below.
+    if (!tx_mgr_.stage(off))
+        return rejectFree(off, CorruptionKind::TxStagedFree);
+
+    // Same ordered validation as freeOffset, but with the mutation
+    // deferred: the block must be provably ours and allocated NOW; the
+    // bitmap/extent state only changes at commit.
+    if (VSlab *slab = slabOf(off)) {
+        VLockGuard g(slab->arena->lock);
+        unsigned old_idx = 0;
+        if (slab->isOldBlock(off, old_idx)) {
+            unsigned old_cls = slab->header()->old_size_class;
+            if (cfg_.redzone_canaries &&
+                !canaryOk(off, classToSize(old_cls))) {
+                hardening_.report(CorruptionKind::CanaryStomp, off,
+                                  old_cls,
+                                  "old-geometry block canary dirtied");
+                hardening_.noteLeakedBlock();
+                tx_mgr_.unstage(off);
+                return NvStatus::Ok; // report-and-leak, nothing staged
+            }
+        } else {
+            unsigned idx = slab->blockIndexOf(off);
+            if (idx >= slab->capacity() || slab->blockOffset(idx) != off) {
+                tx_mgr_.unstage(off);
+                return rejectFree(off, CorruptionKind::MisalignedFree);
+            }
+            if (!slab->isAllocated(idx)) {
+                tx_mgr_.unstage(off);
+                return rejectFree(off, CorruptionKind::DoubleFree);
+            }
+            // Canary stomps are detected here at stage time (the live
+            // heap's canaries are trustworthy; the recovery redo path's
+            // are not until restamp) and handled report-and-leak: the
+            // block stays allocated and no deferred free is journaled.
+            if (cfg_.redzone_canaries &&
+                !canaryOk(off, slab->blockSize())) {
+                hardening_.report(CorruptionKind::CanaryStomp, off,
+                                  slab->sizeClass(),
+                                  "block canary dirtied — overflow "
+                                  "into the canary word");
+                hardening_.noteLeakedBlock();
+                tx_mgr_.unstage(off);
+                return NvStatus::Ok; // report-and-leak, nothing staged
+            }
+        }
+    } else {
+        Veh *veh = large_.findVeh(off);
+        if (!veh) {
+            tx_mgr_.unstage(off);
+            return rejectFree(off, CorruptionKind::WildFree);
+        }
+        if (veh->off != off || veh->is_slab) {
+            tx_mgr_.unstage(off);
+            return rejectFree(off, CorruptionKind::MisalignedFree);
+        }
+        if (veh->state != Veh::State::Activated) {
+            tx_mgr_.unstage(off);
+            return rejectFree(off, CorruptionKind::DoubleFree);
+        }
+    }
+
+    // Journal the deferred free (one flush, tagged). No attach word is
+    // cleared here — pair the free with a txWrite of the owning
+    // pointer word to clear it in the same atomic unit.
+    ctx.wal.append(kWalFree, off, kWalNoWhere, 0, ctx.tx.id);
+    TxOp op;
+    op.kind = TxOp::Kind::Free;
+    op.off = off;
+    ctx.tx.ops.push_back(op);
+    tx_mgr_.stats().ops_free.fetch_add(1, std::memory_order_relaxed);
+    VClock::advance(kTxCpuNs, TimeKind::Other);
+    return NvStatus::Ok;
+}
+
+NvStatus
+NvAlloc::txWrite(ThreadCtx &ctx, uint64_t *word, uint64_t value)
+{
+    if (!ctx.tx.open())
+        return txRejected();
+    if (ctx.tx.ops.size() >= kTxMaxOps) {
+        tx_mgr_.stats().oversize.fetch_add(1, std::memory_order_relaxed);
+        return failOp(NvStatus::InvalidArgument);
+    }
+    // The undo value must be recoverable from the entry alone, so the
+    // target has to be a persistent, aligned word inside the device.
+    if (!word || !dev_.contains(word))
+        return txRejected();
+    uint64_t woff = dev_.offsetOf(word);
+    if ((woff & 7) != 0)
+        return txRejected();
+
+    uint64_t old = *word;
+    // Journal undo (where_off) + redo (size) before the in-place
+    // write: crash before the entry = word untouched; crash after =
+    // the entry restores or re-applies it either way.
+    ctx.wal.append(kWalTxData, woff, old, value, ctx.tx.id);
+    *word = value;
+    dev_.persistFence(word, sizeof(uint64_t), TimeKind::FlushData);
+
+    TxOp op;
+    op.kind = TxOp::Kind::Write;
+    op.off = woff;
+    op.old_value = old;
+    op.new_value = value;
+    ctx.tx.ops.push_back(op);
+    tx_mgr_.stats().ops_write.fetch_add(1, std::memory_order_relaxed);
+    VClock::advance(kTxCpuNs, TimeKind::Other);
+    return NvStatus::Ok;
+}
+
+NvStatus
+NvAlloc::txCommit(ThreadCtx &ctx)
+{
+    if (!ctx.tx.open())
+        return txRejected();
+
+    // Epoch separation: every op entry is already individually fenced,
+    // but this fence guarantees the commit record can only become
+    // durable in a strictly later epoch than all of them.
+    dev_.fence();
+    // The append's own persist+fence is the commit point: ONE flush
+    // publishes the whole transaction.
+    ctx.wal.appendTxMark(ctx.tx.id, kWalTxCommit,
+                         uint64_t(ctx.tx.ops.size()));
+    tel_.event(TraceOp::TxCommit, ctx.tx.id);
+
+    // Apply phase — deliberately journal-free: another WAL append here
+    // would displace the commit record as the ring's newest entry, and
+    // a crash mid-apply would then lose the not-yet-applied remainder.
+    // Recovery redoes this loop idempotently instead.
+    for (const TxOp &op : ctx.tx.ops) {
+        switch (op.kind) {
+        case TxOp::Kind::Alloc:
+            publish(op.where, op.off);
+            break;
+        case TxOp::Kind::Free:
+            applyTxFree(op.off);
+            break;
+        case TxOp::Kind::Write:
+            break; // landed in place at txWrite time
+        }
+    }
+
+    finishTx(ctx, /*committed=*/true);
+    VClock::advance(kTxCpuNs, TimeKind::Other);
+    return NvStatus::Ok;
+}
+
+NvStatus
+NvAlloc::txAbort(ThreadCtx &ctx)
+{
+    if (!ctx.tx.open())
+        return txRejected();
+
+    // Roll back newest-first so overlapping word updates unwind in
+    // reverse order. Crash-safe at every point: until the abort record
+    // below lands, recovery sees a recordless run and performs this
+    // same (idempotent) undo itself.
+    for (auto it = ctx.tx.ops.rbegin(); it != ctx.tx.ops.rend(); ++it) {
+        switch (it->kind) {
+        case TxOp::Kind::Write: {
+            auto *word = static_cast<uint64_t *>(dev_.at(it->off));
+            *word = it->old_value;
+            dev_.persistFence(word, sizeof(uint64_t),
+                              TimeKind::FlushData);
+            break;
+        }
+        case TxOp::Kind::Alloc:
+            undoTxAlloc(it->off);
+            break;
+        case TxOp::Kind::Free:
+            break; // nothing was mutated at stage time
+        }
+    }
+
+    dev_.fence();
+    ctx.wal.appendTxMark(ctx.tx.id, kWalTxAbort,
+                         uint64_t(ctx.tx.ops.size()));
+    tel_.event(TraceOp::TxAbort, ctx.tx.id);
+    finishTx(ctx, /*committed=*/false);
+    VClock::advance(kTxCpuNs, TimeKind::Other);
+    return NvStatus::Ok;
+}
+
+void
+NvAlloc::finishTx(ThreadCtx &ctx, bool committed)
+{
+    for (const TxOp &op : ctx.tx.ops) {
+        if (op.kind != TxOp::Kind::Write)
+            tx_mgr_.unstage(op.off);
+    }
+    tx_mgr_.endTx(ctx.tx.id);
+    if (committed)
+        tx_mgr_.stats().commits.fetch_add(1, std::memory_order_relaxed);
+    else
+        tx_mgr_.stats().aborts.fetch_add(1, std::memory_order_relaxed);
+    ctx.tx.reset();
+    maint_.unpin();
+}
+
+/**
+ * Commit-time deferred free: the mutation half of freeOffset's slab /
+ * large / guard paths, without journaling (the tx-tagged kWalFree
+ * entry from txFree is the journal) and with idempotent guards so the
+ * recovery redo path can run the same code after a partial apply.
+ * Deferred frees route through the delayed-reuse quarantine exactly
+ * like hot frees do; the tcache is bypassed (the committing thread may
+ * not own the freeing thread's cache).
+ */
+void
+NvAlloc::applyTxFree(uint64_t off)
+{
+    if (cfg_.hardened_free && cfg_.guard_sample_rate &&
+        hardening_.isGuard(off)) {
+        HardeningManager::GuardInfo info;
+        if (!hardening_.takeGuard(off, &info))
+            return; // already resolved
+        if (!hardening_.guardRedzoneIntact(off, info)) {
+            hardening_.report(
+                CorruptionKind::GuardOverflow, off, ~0u,
+                "guard redzone dirtied — overflow past the allocation");
+        }
+        std::memset(dev_.at(off), HardeningManager::kGuardFreeByte,
+                    info.user_size);
+        large_.free(off);
+        hardening_.watchFreedGuard(off, info);
+        hardening_.noteGuardFree();
+        tel_.noteLargeFree(info.extent_size, off);
+        return;
+    }
+
+    VSlab *slab = slabOf(off);
+    if (!slab) {
+        Veh *veh = large_.findVeh(off);
+        if (veh && veh->off == off &&
+            veh->state == Veh::State::Activated && !veh->is_slab) {
+            uint64_t veh_size = veh->size;
+            large_.free(off);
+            hardening_.noteValidatedFree();
+            tel_.noteLargeFree(veh_size, off);
+            maint_.pollLogPressure();
+        }
+        return;
+    }
+
+    Arena *arena = slab->arena;
+    unsigned cls = 0;
+    unsigned bsize = 0;
+    unsigned idx = 0;
+    bool to_quarantine = false;
+    {
+        VLockGuard g(arena->lock);
+        unsigned old_idx = 0;
+        if (slab->isOldBlock(off, old_idx)) {
+            unsigned old_cls = slab->header()->old_size_class;
+            arena->freeOld(slab, old_idx);
+            hardening_.noteValidatedFree();
+            tel_.noteSmallFree(old_cls, off);
+            return;
+        }
+        idx = slab->blockIndexOf(off);
+        if (idx >= slab->capacity() || slab->blockOffset(idx) != off ||
+            !slab->isAllocated(idx))
+            return; // already resolved (idempotent redo)
+        cls = slab->sizeClass();
+        bsize = slab->blockSize();
+        bool keep_unpinned = cfg_.slab_morphing &&
+                             slab->occupancy() <= cfg_.morph_threshold;
+        bool quarantine_on =
+            cfg_.quarantine_depth > 0 ||
+            (cfg_.redzone_canaries &&
+             hardening_.policy() == HardeningPolicy::Quarantine);
+        if (quarantine_on && !keep_unpinned) {
+            slab->markFreeToTcache(idx);
+            to_quarantine = true;
+        } else {
+            arena->freeDirect(slab, idx);
+        }
+    }
+    if (to_quarantine)
+        hardening_.quarantinePush(slab, idx, off, bsize);
+    hardening_.noteValidatedFree();
+    tel_.noteSmallFree(cls, off);
+}
+
+/** Abort-time rollback of a tx allocation: return the (unpublished)
+ *  block, idempotently — recovery may already have undone it. */
+void
+NvAlloc::undoTxAlloc(uint64_t off)
+{
+    if (VSlab *slab = slabOf(off)) {
+        unsigned idx = slab->blockIndexOf(off);
+        if (idx < slab->capacity() && slab->blockOffset(idx) == off &&
+            slab->isAllocated(idx)) {
+            VLockGuard g(slab->arena->lock);
+            slab->arena->freeDirect(slab, idx);
+        }
+        return;
+    }
+    Veh *veh = large_.findVeh(off);
+    if (veh && veh->off == off && veh->state == Veh::State::Activated &&
+        !veh->is_slab) {
+        large_.free(off);
+    }
+}
+
+// ---- recovery-side resolution (called from replayWals) --------------
+
+/**
+ * The ring's newest intact entry belongs to transaction `tx_id`:
+ * gather the whole run and resolve it all-or-nothing. A commit record
+ * present → redo forward (the crash hit the apply phase or the instant
+ * after the record); otherwise (abort record, or no record = in
+ * flight) → undo backward. Both directions are idempotent, so a crash
+ * during recovery itself just resolves again.
+ */
+void
+NvAlloc::resolveTxRun(uint64_t ring_off, uint32_t tx_id)
+{
+    std::vector<WalEntry> run;
+    bool committed = false;
+    unsigned rejected = 0;
+    Wal::forEachIntact(
+        &dev_, ring_off,
+        [&](const WalEntry &e) {
+            if (e.tx_id != tx_id)
+                return;
+            if (e.tx_mark == kWalTxCommit)
+                committed = true;
+            else if (e.tx_mark == kWalTxOp)
+                run.push_back(e);
+            // kWalTxAbort: resolved like no-record (undo, idempotent)
+        },
+        &rejected);
+    (void)rejected; // newestEntry already counted the ring's rejects
+    std::sort(run.begin(), run.end(),
+              [](const WalEntry &a, const WalEntry &b) {
+                  return a.seq < b.seq;
+              });
+    if (committed) {
+        txRedoRun(run);
+        ++recovery_.tx_committed;
+        ++tx_mgr_.stats().recovered_committed;
+    } else {
+        txUndoRun(run);
+        ++recovery_.tx_rolled_back;
+        ++tx_mgr_.stats().recovered_rolled_back;
+    }
+}
+
+void
+NvAlloc::txRedoRun(const std::vector<WalEntry> &run)
+{
+    for (const WalEntry &e : run) {
+        WalOp op = WalOp(e.block_op & 3);
+        uint64_t block = e.block_op >> 2;
+        if (op == kWalAlloc) {
+            // The allocation bit went durable before the commit record
+            // could; re-claim defensively, then finish the publish the
+            // apply phase may not have reached. Publish only when the
+            // block demonstrably exists (slab bit claimed, or an
+            // activated extent at that offset): a torn-line crash can
+            // durably commit the record while the extent's own log
+            // entry was dropped, and an attach word must never point
+            // at space recovery just returned to the free pool.
+            bool present = false;
+            if (VSlab *slab = slabOf(block)) {
+                unsigned idx = slab->blockIndexOf(block);
+                if (idx < slab->capacity() &&
+                    slab->blockOffset(idx) == block) {
+                    if (!slab->isAllocated(idx)) {
+                        VLockGuard g(slab->arena->lock);
+                        slab->claimBlock(idx);
+                    }
+                    present = true;
+                }
+            } else {
+                Veh *veh = large_.findVeh(block);
+                present = veh && veh->off == block && !veh->is_slab &&
+                          veh->state == Veh::State::Activated;
+            }
+            if (present && e.where_off != kWalNoWhere &&
+                e.where_off + sizeof(uint64_t) <= dev_.size()) {
+                auto *w =
+                    static_cast<uint64_t *>(dev_.at(e.where_off));
+                if (*w != block) {
+                    *w = block;
+                    dev_.persistFence(w, sizeof(uint64_t),
+                                      TimeKind::FlushData);
+                }
+            }
+            ++recovery_.wal_completions;
+        } else if (op == kWalFree) {
+            applyTxFree(block);
+            ++recovery_.wal_completions;
+        } else if (op == kWalTxData) {
+            // Word update: re-apply the redo value.
+            if (block + sizeof(uint64_t) <= dev_.size() &&
+                (block & 7) == 0) {
+                auto *w = static_cast<uint64_t *>(dev_.at(block));
+                if (*w != e.size) {
+                    *w = e.size;
+                    dev_.persistFence(w, sizeof(uint64_t),
+                                      TimeKind::FlushData);
+                }
+            }
+            ++recovery_.wal_completions;
+        }
+    }
+}
+
+void
+NvAlloc::txUndoRun(const std::vector<WalEntry> &run)
+{
+    for (auto it = run.rbegin(); it != run.rend(); ++it) {
+        const WalEntry &e = *it;
+        WalOp op = WalOp(e.block_op & 3);
+        uint64_t block = e.block_op >> 2;
+        if (op == kWalAlloc) {
+            undoTxAlloc(block);
+            // The publish only happens after the commit record, so the
+            // attach word cannot hold the block — but scrub it
+            // defensively against torn-entry replay with verify off.
+            if (e.where_off != kWalNoWhere &&
+                e.where_off + sizeof(uint64_t) <= dev_.size()) {
+                auto *w =
+                    static_cast<uint64_t *>(dev_.at(e.where_off));
+                if (*w == block) {
+                    *w = 0;
+                    dev_.persistFence(w, sizeof(uint64_t),
+                                      TimeKind::FlushData);
+                }
+            }
+            ++recovery_.wal_undos;
+        } else if (op == kWalTxData) {
+            // Word update: restore the undo value.
+            if (block + sizeof(uint64_t) <= dev_.size() &&
+                (block & 7) == 0) {
+                auto *w = static_cast<uint64_t *>(dev_.at(block));
+                if (*w != e.where_off) {
+                    *w = e.where_off;
+                    dev_.persistFence(w, sizeof(uint64_t),
+                                      TimeKind::FlushData);
+                }
+            }
+            ++recovery_.wal_undos;
+        }
+        // kWalFree: staged only — nothing was mutated, nothing to undo.
+    }
+}
+
+std::string
+NvAlloc::txJson() const
+{
+    const TxStats &s = tx_mgr_.stats();
+    JsonWriter w;
+    w.beginObject();
+    auto add = [&](const char *k, uint64_t v) {
+        w.key(k);
+        w.value(v);
+    };
+    add("begins", s.begins.load(std::memory_order_relaxed));
+    add("commits", s.commits.load(std::memory_order_relaxed));
+    add("aborts", s.aborts.load(std::memory_order_relaxed));
+    add("ops_alloc", s.ops_alloc.load(std::memory_order_relaxed));
+    add("ops_free", s.ops_free.load(std::memory_order_relaxed));
+    add("ops_write", s.ops_write.load(std::memory_order_relaxed));
+    add("rejected", s.rejected.load(std::memory_order_relaxed));
+    add("oversize", s.oversize.load(std::memory_order_relaxed));
+    add("plain_ops_rejected",
+        s.plain_ops_rejected.load(std::memory_order_relaxed));
+    add("recovered_committed", s.recovered_committed);
+    add("recovered_rolled_back", s.recovered_rolled_back);
+    add("open", tx_mgr_.openCount());
+    add("staged_blocks", tx_mgr_.stagedCount());
+    w.endObject();
+    return w.take();
+}
+
+} // namespace nvalloc

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Crash-consistent transaction layer (DESIGN.md §11).
+ *
+ * A transaction groups up to kTxMaxOps allocations, deferred frees and
+ * 8-byte word updates into one atomic unit: after a crash, recovery
+ * resolves every in-flight transaction to all-or-nothing. The layer
+ * reuses the existing per-thread WAL rings rather than adding a second
+ * log — each staged op journals one tx-tagged WAL entry (the same one
+ * flush per op the plain fast path pays), and commit is a single
+ * epoch-separated commit record + flush.
+ *
+ * Durability protocol, per thread ring:
+ *
+ *   txAlloc   journal kWalAlloc (tagged)   block allocated, NOT
+ *                                          published until commit
+ *   txFree    journal kWalFree (tagged)    block stays allocated;
+ *                                          the free applies at commit
+ *   txWrite   journal kWalTxData (tagged,  undo value in where_off,
+ *             old+new word values)         redo value in size; the
+ *                                          in-place write lands now
+ *   txCommit  fence; journal ONE commit record (its own append flush
+ *             is the commit point); then apply: publish attach words,
+ *             perform deferred frees — with NO further journaling, so
+ *             the commit record stays the ring's newest entry until
+ *             the apply phase is complete
+ *   txAbort   roll back live (restore words, free staged allocs),
+ *             fence, journal an abort record
+ *
+ * Recovery (replayWals) finds the ring's newest intact entry; when it
+ * is tx-tagged, the whole run of that tx id is gathered and resolved:
+ * a commit record present → redo forward (idempotently), otherwise →
+ * undo backward. Ring overwrites go oldest-seq-first, so a run's
+ * record can never outlive its op entries out of order.
+ *
+ * While a transaction is open on a thread, plain alloc/free on the
+ * same ThreadCtx are rejected (InvalidArgument): an untagged entry at
+ * the ring tail would shadow the open run's resolution. Other threads
+ * are unaffected — except that free() of a block staged in ANY open
+ * transaction is rejected by the ordered free validator with
+ * CorruptionKind::TxStagedFree instead of silently racing the commit.
+ *
+ * The whole tx lifetime holds a MaintenanceService pin, so background
+ * slow GC never relocates bookkeeping-log entries out from under an
+ * uncommitted transaction's large allocations.
+ */
+
+#ifndef NVALLOC_NVALLOC_TX_H
+#define NVALLOC_NVALLOC_TX_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace nvalloc {
+
+/** One staged operation of an open transaction. Volatile bookkeeping
+ *  only: the durable twin is the tx-tagged WAL entry journaled when
+ *  the op was staged. */
+struct TxOp
+{
+    enum class Kind : uint8_t
+    {
+        Alloc,
+        Free,
+        Write,
+    };
+
+    Kind kind = Kind::Alloc;
+    uint64_t off = 0; //!< block offset (Alloc/Free), word offset (Write)
+    uint64_t *where = nullptr; //!< Alloc: attach target, published at
+                               //!< commit (may be volatile or null)
+    uint64_t old_value = 0;    //!< Write: undo value
+    uint64_t new_value = 0;    //!< Write: redo value
+    size_t size = 0;           //!< Alloc: requested size
+};
+
+/** Per-thread transaction state, embedded in ThreadCtx. The ops list
+ *  is the bounded undo buffer: it can never exceed kTxMaxOps. */
+struct TxContext
+{
+    uint32_t id = 0; //!< 0 = no open transaction
+    std::vector<TxOp> ops;
+
+    bool open() const { return id != 0; }
+
+    void
+    reset()
+    {
+        id = 0;
+        ops.clear();
+    }
+};
+
+/** stats.tx.* counters. The atomics are bumped on tx operations and
+ *  read lock-free by the ctl tree; the recovered_* pair is plain
+ *  because recovery runs single-threaded before any tx can open. */
+struct TxStats
+{
+    std::atomic<uint64_t> begins{0};
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> aborts{0};
+    std::atomic<uint64_t> ops_alloc{0};
+    std::atomic<uint64_t> ops_free{0};
+    std::atomic<uint64_t> ops_write{0};
+    /** Rejected tx calls: nested begin, op/commit/abort outside an
+     *  open tx, degraded-open begin, bad txWrite target. */
+    std::atomic<uint64_t> rejected{0};
+    /** Ops refused because the tx already holds kTxMaxOps. */
+    std::atomic<uint64_t> oversize{0};
+    /** Plain alloc/free rejected because this thread has an open tx. */
+    std::atomic<uint64_t> plain_ops_rejected{0};
+    /** What the last recovery resolved (also in RecoveryInfo). */
+    uint64_t recovered_committed = 0;
+    uint64_t recovered_rolled_back = 0;
+};
+
+/**
+ * Heap-wide transaction bookkeeping: id allocation, the set of open
+ * ids, and the staged-offset registry consulted by the ordered free
+ * validator. All volatile — a crash forgets it, and recovery clears
+ * the rings it mirrors.
+ *
+ * The free-path probe is the only hot-path cost the layer adds:
+ * one relaxed load of staged_count_, which is zero whenever no
+ * transaction holds staged blocks.
+ */
+class TxManager
+{
+  public:
+    /** Open a new transaction; returns its nonzero id. */
+    uint32_t
+    beginTx()
+    {
+        uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::lock_guard<std::mutex> g(mu_);
+        open_.insert(id);
+        return id;
+    }
+
+    /** Close an id (commit, abort, or recovery cleanup). */
+    void
+    endTx(uint32_t id)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        open_.erase(id);
+    }
+
+    bool
+    isOpen(uint32_t id) const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return open_.count(id) != 0;
+    }
+
+    uint64_t
+    openCount() const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return open_.size();
+    }
+
+    /** Register `off` as staged by an open tx (a tx-allocated block
+     *  awaiting publish, or a tx-freed block awaiting its deferred
+     *  free). False if some tx already staged it. */
+    bool
+    stage(uint64_t off)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        if (!staged_.insert(off).second)
+            return false;
+        staged_count_.store(staged_.size(), std::memory_order_relaxed);
+        return true;
+    }
+
+    void
+    unstage(uint64_t off)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        staged_.erase(off);
+        staged_count_.store(staged_.size(), std::memory_order_relaxed);
+    }
+
+    /** Free-validator probe. The count shortcut keeps the plain free
+     *  path at one relaxed load when no tx holds staged blocks. */
+    bool
+    isStaged(uint64_t off) const
+    {
+        if (staged_count_.load(std::memory_order_relaxed) == 0)
+            return false;
+        std::lock_guard<std::mutex> g(mu_);
+        return staged_.count(off) != 0;
+    }
+
+    /** Auditor snapshot of the staged registry. */
+    std::vector<uint64_t>
+    stagedSnapshot() const
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        return std::vector<uint64_t>(staged_.begin(), staged_.end());
+    }
+
+    uint64_t
+    stagedCount() const
+    {
+        return staged_count_.load(std::memory_order_relaxed);
+    }
+
+    TxStats &stats() { return stats_; }
+    const TxStats &stats() const { return stats_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_set<uint32_t> open_;
+    std::unordered_set<uint64_t> staged_;
+    std::atomic<uint64_t> staged_count_{0};
+    std::atomic<uint32_t> next_id_{0};
+    TxStats stats_;
+};
+
+} // namespace nvalloc
+
+#endif // NVALLOC_NVALLOC_TX_H

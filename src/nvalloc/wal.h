@@ -53,23 +53,48 @@ class Wal
 
     bool attached() const { return ring_ != nullptr; }
 
-    /** Journal one operation and flush the entry's line. */
+    /** Journal one operation and flush the entry's line. A nonzero
+     *  `tx_id` tags the entry as one op of that transaction
+     *  (tx_mark kWalTxOp); the fast path passes 0 and pays nothing. */
     void
     append(WalOp op, uint64_t block_off, uint64_t where_off,
-           uint64_t size)
+           uint64_t size, uint32_t tx_id = 0)
     {
-        // seq 0 means "never used". Only the owning thread appends, so
-        // a relaxed load+store increment suffices; it is atomic only
-        // so stats readers on other threads (stats.wal.commits sums
-        // the rings' sequences) race-freely observe it.
-        uint64_t seq = seq_.load(std::memory_order_relaxed) + 1;
-        seq_.store(seq, std::memory_order_relaxed);
+        appendRaw(op, block_off, where_off, size, tx_id,
+                  tx_id != 0 ? kWalTxOp : kWalTxNone);
+    }
+
+    /** Journal a transaction control record (commit or abort) for
+     *  `tx_id`. `op_count` rides in the offset bits so the auditor can
+     *  cross-check the run length. The append's own persist+fence is
+     *  the commit point; the caller fences *before* calling so the
+     *  record lands in its own epoch after every op entry. */
+    void
+    appendTxMark(uint32_t tx_id, WalTxMark mark, uint64_t op_count)
+    {
+        NV_ASSERT(mark == kWalTxCommit || mark == kWalTxAbort);
+        appendRaw(kWalTxData, op_count, kWalNoWhere, 0, tx_id, mark);
+    }
+
+    /**
+     * Failure unwind: scrub the newest entry — the one this thread
+     * just appended for an operation that then failed (e.g. an extent
+     * journalled pre-log whose bookkeeping-log append was refused) —
+     * so replay never sees an intent for an operation that was
+     * abandoned. Exposing the previous entry as newest is safe: it
+     * describes a completed operation, which replay resolves
+     * idempotently (the same state as crashing between operations).
+     */
+    void
+    retireNewest()
+    {
+        uint64_t seq = seq_.load(std::memory_order_relaxed);
+        NV_ASSERT(seq != 0);
         unsigned slot = map_.physical(seq % kWalRingEntries);
         WalEntry &e = ring_[slot];
-        e.block_op = (block_off << 2) | uint64_t(op);
-        e.seq = seq;
-        e.where_off = where_off;
-        e.size = size;
+        e.block_op = 0; // op bits kWalNone: replay skips the slot
+        e.tx_id = 0;
+        e.tx_mark = kWalTxNone;
         e.crc = walEntryCrc(e);
         if (flush_) {
             dev_->persist(&e, sizeof(e), TimeKind::FlushWal);
@@ -125,7 +150,59 @@ class Wal
         return best;
     }
 
+    /**
+     * Replay helper: call `fn(const WalEntry &)` for every intact
+     * entry of the ring at `ring_off`, in no particular order. Same
+     * verification rules as newestEntry(). Transaction resolution uses
+     * this to gather a tx's whole run; callers sort by seq themselves.
+     */
+    template <typename Fn>
+    static void
+    forEachIntact(PmDevice *dev, uint64_t ring_off, Fn &&fn,
+                  unsigned *rejected = nullptr)
+    {
+        auto *ring = static_cast<const WalEntry *>(dev->at(ring_off));
+        unsigned n = kWalRingBytes / sizeof(WalEntry);
+        for (unsigned i = 0; i < n; ++i) {
+            const WalEntry &e = ring[i];
+            if ((e.block_op & 3) == kWalNone)
+                continue;
+            if (dev->isPoisoned(&e, sizeof(e)) ||
+                e.crc != walEntryCrc(e)) {
+                if (rejected)
+                    ++*rejected;
+                continue;
+            }
+            fn(e);
+        }
+    }
+
   private:
+    void
+    appendRaw(WalOp op, uint64_t block_off, uint64_t where_off,
+              uint64_t size, uint32_t tx_id, uint32_t tx_mark)
+    {
+        // seq 0 means "never used". Only the owning thread appends, so
+        // a relaxed load+store increment suffices; it is atomic only
+        // so stats readers on other threads (stats.wal.commits sums
+        // the rings' sequences) race-freely observe it.
+        uint64_t seq = seq_.load(std::memory_order_relaxed) + 1;
+        seq_.store(seq, std::memory_order_relaxed);
+        unsigned slot = map_.physical(seq % kWalRingEntries);
+        WalEntry &e = ring_[slot];
+        e.block_op = (block_off << 2) | uint64_t(op);
+        e.seq = seq;
+        e.where_off = where_off;
+        e.size = size;
+        e.tx_id = tx_id;
+        e.tx_mark = tx_mark;
+        e.crc = walEntryCrc(e);
+        if (flush_) {
+            dev_->persist(&e, sizeof(e), TimeKind::FlushWal);
+            dev_->fence();
+        }
+    }
+
     PmDevice *dev_ = nullptr;
     WalEntry *ring_ = nullptr;
     InterleaveMap map_;

@@ -35,6 +35,9 @@ enum class TraceOp : uint8_t
     MaintWake,   //!< maintenance woken; arg = MaintWakeReason
     Corruption,  //!< hardening detection; arg = offending offset,
                  //!< outcome = CorruptionKind
+    TxBegin,     //!< transaction opened; arg = tx id
+    TxCommit,    //!< transaction committed; arg = tx id
+    TxAbort,     //!< transaction aborted; arg = tx id
 };
 
 inline const char *
@@ -54,6 +57,9 @@ traceOpName(TraceOp op)
     case TraceOp::MaintSlice: return "maint-slice";
     case TraceOp::MaintWake: return "maint-wake";
     case TraceOp::Corruption: return "corruption";
+    case TraceOp::TxBegin: return "tx-begin";
+    case TraceOp::TxCommit: return "tx-commit";
+    case TraceOp::TxAbort: return "tx-abort";
     }
     return "?";
 }

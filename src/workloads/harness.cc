@@ -176,6 +176,61 @@ benchThreadCounts(bool quick)
     return {1, 2, 4, 8, 16, 32, 64};
 }
 
+namespace {
+
+/** Accumulates benchJsonPoint records; written as one JSON document at
+ *  process exit, so every figure section of a bench binary lands in a
+ *  single BENCH_<prog>.json. */
+struct BenchJsonSink
+{
+    struct Point
+    {
+        std::string section, series, x;
+        double value;
+    };
+
+    std::string path;    //!< empty = emission disabled
+    std::string section; //!< most recent printSeriesHeader figure
+    std::vector<unsigned> xs;
+    std::vector<Point> points;
+
+    ~BenchJsonSink()
+    {
+        if (path.empty() || points.empty())
+            return;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"points\":[");
+        for (size_t i = 0; i < points.size(); ++i) {
+            const Point &p = points[i];
+            std::fprintf(f,
+                         "%s\n {\"section\":\"%s\",\"series\":\"%s\","
+                         "\"x\":\"%s\",\"value\":%.6f}",
+                         i ? "," : "", p.section.c_str(),
+                         p.series.c_str(), p.x.c_str(), p.value);
+        }
+        std::fprintf(f, "\n]}\n");
+        std::fclose(f);
+    }
+};
+
+BenchJsonSink g_bench_json;
+
+} // namespace
+
+void
+benchJsonPoint(const std::string &section, const std::string &series,
+               const std::string &x, double value)
+{
+    if (g_bench_json.path.empty())
+        return;
+    g_bench_json.points.push_back({section, series, x, value});
+}
+
 BenchArgs
 BenchArgs::parse(int argc, char **argv)
 {
@@ -185,6 +240,14 @@ BenchArgs::parse(int argc, char **argv)
             args.quick = true;
         else if (std::strncmp(argv[i], "--seed=", 7) == 0)
             args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+    const char *dir = std::getenv("NVALLOC_BENCH_JSON_DIR");
+    if (dir && *dir && argc > 0) {
+        const char *prog = argv[0];
+        if (const char *slash = std::strrchr(prog, '/'))
+            prog = slash + 1;
+        g_bench_json.path =
+            std::string(dir) + "/BENCH_" + prog + ".json";
     }
     return args;
 }
@@ -198,6 +261,8 @@ printSeriesHeader(const char *figure, const char *ylabel,
     for (unsigned t : threads)
         std::printf(" %10u", t);
     std::printf("\n");
+    g_bench_json.section = figure;
+    g_bench_json.xs = threads;
 }
 
 void
@@ -207,6 +272,12 @@ printSeriesRow(const char *name, const std::vector<double> &values)
     for (double v : values)
         std::printf(" %10.3f", v);
     std::printf("\n");
+    for (size_t i = 0; i < values.size(); ++i) {
+        std::string x = i < g_bench_json.xs.size()
+                            ? std::to_string(g_bench_json.xs[i])
+                            : std::to_string(i);
+        benchJsonPoint(g_bench_json.section, name, x, values[i]);
+    }
 }
 
 } // namespace nvalloc

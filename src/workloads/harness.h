@@ -131,6 +131,22 @@ void printSeriesHeader(const char *figure, const char *ylabel,
 void printSeriesRow(const char *name,
                     const std::vector<double> &values);
 
+/**
+ * Machine-readable figure emission: when NVALLOC_BENCH_JSON_DIR is
+ * set, every printSeriesHeader/printSeriesRow pair also records its
+ * points, and the accumulated document is written to
+ * $NVALLOC_BENCH_JSON_DIR/BENCH_<prog>.json at process exit (<prog> is
+ * the basename of argv[0], stamped by BenchArgs::parse). Figures with
+ * bespoke tables record through benchJsonPoint directly. The virtual
+ * clock makes single-thread numbers exactly reproducible for a given
+ * seed (multi-thread rows jitter a few percent with host scheduling),
+ * so CI compares whole runs against a committed baseline
+ * (tools/bench_compare.py) instead of eyeballing throughput tables.
+ */
+void benchJsonPoint(const std::string &section,
+                    const std::string &series, const std::string &x,
+                    double value);
+
 } // namespace nvalloc
 
 #endif // NVALLOC_WORKLOADS_HARNESS_H

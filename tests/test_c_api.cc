@@ -448,5 +448,177 @@ TEST(CApiOpenEx, CorruptImageReturnsDegradedInstanceForAuditing)
     nvalloc_exit(inst);
 }
 
+// ---------------------------------------------------------------------
+// Transaction surface (DESIGN.md §11): the happy path through the C
+// veneer, and the error contract — every misuse returns NVALLOC_EINVAL
+// with nvalloc_errno set, never an abort(), and the heap keeps
+// serving.
+// ---------------------------------------------------------------------
+
+TEST(CApiTx, AtomicGroupCommitsThroughTheVeneer)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    uint64_t *root = nvalloc_root(inst, 0);
+    uint64_t *flag = nvalloc_root(inst, 1);
+
+    ASSERT_EQ(nvalloc_tx_begin(inst), NVALLOC_OK);
+    void *p = nvalloc_tx_alloc(inst, 192, root);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x5a, 192);
+    EXPECT_EQ(*root, 0u) << "publish must wait for commit";
+    ASSERT_EQ(nvalloc_tx_write(inst, flag, 0xf1a6), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_commit(inst), NVALLOC_OK);
+    EXPECT_NE(*root, 0u);
+    EXPECT_EQ(*flag, 0xf1a6u);
+
+    // Free + pointer clear as one atomic group.
+    ASSERT_EQ(nvalloc_tx_begin(inst), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_free(inst, root), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_write(inst, root, 0), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_write(inst, flag, 0), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_commit(inst), NVALLOC_OK);
+    EXPECT_EQ(*root, 0u);
+
+    AuditReport rep = HeapAuditor(*nvalloc_impl(inst)).audit();
+    EXPECT_EQ(rep.violations(), 0u) << rep.summary();
+    nvalloc_exit(inst);
+}
+
+TEST(CApiTx, NestedBeginIsEinvalAndOuterTxSurvives)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    uint64_t *root = nvalloc_root(inst, 0);
+
+    ASSERT_EQ(nvalloc_tx_begin(inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_tx_begin(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EINVAL);
+
+    // The rejection did not disturb the outer transaction.
+    ASSERT_NE(nvalloc_tx_alloc(inst, 64, root), nullptr);
+    ASSERT_EQ(nvalloc_tx_commit(inst), NVALLOC_OK);
+    EXPECT_NE(*root, 0u);
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
+    nvalloc_exit(inst);
+}
+
+TEST(CApiTx, OpsOutsideAnOpenTxAreEinval)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    uint64_t *root = nvalloc_root(inst, 0);
+    ASSERT_NE(nvalloc_malloc_to(inst, 64, root), nullptr);
+    uint64_t word = 0;
+
+    // Never begun.
+    EXPECT_EQ(nvalloc_tx_alloc(inst, 64, &word), nullptr);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_free(inst, root), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_write(inst, root, 1), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_commit(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_abort(inst), NVALLOC_EINVAL);
+
+    // After a commit the transaction is closed: ops are EINVAL again.
+    ASSERT_EQ(nvalloc_tx_begin(inst), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_commit(inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_tx_write(inst, root, 1), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_commit(inst), NVALLOC_EINVAL);
+
+    // Same after an abort.
+    ASSERT_EQ(nvalloc_tx_begin(inst), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_abort(inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_tx_alloc(inst, 64, &word), nullptr);
+    EXPECT_EQ(nvalloc_tx_abort(inst), NVALLOC_EINVAL);
+
+    // A null/zero where word for tx_free is rejected up front.
+    ASSERT_EQ(nvalloc_tx_begin(inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_tx_free(inst, nullptr), NVALLOC_EINVAL);
+    uint64_t zero = 0;
+    EXPECT_EQ(nvalloc_tx_free(inst, &zero), NVALLOC_EINVAL);
+    ASSERT_EQ(nvalloc_tx_abort(inst), NVALLOC_OK);
+
+    // The word the rejected ops named was never touched, and the heap
+    // still serves plain traffic.
+    EXPECT_NE(*root, 0u);
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
+    AuditReport rep = HeapAuditor(*nvalloc_impl(inst)).audit();
+    EXPECT_EQ(rep.violations(), 0u) << rep.summary();
+    nvalloc_exit(inst);
+}
+
+TEST(CApiTx, TxWriteFromNonOwningThreadIsEinval)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    uint64_t *flag = nvalloc_root(inst, 1);
+
+    // A transaction is per-thread: another thread touching its words
+    // through the tx surface has no open transaction of its own, so
+    // the call is refused on that thread.
+    ASSERT_EQ(nvalloc_tx_begin(inst), NVALLOC_OK);
+    ASSERT_EQ(nvalloc_tx_write(inst, flag, 0xa11), NVALLOC_OK);
+    std::thread outsider([&] {
+        EXPECT_EQ(nvalloc_tx_write(inst, flag, 0xbad), NVALLOC_EINVAL);
+        EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EINVAL);
+        EXPECT_EQ(nvalloc_tx_commit(inst), NVALLOC_EINVAL);
+    });
+    outsider.join();
+    EXPECT_EQ(*flag, 0xa11u) << "outsider write must not land";
+    ASSERT_EQ(nvalloc_tx_abort(inst), NVALLOC_OK);
+    EXPECT_EQ(*flag, 0u) << "abort rolls back the owner's write";
+    nvalloc_exit(inst);
+}
+
+TEST(CApiTx, DegradedOpenRejectsEveryTxCall)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = size_t{128} << 20;
+    PmDevice dev(dcfg);
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    uint64_t leaked = 0;
+    {
+        NvInstance *inst = nullptr;
+        ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+        ASSERT_NE(nvalloc_malloc_to(inst, 512, &leaked), nullptr);
+        nvalloc_impl(inst)->dirtyRestart();
+        nvalloc_exit(inst);
+    }
+    static_cast<uint8_t *>(dev.at(0))[16] ^= 0xff; // break the crc
+
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_ECORRUPT);
+    ASSERT_NE(inst, nullptr);
+
+    uint64_t word = 0;
+    EXPECT_EQ(nvalloc_tx_begin(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_errno(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_alloc(inst, 64, &word), nullptr);
+    EXPECT_EQ(nvalloc_tx_free(inst, &leaked), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_write(inst, &word, 1), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_commit(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_tx_abort(inst), NVALLOC_EINVAL);
+    EXPECT_EQ(word, 0u);
+
+    uint64_t rejected = 0;
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.tx.rejected", &rejected),
+              NVALLOC_OK);
+    EXPECT_GE(rejected, 6u);
+    nvalloc_exit(inst);
+}
+
 } // namespace
 } // namespace nvalloc

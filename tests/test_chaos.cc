@@ -58,10 +58,18 @@ TEST(Chaos, SoakGcVariantQuarantinePolicy)
     ChaosHarness h(o);
     EXPECT_TRUE(h.run()) << h.error();
     EXPECT_EQ(h.roundsRun(), o.rounds);
-    // A 60-round run still cycles each class 6 times; require at least
-    // one real (non-skipped) detection per class.
+    // A 60-round run still cycles each class several times; require at
+    // least one real (non-skipped) detection per class. Torn
+    // transactions are the exception: the tx layer is LOG-only, so on
+    // the GC variant that class degrades to a documented skip.
     for (unsigned e = 0; e < ChaosHarness::kEventCount; ++e) {
         ChaosEvent ev = ChaosEvent(e);
+        if (ev == ChaosEvent::TornTx) {
+            EXPECT_EQ(h.detected(ev), 0u) << chaosEventName(ev);
+            EXPECT_EQ(h.skipped(ev), h.injected(ev))
+                << chaosEventName(ev);
+            continue;
+        }
         EXPECT_GT(h.detected(ev), 0u) << chaosEventName(ev);
     }
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_<fig>.json files.
+
+Each file is emitted by a bench binary when NVALLOC_BENCH_JSON_DIR is
+set (see src/workloads/harness.h) and holds a flat list of points keyed
+by (section, series, x). Single-thread rows are exactly reproducible
+(the virtual clock is deterministic); multi-thread rows jitter a few
+percent because virtual-time lock queues fill in host scheduling
+order. A point therefore only fails when it exceeds BOTH tolerances:
+
+  relative deviation > --threshold  AND  absolute deviation > --abs
+
+(the AND keeps tiny percentage-point values from tripping the relative
+check and noisy-but-small shifts from tripping the absolute one).
+Defaults are 0, i.e. exact compare — CI passes explicit tolerances
+sized ~3x above measured run-to-run noise.
+
+Usage:
+  tools/bench_compare.py BASELINE_DIR CURRENT_DIR \
+      [--threshold FRAC] [--abs VALUE]
+
+Exit status: 0 when every baseline point is present and within
+tolerance, 1 on any missing file, missing point, or deviation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_dir(path):
+    """{bench_name: {(section, series, x): value}} for BENCH_*.json."""
+    out = {}
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        with open(os.path.join(path, name)) as f:
+            doc = json.load(f)
+        points = {}
+        for p in doc["points"]:
+            points[(p["section"], p["series"], p["x"])] = p["value"]
+        out[name] = points
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.0,
+                    help="allowed relative deviation (default: exact)")
+    ap.add_argument("--abs", dest="abs_tol", type=float, default=0.0,
+                    help="allowed absolute deviation (default: exact)")
+    args = ap.parse_args()
+
+    base = load_dir(args.baseline)
+    cur = load_dir(args.current)
+    if not base:
+        print(f"error: no BENCH_*.json in {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    compared = 0
+    for bench, base_points in sorted(base.items()):
+        cur_points = cur.get(bench)
+        if cur_points is None:
+            print(f"FAIL {bench}: missing from {args.current}")
+            failures += 1
+            continue
+        for key, want in sorted(base_points.items()):
+            got = cur_points.get(key)
+            section, series, x = key
+            label = f"{bench} [{section} / {series} @ {x}]"
+            if got is None:
+                print(f"FAIL {label}: point missing")
+                failures += 1
+                continue
+            compared += 1
+            scale = max(abs(want), 1e-12)
+            diff = abs(got - want)
+            rel = diff / scale
+            if rel > args.threshold and diff > args.abs_tol:
+                print(f"FAIL {label}: baseline {want:.6f} vs "
+                      f"{got:.6f} (rel {rel:.4%} > "
+                      f"{args.threshold:.4%}, abs {diff:.4f} > "
+                      f"{args.abs_tol:.4f})")
+                failures += 1
+
+    if failures:
+        print(f"bench_compare: {failures} failure(s), "
+              f"{compared} point(s) compared")
+        return 1
+    print(f"bench_compare: OK — {compared} point(s) match across "
+          f"{len(base)} bench file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,9 @@
  *    substrate as the flush-granularity crash sweep;
  *  - deliberate application-level corruption: double frees, wild and
  *    misaligned frees, cross-heap frees (against a live donor heap),
- *    canary stomps, guard redzone overflows, quarantine stomps and
- *    slab-header smashes.
+ *    canary stomps, guard redzone overflows, quarantine stomps,
+ *    slab-header smashes, and transactions torn by a mid-commit crash
+ *    (resolved all-or-nothing by the next recovery).
  *
  * After every round the harness asserts the containment contract: the
  * corruption was detected (the matching stats.hardening.* counter
@@ -52,6 +53,7 @@ enum class ChaosEvent : unsigned
     HeaderSmash,
     PoisonLine,
     Crash,
+    TornTx,
     kCount,
 };
 
@@ -69,6 +71,7 @@ chaosEventName(ChaosEvent e)
     case ChaosEvent::HeaderSmash: return "header-smash";
     case ChaosEvent::PoisonLine: return "poison-line";
     case ChaosEvent::Crash: return "crash";
+    case ChaosEvent::TornTx: return "torn-tx";
     case ChaosEvent::kCount: break;
     }
     return "?";
@@ -245,6 +248,7 @@ class ChaosHarness
     uint64_t skipped_[kEventCount] = {};
     std::vector<size_t> sizes_; //!< per-slot sizes (volatile oracle)
     bool pending_crash_ = false;
+    bool pending_tx_crash_ = false;
 };
 
 inline bool
@@ -437,6 +441,7 @@ ChaosHarness::inject(ChaosEvent ev, NvAlloc &heap, ThreadCtx &ctx,
         return true;
     }
     case ChaosEvent::Crash:
+    case ChaosEvent::TornTx:
     case ChaosEvent::kCount:
         break; // handled by the round loop
     }
@@ -542,6 +547,20 @@ ChaosHarness::run()
             ++detected_[unsigned(ChaosEvent::Crash)];
             pending_crash_ = false;
         }
+        if (pending_tx_crash_) {
+            // The previous round crashed inside a transaction; this
+            // open's recovery must have resolved the group one way or
+            // the other (the slot checks above verified whichever way
+            // all-or-nothing).
+            uint64_t committed = 0, rolled_back = 0;
+            heap.ctlRead("stats.tx.recovered_committed", &committed);
+            heap.ctlRead("stats.tx.recovered_rolled_back", &rolled_back);
+            if (committed + rolled_back == 0)
+                return fail(round, ChaosEvent::TornTx,
+                            "crashed transaction not resolved");
+            ++detected_[unsigned(ChaosEvent::TornTx)];
+            pending_tx_crash_ = false;
+        }
 
         ++injected_[unsigned(ev)];
         if (ev == ChaosEvent::Crash) {
@@ -553,6 +572,49 @@ ChaosHarness::run()
             pending_crash_ = true; // verified at the next open
             ++rounds_run_;
             continue;
+        }
+
+        if (ev == ChaosEvent::TornTx &&
+            heap.config().consistency == Consistency::Log) {
+            // Stage a multi-op transaction — an alloc into a free
+            // slot, a free of a live one with its pointer clear, and a
+            // scratch word update — and crash at a random flush inside
+            // it (ops, commit record, or the apply phase).
+            churn(heap, *ctx, slots, opt_.ops_per_round / 2, dev,
+                  /*crash_mode=*/false);
+            unsigned fs = kSlots;
+            for (unsigned s = 0; s < kSlots && fs == kSlots; ++s)
+                if (slots[s] == 0)
+                    fs = s;
+            unsigned ls = pickSmallSlot(heap, slots);
+            unsigned tx_flushes =
+                1 + (fs != kSlots ? 1 : 0) + (ls != kSlots ? 2 : 0);
+            unsigned nth = 1 + unsigned(rng_.nextBounded(tx_flushes + 3));
+            dev.armCrashAtFlush(nth);
+            heap.txBegin(*ctx);
+            if (fs != kSlots && heap.txAlloc(*ctx, 96, &slots[fs]) != 0)
+                sizes_[fs] = 96;
+            if (ls != kSlots &&
+                heap.txFree(*ctx, slots[ls]) == NvStatus::Ok) {
+                heap.txWrite(*ctx, &slots[ls], 0);
+                sizes_[ls] = 0;
+            }
+            heap.txWrite(*ctx, heap.rootWord(1), round + 1);
+            heap.txCommit(*ctx);
+            if (dev.crashTriggered()) {
+                pending_tx_crash_ = true;
+            } else {
+                ++skipped_[unsigned(ev)];
+            }
+            heap.simulateCrash();
+            ++rounds_run_;
+            continue;
+        }
+        if (ev == ChaosEvent::TornTx) {
+            // Transactions are LOG-only (txBegin itself refuses on the
+            // other variants): the class degrades to a documented skip
+            // and the round runs as plain churn.
+            ++skipped_[unsigned(ev)];
         }
 
         churn(heap, *ctx, slots, opt_.ops_per_round, dev,
@@ -598,6 +660,23 @@ ChaosHarness::run()
             }
             ++detected_[unsigned(ChaosEvent::Crash)];
             pending_crash_ = false;
+        }
+        if (pending_tx_crash_) {
+            uint64_t committed = 0, rolled_back = 0;
+            heap.ctlRead("stats.tx.recovered_committed", &committed);
+            heap.ctlRead("stats.tx.recovered_rolled_back", &rolled_back);
+            if (committed + rolled_back == 0) {
+                error_ = "final open: crashed transaction not resolved";
+                return false;
+            }
+            HeapAuditor auditor(heap);
+            AuditReport rep = auditor.audit();
+            if (rep.violations() != 0) {
+                error_ = "post-tx-crash final audit:\n" + rep.summary();
+                return false;
+            }
+            ++detected_[unsigned(ChaosEvent::TornTx)];
+            pending_tx_crash_ = false;
         }
         auto *slots = static_cast<uint64_t *>(heap.at(table_off));
         for (unsigned s = 0; s < kSlots; ++s) {

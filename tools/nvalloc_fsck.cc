@@ -191,6 +191,24 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Exercise the transaction layer on the reporting instance so the
+    // report's "tx" object reflects live counters: one committed and
+    // one aborted group. Both close before the audit runs, so no
+    // staged state leaks into the checks.
+    {
+        ThreadCtx *tctx = alloc.attachThread();
+        if (tctx) {
+            alloc.txBegin(*tctx);
+            if (alloc.txAlloc(*tctx, 128, alloc.rootWord(7)) != 0)
+                alloc.txWrite(*tctx, alloc.rootWord(6), 0x7e57);
+            alloc.txCommit(*tctx);
+            alloc.txBegin(*tctx);
+            alloc.txAlloc(*tctx, 256, nullptr);
+            alloc.txAbort(*tctx);
+            alloc.detachThread(tctx);
+        }
+    }
+
     if (o.poison_free > 0) {
         // Poison lines inside reclaimed (free) extents.
         unsigned left = o.poison_free;
@@ -260,6 +278,7 @@ main(int argc, char **argv)
         if (!repair_json.empty())
             doc += ",\"repair\":" + repair_json +
                    ",\"final_audit\":" + rep.json();
+        doc += ",\"tx\":" + alloc.txJson();
         doc += ",\"hardening\":" + alloc.hardening().json();
         doc += ",\"stats\":" + alloc.statsJson() + "}";
         std::printf("%s\n", doc.c_str());

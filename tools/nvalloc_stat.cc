@@ -41,6 +41,7 @@ struct Options
     bool list = false;
     bool reopen = false; //!< dirty-restart + recover before reporting
     bool hardening = false; //!< full hardening + hostile-free traffic
+    bool tx = false;        //!< transactional traffic + tx section
     size_t trace = 0;    //!< per-thread event-ring capacity
     size_t device_mb = 256;
     unsigned ops = 20000;
@@ -64,6 +65,9 @@ usage(const char *argv0)
         "  --hardening    enable canaries/quarantine/guard sampling,\n"
         "                 mix hostile frees into the workload, and\n"
         "                 append the hardening report section\n"
+        "  --tx           group part of the workload into committed\n"
+        "                 and aborted transactions and append the\n"
+        "                 stats.tx report section\n"
         "  --trace N      arm per-thread event rings of N events and\n"
         "                 dump the merged trace\n"
         "  --ctl NAME     read one ctl leaf (repeatable)\n"
@@ -94,6 +98,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.reopen = true;
         } else if (a == "--hardening") {
             o.hardening = true;
+        } else if (a == "--tx") {
+            o.tx = true;
         } else if (a == "--list") {
             o.list = true;
             // Optional prefix: consume the next token unless it is
@@ -162,9 +168,12 @@ makeConfig(const Options &o)
 
 /** Mixed small/large churn (same shape as nvalloc_fsck's). In Manual
  *  maintenance mode a slice is stepped every 512 operations, so the
- *  stats.maintenance.* family is populated deterministically. */
+ *  stats.maintenance.* family is populated deterministically. With
+ *  `tx` on, every 256th operation runs as a small transaction
+ *  (alternating commit and abort) so the stats.tx.* family is
+ *  populated. */
 void
-runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
+runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops, bool tx)
 {
     std::vector<uint64_t> live;
     uint64_t rng = 0x9e3779b97f4a7c15ULL;
@@ -182,6 +191,17 @@ runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
         if (i % 512 == 511 &&
             alloc.config().maintenance_mode == MaintenanceMode::Manual)
             alloc.maintenance().step();
+        if (tx && i % 256 == 255) {
+            alloc.txBegin(ctx);
+            uint64_t off = alloc.txAlloc(ctx, 64 + (i & 0xc0), nullptr);
+            if (i % 512 == 255 && off != 0) {
+                alloc.txCommit(ctx);
+                live.push_back(off);
+            } else {
+                alloc.txAbort(ctx);
+            }
+            continue;
+        }
         if (hostile && i % 1024 == 1023 && !live.empty()) {
             // Hostile-free traffic (--hardening): a double free and an
             // interior-pointer free, both rejected and counted.
@@ -253,7 +273,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "stat: could not attach build thread\n");
             return 2;
         }
-        runWorkload(first, *ctx, o.ops);
+        runWorkload(first, *ctx, o.ops, o.tx);
         first.dirtyRestart();
     }
 
@@ -269,7 +289,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "stat: could not attach thread\n");
             return 2;
         }
-        runWorkload(alloc, *ctx, o.ops);
+        runWorkload(alloc, *ctx, o.ops, o.tx);
         alloc.detachThread(ctx);
     }
 
@@ -312,6 +332,12 @@ main(int argc, char **argv)
         else
             std::printf("hardening: %s\n",
                         alloc.hardening().json().c_str());
+    }
+    if (o.tx) {
+        if (o.json)
+            std::printf("%s\n", alloc.txJson().c_str());
+        else
+            std::printf("tx: %s\n", alloc.txJson().c_str());
     }
 
     if (o.trace > 0 && !o.json)
