@@ -80,6 +80,15 @@ main(int argc, char **argv)
                     bench.name, mops[0], mops[1],
                     100.0 * (1.0 - mops[1] / mops[0]),
                     (unsigned long long)fast, (unsigned long long)slow);
+        // Trajectory rows for the bench_compare.py gate (the fg/bg
+        // table below stays out: a busy-polling background worker is
+        // too scheduling-sensitive to gate on).
+        benchJsonPoint("Fig 17 GC overhead",
+                       std::string(bench.name) + " w/o GC",
+                       std::to_string(kThreads), mops[0]);
+        benchJsonPoint("Fig 17 GC overhead",
+                       std::string(bench.name) + " with GC",
+                       std::to_string(kThreads), mops[1]);
     }
 
     // Foreground vs. background: the same GC-pressure config, with the

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -192,6 +193,274 @@ HeapAuditor::run(bool repair)
     checkQuarantine();
     checkPoison();
     return rep_;
+}
+
+// ---- online patrol scrub (maintenance stage 5) ---------------------
+//
+// Unlike run(), nothing here pauses maintenance or assumes quiescence:
+// patrolStep executes FROM a maintenance slice, so it takes only the
+// per-structure locks it needs for the current bounded batch and
+// treats first-observation mismatches as potentially transient.
+
+namespace {
+constexpr size_t kPatrolMaxNotes = 8;
+}
+
+PatrolSliceResult
+HeapAuditor::patrolStep(PatrolCursor &cur, unsigned max_items,
+                        unsigned max_retries)
+{
+    PatrolSliceResult res;
+    if (a_.open_failed_)
+        return res; // degraded open: nothing below the root adopted
+    unsigned budget = max_items ? max_items : 1;
+    // At most one visit per phase per slice; a slice never walks more
+    // than one full pass even when the heap is smaller than the budget.
+    for (unsigned hops = 0; budget > 0 && hops < 5 && !res.wrapped;
+         ++hops) {
+        unsigned used = 0;
+        switch (cur.phase) {
+        case 0:
+            used = patrolSuperblock(res);
+            cur.phase = 1;
+            cur.pos = 0;
+            break;
+        case 1:
+            used = patrolRegionTable(cur, budget, res);
+            break;
+        case 2:
+            used = patrolSlabs(cur, budget, max_retries, res);
+            break;
+        default:
+            used = patrolLogChain(cur, budget, res);
+            break;
+        }
+        budget -= std::min(budget, used);
+    }
+    return res;
+}
+
+unsigned
+HeapAuditor::patrolSuperblock(PatrolSliceResult &res)
+{
+    const NvSuperblock *sb = a_.sb_;
+    PmDevice &dev = a_.dev_;
+    ++res.items;
+    // sb_crc covers only the immutable config fields, so a mismatch
+    // can never be a racing runtime update — no re-read needed.
+    if (dev.isPoisoned(sb, sizeof(NvSuperblock)) ||
+        sb->magic != kSuperMagic || sb->version != kSuperVersion ||
+        sb->sb_crc != superblockCrc(*sb)) {
+        ++res.findings;
+        if (res.notes.size() < kPatrolMaxNotes)
+            res.notes.push_back("patrol: superblock damaged");
+    }
+    return 1;
+}
+
+unsigned
+HeapAuditor::patrolRegionTable(PatrolCursor &cur, unsigned budget,
+                               PatrolSliceResult &res)
+{
+    PmDevice &dev = a_.dev_;
+    unsigned used = 0;
+    // Entries are published/retired with single-word updates, so each
+    // read observes either 0 or a complete entry — no re-read needed.
+    while (cur.pos < a_.region_slots_ && used < budget) {
+        uint64_t e = a_.region_table_[cur.pos];
+        ++used;
+        ++res.items;
+        ++cur.pos;
+        if (e == 0)
+            continue;
+        uint64_t off = regionEntryOff(e);
+        uint64_t size = regionEntrySize(e);
+        if (off % PmDevice::kRegionAlign != 0 || size == 0 ||
+            off < PmDevice::kRegionAlign || off + size > dev.size()) {
+            ++res.findings;
+            if (res.notes.size() < kPatrolMaxNotes)
+                res.notes.push_back(
+                    fmt("patrol: region table entry 0x%llx+%llu out of "
+                        "bounds",
+                        off, size));
+        }
+    }
+    if (cur.pos >= a_.region_slots_) {
+        cur.phase = 2;
+        cur.pos = 0;
+    }
+    return used;
+}
+
+unsigned
+HeapAuditor::patrolSlabs(PatrolCursor &cur, unsigned budget,
+                         unsigned max_retries, PatrolSliceResult &res)
+{
+    PmDevice &dev = a_.dev_;
+    uint64_t ord = 0;
+    unsigned used = 0;
+    for (auto &arena : a_.arenas_) {
+        arena->forEachSlab([&](VSlab *slab) {
+            uint64_t my = ord++;
+            if (my < cur.pos || used >= budget)
+                return;
+            ++used;
+            ++res.items;
+            cur.pos = my + 1;
+            uint64_t off = slab->slabOffset();
+
+            // Header line (magic + geometry crc). Morphing rewrites it
+            // under the arena lock we hold, so only media faults can
+            // race this read; re-read before declaring damage anyway.
+            bool bad = !VSlab::headerLooksValid(&dev, off, true);
+            for (unsigned r = 0; bad && r < max_retries; ++r) {
+                ++res.retries;
+                std::this_thread::yield();
+                bad = !VSlab::headerLooksValid(&dev, off, true);
+            }
+            if (bad) {
+                ++res.findings;
+                if (res.notes.size() < kPatrolMaxNotes)
+                    res.notes.push_back(
+                        fmt("patrol: slab 0x%llx header invalid", off));
+                if (slab->repairHeader()) {
+                    dev.clearPoison(off);
+                    ++res.repaired;
+                }
+                return; // bitmap math is noise under a smashed header
+            }
+
+            // Persistent-bitmap popcount vs the live counter. Tcache
+            // traffic flips bits without the arena lock, so require
+            // the identical wrong observation across every re-read
+            // before declaring damage — anything that moves is an
+            // in-flight update, not corruption.
+            auto observe = [&](uint64_t *pop, uint64_t *live) {
+                const uint8_t *bm = slab->header()->bitmap;
+                uint64_t p = 0;
+                for (size_t i = 0; i < kSlabBitmapBytes; ++i)
+                    p += std::popcount(unsigned(bm[i]));
+                *pop = p;
+                *live = slab->liveBlocks();
+            };
+            uint64_t pop = 0, live = 0;
+            observe(&pop, &live);
+            if (pop == live)
+                return;
+            bool stable = true;
+            for (unsigned r = 0; r < max_retries; ++r) {
+                ++res.retries;
+                std::this_thread::yield();
+                uint64_t p2 = 0, l2 = 0;
+                observe(&p2, &l2);
+                if (p2 == l2 || p2 != pop || l2 != live) {
+                    stable = false;
+                    break;
+                }
+            }
+            if (stable) {
+                ++res.findings;
+                if (res.notes.size() < kPatrolMaxNotes)
+                    res.notes.push_back(
+                        fmt("patrol: slab 0x%llx bitmap popcount %llu "
+                            "!= live",
+                            off, pop));
+            }
+        });
+    }
+    if (cur.pos >= ord) {
+        cur.phase = 3;
+        cur.pos = 0;
+    }
+    return used;
+}
+
+unsigned
+HeapAuditor::patrolLogChain(PatrolCursor &cur, unsigned budget,
+                            PatrolSliceResult &res)
+{
+    auto wrap = [&] {
+        cur.phase = 0;
+        cur.pos = 0;
+        ++cur.passes;
+        res.wrapped = true;
+    };
+    if (!a_.usesBookkeepingLog()) {
+        wrap();
+        return 0;
+    }
+    PmDevice &dev = a_.dev_;
+    const NvSuperblock *sb = a_.sb_;
+    // The large allocator's lock keeps GC from rewriting the chain
+    // mid-walk; entry appends inside a chunk do not touch the chunk
+    // header line the crc covers.
+    VLockGuard g(a_.large_.lock());
+
+    const uint64_t log_off = sb->log_off;
+    const uint64_t log_bytes = sb->log_bytes;
+    const auto *lh = static_cast<const LogHeader *>(dev.at(log_off));
+    const size_t max_chunks =
+        (log_bytes - kLogHeaderArea) / kLogChunkStride;
+    unsigned used = 0;
+
+    if (cur.pos == 0) {
+        ++used;
+        ++res.items;
+        if (dev.isPoisoned(lh, sizeof(LogHeader)) ||
+            lh->magic != kLogMagic || lh->crc != logHeaderCrc(*lh) ||
+            lh->alt > 1 || lh->num_chunks > max_chunks) {
+            ++res.findings;
+            if (res.notes.size() < kPatrolMaxNotes)
+                res.notes.push_back("patrol: log header invalid");
+            wrap(); // the chain pointer would chase garbage
+            return used;
+        }
+        cur.pos = 1;
+    }
+
+    auto valid_chunk_off = [&](uint64_t o) {
+        return o >= log_off + kLogHeaderArea &&
+               o + kLogChunkStride <= log_off + log_bytes &&
+               (o - log_off - kLogHeaderArea) % kLogChunkStride == 0;
+    };
+
+    std::unordered_set<uint64_t> seen;
+    uint64_t off = lh->head[lh->alt];
+    uint64_t ord = 1; // ordinal of the chunk at `off`
+    bool done = true;
+    while (off) {
+        if (!valid_chunk_off(off) || !seen.insert(off).second) {
+            ++res.findings;
+            if (res.notes.size() < kPatrolMaxNotes)
+                res.notes.push_back(
+                    fmt("patrol: log chain broken at 0x%llx", off));
+            break;
+        }
+        const auto *pc = static_cast<const LogChunk *>(dev.at(off));
+        if (ord >= cur.pos) {
+            if (used >= budget) {
+                done = false;
+                break;
+            }
+            ++used;
+            ++res.items;
+            cur.pos = ord + 1;
+            if (dev.isPoisoned(pc, kLogHeaderArea) ||
+                pc->crc != logChunkCrc(*pc) || pc->active != 1) {
+                ++res.findings;
+                if (res.notes.size() < kPatrolMaxNotes)
+                    res.notes.push_back(
+                        fmt("patrol: log chunk 0x%llx bad header",
+                            off));
+                break; // the next pointer is untrustworthy
+            }
+        }
+        off = pc->next;
+        ++ord;
+    }
+    if (done)
+        wrap();
+    return used;
 }
 
 void

@@ -121,6 +121,31 @@ struct AuditReport
     std::string json() const;
 };
 
+/**
+ * Position of the incremental patrol walk across the heap's metadata.
+ * Owned by the heap (NvAlloc) so it persists across maintenance
+ * slices; each patrolStep() advances it by a bounded number of items
+ * and wraps phase 3 -> 0 when a full pass completes.
+ */
+struct PatrolCursor
+{
+    unsigned phase = 0; //!< 0 superblock, 1 region table, 2 slabs,
+                        //!< 3 log chain
+    uint64_t pos = 0;   //!< phase-relative ordinal
+    uint64_t passes = 0; //!< completed full walks
+};
+
+/** Outcome of one bounded patrol slice. */
+struct PatrolSliceResult
+{
+    unsigned items = 0;    //!< metadata items examined
+    unsigned findings = 0; //!< stable damage declared
+    unsigned repaired = 0; //!< findings fixed in place (slab headers)
+    unsigned retries = 0;  //!< transient mismatches re-read
+    bool wrapped = false;  //!< a full pass completed this slice
+    std::vector<std::string> notes; //!< one line per finding (capped)
+};
+
 class HeapAuditor
 {
   public:
@@ -133,6 +158,27 @@ class HeapAuditor
      *  returned report counts both what was found and what was
      *  repaired. Run audit() again afterwards to confirm clean. */
     AuditReport repair();
+
+    /**
+     * Online patrol scrub: examine up to `max_items` metadata items
+     * starting at `cur` — superblock magic/crc/poison, region-table
+     * entry bounds, slab headers + persistent-bitmap popcounts (under
+     * the owning arena's vlock), bookkeeping-log chunk headers (under
+     * the large allocator's lock) — against a LIVE mutator.
+     *
+     * Unlike audit()/repair() this neither pauses maintenance nor
+     * requires quiescence: it is designed to be called FROM a
+     * maintenance slice (stage 5), takes only the per-structure locks
+     * it needs for the current batch, and treats a mismatch observed
+     * once as potentially transient: the item is re-read up to
+     * `max_retries` times and declared damaged only when the
+     * observation is stable (identical and still wrong every time).
+     * Stable slab-header damage is repaired in place when derivable
+     * (VSlab::repairHeader); everything else is reported for the
+     * caller to escalate to the heap health machine.
+     */
+    PatrolSliceResult patrolStep(PatrolCursor &cur, unsigned max_items,
+                                 unsigned max_retries);
 
   private:
     /** Snapshot of one VEH (state mirrors Veh::State's values). */
@@ -154,6 +200,13 @@ class HeapAuditor
 
     AuditReport run(bool repair);
     void note(const std::string &msg);
+    unsigned patrolSuperblock(PatrolSliceResult &res);
+    unsigned patrolRegionTable(PatrolCursor &cur, unsigned budget,
+                               PatrolSliceResult &res);
+    unsigned patrolSlabs(PatrolCursor &cur, unsigned budget,
+                         unsigned max_retries, PatrolSliceResult &res);
+    unsigned patrolLogChain(PatrolCursor &cur, unsigned budget,
+                            PatrolSliceResult &res);
     void checkSuperblock();
     void checkRegionsAndExtents();
     void checkSlabs();

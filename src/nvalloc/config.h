@@ -190,6 +190,43 @@ struct NvAllocConfig
      *  / abort). */
     HardeningPolicy hardening_policy = HardeningPolicy::Report;
 
+    // ---- pool containment & patrol scrub (pool.h, DESIGN.md §12) ----
+
+    /**
+     * Online patrol scrubber: a fifth maintenance stage that walks
+     * superblock / region-table / slab / log-chain checksums
+     * incrementally against the live mutator (auditor patrol mode),
+     * escalating stable damage to the heap health machine. Runs only
+     * when maintenance runs (Manual/Thread); off, the stage is skipped
+     * entirely.
+     */
+    bool patrol_scrub = true;
+
+    /** Metadata items (slabs, log chunks, region entries) examined per
+     *  patrol slice. Bounds the virtual time a slice spends holding
+     *  arena vlocks / the large-allocator lock. */
+    unsigned patrol_items = 8;
+
+    /** Bounded re-read count before a checksum mismatch observed under
+     *  a concurrent mutator is declared damage rather than a transient
+     *  in-flight update. */
+    unsigned patrol_retries = 3;
+
+    /**
+     * Fault containment (HeapPool members): when corruption is
+     * detected — by the hardened-free pipeline, the auditor, the
+     * patrol scrubber or recovery — the heap transitions to
+     * Degraded/Quarantined and refuses new allocations with
+     * NvStatus::HeapUnhealthy until NvAlloc::restoreHealth() passes a
+     * clean audit. Off (default), health is still tracked and exported
+     * but never gates operations, preserving single-heap semantics.
+     */
+    bool fault_containment = false;
+
+    /** Per-tenant capacity quota in bytes, enforced on the extent path
+     *  (activated extent bytes, slabs included). 0 = unlimited. */
+    uint64_t capacity_quota_bytes = 0;
+
     /**
      * Validate the knobs an NvAlloc::open() caller can get wrong
      * without tripping anything immediately. Returns nullptr when the
@@ -222,6 +259,13 @@ struct NvAllocConfig
             return "maintenance_scrub_lines must be > 0";
         if (hardening_policy > HardeningPolicy::Abort)
             return "hardening_policy out of range";
+        if (patrol_scrub && patrol_items == 0)
+            return "patrol_items must be > 0";
+        if (patrol_scrub && patrol_retries == 0)
+            return "patrol_retries must be > 0";
+        if (capacity_quota_bytes != 0 &&
+            capacity_quota_bytes < (uint64_t{1} << 16))
+            return "capacity_quota_bytes must be 0 or >= 64 KB";
         if (guard_sample_rate != 0 && !hardened_free)
             return "guard_sample_rate requires hardened_free";
         if (quarantine_depth > (1u << 20))

@@ -167,6 +167,16 @@ HardeningManager::report(CorruptionKind kind, uint64_t off,
             reports_.pop_front();
     }
 
+    // Feed the heap health machine (DESIGN.md §12): every confirmed
+    // corruption report degrades the owning heap. The state change is
+    // always tracked; whether a Degraded heap keeps serving is the
+    // owner's fault_containment policy, so single-heap configurations
+    // behave exactly as before.
+    if (owner_) {
+        owner_->escalateHealth(HeapHealth::Degraded,
+                               corruptionKindName(kind));
+    }
+
     if (policy_ == HardeningPolicy::Abort) {
         NV_WARN("hardening: policy is abort");
         std::abort();
@@ -193,6 +203,16 @@ HardeningManager::armGuard(uint64_t off, uint64_t user_size,
     {
         std::lock_guard<std::mutex> g(mu_);
         guard_map_[off] = GuardInfo{user_size, extent_size};
+        // A stale watch entry for this offset describes the *previous*
+        // guard life of the extent: its sizes no longer match the
+        // memory, so verifying it after this allocation's own free
+        // would misread the new redzone fill as a dirtied poison fill.
+        for (auto it = watch_.begin(); it != watch_.end();) {
+            if (it->off == off)
+                it = watch_.erase(it);
+            else
+                ++it;
+        }
     }
     bump(stats_.guard_allocs);
 }
@@ -230,11 +250,16 @@ HardeningManager::guardRedzoneIntact(uint64_t off,
 void
 HardeningManager::watchFreedGuard(uint64_t off, const GuardInfo &info)
 {
+    // Capture the extent's reuse epoch before taking mu_ (lock order:
+    // never mu_ then the large allocator's lock). The deferred verify
+    // only trusts the poison fill while this free life is current.
+    uint64_t epoch =
+        owner_ ? owner_->large().reclaimedEpoch(off) : ~0ULL;
     WatchedGuard evicted;
     bool have_evicted = false;
     {
         std::lock_guard<std::mutex> g(mu_);
-        watch_.push_back(WatchedGuard{off, info});
+        watch_.push_back(WatchedGuard{off, info, epoch});
         if (watch_.size() > kGuardWatchDepth) {
             evicted = watch_.front();
             watch_.pop_front();
@@ -266,7 +291,8 @@ HardeningManager::verifyWatchedGuard(const WatchedGuard &w)
     // extent cannot be handed back out mid-check; -1 means it already
     // was (or was coalesced/decommitted) and the evidence is gone.
     int r = owner_->large().verifyReclaimedFill(
-        w.off, w.info.extent_size, w.info.user_size, kGuardFreeByte);
+        w.off, w.info.extent_size, w.epoch, w.info.user_size,
+        kGuardFreeByte);
     if (r > 0) {
         report(CorruptionKind::GuardUseAfterFree, w.off, ~0u,
                "freed guard extent's poison fill was overwritten");

@@ -278,6 +278,7 @@ class HardeningManager
     {
         uint64_t off = 0;
         GuardInfo info;
+        uint64_t epoch = 0; //!< extent reuse epoch at free time
     };
 
     static void

@@ -219,6 +219,7 @@ LargeAllocator::activate(Veh *veh, bool is_slab,
         veh->log_ref = ref;
     }
     veh->state = Veh::State::Activated;
+    ++veh->reuse_epoch;
     veh->is_slab = is_slab;
     activated_list_.pushBack(veh);
     activated_bytes_ += veh->size;
@@ -251,6 +252,16 @@ LargeAllocator::allocateDirect(uint64_t size,
     if (total - kRegionHeaderSize >= (uint64_t{1} << 26)) {
         // Unrepresentable in the log entry's size field.
         last_failure_.store(NvStatus::InvalidArgument,
+                            std::memory_order_relaxed);
+        return 0;
+    }
+    // Re-check the quota against the full direct-mapping footprint,
+    // which exceeds the caller's rounded request by the region header
+    // and region-alignment padding.
+    if (cfg_.capacity_quota_bytes != 0 &&
+        activated_bytes_ + (total - kRegionHeaderSize) >
+            cfg_.capacity_quota_bytes) {
+        last_failure_.store(NvStatus::QuotaExceeded,
                             std::memory_order_relaxed);
         return 0;
     }
@@ -296,6 +307,18 @@ LargeAllocator::allocate(uint64_t size, bool is_slab,
     decayTick();
     ++stats_.allocations;
     size = alignUp(size, kExtentAlign);
+
+    // Per-tenant capacity quota (pool containment, DESIGN.md §12):
+    // every byte a tenant holds is an activated extent here — slabs
+    // included — so this single check bounds the whole heap. Checked
+    // against the post-allocation total so a tenant can always use its
+    // full quota but never cross it.
+    if (cfg_.capacity_quota_bytes != 0 &&
+        activated_bytes_ + size > cfg_.capacity_quota_bytes) {
+        last_failure_.store(NvStatus::QuotaExceeded,
+                            std::memory_order_relaxed);
+        return 0;
+    }
 
     if (size > kLargeMax)
         return allocateDirect(size, pre_log);
@@ -450,12 +473,17 @@ LargeAllocator::decayPass()
 
 int
 LargeAllocator::verifyReclaimedFill(uint64_t off, uint64_t size,
-                                    uint64_t check_bytes, uint8_t expect)
+                                    uint64_t epoch, uint64_t check_bytes,
+                                    uint8_t expect)
 {
     VLockGuard guard(lock_);
     Veh *veh = findVeh(off);
     if (!veh || veh->off != off || veh->size != size ||
-        veh->state != Veh::State::Reclaimed) {
+        veh->state != Veh::State::Reclaimed ||
+        veh->reuse_epoch != epoch) {
+        // Includes the reused-and-freed-again case: the extent is
+        // Reclaimed again, but its contents belong to a later life —
+        // the old fill proves nothing.
         return -1;
     }
     const uint8_t *p = static_cast<const uint8_t *>(dev_->at(off));
@@ -464,6 +492,16 @@ LargeAllocator::verifyReclaimedFill(uint64_t off, uint64_t size,
             return 1;
     }
     return 0;
+}
+
+uint64_t
+LargeAllocator::reclaimedEpoch(uint64_t off)
+{
+    VLockGuard guard(lock_);
+    Veh *veh = findVeh(off);
+    if (!veh || veh->off != off || veh->state != Veh::State::Reclaimed)
+        return ~0ULL;
+    return veh->reuse_epoch;
 }
 
 unsigned

@@ -66,6 +66,10 @@ struct Veh
     LogEntryRef log_ref;   //!< live while activated (log mode)
     uint64_t desc_off = 0; //!< descriptor slot (in-place mode)
     uint64_t freed_at = 0; //!< virtual time of the last free
+    /** Bumped on every activation: lets deferred checks over reclaimed
+     *  memory (the hardening guard watch) tell "still the same free
+     *  life" apart from "reused and freed again since". */
+    uint64_t reuse_epoch = 0;
 
     RbNode size_node;  //!< reclaimed/retained best-fit index
     LruLink list_link; //!< membership in the state's list
@@ -180,8 +184,13 @@ class LargeAllocator
      * decommitted (nothing can be concluded). Runs under the allocator
      * lock so the extent cannot be handed back out mid-check.
      */
-    int verifyReclaimedFill(uint64_t off, uint64_t size,
+    int verifyReclaimedFill(uint64_t off, uint64_t size, uint64_t epoch,
                             uint64_t check_bytes, uint8_t expect);
+
+    /** The extent's reuse epoch if `off` heads a reclaimed extent,
+     *  ~0ULL otherwise. Pairs with verifyReclaimedFill: capture at
+     *  free time, pass back at check time. */
+    uint64_t reclaimedEpoch(uint64_t off);
 
     /** Why the last allocate() returned 0 (Ok if none failed yet). */
     NvStatus
@@ -241,6 +250,11 @@ class LargeAllocator
         for (const auto &[off, size] : regions_)
             fn(off, size);
     }
+
+    /** The allocator lock. The patrol scrubber (auditor.h) takes it
+     *  for bounded log-chain walks so GC cannot rewrite the chain
+     *  mid-check; everything else locks through the member functions. */
+    VLock &lock() { return lock_; }
 
     const Stats &stats() const { return stats_; }
     uint64_t activatedBytes() const { return activated_bytes_; }

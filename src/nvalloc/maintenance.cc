@@ -272,6 +272,20 @@ MaintenanceService::runSlice(bool forced)
     }
     last_failed_allocs_ = failed;
 
+    // 5. Online patrol scrub: one bounded batch of the heap's
+    //    incremental metadata walk (superblock / region table / slabs
+    //    / log chain, auditor.h) against the live mutator. The batch
+    //    is item-bounded by cfg_.patrol_items, keeping the vlock hold
+    //    times inside the slice budget; findings escalate to the heap
+    //    health machine inside the callback.
+    if ((forced || budget_left()) && w_.patrol && cfg_.patrol_scrub) {
+        if (w_.patrol()) {
+            did = true;
+            stats_.patrol_slices.fetch_add(1,
+                                           std::memory_order_relaxed);
+        }
+    }
+
     wake_armed_.store(false, std::memory_order_relaxed);
     uint64_t spent = VClock::now() - t0;
     stats_.virtual_ns.fetch_add(spent, std::memory_order_relaxed);

@@ -93,6 +93,10 @@ struct MaintenanceStats
      *  maintenance slices. stats.log.gc_ns minus this is what the
      *  allocating threads still paid inline (fig17 fg/bg split). */
     std::atomic<uint64_t> gc_virtual_ns{0};
+    /** Stage-5 patrol scrub (stats.scrub.*): slices that ran a patrol
+     *  batch. The item/finding/retry/pass counters live on the heap
+     *  (NvAlloc::scrubStats) next to the cursor they describe. */
+    std::atomic<uint64_t> patrol_slices{0};
 };
 
 class MaintenanceService
@@ -109,6 +113,11 @@ class MaintenanceService
         std::function<uint64_t()> failed_allocs;
         std::function<uint64_t()> quarantine_depth;
         std::function<void()> request_trim;
+        /** Stage 5: run one bounded patrol-scrub batch (the heap's
+         *  incremental metadata walk, auditor.h); returns the number
+         *  of items examined. Unset or patrol_scrub off skips the
+         *  stage. */
+        std::function<unsigned()> patrol;
         /** Device ranges the scrub pass must never touch (superblock
          *  root, WAL rings, the log region). */
         std::vector<std::pair<uint64_t, uint64_t>> protected_ranges;

@@ -1,6 +1,7 @@
 #include "nvalloc/nvalloc.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/logging.h"
@@ -66,8 +67,12 @@ NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
         // Failed open: root metadata could not be trusted. Touch no PM
         // (the corrupt image must stay inspectable), hand out no
         // threads, start no maintenance thread, and behave like a
-        // crashed instance on destruction.
+        // crashed instance on destruction. The health machine lands in
+        // Quarantined so a pool member whose recovery failed is
+        // contained exactly like one the patrol caught.
         mode_.store(HeapMode::Failed, std::memory_order_relaxed);
+        escalateHealth(HeapHealth::Quarantined,
+                       "open failed: root metadata untrusted");
         crashed_ = true;
         return;
     }
@@ -94,6 +99,8 @@ NvAlloc::initMaintenance()
         return uint64_t(sb_->quarantine_count);
     };
     w.request_trim = [this] { requestTcacheTrim(); };
+    if (cfg_.patrol_scrub)
+        w.patrol = [this] { return patrolSlice(); };
     // Ranges the scrub pass must never rewrite, live or not: the
     // superblock root area, the WAL rings, and the log region (all
     // mapped outside the large allocator's region table).
@@ -576,6 +583,143 @@ NvAlloc::allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off)
     return off;
 }
 
+// ---- health & containment (pool.h, DESIGN.md §12) -------------------
+
+/**
+ * Containment gate shared by the mutating entry points: with
+ * fault_containment on, a Degraded/Quarantined heap refuses allocation
+ * and free traffic (reads, stats, audit and fsck-repair keep working).
+ * Returns true when the operation must be refused, having already
+ * recorded why.
+ */
+bool
+NvAlloc::refuseUnhealthy()
+{
+    if (!cfg_.fault_containment)
+        return false;
+    HeapHealth h = health_.load(std::memory_order_relaxed);
+    if (unsigned(h) < unsigned(HeapHealth::Degraded))
+        return false;
+    health_stats_.rejected_ops.fetch_add(1, std::memory_order_relaxed);
+    failOp(NvStatus::HeapUnhealthy);
+    return true;
+}
+
+void
+NvAlloc::escalateHealth(HeapHealth to, const char *reason)
+{
+    if (unsigned(to) < unsigned(HeapHealth::Degraded))
+        return; // Serving/Scrubbing are not escalation targets
+    HeapHealth cur = health_.load(std::memory_order_relaxed);
+    do {
+        if (unsigned(cur) >= unsigned(to))
+            return; // upward-only: Quarantined sticks over Degraded
+    } while (!health_.compare_exchange_weak(cur, to,
+                                            std::memory_order_relaxed));
+    health_stats_.escalations.fetch_add(1, std::memory_order_relaxed);
+    NV_WARN((std::string("heap health escalated to ") +
+             heapHealthName(to) + ": " + (reason ? reason : "?"))
+                .c_str());
+    if (health_hook_)
+        health_hook_(to, reason ? reason : "");
+}
+
+NvStatus
+NvAlloc::restoreHealth()
+{
+    if (open_failed_)
+        return failOp(open_status_); // nothing to audit against
+    HeapAuditor aud(*this);
+    AuditReport rep = aud.audit();
+    if (!rep.clean())
+        return failOp(NvStatus::CorruptMetadata);
+    HeapHealth prev =
+        health_.exchange(HeapHealth::Serving, std::memory_order_relaxed);
+    if (unsigned(prev) >= unsigned(HeapHealth::Degraded))
+        health_stats_.restores.fetch_add(1, std::memory_order_relaxed);
+    return NvStatus::Ok;
+}
+
+unsigned
+NvAlloc::patrolSlice()
+{
+    if (open_failed_)
+        return 0; // a failed open trusts nothing; fsck owns the image
+    std::lock_guard<std::mutex> g(patrol_mu_);
+
+    // Publish Scrubbing for the duration of the walk, but only from
+    // Serving: the CAS can never mask a Degraded/Quarantined state
+    // another detector put up first.
+    HeapHealth expect = HeapHealth::Serving;
+    bool published = health_.compare_exchange_strong(
+        expect, HeapHealth::Scrubbing, std::memory_order_relaxed);
+
+    HeapAuditor aud(*this);
+    PatrolSliceResult r = aud.patrolStep(
+        patrol_cursor_, cfg_.patrol_items, cfg_.patrol_retries);
+
+    if (published) {
+        expect = HeapHealth::Scrubbing;
+        health_.compare_exchange_strong(expect, HeapHealth::Serving,
+                                        std::memory_order_relaxed);
+    }
+
+    scrub_stats_.slices.fetch_add(1, std::memory_order_relaxed);
+    scrub_stats_.items.fetch_add(r.items, std::memory_order_relaxed);
+    scrub_stats_.findings.fetch_add(r.findings,
+                                    std::memory_order_relaxed);
+    scrub_stats_.repaired.fetch_add(r.repaired,
+                                    std::memory_order_relaxed);
+    scrub_stats_.retries.fetch_add(r.retries, std::memory_order_relaxed);
+    if (r.wrapped)
+        scrub_stats_.passes.fetch_add(1, std::memory_order_relaxed);
+
+    if (r.findings) {
+        // Damage the patrol repaired in place (slab headers) degrades
+        // the heap; damage it cannot derive a fix for (superblock,
+        // region table, log chain, stable bitmap drift) quarantines it
+        // until fsck repairs the image and restoreHealth() re-audits.
+        escalateHealth(r.repaired >= r.findings
+                           ? HeapHealth::Degraded
+                           : HeapHealth::Quarantined,
+                       r.notes.empty() ? "patrol finding"
+                                       : r.notes.front().c_str());
+    }
+    return r.items;
+}
+
+std::string
+NvAlloc::healthJson() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"state\":\"%s\",\"escalations\":%llu,\"restores\":%llu,"
+        "\"rejected_ops\":%llu,\"scrub\":{\"slices\":%llu,"
+        "\"items\":%llu,\"findings\":%llu,\"repaired\":%llu,"
+        "\"retries\":%llu,\"passes\":%llu}}",
+        heapHealthName(health_.load(std::memory_order_relaxed)),
+        (unsigned long long)health_stats_.escalations.load(
+            std::memory_order_relaxed),
+        (unsigned long long)health_stats_.restores.load(
+            std::memory_order_relaxed),
+        (unsigned long long)health_stats_.rejected_ops.load(
+            std::memory_order_relaxed),
+        (unsigned long long)scrub_stats_.slices.load(
+            std::memory_order_relaxed),
+        (unsigned long long)scrub_stats_.items.load(
+            std::memory_order_relaxed),
+        (unsigned long long)scrub_stats_.findings.load(
+            std::memory_order_relaxed),
+        (unsigned long long)scrub_stats_.repaired.load(
+            std::memory_order_relaxed),
+        (unsigned long long)scrub_stats_.retries.load(
+            std::memory_order_relaxed),
+        (unsigned long long)scrub_stats_.passes.load(
+            std::memory_order_relaxed));
+    return buf;
+}
+
 // ---- hardening hooks (hardening.h, DESIGN.md §9) --------------------
 
 /** Largest request the small path serves: with canaries on, the last
@@ -744,6 +888,11 @@ NvAlloc::allocOffset(ThreadCtx &ctx, size_t size, uint64_t *where)
         failOp(NvStatus::InvalidArgument);
         return 0;
     }
+    if (refuseUnhealthy()) {
+        ++deg_stats_.failed_allocs;
+        tel_.noteAllocFailed(uint16_t(NvStatus::HeapUnhealthy));
+        return 0;
+    }
     if (size == 0) {
         failOp(NvStatus::InvalidArgument);
         ++deg_stats_.failed_allocs;
@@ -796,6 +945,8 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
             1, std::memory_order_relaxed);
         return failOp(NvStatus::InvalidArgument);
     }
+    if (refuseUnhealthy())
+        return NvStatus::HeapUnhealthy;
     if (off == 0 || off >= dev_.size())
         return rejectFree(off, CorruptionKind::WildFree);
     // A block staged by ANY open transaction (allocated-but-unpublished

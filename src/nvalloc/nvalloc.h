@@ -35,6 +35,7 @@
 
 #include "common/radix_tree.h"
 #include "nvalloc/arena.h"
+#include "nvalloc/auditor.h"
 #include "nvalloc/bookkeeping_log.h"
 #include "nvalloc/config.h"
 #include "nvalloc/hardening.h"
@@ -121,6 +122,27 @@ struct RecoveryInfo
 
 /** Public name for the structured recovery report. */
 using RecoveryReport = RecoveryInfo;
+
+/** stats.scrub.* counters (online patrol scrubber, maintenance stage
+ *  5). All relaxed atomics: bumped by whichever thread runs the patrol
+ *  batch, read lock-free by the ctl tree. */
+struct ScrubStats
+{
+    std::atomic<uint64_t> slices{0};   //!< patrol batches run
+    std::atomic<uint64_t> items{0};    //!< metadata items examined
+    std::atomic<uint64_t> findings{0}; //!< stable damage declared
+    std::atomic<uint64_t> repaired{0}; //!< findings fixed in place
+    std::atomic<uint64_t> retries{0};  //!< transient mismatches re-read
+    std::atomic<uint64_t> passes{0};   //!< completed full walks
+};
+
+/** stats.health.* counters (heap health machine, DESIGN.md §12). */
+struct HealthStats
+{
+    std::atomic<uint64_t> escalations{0}; //!< upward transitions
+    std::atomic<uint64_t> restores{0};    //!< clean audits -> Serving
+    std::atomic<uint64_t> rejected_ops{0}; //!< allocs refused unhealthy
+};
 
 /**
  * Status-or-heap result of NvAlloc::open(). Exactly one of three
@@ -330,7 +352,59 @@ class NvAlloc
 
     const DegradedStats &degradedStats() const { return deg_stats_; }
 
-    // ---- fault containment ------------------------------------------
+    // ---- health & containment (pool.h, DESIGN.md §12) ---------------
+
+    /** Current health state. Serving unless the patrol scrubber is
+     *  mid-walk (Scrubbing) or corruption was detected (Degraded /
+     *  Quarantined). */
+    HeapHealth
+    health() const
+    {
+        return health_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record detected corruption: transition the health machine upward
+     * (never downward — Quarantined sticks until restoreHealth), bump
+     * stats.health.escalations and notify the health hook (the owning
+     * HeapPool). Called by the hardened-free pipeline (Degraded), the
+     * patrol scrubber and the auditor (Quarantined), and recovery
+     * (Quarantined on a failed open). Idempotent per state.
+     */
+    void escalateHealth(HeapHealth to, const char *reason);
+
+    /**
+     * After external repair (HeapAuditor::repair / nvalloc_fsck): run
+     * a fresh audit; when clean, return the heap to Serving and
+     * Ok — otherwise keep the current state and return
+     * CorruptMetadata. The one sanctioned downward transition.
+     */
+    NvStatus restoreHealth();
+
+    /** Pool subscription: called on every upward health transition,
+     *  from the detecting thread — possibly under heap locks (the
+     *  canary validator escalates from inside the arena lock), so the
+     *  hook must record-and-return, never call back into the heap.
+     *  Set before traffic starts; not synchronized against in-flight
+     *  escalation. */
+    using HealthHook = std::function<void(HeapHealth, const char *)>;
+    void setHealthHook(HealthHook hook) { health_hook_ = std::move(hook); }
+
+    /**
+     * One bounded patrol-scrub batch (auditor.h): maintenance stage 5
+     * calls this from its slice; tests and tools may drive it
+     * directly. Publishes Scrubbing while walking, feeds
+     * stats.scrub.*, and escalates stable findings. Returns the number
+     * of metadata items examined.
+     */
+    unsigned patrolSlice();
+
+    const ScrubStats &scrubStats() const { return scrub_stats_; }
+    const HealthStats &healthStats() const { return health_stats_; }
+
+    /** Health + scrub state as a JSON object (nvalloc_stat --health,
+     *  per-heap objects in nvalloc_fsck --json --pool). */
+    std::string healthJson() const;
 
     /** True if recovery quarantined the slab at device offset `off`
      *  (this run or any earlier one — the list is persistent). */
@@ -459,6 +533,16 @@ class NvAlloc
     bool open_failed_ = false;
     DegradedStats deg_stats_;
 
+    // Health machine + patrol scrub state (DESIGN.md §12). The cursor
+    // is guarded by patrol_mu_: stage 5 runs under the maintenance
+    // slice lock, but tests/tools may call patrolSlice() directly.
+    std::atomic<HeapHealth> health_{HeapHealth::Serving};
+    HealthStats health_stats_;
+    HealthHook health_hook_;
+    std::mutex patrol_mu_;
+    PatrolCursor patrol_cursor_;
+    ScrubStats scrub_stats_;
+
     // Hardening state (guard map, quarantine FIFO, detection
     // counters). Declared after the arenas/large allocator it
     // references; its destructor only frees DRAM — the quarantine is
@@ -481,6 +565,9 @@ class NvAlloc
     MaintenanceService maint_;
 
     friend class HeapAuditor;
+    // The pool records an options-mismatch refusal on the existing
+    // member's sticky status (failOp) without widening the public API.
+    friend class HeapPool;
 
     bool logMode() const { return cfg_.consistency == Consistency::Log; }
     bool gcMode() const { return cfg_.consistency == Consistency::Gc; }
@@ -521,6 +608,7 @@ class NvAlloc
 
     void publish(uint64_t *where, uint64_t value);
     void reclaimMemory(ThreadCtx &ctx);
+    bool refuseUnhealthy();
     uint64_t failAlloc();
     NvStatus failOp(NvStatus why);
     void setMode(HeapMode m);

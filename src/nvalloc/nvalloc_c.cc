@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "nvalloc/nvalloc.h"
+#include "nvalloc/pool.h"
 
 namespace nvalloc {
 
@@ -15,12 +16,22 @@ static_assert(NVALLOC_TX_MAX_OPS == kTxMaxOps,
 
 struct NvInstance
 {
+    /** Plain instance: owns its heap (nvalloc_init/nvalloc_open_ex). */
     explicit NvInstance(std::unique_ptr<NvAlloc> a)
-        : alloc(std::move(a))
+        : owned(std::move(a)), alloc(owned.get())
     {
     }
 
-    std::unique_ptr<NvAlloc> alloc;
+    /** Pool member: borrows the heap the process-wide HeapPool owns;
+     *  torn down through the pool on the last nvalloc_exit. */
+    NvInstance(NvAlloc *borrowed, std::string name)
+        : alloc(borrowed), pool_name(std::move(name))
+    {
+    }
+
+    std::unique_ptr<NvAlloc> owned;
+    NvAlloc *alloc;
+    std::string pool_name; //!< empty for plain instances
     std::mutex mutex;
     std::unordered_map<std::thread::id, ThreadCtx *> ctxs;
 
@@ -55,18 +66,19 @@ nvalloc_init(PmDevice *dev, const NvAllocOptions *opts)
     return new NvInstance(std::make_unique<NvAlloc>(*dev, cfg));
 }
 
+namespace {
+
+/** Shared by nvalloc_open_ex and nvalloc_open_named: translate the
+ *  versioned C options into an NvAllocConfig. Returns NVALLOC_OK or
+ *  NVALLOC_EINVAL (unknown version / enum value out of range). */
 int
-nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
-                NvInstance **out)
+optionsToConfig(const nvalloc_options *opts, NvAllocConfig &cfg)
 {
-    if (!dev || !opts || !out)
-        return NVALLOC_EINVAL;
     if (opts->version == 0 || opts->version > NVALLOC_OPTIONS_VERSION)
         return NVALLOC_EINVAL;
 
-    // Version-1 fields are read unconditionally; version-2 (hardening)
-    // fields only when the caller's header revision defined them.
-    NvAllocConfig cfg;
+    // Version-1 fields are read unconditionally; later revisions'
+    // fields only when the caller's header defined them.
     cfg.consistency =
         opts->gc_variant ? Consistency::Gc : Consistency::Log;
     cfg.bit_stripes = opts->bit_stripes;
@@ -107,12 +119,110 @@ nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
         }
     }
 
+    if (opts->version >= 3) {
+        cfg.patrol_scrub = opts->patrol_scrub != 0;
+        cfg.patrol_items = opts->patrol_items;
+        cfg.patrol_retries = opts->patrol_retries;
+        cfg.fault_containment = opts->fault_containment != 0;
+        cfg.capacity_quota_bytes = opts->capacity_quota_bytes;
+    }
+    return NVALLOC_OK;
+}
+
+/** The process-wide pool behind nvalloc_open_named, plus the handle
+ *  refcounts (one per successful named open; the member closes on the
+ *  last nvalloc_exit). Both guarded by namedMu. */
+struct NamedEntry
+{
+    NvInstance *inst;
+    unsigned refs;
+};
+
+std::mutex &
+namedMu()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+HeapPool &
+globalPool()
+{
+    static HeapPool *pool = new HeapPool; // immortal, like the registry
+    return *pool;
+}
+
+std::unordered_map<std::string, NamedEntry> &
+namedTable()
+{
+    static auto *tab = new std::unordered_map<std::string, NamedEntry>;
+    return *tab;
+}
+
+} // namespace
+
+int
+nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
+                NvInstance **out)
+{
+    if (!dev || !opts || !out)
+        return NVALLOC_EINVAL;
+    NvAllocConfig cfg;
+    if (optionsToConfig(opts, cfg) != NVALLOC_OK)
+        return NVALLOC_EINVAL;
+
     OpenResult r = NvAlloc::open(*dev, cfg);
     if (!r.heap)
         return NVALLOC_EINVAL; // config rejected; device untouched
     *out = new NvInstance(std::move(r.heap));
     return r.status == NvStatus::CorruptMetadata ? NVALLOC_ECORRUPT
                                                  : NVALLOC_OK;
+}
+
+int
+nvalloc_open_named(PmDevice *dev, const char *name,
+                   const nvalloc_options *opts, NvInstance **out)
+{
+    if (!dev || !name || !*name || !opts || !out)
+        return NVALLOC_EINVAL;
+    NvAllocConfig cfg;
+    if (optionsToConfig(opts, cfg) != NVALLOC_OK)
+        return NVALLOC_EINVAL;
+
+    std::lock_guard<std::mutex> g(namedMu());
+    // The pool decides identity-vs-mismatch on the *effective* config
+    // (fault_containment forced on), and records a mismatch on the
+    // existing member's sticky status so its nvalloc_errno reads
+    // EINVAL.
+    HeapPool::MemberResult r = globalPool().open(name, *dev, cfg);
+    if (!r.heap)
+        return NVALLOC_EINVAL; // bad config, or options mismatch
+    auto &tab = namedTable();
+    auto it = tab.find(name);
+    if (it != tab.end()) {
+        ++it->second.refs;
+        *out = it->second.inst;
+    } else {
+        NvInstance *inst = new NvInstance(r.heap, name);
+        tab.emplace(name, NamedEntry{inst, 1});
+        *out = inst;
+    }
+    return r.status == NvStatus::CorruptMetadata ? NVALLOC_ECORRUPT
+                                                 : NVALLOC_OK;
+}
+
+int
+nvalloc_health(NvInstance *inst)
+{
+    return int(inst->alloc->health());
+}
+
+int
+nvalloc_restore_health(NvInstance *inst)
+{
+    return inst->alloc->restoreHealth() == NvStatus::Ok
+               ? NVALLOC_OK
+               : NVALLOC_ECORRUPT;
 }
 
 int
@@ -126,6 +236,28 @@ nvalloc_maintenance(NvInstance *inst, const char *action)
 void
 nvalloc_exit(NvInstance *inst)
 {
+    if (!inst->pool_name.empty()) {
+        // Pool member: handles are refcounted — only the LAST exit
+        // detaches the threads and closes the member through the pool.
+        std::lock_guard<std::mutex> g(namedMu());
+        auto &tab = namedTable();
+        auto it = tab.find(inst->pool_name);
+        if (it != tab.end() && --it->second.refs > 0)
+            return;
+        {
+            std::lock_guard<std::mutex> t(inst->mutex);
+            for (auto &[tid, ctx] : inst->ctxs) {
+                if (ctx)
+                    inst->alloc->detachThread(ctx);
+            }
+            inst->ctxs.clear();
+        }
+        globalPool().close(inst->pool_name);
+        if (it != tab.end())
+            tab.erase(it);
+        delete inst;
+        return;
+    }
     {
         std::lock_guard<std::mutex> g(inst->mutex);
         for (auto &[tid, ctx] : inst->ctxs) {
@@ -175,6 +307,7 @@ mapStatus(NvStatus s)
     case NvStatus::OutOfMemory:
     case NvStatus::LogExhausted:
     case NvStatus::RegionTableFull:
+    case NvStatus::QuotaExceeded: // per-tenant quota: exhaustion shape
         return NVALLOC_ENOMEM;
     case NvStatus::TooManyThreads:
         return NVALLOC_EAGAIN;
@@ -183,6 +316,7 @@ mapStatus(NvStatus s)
     case NvStatus::UnknownCtl:
         return NVALLOC_EINVAL;
     case NvStatus::CorruptMetadata:
+    case NvStatus::HeapUnhealthy: // contained heap; repair it first
         return NVALLOC_ECORRUPT;
     }
     return NVALLOC_OK;
@@ -290,7 +424,7 @@ nvalloc_root(NvInstance *inst, unsigned idx)
 NvAlloc *
 nvalloc_impl(NvInstance *inst)
 {
-    return inst->alloc.get();
+    return inst->alloc;
 }
 
 int

@@ -36,7 +36,7 @@ struct NvAllocOptions
 };
 
 /** Current nvalloc_options layout revision. */
-#define NVALLOC_OPTIONS_VERSION 2u
+#define NVALLOC_OPTIONS_VERSION 3u
 
 /** Hardening policies for nvalloc_options.hardening_policy: what to
  *  do after a corruption (double free, canary stomp, ...) is
@@ -83,6 +83,13 @@ struct nvalloc_options
                                  //!< when reopening an existing heap)
     unsigned quarantine_depth;   //!< delayed-reuse FIFO depth; 0 = off
     int hardening_policy;        //!< an NvHardeningPolicy value
+    /* -- version 3 fields (pool & patrol scrub, PR 7) -------------- */
+    int patrol_scrub;            //!< online metadata patrol (stage 5)
+    unsigned patrol_items;       //!< items examined per patrol slice
+    unsigned patrol_retries;     //!< re-reads before declaring damage
+    int fault_containment;       //!< Degraded/Quarantined refuses ops
+                                 //!< (forced on for named/pool opens)
+    uint64_t capacity_quota_bytes; //!< per-tenant extent quota; 0 = off
 };
 
 /** Fill `o` with the defaults of this header revision. */
@@ -101,6 +108,11 @@ nvalloc_options_init(nvalloc_options *o)
     o->redzone_canaries = 0;
     o->quarantine_depth = 0;
     o->hardening_policy = NVALLOC_HARDEN_REPORT;
+    o->patrol_scrub = 1;
+    o->patrol_items = 8;
+    o->patrol_retries = 3;
+    o->fault_containment = 0;
+    o->capacity_quota_bytes = 0;
 }
 
 /** errno-style status codes (see nvalloc_errno). */
@@ -140,6 +152,43 @@ NvInstance *nvalloc_init(PmDevice *dev,
  */
 int nvalloc_open_ex(PmDevice *dev, const nvalloc_options *opts,
                     NvInstance **out);
+
+/**
+ * Named (pool) open: the process-wide heap pool keyed by `name`.
+ * First open of a name creates (or recovers) the member on `dev`;
+ * every later open of the same name with an IDENTICAL effective
+ * configuration returns the SAME instance (handle-refcounted: each
+ * successful open needs its own nvalloc_exit, and the heap shuts down
+ * on the last one). An open of a registered name with DIFFERENT
+ * options fails with NVALLOC_EINVAL — never silent first-wins — with
+ * *out untouched, and nvalloc_errno on the existing instance reads
+ * NVALLOC_EINVAL too.
+ *
+ * Pool members are fault-contained regardless of
+ * opts->fault_containment: detected corruption quarantines the member
+ * (allocations fail with NVALLOC_ECORRUPT) while other members keep
+ * serving. NVALLOC_ECORRUPT at open follows the nvalloc_open_ex
+ * contract (*out receives the degraded — and quarantined — member).
+ */
+int nvalloc_open_named(PmDevice *dev, const char *name,
+                       const nvalloc_options *opts, NvInstance **out);
+
+/** Heap health states (see stats.health.state / nvalloc_health). */
+enum NvHeapHealth
+{
+    NVALLOC_HEALTH_SERVING = 0,
+    NVALLOC_HEALTH_SCRUBBING = 1,   //!< patrol batch in flight
+    NVALLOC_HEALTH_DEGRADED = 2,    //!< corruption detected, repaired
+    NVALLOC_HEALTH_QUARANTINED = 3, //!< unrepaired damage; fsck first
+};
+
+/** Current health state of the instance (an NvHeapHealth value). */
+int nvalloc_health(NvInstance *inst);
+
+/** Re-audit the heap and, when clean, return it to Serving. Returns
+ *  NVALLOC_OK, or NVALLOC_ECORRUPT when the audit still finds
+ *  violations (run the fsck/repair tooling first). */
+int nvalloc_restore_health(NvInstance *inst);
 
 /**
  * Drive the maintenance service: `action` is one of "pause",

@@ -225,6 +225,43 @@ NvAlloc::buildCtlRegistry()
     ctl_.registerName("stats.maintenance.paused", [this] {
         return uint64_t(maint_.paused());
     });
+    ctl_.registerName("stats.maintenance.patrol_slices", [ms] {
+        return ms->patrol_slices.load(std::memory_order_relaxed);
+    });
+
+    // Health machine + online patrol scrubber (PR 7, DESIGN.md §12).
+    const ScrubStats *ss = &scrub_stats_;
+    const HealthStats *hls = &health_stats_;
+    ctl_.registerName("stats.health.state", [this] {
+        return uint64_t(health_.load(std::memory_order_relaxed));
+    });
+    ctl_.registerName("stats.health.escalations", [hls] {
+        return hls->escalations.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.health.restores", [hls] {
+        return hls->restores.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.health.rejected_ops", [hls] {
+        return hls->rejected_ops.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.scrub.slices", [ss] {
+        return ss->slices.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.scrub.items", [ss] {
+        return ss->items.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.scrub.findings", [ss] {
+        return ss->findings.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.scrub.repaired", [ss] {
+        return ss->repaired.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.scrub.retries", [ss] {
+        return ss->retries.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.scrub.passes", [ss] {
+        return ss->passes.load(std::memory_order_relaxed);
+    });
 
     // Hardening (PR 5): detection and containment counters, plus the
     // live depths of the guard watch and the quarantine FIFO. All
@@ -365,6 +402,25 @@ NvAlloc::ctlRead(const char *name, uint64_t *out)
         if (s == NvStatus::Ok && out)
             *out = maint_.stats().slices.load(std::memory_order_relaxed);
         return s == NvStatus::Ok ? NvStatus::Ok : NvStatus::UnknownCtl;
+    }
+    // "health.restore" is the ctl spelling of restoreHealth(): audit,
+    // and return to Serving only when clean. Like the maintenance
+    // commands it is dispatched, never registered. The out-param
+    // reports the post-call state so callers see where they landed.
+    if (name && std::strcmp(name, "health.restore") == 0) {
+        NvStatus s = restoreHealth();
+        if (out)
+            *out = uint64_t(health_.load(std::memory_order_relaxed));
+        return s == NvStatus::Ok ? NvStatus::Ok : NvStatus::UnknownCtl;
+    }
+    // "health.patrol" runs one patrol batch on the caller's thread
+    // (tests and tools without a maintenance thread drive the scrubber
+    // through this); reads back the items examined.
+    if (name && std::strcmp(name, "health.patrol") == 0) {
+        uint64_t items = patrolSlice();
+        if (out)
+            *out = items;
+        return NvStatus::Ok;
     }
     uint64_t v = 0;
     if (ctl_.read(name, v) != CtlStatus::Ok)

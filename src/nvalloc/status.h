@@ -29,6 +29,8 @@ enum class NvStatus : int {
     InvalidArgument, //!< zero or unrepresentable request size
     CorruptMetadata, //!< superblock/log root failed validation at open
     UnknownCtl,      //!< ctlRead name not in the stats registry
+    QuotaExceeded,   //!< per-tenant capacity quota hit on the extent path
+    HeapUnhealthy,   //!< heap is Degraded/Quarantined; repair it first
 };
 
 inline const char *
@@ -44,6 +46,38 @@ nvStatusName(NvStatus s)
     case NvStatus::InvalidArgument: return "invalid-argument";
     case NvStatus::CorruptMetadata: return "corrupt-metadata";
     case NvStatus::UnknownCtl: return "unknown-ctl";
+    case NvStatus::QuotaExceeded: return "quota-exceeded";
+    case NvStatus::HeapUnhealthy: return "heap-unhealthy";
+    }
+    return "unknown";
+}
+
+/**
+ * Per-heap health state machine (pool containment, DESIGN.md §12).
+ * Serving is the normal state; Scrubbing is published while a patrol
+ * slice is actively walking metadata (informational — operations are
+ * unrestricted); Degraded and Quarantined are escalations recorded
+ * when the hardened-free pipeline, the auditor, the patrol scrubber or
+ * recovery flags corruption. With NvAllocConfig::fault_containment
+ * set, Degraded/Quarantined heaps refuse new allocations
+ * (NvStatus::HeapUnhealthy) — reads, frees and fsck-repair still work —
+ * until a clean audit restores them to Serving.
+ */
+enum class HeapHealth : int {
+    Serving = 0,
+    Scrubbing,
+    Degraded,    //!< hostile-operation corruption detected (app-level)
+    Quarantined, //!< metadata damage confirmed (audit/patrol/recovery)
+};
+
+inline const char *
+heapHealthName(HeapHealth h)
+{
+    switch (h) {
+    case HeapHealth::Serving: return "serving";
+    case HeapHealth::Scrubbing: return "scrubbing";
+    case HeapHealth::Degraded: return "degraded";
+    case HeapHealth::Quarantined: return "quarantined";
     }
     return "unknown";
 }

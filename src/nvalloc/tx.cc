@@ -40,6 +40,11 @@ NvAlloc::txBegin(ThreadCtx &ctx)
 {
     if (open_failed_ || mode() == HeapMode::Failed)
         return txRejected();
+    // Containment: a Degraded/Quarantined heap refuses new
+    // transactions like it refuses plain mutations (an already-open tx
+    // is allowed to resolve — commit and abort both shrink state).
+    if (refuseUnhealthy())
+        return NvStatus::HeapUnhealthy;
     if (!logMode()) {
         // The protocol journals tx-tagged entries through the
         // per-thread WAL; the GC variant skips small-op journaling

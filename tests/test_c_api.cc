@@ -620,5 +620,110 @@ TEST(CApiTx, DegradedOpenRejectsEveryTxCall)
     nvalloc_exit(inst);
 }
 
+// ---------------------------------------------------------------------
+// Named (pool) opens: refcounted sharing, the options-mismatch EINVAL
+// contract, and the health ABI.
+// ---------------------------------------------------------------------
+
+TEST(CApiPool, NamedOpenIdenticalOptionsSharesOneInstance)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+
+    NvInstance *a = nullptr;
+    NvInstance *b = nullptr;
+    ASSERT_EQ(nvalloc_open_named(&dev, "capi-shared", &opts, &a),
+              NVALLOC_OK);
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(nvalloc_open_named(&dev, "capi-shared", &opts, &b),
+              NVALLOC_OK);
+    EXPECT_EQ(a, b) << "identical reopen must share the instance";
+
+    // Dropping one handle leaves the shared heap serving.
+    nvalloc_exit(b);
+    uint64_t w = 0;
+    ASSERT_NE(nvalloc_malloc_to(a, 192, &w), nullptr);
+    EXPECT_EQ(nvalloc_free_from(a, &w), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_health(a), NVALLOC_HEALTH_SERVING);
+    nvalloc_exit(a);
+}
+
+TEST(CApiPool, NamedOpenOptionsMismatchIsEinvalNeverFirstWins)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+
+    NvInstance *first = nullptr;
+    ASSERT_EQ(nvalloc_open_named(&dev, "capi-mismatch", &opts, &first),
+              NVALLOC_OK);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(nvalloc_errno(first), NVALLOC_OK);
+
+    // Same name, different effective configuration: hard EINVAL with
+    // *out untouched — not a silent handle onto the first config.
+    nvalloc_options other;
+    nvalloc_options_init(&other);
+    other.gc_variant = 1;
+    NvInstance *sentinel = reinterpret_cast<NvInstance *>(0x1);
+    NvInstance *out = sentinel;
+    EXPECT_EQ(nvalloc_open_named(&dev, "capi-mismatch", &other, &out),
+              NVALLOC_EINVAL);
+    EXPECT_EQ(out, sentinel) << "*out must be untouched on EINVAL";
+
+    // The existing member records the refused open, errno style.
+    EXPECT_EQ(nvalloc_errno(first), NVALLOC_EINVAL);
+
+    // ...and is otherwise unharmed: still serving, still allocating.
+    EXPECT_EQ(nvalloc_health(first), NVALLOC_HEALTH_SERVING);
+    uint64_t w = 0;
+    ASSERT_NE(nvalloc_malloc_to(first, 256, &w), nullptr);
+    EXPECT_EQ(nvalloc_free_from(first, &w), NVALLOC_OK);
+
+    // Invalid arguments never consult (or disturb) the pool.
+    EXPECT_EQ(nvalloc_open_named(nullptr, "x", &opts, &out),
+              NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_open_named(&dev, nullptr, &opts, &out),
+              NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_open_named(&dev, "x", nullptr, &out),
+              NVALLOC_EINVAL);
+    EXPECT_EQ(nvalloc_open_named(&dev, "x", &opts, nullptr),
+              NVALLOC_EINVAL);
+    EXPECT_EQ(out, sentinel);
+
+    nvalloc_exit(first);
+
+    // The last exit closed the member: the name is reusable with a
+    // different configuration afterwards.
+    NvInstance *again = nullptr;
+    PmDevice dev2;
+    ASSERT_EQ(nvalloc_open_named(&dev2, "capi-mismatch", &other, &again),
+              NVALLOC_OK);
+    EXPECT_EQ(nvalloc_impl(again)->config().consistency,
+              Consistency::Gc);
+    nvalloc_exit(again);
+}
+
+TEST(CApiPool, HealthAbiRoundTripsThroughRestore)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_named(&dev, "capi-health", &opts, &inst),
+              NVALLOC_OK);
+
+    EXPECT_EQ(nvalloc_health(inst), NVALLOC_HEALTH_SERVING);
+    uint64_t st = ~0ull;
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.health.state", &st), NVALLOC_OK);
+    EXPECT_EQ(st, uint64_t{NVALLOC_HEALTH_SERVING});
+
+    // restore on a clean heap is an audit + no-op transition.
+    EXPECT_EQ(nvalloc_restore_health(inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_health(inst), NVALLOC_HEALTH_SERVING);
+    nvalloc_exit(inst);
+}
+
 } // namespace
 } // namespace nvalloc

@@ -128,7 +128,10 @@ class ChaosHarness
         return s;
     }
 
-  private:
+  protected:
+    // The injection routines, slot oracle and per-round state are
+    // shared with PoolChaosHarness (tools/pool_chaos_harness.h), which
+    // drives them against the victim member of a multi-tenant pool.
     NvAllocConfig
     config() const
     {
@@ -278,6 +281,17 @@ ChaosHarness::inject(ChaosEvent ev, NvAlloc &heap, ThreadCtx &ctx,
         if (heap.freeFrom(ctx, &slots[s]) != NvStatus::Ok)
             return fail(round, ev, "priming free rejected");
         sizes_[s] = 0;
+        // The priming free can trigger a slab morph; after one the
+        // stale offset may no longer name a block boundary of the
+        // current geometry, and the second free then (correctly)
+        // classifies as misaligned rather than double.
+        auto *pslab = static_cast<VSlab *>(heap.slabRadix().get(off));
+        unsigned old_idx = 0;
+        if (!pslab || pslab->isOldBlock(off, old_idx))
+            return skip("priming free morphed the slab");
+        unsigned pidx = pslab->blockIndexOf(off);
+        if (pidx >= pslab->capacity() || pslab->blockOffset(pidx) != off)
+            return skip("priming free morphed the slab geometry");
         if (heap.freeOffset(ctx, off, nullptr) != NvStatus::InvalidFree)
             return fail(round, ev, "double free not rejected");
         if (count(hs.double_frees) != before + 1)

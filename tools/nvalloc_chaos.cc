@@ -9,12 +9,18 @@
  * smashes) — and asserts after every round that the event was detected
  * and contained (see tools/chaos_harness.h for the contract).
  *
+ * With --pool the same trouble classes run against the hostile member
+ * of a 4-tenant HeapPool: the victim must be detected (health machine
+ * + patrol scrub) and contained while its three siblings keep serving
+ * with zero failed allocations (see tools/pool_chaos_harness.h).
+ *
  * Deterministic for a given --seed. Exit status: 0 = every round
  * contained, 1 = a containment failure (printed), 2 = usage error.
  *
  *   nvalloc_chaos                          # 200 rounds, seed 1
  *   nvalloc_chaos --rounds 50 --seed 7     # CI smoke
  *   nvalloc_chaos --gc --policy quarantine # NVAlloc-GC variant
+ *   nvalloc_chaos --pool --rounds 200      # pool containment soak
  */
 
 #include <cstdio>
@@ -22,6 +28,7 @@
 #include <cstring>
 
 #include "chaos_harness.h"
+#include "pool_chaos_harness.h"
 
 using namespace nvalloc;
 
@@ -39,12 +46,14 @@ usage(const char *argv0)
         "  --device-mb N  emulated device size in MB (default 256)\n"
         "  --gc           soak the NVAlloc-GC variant\n"
         "  --policy P     hardening policy: report|quarantine\n"
+        "  --pool         4-tenant pool containment soak (1 hostile\n"
+        "                 tenant vs 3 serving siblings)\n"
         "  --verbose      log every round and skipped injection\n",
         argv0);
 }
 
 bool
-parseArgs(int argc, char **argv, ChaosOptions &o)
+parseArgs(int argc, char **argv, ChaosOptions &o, bool &pool)
 {
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -53,6 +62,8 @@ parseArgs(int argc, char **argv, ChaosOptions &o)
         };
         if (a == "--gc") {
             o.gc = true;
+        } else if (a == "--pool") {
+            pool = true;
         } else if (a == "--verbose") {
             o.verbose = true;
         } else if (a == "--rounds") {
@@ -98,9 +109,29 @@ int
 main(int argc, char **argv)
 {
     ChaosOptions o;
-    if (!parseArgs(argc, argv, o)) {
+    bool pool = false;
+    if (!parseArgs(argc, argv, o, pool)) {
         usage(argv[0]);
         return 2;
+    }
+
+    if (pool) {
+        PoolChaosHarness harness(o);
+        bool ok = harness.runPool();
+        std::printf("pool-chaos: %u round(s), seed %llu, %u tenant(s), "
+                    "%s\n",
+                    harness.roundsRun(), (unsigned long long)o.seed,
+                    PoolChaosHarness::kTenants,
+                    o.gc ? "NVAlloc-GC" : "NVAlloc-LOG");
+        std::fputs(harness.summary().c_str(), stdout);
+        if (!ok) {
+            std::printf("pool-chaos: FAILED at %s\n",
+                        harness.error().c_str());
+            return 1;
+        }
+        std::printf("pool-chaos: all rounds contained, blast radius "
+                    "confined to the hostile tenant\n");
+        return 0;
     }
 
     ChaosHarness harness(o);

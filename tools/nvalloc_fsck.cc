@@ -9,22 +9,30 @@
  * the HeapAuditor over the result — the same audit + repair pipeline
  * an fsck over a real heap file would run.
  *
- * Exit status: 0 = audit clean, 1 = violations remain, 2 = the heap
- * refused to open (corrupt root metadata).
+ * Exit status contract (asserted by CI):
+ *   0 = clean: the audit found nothing to fix;
+ *   1 = repaired: violations were found AND the repair pass (--repair)
+ *       brought the final audit back to clean;
+ *   2 = unrecoverable/degraded: the heap refused to open, or
+ *       violations remain (no --repair, or repair could not derive a
+ *       fix).
  *
- *   nvalloc_fsck                       # clean build + audit
- *   nvalloc_fsck --crash               # dirty restart, recover, audit
- *   nvalloc_fsck --poison-free 4 --flip-bitmap --corrupt-wal --repair
+ *   nvalloc_fsck                       # clean build + audit -> 0
+ *   nvalloc_fsck --flip-bitmap --repair              # -> 1
+ *   nvalloc_fsck --flip-bitmap                       # -> 2
+ *   nvalloc_fsck --pool --json         # per-member objects + health
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nvalloc/auditor.h"
 #include "nvalloc/nvalloc.h"
+#include "nvalloc/pool.h"
 
 using namespace nvalloc;
 
@@ -40,10 +48,20 @@ struct Options
     bool json = false;
     bool flip_bitmap = false;
     bool corrupt_wal = false;
+    bool pool = false;
     unsigned poison_free = 0;
     size_t device_mb = 256;
     unsigned ops = 20000;
 };
+
+/** The CI-asserted exit-code contract. */
+int
+verdict(bool initial_clean, bool final_clean)
+{
+    if (!final_clean)
+        return 2; // unrecoverable/degraded
+    return initial_clean ? 0 : 1;
+}
 
 void
 usage(const char *argv0)
@@ -60,6 +78,8 @@ usage(const char *argv0)
         "  --flip-bitmap    flip a stray bit in one slab bitmap\n"
         "  --corrupt-wal    plant a torn WAL entry\n"
         "  --repair         repair after the audit, then re-audit\n"
+        "  --pool           audit a 3-tenant heap pool: per-member\n"
+        "                   reports; damage flags hit tenant0 only\n"
         "  --quiet          print only the verdict\n"
         "  --json           machine-readable report + stats snapshot\n",
         argv0);
@@ -89,6 +109,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.flip_bitmap = true;
         } else if (a == "--corrupt-wal") {
             o.corrupt_wal = true;
+        } else if (a == "--pool") {
+            o.pool = true;
         } else if (a == "--poison-free") {
             const char *v = next();
             if (!v)
@@ -152,6 +174,119 @@ runWorkload(NvAlloc &alloc, ThreadCtx &ctx, unsigned ops)
         alloc.freeOffset(ctx, live[i], nullptr);
 }
 
+/**
+ * Pool mode: three tenant heaps behind one HeapPool. Damage flags hit
+ * tenant0 only; the patrol scrubber is stepped so detection and the
+ * health escalation show up in the per-member reports, and --repair
+ * goes through HeapPool::restore (repair + health restore) instead of
+ * a bare auditor pass. Exit code follows the same contract: 0 when no
+ * member ever had a finding, 1 when findings were fully repaired and
+ * every member is back to Serving, 2 otherwise.
+ */
+int
+poolMain(const Options &o)
+{
+    PmDeviceConfig dcfg;
+    dcfg.size = o.device_mb << 20;
+    static const char *kNames[] = {"tenant0", "tenant1", "tenant2"};
+    // Devices must outlive the pool (one live heap per device).
+    std::vector<std::unique_ptr<PmDevice>> devs;
+    HeapPool pool;
+    std::vector<NvAlloc *> heaps;
+    for (const char *name : kNames) {
+        devs.emplace_back(new PmDevice(dcfg));
+        HeapPool::MemberResult r = pool.open(name, *devs.back(),
+                                             makeConfig(o));
+        if (!r.heap) {
+            std::fprintf(stderr, "fsck: pool open %s failed: %s\n",
+                         name, nvStatusName(r.status));
+            return 2;
+        }
+        heaps.push_back(r.heap);
+    }
+    for (NvAlloc *h : heaps) {
+        ThreadCtx *ctx = h->attachThread();
+        if (!ctx)
+            return 2;
+        runWorkload(*h, *ctx, o.ops / 4);
+        h->detachThread(ctx);
+    }
+
+    if (o.flip_bitmap) {
+        // Damage a quiesced slab (no morph in flight, nothing lent to
+        // a tcache): --repair must be able to rebuild its bitmap, so
+        // the exit-code contract stays 1 and not 2.
+        bool done = false;
+        for (unsigned i = 0; i < heaps[0]->numArenas() && !done; ++i) {
+            heaps[0]->arena(i).forEachSlab([&](VSlab *slab) {
+                if (done || slab->morphing() ||
+                    slab->lentBlocks() != 0)
+                    return;
+                slab->header()->bitmap[kSlabBitmapBytes - 1] ^= 0x80;
+                done = true;
+            });
+        }
+    }
+    if (o.corrupt_wal) {
+        auto *e = static_cast<WalEntry *>(
+            devs[0]->at(heaps[0]->walRingOffset(0)));
+        e->block_op = (uint64_t(0x1234) << 2) | kWalAlloc;
+        e->seq = 1;
+        e->where_off = kWalNoWhere;
+        e->size = 64;
+        e->crc = walEntryCrc(*e) ^ 0xdeadbeef;
+    }
+
+    // Step the patrol scrubber over every member so detection (and the
+    // resulting health escalation on the victim) is part of the run.
+    for (NvAlloc *h : heaps)
+        for (unsigned s = 0; s < 64; ++s)
+            h->patrolSlice();
+
+    bool any_finding = false;
+    bool all_ok = true;
+    const bool text = !o.quiet && !o.json;
+    std::string members;
+    for (size_t i = 0; i < heaps.size(); ++i) {
+        NvAlloc *h = heaps[i];
+        HeapAuditor aud(*h);
+        AuditReport rep = aud.audit();
+        bool dirty = !rep.clean() ||
+                     unsigned(h->health()) >= unsigned(HeapHealth::Degraded);
+        any_finding |= dirty;
+        if (dirty && o.repair) {
+            pool.restore(kNames[i]);
+            rep = aud.audit();
+        }
+        bool ok = rep.clean() &&
+                  unsigned(h->health()) < unsigned(HeapHealth::Degraded);
+        all_ok &= ok;
+        if (!members.empty())
+            members += ",";
+        members += "\"";
+        members += kNames[i];
+        members += "\":{\"clean\":";
+        members += rep.clean() ? "true" : "false";
+        members += ",\"health\":" + std::string(h->healthJson());
+        members += ",\"audit\":" + rep.json() + "}";
+        if (text)
+            std::printf("fsck: %s: %s, health=%s\n", kNames[i],
+                        rep.clean() ? "clean" : "NOT CLEAN",
+                        heapHealthName(h->health()));
+    }
+
+    if (o.json) {
+        std::string doc = "{\"pool\":" + pool.healthJson();
+        doc += ",\"members\":{" + members + "}}";
+        std::printf("%s\n", doc.c_str());
+    } else if (!text) {
+        std::printf("fsck: pool %s\n",
+                    all_ok ? (any_finding ? "repaired" : "clean")
+                           : "NOT CLEAN");
+    }
+    return verdict(!any_finding, all_ok);
+}
+
 } // namespace
 
 int
@@ -162,6 +297,8 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    if (o.pool)
+        return poolMain(o);
 
     PmDeviceConfig dcfg;
     dcfg.size = o.device_mb << 20;
@@ -251,6 +388,7 @@ main(int argc, char **argv)
 
     HeapAuditor auditor(alloc);
     AuditReport rep = auditor.audit();
+    const bool initial_clean = rep.clean();
     const bool text = !o.quiet && !o.json;
     if (text)
         std::fputs(rep.summary().c_str(), stdout);
@@ -282,14 +420,14 @@ main(int argc, char **argv)
         doc += ",\"hardening\":" + alloc.hardening().json();
         doc += ",\"stats\":" + alloc.statsJson() + "}";
         std::printf("%s\n", doc.c_str());
-        return rep.clean() ? 0 : 1;
+        return verdict(initial_clean, rep.clean());
     }
 
     if (!rep.clean()) {
         std::printf("fsck: NOT CLEAN (%llu violations)\n",
                     (unsigned long long)rep.violations());
-        return 1;
+        return 2;
     }
-    std::printf("fsck: clean\n");
-    return 0;
+    std::printf("fsck: %s\n", initial_clean ? "clean" : "repaired");
+    return verdict(initial_clean, true);
 }

@@ -42,6 +42,7 @@ struct Options
     bool reopen = false; //!< dirty-restart + recover before reporting
     bool hardening = false; //!< full hardening + hostile-free traffic
     bool tx = false;        //!< transactional traffic + tx section
+    bool health = false;    //!< patrol-scrub + health report section
     size_t trace = 0;    //!< per-thread event-ring capacity
     size_t device_mb = 256;
     unsigned ops = 20000;
@@ -68,6 +69,9 @@ usage(const char *argv0)
         "  --tx           group part of the workload into committed\n"
         "                 and aborted transactions and append the\n"
         "                 stats.tx report section\n"
+        "  --health       run a full patrol-scrub pass after the\n"
+        "                 workload and append the health report\n"
+        "                 (state, escalations, stats.scrub.*)\n"
         "  --trace N      arm per-thread event rings of N events and\n"
         "                 dump the merged trace\n"
         "  --ctl NAME     read one ctl leaf (repeatable)\n"
@@ -100,6 +104,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.hardening = true;
         } else if (a == "--tx") {
             o.tx = true;
+        } else if (a == "--health") {
+            o.health = true;
         } else if (a == "--list") {
             o.list = true;
             // Optional prefix: consume the next token unless it is
@@ -293,6 +299,20 @@ main(int argc, char **argv)
         alloc.detachThread(ctx);
     }
 
+    if (o.health) {
+        // One full patrol pass: step slices until the cursor wraps
+        // (bounded — each slice covers cfg.patrol_items items).
+        uint64_t passes = 0;
+        alloc.ctlRead("stats.scrub.passes", &passes);
+        for (unsigned s = 0; s < 4096; ++s) {
+            alloc.patrolSlice();
+            uint64_t now = 0;
+            alloc.ctlRead("stats.scrub.passes", &now);
+            if (now > passes)
+                break;
+        }
+    }
+
     for (const std::string &action : o.maint_actions) {
         if (alloc.maintenanceControl(action.c_str()) != NvStatus::Ok) {
             std::fprintf(stderr, "stat: unknown maintenance action: %s\n",
@@ -338,6 +358,12 @@ main(int argc, char **argv)
             std::printf("%s\n", alloc.txJson().c_str());
         else
             std::printf("tx: %s\n", alloc.txJson().c_str());
+    }
+    if (o.health) {
+        if (o.json)
+            std::printf("%s\n", alloc.healthJson().c_str());
+        else
+            std::printf("health: %s\n", alloc.healthJson().c_str());
     }
 
     if (o.trace > 0 && !o.json)
