@@ -39,6 +39,13 @@ for b in build/bench/fig* build/bench/ablation_variants ; do
     echo
 done
 
+echo "===================================================================="
+echo "== nvalloc_ycsb (KV service, workloads A-F)"
+echo "===================================================================="
+timeout 1200 build/tools/nvalloc_ycsb ${BENCH_ARGS:-} \
+    || fail nvalloc_ycsb $?
+echo
+
 echo "== micro_latency_model"
 timeout 300 build/bench/micro_latency_model --benchmark_min_time=0.05 2>&1 \
     | grep -v "^\*\*\*" || fail micro_latency_model $?

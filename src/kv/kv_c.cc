@@ -1,0 +1,142 @@
+#include "kv/kv_c.h"
+
+#include <cstring>
+#include <string_view>
+
+#include "kv/kv_store.h"
+
+namespace nvalloc {
+
+struct NvKv
+{
+    NvInstance *inst = nullptr;
+    std::unique_ptr<KvStore> store;
+};
+
+namespace {
+
+int
+mapKvStatus(KvStatus s)
+{
+    switch (s) {
+    case KvStatus::Ok: return NVALLOC_OK;
+    case KvStatus::NotFound: return NVALLOC_ENOENT;
+    case KvStatus::Corrupt: return NVALLOC_ECORRUPT;
+    case KvStatus::OutOfMemory:
+    case KvStatus::QuotaExceeded: return NVALLOC_ENOMEM;
+    // The tenant's health machine already refused the op; per the
+    // containment contract this is a caller error (EINVAL), unlike
+    // nvalloc_errno's ECORRUPT which reports the *detection*.
+    case KvStatus::HeapUnhealthy: return NVALLOC_EINVAL;
+    case KvStatus::TooLarge:
+    case KvStatus::Invalid: return NVALLOC_EINVAL;
+    }
+    return NVALLOC_EINVAL;
+}
+
+} // namespace
+
+int
+nvalloc_kv_open(PmDevice *dev, const char *name,
+                const nvalloc_options *opts, uint64_t buckets,
+                NvKv **out)
+{
+    if (!dev || !name || !out)
+        return NVALLOC_EINVAL;
+    nvalloc_options defaults;
+    if (!opts) {
+        nvalloc_options_init(&defaults);
+        opts = &defaults;
+    }
+    NvInstance *inst = nullptr;
+    int rc = nvalloc_open_named(dev, name, opts, &inst);
+    if (rc != NVALLOC_OK)
+        return rc;
+    KvOptions ko;
+    if (buckets)
+        ko.buckets = buckets;
+    KvStatus why = KvStatus::Ok;
+    auto store = KvStore::open(*nvalloc_impl(inst), ko, &why);
+    if (!store) {
+        nvalloc_exit(inst);
+        return mapKvStatus(why);
+    }
+    NvKv *kv = new NvKv;
+    kv->inst = inst;
+    kv->store = std::move(store);
+    *out = kv;
+    return NVALLOC_OK;
+}
+
+void
+nvalloc_kv_close(NvKv *kv)
+{
+    if (!kv)
+        return;
+    kv->store.reset(); // detaches stats before the instance drops
+    nvalloc_exit(kv->inst);
+    delete kv;
+}
+
+int
+nvalloc_kv_put(NvKv *kv, const void *key, size_t key_len,
+               const void *value, size_t value_len)
+{
+    if (!kv || !key || (!value && value_len))
+        return NVALLOC_EINVAL;
+    ThreadCtx *ctx = nvalloc_thread(kv->inst);
+    if (!ctx)
+        return NVALLOC_EAGAIN;
+    return mapKvStatus(kv->store->put(
+        *ctx,
+        std::string_view(static_cast<const char *>(key), key_len),
+        std::string_view(static_cast<const char *>(value),
+                         value_len)));
+}
+
+int
+nvalloc_kv_get(NvKv *kv, const void *key, size_t key_len, void *buf,
+               size_t cap, size_t *len)
+{
+    if (!kv || !key)
+        return NVALLOC_EINVAL;
+    std::string value;
+    KvStatus s = kv->store->get(
+        std::string_view(static_cast<const char *>(key), key_len),
+        &value);
+    if (s != KvStatus::Ok)
+        return mapKvStatus(s);
+    if (len)
+        *len = value.size();
+    if (buf && cap)
+        std::memcpy(buf, value.data(),
+                    value.size() < cap ? value.size() : cap);
+    return NVALLOC_OK;
+}
+
+int
+nvalloc_kv_erase(NvKv *kv, const void *key, size_t key_len)
+{
+    if (!kv || !key)
+        return NVALLOC_EINVAL;
+    ThreadCtx *ctx = nvalloc_thread(kv->inst);
+    if (!ctx)
+        return NVALLOC_EAGAIN;
+    return mapKvStatus(kv->store->erase(
+        *ctx,
+        std::string_view(static_cast<const char *>(key), key_len)));
+}
+
+uint64_t
+nvalloc_kv_count(NvKv *kv)
+{
+    return kv ? kv->store->count() : 0;
+}
+
+NvInstance *
+nvalloc_kv_instance(NvKv *kv)
+{
+    return kv ? kv->inst : nullptr;
+}
+
+} // namespace nvalloc

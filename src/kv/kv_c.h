@@ -1,0 +1,83 @@
+/**
+ * @file
+ * C veneer over KvStore, in the style of nvalloc_c.h.
+ *
+ * Opens go through nvalloc_open_named, so a KV store is always a
+ * *pool tenant*: it gets its own fault-containment domain, capacity
+ * quota and health state, and `name` follows the pool's config-
+ * identity contract (same name + same options = shared instance).
+ *
+ * Error mapping (returned by every call, errno style):
+ *  - NVALLOC_OK          success
+ *  - NVALLOC_ENOENT      key not found (get/erase) — KV extension code
+ *  - NVALLOC_EINVAL      bad argument, too-large key/value, or an op
+ *                        on a degraded/quarantined tenant
+ *                        (KvStatus::HeapUnhealthy: the heap already
+ *                        refused the op; calling again is a caller
+ *                        error, not new corruption)
+ *  - NVALLOC_ENOMEM      heap exhausted or tenant quota exceeded
+ *                        (distinguish via nvalloc_errno on the
+ *                        instance: NvStatus QuotaExceeded)
+ *  - NVALLOC_ECORRUPT    record/index failed validation (contained)
+ *  - NVALLOC_EAGAIN      no WAL slot for this thread
+ */
+
+#ifndef NVALLOC_KV_KV_C_H
+#define NVALLOC_KV_KV_C_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nvalloc/nvalloc_c.h"
+
+namespace nvalloc {
+
+struct NvKv; //!< opaque
+
+/** KV-specific errno extension, disjoint from the NvErrno values. */
+enum NvKvErrno
+{
+    NVALLOC_ENOENT = 16, //!< key not found
+};
+
+/**
+ * Open (or create) the KV store of pool tenant `name` on `dev`,
+ * anchored at the tenant heap's root word 0. `opts` may be null for
+ * defaults (as nvalloc_open_named; fault containment is always forced
+ * for tenants). `buckets` is rounded up to a power of two; it only
+ * applies on creation — reopening an existing store keeps its
+ * persistent geometry.
+ *
+ * Returns NVALLOC_OK with *out set, or an error with *out untouched
+ * (an unhealthy or corrupt tenant image surfaces here as the open
+ * error, and the instance reference is released again).
+ */
+int nvalloc_kv_open(PmDevice *dev, const char *name,
+                    const nvalloc_options *opts, uint64_t buckets,
+                    NvKv **out);
+
+/** Release the store and its pool-instance reference. Null is ok. */
+void nvalloc_kv_close(NvKv *kv);
+
+int nvalloc_kv_put(NvKv *kv, const void *key, size_t key_len,
+                   const void *value, size_t value_len);
+
+/**
+ * Lookup: copies up to `cap` value bytes into `buf` and stores the
+ * full value length in *len (when non-null). `buf` may be null to
+ * probe the size. Returns NVALLOC_ENOENT when absent.
+ */
+int nvalloc_kv_get(NvKv *kv, const void *key, size_t key_len,
+                   void *buf, size_t cap, size_t *len);
+
+int nvalloc_kv_erase(NvKv *kv, const void *key, size_t key_len);
+
+uint64_t nvalloc_kv_count(NvKv *kv);
+
+/** The backing pool instance (for nvalloc_ctl / nvalloc_health /
+ *  nvalloc_errno); owned by the store — do not nvalloc_exit it. */
+NvInstance *nvalloc_kv_instance(NvKv *kv);
+
+} // namespace nvalloc
+
+#endif // NVALLOC_KV_KV_C_H

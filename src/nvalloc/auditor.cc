@@ -899,7 +899,8 @@ HeapAuditor::checkWalRings()
                     bad = e.tx_id == 0 ||
                           (e.tx_mark != kWalTxOp &&
                            e.tx_mark != kWalTxCommit &&
-                           e.tx_mark != kWalTxAbort) ||
+                           e.tx_mark != kWalTxAbort &&
+                           e.tx_mark != kWalTxApplied) ||
                           (e.tx_mark == kWalTxOp
                                ? (e.block_op >> 2) >= dev.size()
                                : (e.block_op >> 2) > kWalRingEntries);
@@ -969,7 +970,8 @@ HeapAuditor::checkTxRecords()
             if (dev.isPoisoned(&e, sizeof(e)) || e.crc != walEntryCrc(e))
                 continue; // checkWalRings already counted/repaired it
             TxRun &r = runs[e.tx_id];
-            if (e.tx_mark == kWalTxCommit)
+            if (e.tx_mark == kWalTxCommit ||
+                e.tx_mark == kWalTxApplied)
                 r.commit = true;
             else if (e.tx_mark == kWalTxAbort)
                 r.abort = true;

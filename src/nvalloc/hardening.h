@@ -161,6 +161,12 @@ class HardeningManager
     void shutdown(bool crashed);
 
     HardeningPolicy policy() const { return policy_; }
+
+    /** False until init() wires the device/owner. Recovery runs
+     *  before init, so recovery-time frees must check this and skip
+     *  the quarantine (it is volatile and there are no mutators to
+     *  defend against yet). */
+    bool ready() const { return dev_ != nullptr; }
     const HardeningStats &stats() const { return stats_; }
 
     /** Per-block canary word: a fixed seed whitened by the block

@@ -240,6 +240,13 @@ enum WalTxMark : uint32_t
     kWalTxOp = 1,     //!< one alloc/free/write op of transaction tx_id
     kWalTxCommit = 2, //!< the commit record: tx_id is durable
     kWalTxAbort = 3,  //!< rollback of tx_id completed before the crash
+    /** The commit's apply phase completed before the crash: recovery
+     *  must not redo the run. Without this seal, the redo of an
+     *  already-applied transaction could rewind a word (a KV bucket
+     *  head, say) that a *later* committed transaction wrote — the
+     *  same reason the abort record exempts a completed rollback from
+     *  being undone again. */
+    kWalTxApplied = 4,
 };
 
 constexpr uint64_t kWalNoWhere = ~uint64_t{0};

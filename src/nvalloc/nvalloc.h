@@ -39,6 +39,7 @@
 #include "nvalloc/bookkeeping_log.h"
 #include "nvalloc/config.h"
 #include "nvalloc/hardening.h"
+#include "nvalloc/kv_stats.h"
 #include "nvalloc/large_alloc.h"
 #include "nvalloc/layout.h"
 #include "nvalloc/maintenance.h"
@@ -450,6 +451,35 @@ class NvAlloc
      *  the cross-heap free classifier probes other heaps with it. */
     bool ownsOffset(uint64_t off) const;
 
+    // ---- KV service mount point -------------------------------------
+
+    /**
+     * Attach/detach the stats block of a KvStore (src/kv/) living on
+     * this heap, surfacing its counters as the stats.kv.* ctl subtree.
+     * One store per heap is the expected shape; a second attach simply
+     * replaces the pointer. Detach compare-and-swaps so a store never
+     * unhooks a successor's block. The registry reads through the
+     * atomic pointer and reports zeros while nothing is attached.
+     */
+    void
+    attachKvStats(const KvStats *s)
+    {
+        kv_stats_.store(s, std::memory_order_release);
+    }
+
+    void
+    detachKvStats(const KvStats *s)
+    {
+        const KvStats *cur = s;
+        kv_stats_.compare_exchange_strong(cur, nullptr);
+    }
+
+    const KvStats *
+    kvStats() const
+    {
+        return kv_stats_.load(std::memory_order_acquire);
+    }
+
     // ---- telemetry / introspection ----------------------------------
 
     /** The heap's sharded runtime counters and event tracer. */
@@ -552,6 +582,10 @@ class NvAlloc
     // Transaction bookkeeping (tx.h): open ids, the staged-offset
     // registry the free validator probes, stats.tx.* counters.
     TxManager tx_mgr_;
+
+    // The attached KV store's counter block (kv_stats.h); null while
+    // no store is mounted on this heap.
+    std::atomic<const KvStats *> kv_stats_{nullptr};
 
     // Dotted-name registry, built on first ctl use (stats.cc); the
     // ~330 readers are not worth constructing for heaps that are

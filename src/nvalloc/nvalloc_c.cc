@@ -427,6 +427,12 @@ nvalloc_impl(NvInstance *inst)
     return inst->alloc;
 }
 
+ThreadCtx *
+nvalloc_thread(NvInstance *inst)
+{
+    return inst->ctx();
+}
+
 int
 nvalloc_ctl(NvInstance *inst, const char *name, uint64_t *out)
 {

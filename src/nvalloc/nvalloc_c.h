@@ -22,6 +22,7 @@ namespace nvalloc {
 
 class PmDevice;
 class NvAlloc;
+struct ThreadCtx;
 
 struct NvInstance; //!< opaque
 
@@ -289,6 +290,15 @@ size_t nvalloc_stats_json(NvInstance *inst, char *buf, size_t cap);
 
 /** Underlying C++ object, for interop. */
 NvAlloc *nvalloc_impl(NvInstance *inst);
+
+/**
+ * The calling thread's implicit ThreadCtx on this instance (attached
+ * on first use, like every other C entry point). Null — with
+ * nvalloc_errno = NVALLOC_EAGAIN — when all WAL slots are taken.
+ * Interop hook for C++ layers (the KV veneer) that ride a C-opened
+ * instance but call tx methods on nvalloc_impl() directly.
+ */
+ThreadCtx *nvalloc_thread(NvInstance *inst);
 
 } // namespace nvalloc
 

@@ -255,6 +255,23 @@ NvAlloc::replayWals()
         return false;
     };
 
+    // Tx runs found across the rings are resolved *after* the scan,
+    // sorted by tx id. Different threads' committed transactions may
+    // have written the same word (a KV bucket head, say): re-applying
+    // their redo in arbitrary slot order could rewind the word to an
+    // older committed value, orphaning whatever the newer transaction
+    // linked. Callers that race on a word are required to serialize
+    // those transactions begin-to-commit (the KV stripe lock does),
+    // which makes tx-id order — ids are assigned at txBegin — the
+    // commit order for every conflicting pair.
+    std::vector<std::pair<uint32_t, uint64_t>> tx_runs;
+
+    // Ids are allocated by a volatile counter, so this instance would
+    // hand out ids the rings still hold records for (a sealed commit
+    // from the previous instance, say). Seed the counter past every id
+    // seen so a fresh transaction can never alias a stale run.
+    uint32_t max_tx_id = 0;
+
     for (unsigned slot = 0; slot < kMaxThreads; ++slot) {
         uint64_t ring_off = sb_->wal_off + uint64_t(slot) * kWalRingBytes;
         dev_.chargeRead(true); // scanning the ring
@@ -265,6 +282,11 @@ NvAlloc::replayWals()
             VClock::advance(kWalRingBytes / kCacheLine,
                             TimeKind::Other);
         }
+        Wal::forEachIntact(&dev_, ring_off, [&](const WalEntry &we) {
+            if (we.tx_id > max_tx_id)
+                max_tx_id = we.tx_id;
+        });
+
         unsigned rejected = 0;
         const WalEntry *e =
             Wal::newestEntry(&dev_, ring_off, &rejected, verify);
@@ -278,7 +300,7 @@ NvAlloc::replayWals()
         // one entry. A *non*-newest tx record needs nothing — the
         // owning thread continued past it, so its apply completed.
         if (e->tx_id != 0) {
-            resolveTxRun(ring_off, e->tx_id);
+            tx_runs.emplace_back(e->tx_id, ring_off);
             continue;
         }
 
@@ -349,6 +371,12 @@ NvAlloc::replayWals()
             }
         }
     }
+
+    std::sort(tx_runs.begin(), tx_runs.end());
+    for (const auto &[tx_id, ring_off] : tx_runs)
+        resolveTxRun(ring_off, tx_id);
+
+    tx_mgr_.seedNextId(max_tx_id);
 }
 
 /**

@@ -358,6 +358,47 @@ NvAlloc::buildCtlRegistry()
     ctl_.registerName("stats.tx.staged_blocks",
                       [this] { return tx_mgr_.stagedCount(); });
 
+    // KV service (kv_stats.h, DESIGN.md §13). Readers dereference the
+    // attach pointer at *read* time, so the subtree works no matter
+    // whether the store mounted before or after the registry was
+    // built, and reports zeros when none is mounted.
+    {
+        auto kv = [this](auto member) {
+            return [this, member]() -> uint64_t {
+                const KvStats *s = kvStats();
+                return s ? (s->*member).load(std::memory_order_relaxed)
+                         : 0;
+            };
+        };
+        ctl_.registerName("stats.kv.inserts", kv(&KvStats::inserts));
+        ctl_.registerName("stats.kv.updates", kv(&KvStats::updates));
+        ctl_.registerName("stats.kv.erases", kv(&KvStats::erases));
+        ctl_.registerName("stats.kv.rmws", kv(&KvStats::rmws));
+        ctl_.registerName("stats.kv.gets", kv(&KvStats::gets));
+        ctl_.registerName("stats.kv.hits", kv(&KvStats::hits));
+        ctl_.registerName("stats.kv.misses", kv(&KvStats::misses));
+        ctl_.registerName("stats.kv.scans", kv(&KvStats::scans));
+        ctl_.registerName("stats.kv.scanned_records",
+                          kv(&KvStats::scanned_records));
+        ctl_.registerName("stats.kv.corrupt_records",
+                          kv(&KvStats::corrupt_records));
+        ctl_.registerName("stats.kv.rejected_unhealthy",
+                          kv(&KvStats::rejected_unhealthy));
+        ctl_.registerName("stats.kv.rejected_quota",
+                          kv(&KvStats::rejected_quota));
+        ctl_.registerName("stats.kv.failed_allocs",
+                          kv(&KvStats::failed_allocs));
+        ctl_.registerName("stats.kv.records", kv(&KvStats::records));
+        ctl_.registerName("stats.kv.key_bytes",
+                          kv(&KvStats::key_bytes));
+        ctl_.registerName("stats.kv.value_bytes",
+                          kv(&KvStats::value_bytes));
+        ctl_.registerName("stats.kv.buckets", kv(&KvStats::buckets));
+        ctl_.registerName("stats.kv.rebuilds", kv(&KvStats::rebuilds));
+        ctl_.registerName("stats.kv.rebuilt_records",
+                          kv(&KvStats::rebuilt_records));
+    }
+
     // Whole-heap space accounting.
     PmDevice *dev = &dev_;
     ctl_.registerName("stats.heap.device_bytes",

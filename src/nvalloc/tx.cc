@@ -269,6 +269,19 @@ NvAlloc::txCommit(ThreadCtx &ctx)
         }
     }
 
+    // Seal: every applied effect is individually persisted above, so
+    // this record makes "the apply phase completed" durable — recovery
+    // then leaves the run alone instead of redoing it. The seal must
+    // land before the caller releases whatever lock serializes
+    // conflicting transactions: redoing an applied run after a *later*
+    // transaction committed a write to the same word would rewind that
+    // word (see kWalTxApplied in layout.h). A crash before the seal
+    // implies no later conflicting transaction could have started, so
+    // the redo recovery performs instead is safe.
+    dev_.fence();
+    ctx.wal.appendTxMark(ctx.tx.id, kWalTxApplied,
+                         uint64_t(ctx.tx.ops.size()));
+
     finishTx(ctx, /*committed=*/true);
     VClock::advance(kTxCpuNs, TimeKind::Other);
     return NvStatus::Ok;
@@ -394,10 +407,15 @@ NvAlloc::applyTxFree(uint64_t off)
         bsize = slab->blockSize();
         bool keep_unpinned = cfg_.slab_morphing &&
                              slab->occupancy() <= cfg_.morph_threshold;
+        // hardening_.ready() is false while recovery replays a redo
+        // run (the manager is wired after recoverHeap returns): those
+        // frees go direct — the quarantine is a volatile delayed-reuse
+        // defense against live mutators, and there are none yet.
         bool quarantine_on =
-            cfg_.quarantine_depth > 0 ||
-            (cfg_.redzone_canaries &&
-             hardening_.policy() == HardeningPolicy::Quarantine);
+            hardening_.ready() &&
+            (cfg_.quarantine_depth > 0 ||
+             (cfg_.redzone_canaries &&
+              hardening_.policy() == HardeningPolicy::Quarantine));
         if (quarantine_on && !keep_unpinned) {
             slab->markFreeToTcache(idx);
             to_quarantine = true;
@@ -436,17 +454,22 @@ NvAlloc::undoTxAlloc(uint64_t off)
 
 /**
  * The ring's newest intact entry belongs to transaction `tx_id`:
- * gather the whole run and resolve it all-or-nothing. A commit record
- * present → redo forward (the crash hit the apply phase or the instant
- * after the record); otherwise (abort record, or no record = in
- * flight) → undo backward. Both directions are idempotent, so a crash
- * during recovery itself just resolves again.
+ * gather the whole run and resolve it all-or-nothing. An applied seal
+ * or an abort record present → the run fully resolved *live* (apply
+ * loop resp. rollback completed, each effect persisted) and recovery
+ * must leave it alone — re-applying or re-undoing it here could
+ * rewind words that later transactions wrote. A commit record without
+ * the seal → redo forward (the crash hit the apply phase or the
+ * instant after the record); otherwise (no record = in flight) → undo
+ * backward. Both directions are idempotent, so a crash during
+ * recovery itself just resolves again.
  */
 void
 NvAlloc::resolveTxRun(uint64_t ring_off, uint32_t tx_id)
 {
     std::vector<WalEntry> run;
     bool committed = false;
+    bool resolved_live = false;
     unsigned rejected = 0;
     Wal::forEachIntact(
         &dev_, ring_off,
@@ -455,12 +478,16 @@ NvAlloc::resolveTxRun(uint64_t ring_off, uint32_t tx_id)
                 return;
             if (e.tx_mark == kWalTxCommit)
                 committed = true;
+            else if (e.tx_mark == kWalTxApplied ||
+                     e.tx_mark == kWalTxAbort)
+                resolved_live = true;
             else if (e.tx_mark == kWalTxOp)
                 run.push_back(e);
-            // kWalTxAbort: resolved like no-record (undo, idempotent)
         },
         &rejected);
     (void)rejected; // newestEntry already counted the ring's rejects
+    if (resolved_live)
+        return; // completed before the crash; nothing in flight
     std::sort(run.begin(), run.end(),
               [](const WalEntry &a, const WalEntry &b) {
                   return a.seq < b.seq;

@@ -141,6 +141,22 @@ class TxManager
         return id;
     }
 
+    /** Recovery-time floor for id allocation: ids are volatile (they
+     *  restart at 1 on reopen), but the rings persist records tagged
+     *  with the previous instance's ids. Seeding past the largest id
+     *  found in the rings keeps a fresh transaction from aliasing a
+     *  stale commit/applied/abort record — resolution would otherwise
+     *  mistake the stale control record for the new run's. */
+    void
+    seedNextId(uint32_t floor)
+    {
+        uint32_t cur = next_id_.load(std::memory_order_relaxed);
+        while (cur < floor &&
+               !next_id_.compare_exchange_weak(
+                   cur, floor, std::memory_order_relaxed)) {
+        }
+    }
+
     /** Close an id (commit, abort, or recovery cleanup). */
     void
     endTx(uint32_t id)

@@ -64,15 +64,17 @@ class Wal
                   tx_id != 0 ? kWalTxOp : kWalTxNone);
     }
 
-    /** Journal a transaction control record (commit or abort) for
-     *  `tx_id`. `op_count` rides in the offset bits so the auditor can
-     *  cross-check the run length. The append's own persist+fence is
-     *  the commit point; the caller fences *before* calling so the
-     *  record lands in its own epoch after every op entry. */
+    /** Journal a transaction control record (commit, abort, or
+     *  applied seal) for `tx_id`. `op_count` rides in the offset bits
+     *  so the auditor can cross-check the run length. The append's own
+     *  persist+fence is the commit point; the caller fences *before*
+     *  calling so the record lands in its own epoch after every op
+     *  entry. */
     void
     appendTxMark(uint32_t tx_id, WalTxMark mark, uint64_t op_count)
     {
-        NV_ASSERT(mark == kWalTxCommit || mark == kWalTxAbort);
+        NV_ASSERT(mark == kWalTxCommit || mark == kWalTxAbort ||
+                  mark == kWalTxApplied);
         appendRaw(kWalTxData, op_count, kWalNoWhere, 0, tx_id, mark);
     }
 

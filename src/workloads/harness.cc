@@ -16,19 +16,7 @@ namespace {
 bool
 allocEnabled(AllocKind kind)
 {
-    const char *env = std::getenv("NVALLOC_BENCH_ALLOCATORS");
-    if (!env || !*env)
-        return true;
-    const char *want = allocRegistryName(kind);
-    size_t want_len = std::strlen(want);
-    for (const char *p = env; *p;) {
-        const char *comma = std::strchr(p, ',');
-        size_t len = comma ? size_t(comma - p) : std::strlen(p);
-        if (len == want_len && std::strncmp(p, want, len) == 0)
-            return true;
-        p += len + (comma ? 1 : 0);
-    }
-    return false;
+    return benchAllocatorEnabled(allocRegistryName(kind));
 }
 
 std::vector<AllocKind>
@@ -229,6 +217,33 @@ benchJsonPoint(const std::string &section, const std::string &series,
     if (g_bench_json.path.empty())
         return;
     g_bench_json.points.push_back({section, series, x, value});
+}
+
+void
+benchJsonSetProgram(const char *prog)
+{
+    const char *dir = std::getenv("NVALLOC_BENCH_JSON_DIR");
+    if (dir && *dir && prog && *prog)
+        g_bench_json.path =
+            std::string(dir) + "/BENCH_" + prog + ".json";
+}
+
+bool
+benchAllocatorEnabled(const char *registry_name)
+{
+    const char *env = std::getenv("NVALLOC_BENCH_ALLOCATORS");
+    if (!env || !*env)
+        return true;
+    size_t want_len = std::strlen(registry_name);
+    for (const char *p = env; *p;) {
+        const char *comma = std::strchr(p, ',');
+        size_t len = comma ? size_t(comma - p) : std::strlen(p);
+        if (len == want_len &&
+            std::strncmp(p, registry_name, len) == 0)
+            return true;
+        p += len + (comma ? 1 : 0);
+    }
+    return false;
 }
 
 BenchArgs

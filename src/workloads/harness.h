@@ -147,6 +147,17 @@ void benchJsonPoint(const std::string &section,
                     const std::string &series, const std::string &x,
                     double value);
 
+/** Override the <prog> stamped by BenchArgs::parse, for binaries
+ *  whose figure name differs from their executable name (the YCSB
+ *  driver is nvalloc_ycsb but emits BENCH_ycsb.json). No-op when
+ *  NVALLOC_BENCH_JSON_DIR is unset. Call after BenchArgs::parse. */
+void benchJsonSetProgram(const char *prog);
+
+/** The NVALLOC_BENCH_ALLOCATORS filter by registry name, for bench
+ *  binaries that are not organised around AllocKind groups: true when
+ *  the variable is unset/empty or lists `registry_name`. */
+bool benchAllocatorEnabled(const char *registry_name);
+
 } // namespace nvalloc
 
 #endif // NVALLOC_WORKLOADS_HARNESS_H

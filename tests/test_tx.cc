@@ -305,7 +305,10 @@ TEST_F(TxFixture, FastPathJournalCostUnchanged)
 {
     // The non-tx fast path must stay at exactly one WAL entry (one
     // flush) per plain alloc and per plain free; a tx op costs the
-    // same one entry, plus ONE commit record for the whole group.
+    // same one entry, plus two control records for the whole group:
+    // the commit mark and, after the apply loop, the applied seal
+    // that keeps recovery from redoing an already-applied tx. The
+    // group cost is O(1), not O(ops).
     uint64_t pre = alloc_->allocOffset(*ctx_, 64, nullptr);
     ASSERT_NE(pre, 0u);
     uint64_t s0 = ctx_->wal.sequence();
@@ -323,8 +326,8 @@ TEST_F(TxFixture, FastPathJournalCostUnchanged)
     ASSERT_EQ(alloc_->txFree(*ctx_, pre), NvStatus::Ok);
     EXPECT_EQ(ctx_->wal.sequence(), s0 + 4) << "tx free = 1 entry";
     ASSERT_EQ(alloc_->txCommit(*ctx_), NvStatus::Ok);
-    EXPECT_EQ(ctx_->wal.sequence(), s0 + 5)
-        << "commit = 1 record, apply journals nothing";
+    EXPECT_EQ(ctx_->wal.sequence(), s0 + 6)
+        << "commit = commit mark + applied seal, apply journals nothing";
 }
 
 TEST_F(TxFixture, DegradedHeapRejectsTx)
@@ -377,19 +380,22 @@ TEST_F(TxFixture, StompedCommitRecordIsOrphanAndRepairable)
               NvStatus::Ok);
     ASSERT_EQ(alloc_->txCommit(*ctx_), NvStatus::Ok);
 
-    // Stomp the commit record's crc: the resolved run turns into op
-    // entries whose transaction can no longer be resolved.
+    // Stomp the crc of both control records — the commit record and
+    // the applied seal (either intact one on its own still resolves
+    // the run): the run turns into op entries whose transaction can no
+    // longer be resolved.
     auto *ring = static_cast<WalEntry *>(
         dev_->at(alloc_->walRingOffset(ctx_->wal_slot)));
     unsigned stomped = 0;
     for (unsigned s = 0; s < kWalRingEntries; ++s) {
         if ((ring[s].block_op & 3) != kWalNone &&
-            ring[s].tx_mark == kWalTxCommit) {
+            (ring[s].tx_mark == kWalTxCommit ||
+             ring[s].tx_mark == kWalTxApplied)) {
             ring[s].crc ^= 0xdead;
             ++stomped;
         }
     }
-    ASSERT_EQ(stomped, 1u);
+    ASSERT_EQ(stomped, 2u);
 
     HeapAuditor auditor(*alloc_);
     AuditReport rep = auditor.audit();

@@ -11,8 +11,10 @@
  *  - deliberate application-level corruption: double frees, wild and
  *    misaligned frees, cross-heap frees (against a live donor heap),
  *    canary stomps, guard redzone overflows, quarantine stomps,
- *    slab-header smashes, and transactions torn by a mid-commit crash
- *    (resolved all-or-nothing by the next recovery).
+ *    slab-header smashes, transactions torn by a mid-commit crash
+ *    (resolved all-or-nothing by the next recovery), and KV-level
+ *    stomps of a live record's payload and bucket word, detected and
+ *    contained by the KV service's checksums (src/kv/).
  *
  * After every round the harness asserts the containment contract: the
  * corruption was detected (the matching stats.hardening.* counter
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "kv/kv_store.h"
 #include "nvalloc/auditor.h"
 #include "nvalloc/nvalloc.h"
 
@@ -54,6 +57,7 @@ enum class ChaosEvent : unsigned
     PoisonLine,
     Crash,
     TornTx,
+    KvStomp,
     kCount,
 };
 
@@ -72,6 +76,7 @@ chaosEventName(ChaosEvent e)
     case ChaosEvent::PoisonLine: return "poison-line";
     case ChaosEvent::Crash: return "crash";
     case ChaosEvent::TornTx: return "torn-tx";
+    case ChaosEvent::KvStomp: return "kv-stomp";
     case ChaosEvent::kCount: break;
     }
     return "?";
@@ -454,6 +459,102 @@ ChaosHarness::inject(ChaosEvent ev, NvAlloc &heap, ThreadCtx &ctx,
         ++detected_[unsigned(ev)];
         return true;
     }
+    case ChaosEvent::KvStomp: {
+        // Application-level corruption through the KV service
+        // (src/kv/): stomp a live record's payload and a bucket head
+        // word, and expect record-granular detection + containment —
+        // sibling keys stay readable, the allocator's own metadata
+        // stays audit-clean (the stomp lands inside the payload, not
+        // on the canary), and an erase-then-read never touches the
+        // quarantined block.
+        if (heap.config().consistency != Consistency::Log)
+            return skip("kv needs the tx layer (LOG variant)");
+        KvOptions ko;
+        ko.buckets = 64;
+        ko.root_index = 2;
+        KvStatus why = KvStatus::Ok;
+        auto kv = KvStore::open(heap, ko, &why);
+        if (!kv) {
+            if (why == KvStatus::HeapUnhealthy ||
+                why == KvStatus::QuotaExceeded ||
+                why == KvStatus::OutOfMemory)
+                return skip(kvStatusName(why));
+            return fail(round, ev,
+                        std::string("kv open failed: ") +
+                            kvStatusName(why));
+        }
+        char keys[3][32];
+        std::string vals[3];
+        for (unsigned i = 0; i < 3; ++i) {
+            std::snprintf(keys[i], sizeof(keys[i]), "kv-%u-%u",
+                          round, i);
+            vals[i].assign(48 + 16 * i, char('a' + i));
+            KvStatus s = kv->put(ctx, keys[i], vals[i]);
+            if (s == KvStatus::HeapUnhealthy ||
+                s == KvStatus::QuotaExceeded ||
+                s == KvStatus::OutOfMemory)
+                return skip(kvStatusName(s));
+            if (s != KvStatus::Ok)
+                return fail(round, ev, "kv put failed");
+        }
+        // Erase-then-read: the freed record routes through the
+        // delayed-reuse quarantine at commit; the read (stripe-locked
+        // out of the erase) must miss without dirtying the poison
+        // fill, so draining must not report a quarantine UAF.
+        uint64_t uaf_before = count(hs.quarantine_uaf);
+        std::string out;
+        if (kv->erase(ctx, keys[0]) != KvStatus::Ok)
+            return fail(round, ev, "kv erase failed");
+        if (kv->get(keys[0], &out) != KvStatus::NotFound)
+            return fail(round, ev, "erased key still readable");
+        heap.hardening().drainQuarantine();
+        if (count(hs.quarantine_uaf) != uaf_before)
+            return fail(round, ev,
+                        "erase-then-read tripped the UAF guard");
+        // Payload stomp: 8 bytes inside the live value (canary and
+        // header untouched — the *KV* checksum must catch this).
+        uint64_t roff = kv->recordOffset(keys[1]);
+        if (roff == 0)
+            return fail(round, ev, "record offset lookup failed");
+        char *payload =
+            static_cast<char *>(heap.at(roff + KvStore::kRecordHeader)) +
+            std::strlen(keys[1]);
+        char saved[8];
+        std::memcpy(saved, payload, sizeof(saved));
+        std::memset(payload, 0x6b, sizeof(saved));
+        uint64_t corrupt_before =
+            kv->stats().corrupt_records.load(std::memory_order_relaxed);
+        if (kv->get(keys[1], &out) != KvStatus::Corrupt)
+            return fail(round, ev, "stomped record not detected");
+        if (kv->stats().corrupt_records.load(
+                std::memory_order_relaxed) <= corrupt_before)
+            return fail(round, ev, "corrupt_records did not move");
+        if (kv->get(keys[2], &out) != KvStatus::Ok ||
+            out != vals[2])
+            return fail(round, ev, "sibling key not contained");
+        std::memcpy(payload, saved, sizeof(saved));
+        if (kv->get(keys[1], &out) != KvStatus::Ok || out != vals[1])
+            return fail(round, ev, "restored record unreadable");
+        // Bucket stomp: smash the chain head with a wild, misaligned
+        // offset; the walk must classify it instead of wandering.
+        uint64_t *bw = static_cast<uint64_t *>(
+            heap.at(kv->bucketWordOffset(keys[2])));
+        uint64_t head = *bw;
+        *bw = dev.size() - 13;
+        if (kv->get(keys[2], &out) != KvStatus::Corrupt)
+            return fail(round, ev, "wild bucket head not detected");
+        *bw = head;
+        if (kv->get(keys[2], &out) != KvStatus::Ok)
+            return fail(round, ev, "restored bucket unreadable");
+        // Tidy so rounds stay independent (the store persists across
+        // the harness's reopen cycle at rootWord(2)).
+        for (unsigned i = 1; i < 3; ++i)
+            if (kv->erase(ctx, keys[i]) != KvStatus::Ok)
+                return fail(round, ev, "cleanup erase failed");
+        heap.hardening().drainQuarantine();
+        ++detected_[unsigned(ev)];
+        return true;
+    }
     case ChaosEvent::Crash:
     case ChaosEvent::TornTx:
     case ChaosEvent::kCount:
@@ -603,7 +704,14 @@ ChaosHarness::run()
             unsigned ls = pickSmallSlot(heap, slots);
             unsigned tx_flushes =
                 1 + (fs != kSlots ? 1 : 0) + (ls != kSlots ? 2 : 0);
-            unsigned nth = 1 + unsigned(rng_.nextBounded(tx_flushes + 3));
+            // nth >= 2: the transaction's very first flush is its first
+            // journal append, and cutting it leaves no durable trace of
+            // the transaction at all — recovery then (correctly) has
+            // nothing to resolve, which the resolved-counter check
+            // below cannot tell apart from a lost transaction. The
+            // nothing-persisted shape is the plain crash class's
+            // territory; this class always tears a *journaled* tx.
+            unsigned nth = 2 + unsigned(rng_.nextBounded(tx_flushes + 3));
             dev.armCrashAtFlush(nth);
             heap.txBegin(*ctx);
             if (fs != kSlots && heap.txAlloc(*ctx, 96, &slots[fs]) != 0)

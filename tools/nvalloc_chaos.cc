@@ -3,11 +3,13 @@
  * nvalloc_chaos: seeded chaos soak for the hardening subsystem.
  *
  * Repeatedly opens a heap, churns it, injects one trouble event per
- * round — crashes and media poison from the fault injector, plus
- * deliberate application corruption (double/wild/misaligned/cross-heap
- * frees, canary stomps, guard overflows, quarantine stomps, header
- * smashes) — and asserts after every round that the event was detected
- * and contained (see tools/chaos_harness.h for the contract).
+ * round — crashes, torn transactions and media poison from the fault
+ * injector, plus deliberate application corruption (double/wild/
+ * misaligned/cross-heap frees, canary stomps, guard overflows,
+ * quarantine stomps, header smashes, KV record/bucket stomps through
+ * the src/kv service) — and asserts after every round that the event
+ * was detected and contained (see tools/chaos_harness.h for the
+ * contract).
  *
  * With --pool the same trouble classes run against the hostile member
  * of a 4-tenant HeapPool: the victim must be detected (health machine

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "kv/kv_store.h"
 #include "nvalloc/nvalloc.h"
 
 using namespace nvalloc;
@@ -43,6 +44,7 @@ struct Options
     bool hardening = false; //!< full hardening + hostile-free traffic
     bool tx = false;        //!< transactional traffic + tx section
     bool health = false;    //!< patrol-scrub + health report section
+    bool kv = false;        //!< KV service traffic + stats.kv section
     size_t trace = 0;    //!< per-thread event-ring capacity
     size_t device_mb = 256;
     unsigned ops = 20000;
@@ -72,6 +74,9 @@ usage(const char *argv0)
         "  --health       run a full patrol-scrub pass after the\n"
         "                 workload and append the health report\n"
         "                 (state, escalations, stats.scrub.*)\n"
+        "  --kv           open the KV service on the heap, run mixed\n"
+        "                 put/get/erase traffic, and append the\n"
+        "                 stats.kv report section (LOG variant only)\n"
         "  --trace N      arm per-thread event rings of N events and\n"
         "                 dump the merged trace\n"
         "  --ctl NAME     read one ctl leaf (repeatable)\n"
@@ -106,6 +111,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.tx = true;
         } else if (a == "--health") {
             o.health = true;
+        } else if (a == "--kv") {
+            o.kv = true;
         } else if (a == "--list") {
             o.list = true;
             // Optional prefix: consume the next token unless it is
@@ -313,6 +320,58 @@ main(int argc, char **argv)
         }
     }
 
+    // The store registers the stats.kv.* subtree on open and detaches
+    // it on destruction, so it must outlive the reporting below.
+    std::unique_ptr<KvStore> kv;
+    if (o.kv) {
+        if (o.gc) {
+            std::fprintf(stderr,
+                         "stat: --kv needs the tx layer (LOG variant)\n");
+            return 2;
+        }
+        KvOptions ko;
+        ko.buckets = 512;
+        ko.root_index = 1; // root 0 may anchor future workload state
+        KvStatus why = KvStatus::Ok;
+        kv = KvStore::open(alloc, ko, &why);
+        if (!kv) {
+            std::fprintf(stderr, "stat: kv open failed: %s\n",
+                         kvStatusName(why));
+            return 2;
+        }
+        ThreadCtx *ctx = alloc.attachThread();
+        if (!ctx) {
+            std::fprintf(stderr, "stat: could not attach kv thread\n");
+            return 2;
+        }
+        unsigned records = o.ops / 8 < 64 ? 64 : o.ops / 8;
+        char key[32];
+        std::string v;
+        for (unsigned i = 0; i < records; ++i) {
+            std::snprintf(key, sizeof key, "stat-%u", i);
+            std::string val(i % 7 == 0 ? 2048 : 64,
+                            char('a' + i % 26));
+            kv->put(*ctx, key, val);
+        }
+        for (unsigned i = 0; i < records; ++i) {
+            std::snprintf(key, sizeof key, "stat-%u", i % records);
+            kv->get(key, &v);
+            if (i % 3 == 0) {
+                std::snprintf(key, sizeof key, "stat-%u", i);
+                kv->put(*ctx, key, "updated");
+            }
+            if (i % 5 == 0) {
+                std::snprintf(key, sizeof key, "miss-%u", i);
+                kv->get(key, &v);
+            }
+        }
+        for (unsigned i = 0; i < records; i += 4) {
+            std::snprintf(key, sizeof key, "stat-%u", i);
+            kv->erase(*ctx, key);
+        }
+        alloc.detachThread(ctx);
+    }
+
     for (const std::string &action : o.maint_actions) {
         if (alloc.maintenanceControl(action.c_str()) != NvStatus::Ok) {
             std::fprintf(stderr, "stat: unknown maintenance action: %s\n",
@@ -364,6 +423,12 @@ main(int argc, char **argv)
             std::printf("%s\n", alloc.healthJson().c_str());
         else
             std::printf("health: %s\n", alloc.healthJson().c_str());
+    }
+    if (kv) {
+        if (o.json)
+            std::printf("%s\n", kv->json().c_str());
+        else
+            std::printf("kv: %s\n", kv->json().c_str());
     }
 
     if (o.trace > 0 && !o.json)

@@ -3,7 +3,7 @@
  * Pool containment soak: the chaos harness against a 4-tenant HeapPool
  * (DESIGN.md §12).
  *
- * One hostile tenant injects the same 11 trouble classes as the
+ * One hostile tenant injects the same 12 trouble classes as the
  * single-heap soak (tools/chaos_harness.h) into *its own* heap
  * mid-churn, while three sibling tenants run plain mutator traffic.
  * After every round the harness asserts the pool-level blast-radius
@@ -328,15 +328,21 @@ PoolChaosHarness::runPool()
 
             // Detection: hardened-free classes escalate at the
             // faulting op; metadata classes within the patrol budget.
-            // Two classes legitimately never escalate here: a round
-            // whose injection was skipped, and PoisonLine (media
-            // poison sits in *free* extents, which the patrol phases
-            // do not walk — the injection already proved the full
-            // audit sees it, and restore() repairs it below).
+            // Three classes legitimately never escalate here: a round
+            // whose injection was skipped, PoisonLine (media poison
+            // sits in *free* extents, which the patrol phases do not
+            // walk — the injection already proved the full audit sees
+            // it, and restore() repairs it below), and KvStomp (the
+            // corruption lands in application payload: the KV layer's
+            // checksum detects and contains it record-granularly
+            // without the heap's health machine ever being involved —
+            // escalating a whole tenant for one bad record would
+            // defeat the containment the class is proving).
             bool skipped_this_round =
                 skipped_[unsigned(ev)] != skipped_before;
-            bool expect_escalation =
-                !skipped_this_round && ev != ChaosEvent::PoisonLine;
+            bool expect_escalation = !skipped_this_round &&
+                                     ev != ChaosEvent::PoisonLine &&
+                                     ev != ChaosEvent::KvStomp;
             if (expect_escalation || want_quarantine) {
                 HeapHealth goal = want_quarantine
                                       ? HeapHealth::Quarantined
