@@ -19,7 +19,9 @@ main(int argc, char **argv)
 {
     BenchArgs args = BenchArgs::parse(argc, argv);
     BenchParams p{args.quick};
-    auto threads = benchThreadCounts(args.quick);
+    // Fig 9 runs the wide ladder: 64 and 128 threads are where the
+    // lock-free small path separates from the mutex-based designs.
+    auto threads = benchThreadCountsSmallPath(args.quick);
 
     struct Bench
     {

@@ -30,7 +30,8 @@ trace(const char *label, bool interleaved)
     cfg.interleaved_bitmap = interleaved;
     cfg.interleaved_tcache = interleaved;
     cfg.interleaved_wal = interleaved;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
 
     dev.model().reset();

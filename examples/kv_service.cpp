@@ -29,7 +29,8 @@ main()
 
     // ---- first life: create the store and commit some records ------
     {
-        NvAlloc heap(dev, NvAllocConfig{});
+        auto heap_h = NvAlloc::openOrDie(dev, NvAllocConfig{});
+        NvAlloc &heap = *heap_h;
         ThreadCtx *ctx = heap.attachThread();
         KvOptions opts;
         opts.buckets = 256;
@@ -58,7 +59,8 @@ main()
 
     // ---- second life: recovery + index rebuild ---------------------
     {
-        NvAlloc heap(dev, NvAllocConfig{});
+        auto heap_h = NvAlloc::openOrDie(dev, NvAllocConfig{});
+        NvAlloc &heap = *heap_h;
         auto kv = KvStore::open(heap, KvOptions{.buckets = 256});
         if (!kv) {
             std::fprintf(stderr, "reopen failed\n");

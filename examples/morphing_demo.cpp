@@ -27,7 +27,8 @@ run(bool morphing)
     PmDevice dev;
     NvAllocConfig cfg;
     cfg.slab_morphing = morphing;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
 
     std::printf("--- slab morphing %s ---\n",

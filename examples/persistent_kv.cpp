@@ -146,7 +146,8 @@ main()
 
     // --- first process lifetime -----------------------------------
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         KvStore store(alloc, *ctx);
 
@@ -166,7 +167,8 @@ main()
 
     // --- second process lifetime: recovery -------------------------
     {
-        NvAlloc alloc(dev); // recovery runs here
+        auto alloc_h = NvAlloc::openOrDie(dev); // recovery runs here
+        NvAlloc &alloc = *alloc_h;
         const RecoveryInfo &ri = alloc.lastRecovery();
         std::printf("recovered: failure=%d slabs=%llu wal_undo=%llu "
                     "wal_redo=%llu\n",

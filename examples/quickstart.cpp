@@ -29,7 +29,8 @@ main()
     PmDevice dev;
 
     // nvalloc_init: creates a fresh heap, or recovers an existing one.
-    NvAlloc alloc(dev);
+    auto alloc_h = NvAlloc::openOrDie(dev);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
 
     // A persistent pointer word; applications anchor their top-level

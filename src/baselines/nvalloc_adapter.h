@@ -82,7 +82,7 @@ class NvAllocAdapter : public PmAllocator
     uint64_t
     recover() override
     {
-        // NvAlloc recovers in its constructor; reopening the heap is
+        // NvAlloc recovers at open(); reopening the heap is
         // the recovery measurement. The restart is dirty so the
         // failure path (WAL replay / conservative GC) runs, which is
         // what the paper's recovery experiment measures.

@@ -23,7 +23,8 @@ Arena::Arena(unsigned id, PmDevice *dev, const NvAllocConfig *cfg,
       slab_radix_(slab_radix),
       gc_mode_(cfg->consistency == Consistency::Gc),
       stripes_(cfg->interleaved_bitmap ? cfg->bit_stripes : 1),
-      total_threads_(total_threads)
+      total_threads_(total_threads),
+      core_cache_(cfg->fastpath_regions)
 {
 }
 
@@ -111,7 +112,14 @@ Arena::morphOne(unsigned cls)
         // old class's freelist.
         morph_lru_.remove(slab);
         delist(slab);
-        slab->morphTo(cls, slabStripes());
+        if (!slab->morphTo(cls, slabStripes())) {
+            // A lock-free reservation broke eligibility between the
+            // probe and the freeze; put the slab back and give up this
+            // round.
+            morph_lru_.pushBack(slab);
+            enlist(slab);
+            return nullptr;
+        }
         enlist(slab);
         ++stats_.morphs;
         if (tel_) {
@@ -130,7 +138,14 @@ Arena::refill(TCache &tcache, unsigned cls)
 {
     VLockGuard g(lock);
     ++stats_.refills;
+    if (fp_stats_)
+        fp_stats_->refill_searches.fetch_add(1,
+                                             std::memory_order_relaxed);
     VClock::advance(kRefillCpuNs, TimeKind::Other);
+
+    // Availability created by lock-free frees lives on the pending
+    // stack until a locked refill folds it back into the freelists.
+    drainPending();
 
     unsigned added = 0;
     while (!tcache.full(cls)) {
@@ -154,6 +169,7 @@ Arena::refill(TCache &tcache, unsigned cls)
             break; // heap exhausted
 
         bool spread = tcache.subCount() > 1;
+        unsigned got = 0;
         while (!tcache.full(cls)) {
             unsigned idx =
                 spread ? slab->popBlockSpread() : slab->popBlock();
@@ -162,12 +178,22 @@ Arena::refill(TCache &tcache, unsigned cls)
             bool ok = tcache.push(
                 cls, CachedBlock{slab->blockOffset(idx), slab, idx});
             NV_ASSERT(ok);
-            ++added;
+            ++got;
         }
-        if (slab->available() == 0)
+        added += got;
+        // got == 0 with available() > 0 means racing lock-free claims
+        // emptied the slab under us; delist it anyway or this loop
+        // would spin on the same candidate.
+        if (slab->available() == 0 || got == 0)
             delist(slab);
         if (slab->lru_link.linked())
             morph_lru_.touch(slab);
+        // Refresh a region slot with the slab we just worked: the next
+        // dry tcache on this core can then reserve lock-free.
+        if (cfg_->fastpath == FastPathMode::LockFree &&
+            slab->available() > 0) {
+            core_cache_.install(cls, slab);
+        }
     }
     if (tel_) {
         tel_->add(StatCounter::ArenaRefill);
@@ -219,7 +245,7 @@ void
 Arena::maybeRelease(VSlab *slab)
 {
     if (slab->liveBlocks() != 0 || slab->lentBlocks() != 0 ||
-        slab->morphing()) {
+        slab->morphing() || slab->regionPins() != 0) {
         return;
     }
 
@@ -237,6 +263,18 @@ Arena::maybeRelease(VSlab *slab)
     if (free_peers < 1)
         return;
 
+    // Freeze before the final verdict: a lock-free reservation may
+    // have claimed a block since the probe above. The slab stays
+    // frozen forever after release — a stale radix pointer's
+    // enterFast then fails and the free re-resolves under the lock,
+    // which is the ABA defense for recycled extents.
+    slab->freeze();
+    if (slab->liveBlocks() != 0 || slab->lentBlocks() != 0 ||
+        slab->morphing() || slab->regionPins() != 0) {
+        slab->unfreeze();
+        return;
+    }
+
     delist(slab);
     if (slab->lru_link.linked())
         morph_lru_.remove(slab);
@@ -247,6 +285,64 @@ Arena::maybeRelease(VSlab *slab)
     ++stats_.slabs_released;
     if (tel_)
         tel_->add(StatCounter::SlabReleased);
+}
+
+void
+Arena::pendingPush(VSlab *slab)
+{
+    // One stack node per slab: the flag keeps a slab from being pushed
+    // twice, so the intrusive next pointer can't be clobbered while
+    // the slab is already enqueued.
+    if (slab->pending.exchange(true, std::memory_order_acq_rel))
+        return;
+    VSlab *head = pending_head_.load(std::memory_order_relaxed);
+    do {
+        slab->pending_next.store(head, std::memory_order_relaxed);
+    } while (!pending_head_.compare_exchange_weak(
+        head, slab, std::memory_order_release,
+        std::memory_order_relaxed));
+}
+
+void
+Arena::drainPending()
+{
+    VSlab *s =
+        pending_head_.exchange(nullptr, std::memory_order_acquire);
+    while (s) {
+        VSlab *next = s->pending_next.load(std::memory_order_relaxed);
+        s->pending_next.store(nullptr, std::memory_order_relaxed);
+        // Clear before processing: a fast free racing this drain can
+        // re-enqueue the slab for the next one.
+        s->pending.store(false, std::memory_order_release);
+        // A slab released on an earlier drain iteration (or pushed
+        // again after release) is in the graveyard; never re-enlist
+        // those.
+        if (slabs_.count(s)) {
+            enlist(s);
+            if (s->lru_link.linked())
+                morph_lru_.touch(s);
+            maybeRelease(s);
+        }
+        s = next;
+    }
+}
+
+void
+Arena::dropRegions()
+{
+    VLockGuard g(lock);
+    core_cache_.dropRegions();
+    drainPending();
+    // With the pins gone, fully-free region slabs become releasable;
+    // sweep them now so reclaimMemory actually returns the memory.
+    std::vector<VSlab *> candidates;
+    for (VSlab *s : slabs_) {
+        if (s->liveBlocks() == 0 && s->lentBlocks() == 0 &&
+            !s->morphing())
+            candidates.push_back(s);
+    }
+    for (VSlab *s : candidates)
+        maybeRelease(s);
 }
 
 void

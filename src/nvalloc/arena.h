@@ -5,10 +5,16 @@
  * Each CPU core owns an arena; each thread is attached to the arena
  * with the fewest threads. The arena keeps one freelist of
  * partially-full slabs per size class, the LRU list of morph
- * candidates (§5.2), and the set of all slabs it owns. All slab state
- * mutations happen under the arena's VLock, whose virtual-time
- * modeling is what makes multi-thread contention visible in the
- * reproduced scaling curves.
+ * candidates (§5.2), the set of all slabs it owns, and a CoreCache of
+ * pinned region slabs feeding the lock-free reservation path
+ * (DESIGN.md §14).
+ *
+ * Slow-path slab management (refill, morph, release, repair) runs
+ * under the arena's VLock. The hot alloc/free paths instead reserve
+ * and free against slabs directly through their atomic bitfields and
+ * hand availability notices back via a lock-free pending stack; their
+ * contention is modeled through a per-arena VServer (bookFastOp), so
+ * the virtual-time scaling curves stay honest without a mutex.
  */
 
 #ifndef NVALLOC_NVALLOC_ARENA_H
@@ -21,10 +27,12 @@
 #include "common/lru_list.h"
 #include "common/radix_tree.h"
 #include "nvalloc/config.h"
+#include "nvalloc/core_cache.h"
 #include "nvalloc/large_alloc.h"
 #include "nvalloc/slab.h"
 #include "nvalloc/tcache.h"
 #include "nvalloc/vlock.h"
+#include "pm/vclock.h"
 #include "telemetry/telemetry.h"
 
 namespace nvalloc {
@@ -80,6 +88,53 @@ class Arena
      *  must hold `lock`. */
     void returnLent(VSlab *slab, unsigned idx);
 
+    // -- lock-free fast path (DESIGN.md §14) ------------------------
+
+    /**
+     * Lock-free tcache refill from this arena's region slabs; returns
+     * the number of blocks reserved (0 = regions dry, caller escalates
+     * to a sibling steal or the locked refill).
+     */
+    unsigned
+    fastReserve(TCache &tcache, unsigned cls)
+    {
+        return core_cache_.reserve(cls, tcache, cfg_->fastpath_batch,
+                                   fp_stats_);
+    }
+
+    /**
+     * Lock-free: a fast free gave `slab` availability the freelists
+     * don't know about yet; queue it for the next locked refill.
+     */
+    void pendingPush(VSlab *slab);
+
+    /**
+     * Book one fast operation's serialization window against this
+     * arena's virtual-time capacity server. This is the lock-free
+     * analogue of the VLock's hold accounting — and follows the same
+     * convention: the window is booked into the server, and only the
+     * queueing delay the booking implies advances the caller's clock.
+     * Uncontended fast ops therefore cost nothing here (their CPU is
+     * already modeled by the op's own advance), while threads
+     * hammering one arena accumulate virtual wait, which is what
+     * keeps the thread-scaling curves meaningful without the mutex.
+     */
+    void
+    bookFastOp(uint64_t cpu_ns)
+    {
+        uint64_t now = VClock::now();
+        uint64_t start = fp_server_.reserve(now, cpu_ns);
+        if (start > now)
+            VClock::advanceTo(start, TimeKind::LockWait);
+    }
+
+    /** Point fast-path telemetry at the heap-wide counters. */
+    void setFastPathStats(FastPathStats *s) { fp_stats_ = s; }
+
+    /** Unpin and empty every CoreCache region slot (reclaimMemory),
+     *  then release any now-releasable fully-free slabs. */
+    void dropRegions();
+
     /** Adopt a slab rebuilt by recovery. */
     void registerSlab(VSlab *slab);
 
@@ -121,6 +176,13 @@ class Arena
     MorphLru morph_lru_;
     std::unordered_set<VSlab *> slabs_;
 
+    CoreCache core_cache_;
+    FastPathStats *fp_stats_ = nullptr;
+    /** Virtual-time capacity server for lock-free fast ops. */
+    VServer fp_server_;
+    /** Treiber stack of slabs with un-enlisted availability. */
+    std::atomic<VSlab *> pending_head_{nullptr};
+
     // Released VSlabs are kept until destruction so lock-free radix
     // readers can never observe a dangling pointer (epoch-free
     // deferred reclamation).
@@ -134,6 +196,7 @@ class Arena
     void enlist(VSlab *slab);
     void delist(VSlab *slab);
     void maybeRelease(VSlab *slab);
+    void drainPending();
 };
 
 } // namespace nvalloc

@@ -330,21 +330,25 @@ HeapAuditor::patrolSlabs(PatrolCursor &cur, unsigned budget,
                 return; // bitmap math is noise under a smashed header
             }
 
-            // Persistent-bitmap popcount vs the live counter. Tcache
-            // traffic flips bits without the arena lock, so require
-            // the identical wrong observation across every re-read
-            // before declaring damage — anything that moves is an
-            // in-flight update, not corruption.
+            // Persistent-bitmap popcount vs the live counter. The
+            // lock-free fast path flips bits without any lock, so a
+            // capture is trusted only when the slab's fast-op epoch
+            // brackets it: no fast op in flight on either side and no
+            // epoch advance in between (DESIGN.md §14). Untrusted
+            // captures mean the counters are moving, not corrupt;
+            // beyond that, require the identical wrong observation
+            // across every re-read before declaring damage.
             auto observe = [&](uint64_t *pop, uint64_t *live) {
-                const uint8_t *bm = slab->header()->bitmap;
-                uint64_t p = 0;
-                for (size_t i = 0; i < kSlabBitmapBytes; ++i)
-                    p += std::popcount(unsigned(bm[i]));
-                *pop = p;
+                uint64_t e0 = slab->fpEpoch();
+                if (slab->fpBusy())
+                    return false;
+                *pop = slab->persistentPopcount();
                 *live = slab->liveBlocks();
+                return !slab->fpBusy() && slab->fpEpoch() == e0;
             };
             uint64_t pop = 0, live = 0;
-            observe(&pop, &live);
+            if (!observe(&pop, &live))
+                return; // in-flight fast op; the next pass looks again
             if (pop == live)
                 return;
             bool stable = true;
@@ -352,8 +356,8 @@ HeapAuditor::patrolSlabs(PatrolCursor &cur, unsigned budget,
                 ++res.retries;
                 std::this_thread::yield();
                 uint64_t p2 = 0, l2 = 0;
-                observe(&p2, &l2);
-                if (p2 == l2 || p2 != pop || l2 != live) {
+                if (!observe(&p2, &l2) || p2 == l2 || p2 != pop ||
+                    l2 != live) {
                     stable = false;
                     break;
                 }
@@ -636,12 +640,25 @@ HeapAuditor::checkSlabs()
 
             // The whole 2 KB bitmap is popcounted, not just the active
             // geometry's physical slots, so a stray bit outside the
-            // mapped range is a violation too.
-            const uint8_t *bm = slab->header()->bitmap;
-            uint64_t pop = 0;
-            for (size_t i = 0; i < kSlabBitmapBytes; ++i)
-                pop += std::popcount(unsigned(bm[i]));
-            if (pop != slab->liveBlocks()) {
+            // mapped range is a violation too. The walk holds no slab
+            // lock (there is none to hold since the lock-free fast
+            // path landed), so the capture is epoch-bracketed like the
+            // patrol's: an observation with a fast op in flight or an
+            // epoch advance across it is moving, not auditable, and
+            // is retried rather than reported.
+            uint64_t pop = 0, live = 0;
+            bool trusted = false;
+            for (unsigned r = 0; r < 8 && !trusted; ++r) {
+                uint64_t e0 = slab->fpEpoch();
+                if (slab->fpBusy()) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                pop = slab->persistentPopcount();
+                live = slab->liveBlocks();
+                trusted = !slab->fpBusy() && slab->fpEpoch() == e0;
+            }
+            if (trusted && pop != live) {
                 ++rep_.bitmap_mismatch;
                 note(fmt("slab 0x%llx: bitmap popcount %llu != live",
                          off, pop));

@@ -54,6 +54,20 @@ enum class HardeningPolicy : uint8_t
     Abort,      //!< std::abort at the faulting operation
 };
 
+/**
+ * Small alloc/free hot-path engine (DESIGN.md §14). LockFree is the
+ * default and the measured configuration: per-core regions with CAS
+ * reservation, no mutex on the hit path. Locked is the escape hatch —
+ * the pre-ISSUE-9 shape where every slab mutation runs under the
+ * owning arena's VLock — kept for bisection and as the fallback the
+ * lock-free path itself drops into when a slab is frozen.
+ */
+enum class FastPathMode : uint8_t
+{
+    Locked,
+    LockFree,
+};
+
 struct NvAllocConfig
 {
     Consistency consistency = Consistency::Log;
@@ -90,6 +104,21 @@ struct NvAllocConfig
 
     /** Per-class tcache capacity in blocks. */
     unsigned tcache_slots = 48;
+
+    // ---- lock-free fast path (core_cache.h, DESIGN.md §14) ----------
+
+    /** Small alloc/free engine; see FastPathMode. */
+    FastPathMode fastpath = FastPathMode::LockFree;
+
+    /** Per-arena, per-class region slots in the CoreCache: slabs
+     *  pinned for lock-free reservation. More slots spread CAS traffic
+     *  at the cost of pinned slab memory. In [1, 8]. */
+    unsigned fastpath_regions = 2;
+
+    /** Blocks claimed per lock-free reservation round (the tcache is
+     *  topped up at most this much per miss before falling back to the
+     *  locked refill search). In [1, 512]. */
+    unsigned fastpath_batch = 24;
 
     /** Bookkeeping log file size (paper: 100 MB; scaled default). */
     size_t log_file_bytes = 4 * 1024 * 1024;
@@ -242,6 +271,12 @@ struct NvAllocConfig
             return "num_arenas must be >= 1";
         if (tcache_slots < 1)
             return "tcache_slots must be >= 1";
+        if (fastpath > FastPathMode::LockFree)
+            return "fastpath out of range";
+        if (fastpath_regions < 1 || fastpath_regions > 8)
+            return "fastpath_regions must be in [1, 8]";
+        if (fastpath_batch < 1 || fastpath_batch > 512)
+            return "fastpath_batch must be in [1, 512]";
         if (!(morph_threshold >= 0.0 && morph_threshold <= 1.0))
             return "morph_threshold must be in [0, 1]";
         if (!(log_gc_threshold > 0.0))

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 #include "pm/vclock.h"
@@ -15,6 +16,20 @@ constexpr uint64_t kRegionTableOffset = 512; // within the root area
 constexpr uint64_t kMallocCpuNs = 40;
 constexpr uint64_t kFreeCpuNs = 40;
 
+/**
+ * Serialized portion of one lock-free fast op, booked against the
+ * arena's virtual-time capacity server (Arena::bookFastOp). This is
+ * the cache-line ping of a handful of CAS/fetch-ops — tens of ns —
+ * where the locked path serialized the whole markAllocated hold
+ * including its metadata flush. The gap between the two is the fast
+ * path's modeled win.
+ */
+constexpr uint64_t kFastOpNs = 12;
+/** Extra serialized ns per CAS loss in a reservation's claim loop. */
+constexpr uint64_t kCasRetryNs = 25;
+/** Serialized cost of one region-batch reservation (many claims). */
+constexpr uint64_t kFastReserveNs = 60;
+
 } // namespace
 
 OpenResult
@@ -26,12 +41,24 @@ NvAlloc::open(PmDevice &dev, const NvAllocConfig &cfg)
         r.status = NvStatus::InvalidArgument;
         return r; // nothing constructed, device untouched
     }
-    r.heap = std::make_unique<NvAlloc>(dev, cfg);
+    // Not make_unique: the constructor is private to force every
+    // caller through this factory.
+    r.heap.reset(new NvAlloc(dev, cfg));
     // A degraded heap (CorruptMetadata) is still returned: read-only
     // introspection over the corrupt image is the whole point of the
     // failed-open mode.
     r.status = r.heap->openStatus();
     return r;
+}
+
+std::unique_ptr<NvAlloc>
+NvAlloc::openOrDie(PmDevice &dev, const NvAllocConfig &cfg)
+{
+    OpenResult r = open(dev, cfg);
+    NV_ASSERT(r.status != NvStatus::InvalidArgument &&
+              "NvAlloc::openOrDie: invalid NvAllocConfig");
+    NV_ASSERT(r.heap);
+    return std::move(r.heap);
 }
 
 NvAlloc::NvAlloc(PmDevice &dev, NvAllocConfig cfg)
@@ -249,6 +276,7 @@ NvAlloc::createHeap()
             i, &dev_, &cfg_, &large_, &slab_radix_,
             &attached_threads_));
         arenas_.back()->setTelemetry(&tel_);
+        arenas_.back()->setFastPathStats(&fp_stats_);
     }
 
     // Publish the superblock last: the config crc goes durable with
@@ -483,6 +511,11 @@ NvAlloc::reclaimMemory(ThreadCtx &ctx)
     ++deg_stats_.reclaim_attempts;
     tel_.event(TraceOp::Reclaim, 0);
     drainTcache(&ctx);
+    // Region pins hold otherwise-free slabs against release; drop
+    // every arena's CoreCache slots (they re-provision on the next
+    // locked refill) so exhaustion can actually reclaim them.
+    for (auto &arena : arenas_)
+        arena->dropRegions();
     // Quarantined blocks pin their slabs (they stay lent) and watched
     // guard extents hold reclaimed space; give both back before the
     // retry.
@@ -492,6 +525,71 @@ NvAlloc::reclaimMemory(ThreadCtx &ctx)
         maint_.reclaimSync(); // forced slice: log GC + decay + scrub
     else
         large_.reclaim();
+}
+
+/**
+ * Tcache-miss escalation ladder (DESIGN.md §14): lock-free reservation
+ * from the own arena's region slabs, then the own arena's locked
+ * refill (freelist/morph/new-slab search — which also reprovisions the
+ * region slots), and only then the sibling arenas: their regions
+ * first (lock-free steal), their locked refills last.
+ *
+ * Stealing deliberately ranks BELOW the own locked refill. A steal
+ * puts a sibling's slab into this thread's tcache, and every later
+ * hit on those blocks books against the sibling's fast-op server —
+ * measured on thread-local workloads, eager stealing collapsed twenty
+ * arenas' worth of parallelism onto a few shared servers (and starved
+ * the own regions, which only a locked refill reprovisions). The own
+ * arena's lock is uncontended in exactly those workloads, so it is
+ * the cheaper escalation; siblings are raided only when the own arena
+ * is truly dry (heap or quota exhaustion).
+ */
+unsigned
+NvAlloc::refillSmall(ThreadCtx &ctx, unsigned cls)
+{
+    if (cfg_.fastpath == FastPathMode::LockFree) {
+        unsigned got = ctx.arena->fastReserve(ctx.tcache, cls);
+        if (got > 0) {
+            // The reserve's scan-and-claim CPU is real extra work
+            // (the hit path's own advance does not cover it), unlike
+            // the per-hit booking which only models serialization.
+            ctx.arena->bookFastOp(kFastReserveNs);
+            VClock::advance(kFastReserveNs, TimeKind::Other);
+            return got;
+        }
+    }
+    unsigned got = ctx.arena->refill(ctx.tcache, cls);
+    if (got > 0)
+        return got;
+    // The home arena is dry: no freelist slab, no morph candidate, and
+    // a fresh slab was refused. Search the siblings — regions first
+    // (no lock), then their locked refills, which can also morph or
+    // carve a slab the steal cannot see. Only after every arena
+    // refuses does the caller escalate to reclaim.
+    if (cfg_.fastpath == FastPathMode::LockFree) {
+        for (unsigned i = 1; i < arenas_.size(); ++i) {
+            Arena &peer =
+                *arenas_[(ctx.arena->id() + i) % arenas_.size()];
+            got = peer.fastReserve(ctx.tcache, cls);
+            if (got > 0) {
+                fp_stats_.region_steals.fetch_add(
+                    1, std::memory_order_relaxed);
+                peer.bookFastOp(kFastReserveNs);
+                VClock::advance(kFastReserveNs, TimeKind::Other);
+                return got;
+            }
+        }
+    }
+    for (unsigned i = 1; i < arenas_.size(); ++i) {
+        Arena &peer = *arenas_[(ctx.arena->id() + i) % arenas_.size()];
+        got = peer.refill(ctx.tcache, cls);
+        if (got > 0) {
+            fp_stats_.region_steals.fetch_add(1,
+                                              std::memory_order_relaxed);
+            return got;
+        }
+    }
+    return 0;
 }
 
 uint64_t
@@ -512,10 +610,10 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
         // own on the next refill boundary (never on the hit path).
         if (ctx.trim_pending.exchange(false, std::memory_order_relaxed))
             drainTcache(&ctx);
-        ctx.arena->refill(ctx.tcache, cls);
+        refillSmall(ctx, cls);
         if (!ctx.tcache.pop(cls, blk)) {
             reclaimMemory(ctx);
-            ctx.arena->refill(ctx.tcache, cls);
+            refillSmall(ctx, cls);
             if (!ctx.tcache.pop(cls, blk))
                 return failAlloc();
             ++deg_stats_.reclaim_successes;
@@ -536,7 +634,28 @@ NvAlloc::allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off)
     if (logMode())
         ctx.wal.append(kWalAlloc, blk.off, where_off, size,
                        ctx.journal_tx_id);
-    {
+
+    // The ISSUE 9 hit path: publish the allocation bit through the
+    // slab's atomic state under the fast-op gate — no VLock (the
+    // VLockFreeScope assert enforces exactly that in debug builds).
+    // The gate only fails while the slab is frozen (morph, repair,
+    // release), which routes through the locked fallback below.
+    bool fast_done = false;
+    if (cfg_.fastpath == FastPathMode::LockFree &&
+        blk.slab->enterFast()) {
+        {
+            VLockFreeScope nolock;
+            blk.slab->markAllocated(blk.idx);
+            blk.slab->exitFast();
+        }
+        blk.slab->arena->bookFastOp(kFastOpNs);
+        fast_done = true;
+    }
+    if (!fast_done) {
+        if (cfg_.fastpath == FastPathMode::LockFree) {
+            fp_stats_.locked_fallbacks.fetch_add(
+                1, std::memory_order_relaxed);
+        }
         VLockGuard g(blk.slab->arena->lock);
         blk.slab->markAllocated(blk.idx);
     }
@@ -925,6 +1044,95 @@ NvAlloc::mallocTo(ThreadCtx &ctx, size_t size, uint64_t *where)
 }
 
 /**
+ * Lock-free small free (DESIGN.md §14). Returns true with `st` set
+ * when the free was fully handled here — including rejections, which
+ * are arbitrated by the freeing-bitfield so exactly one of two racing
+ * frees of a block proceeds. Returns false (nothing mutated) when the
+ * fast path declines: slab frozen (morph/repair/release in flight) or
+ * morphing — the caller then runs the locked pipeline.
+ */
+bool
+NvAlloc::tryFastFree(ThreadCtx &ctx, VSlab *slab, uint64_t off,
+                     uint64_t *where, uint64_t where_off, NvStatus &st)
+{
+    if (!slab->enterFast())
+        return false; // frozen: morph/repair in flight, or released
+
+    // Morphing slabs keep the locked pipeline: old-geometry blocks
+    // need the index-table walk and the tcache bypass. Stable inside
+    // the gate — a morph cannot start until the gate drains.
+    if (slab->morphing()) {
+        slab->exitFast();
+        return false;
+    }
+
+    unsigned idx = slab->blockIndexOf(off);
+    if (idx >= slab->capacity() || slab->blockOffset(idx) != off) {
+        slab->exitFast();
+        st = rejectFree(off, CorruptionKind::MisalignedFree);
+        return true;
+    }
+    // Exactly one of two racing frees of the same block proceeds. The
+    // persistent bit cannot arbitrate — journal-first ordering clears
+    // it only after the WAL append — so a dedicated claim bit does.
+    // A set claim bit is NOT itself a double-free verdict: the
+    // previous free of this block clears the allocation bit before
+    // releasing its claim, so a refill can re-grant the block — and
+    // the new owner re-free it — inside that instruction-scale
+    // window. Wait out the in-flight free, then re-arbitrate; a true
+    // double-free resolves below through the allocation bit.
+    unsigned spins = 0;
+    while (!slab->tryBeginFree(idx)) {
+        if (++spins >= 128) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+    if (!slab->isAllocated(idx)) {
+        slab->endFree(idx);
+        slab->exitFast();
+        st = rejectFree(off, CorruptionKind::DoubleFree);
+        return true;
+    }
+
+    unsigned cls = slab->sizeClass();
+    // Mostly-idle slabs are morph candidates; blocks freed into a
+    // tcache would pin them (same rule as the locked pipeline).
+    bool keep_unpinned = cfg_.slab_morphing &&
+                         slab->occupancy() <= cfg_.morph_threshold;
+    bool to_tcache = !keep_unpinned && !ctx.tcache.full(cls);
+    {
+        // Journal, clear the attach word, then clear + persist the
+        // bit — the same WAL discipline as the locked path, minus the
+        // mutex (enforced in debug by the scope assert).
+        VLockFreeScope nolock;
+        if (logMode())
+            ctx.wal.append(kWalFree, off, where_off, 0);
+        publish(where, 0);
+        if (to_tcache)
+            slab->markFreeToTcache(idx);
+        else
+            slab->markFree(idx);
+        slab->endFree(idx);
+        slab->exitFast();
+    }
+    slab->arena->bookFastOp(kFastOpNs);
+    if (to_tcache) {
+        bool ok = ctx.tcache.push(cls, CachedBlock{off, slab, idx});
+        NV_ASSERT(ok);
+    } else {
+        // The freelists don't know about this availability yet; hand
+        // the slab to the next locked refill via the pending stack.
+        slab->arena->pendingPush(slab);
+    }
+    hardening_.noteValidatedFree();
+    VClock::advance(kFreeCpuNs, TimeKind::Other);
+    tel_.noteSmallFree(cls, off);
+    st = NvStatus::Ok;
+    return true;
+}
+
+/**
  * The hardened free pipeline: one ordered validator shared by free,
  * free_from and the C API. Provenance (guard registry → slab radix →
  * extent radix) decides the path; each path validates *inside* the
@@ -989,6 +1197,21 @@ NvAlloc::freeOffset(ThreadCtx &ctx, uint64_t off, uint64_t *where)
         tel_.noteLargeFree(veh_size, off);
         maint_.pollLogPressure(); // the tombstone may cross the wake level
         return NvStatus::Ok;
+    }
+
+    // Lock-free small free (DESIGN.md §14): eligible when no hardening
+    // feature needs the big critical section (canary verification and
+    // the quarantine FIFO keep the locked pipeline; those legs stay
+    // green through the fallback below). A false return means the
+    // fast path declined (frozen or morphing slab) — fall through.
+    if (cfg_.fastpath == FastPathMode::LockFree &&
+        !cfg_.redzone_canaries && cfg_.quarantine_depth == 0 &&
+        hardening_.policy() != HardeningPolicy::Quarantine) {
+        NvStatus st;
+        if (tryFastFree(ctx, slab, off, where, where_off, st))
+            return st;
+        fp_stats_.locked_fallbacks.fetch_add(1,
+                                             std::memory_order_relaxed);
     }
 
     Arena *arena = slab->arena;

@@ -4,8 +4,9 @@
  *
  * Usage mirrors the paper's programming model (§4.1):
  *
- *   PmDevice dev;                      // the emulated DIMM / heap file
- *   NvAlloc alloc(dev);                // nvalloc_init (auto-recovers)
+ *   PmDevice dev;                   // the emulated DIMM / heap file
+ *   auto h = NvAlloc::openOrDie(dev); // nvalloc_init (auto-recovers)
+ *   NvAlloc &alloc = *h;
  *   ThreadCtx *t = alloc.attachThread();
  *   uint64_t *root = alloc.rootWord(0); // a persistent pointer word
  *   void *p = alloc.mallocTo(*t, 256, root);  // nvalloc_malloc_to
@@ -183,13 +184,16 @@ class NvAlloc
     static OpenResult open(PmDevice &dev, const NvAllocConfig &cfg = {});
 
     /**
-     * Deprecated two-step construction, kept as a thin wrapper so
-     * pre-factory callers compile: behaves like open() except that
-     * config validation is only asserted, and the outcome must be
-     * fished out of openStatus() afterwards. New code should call
-     * NvAlloc::open().
+     * Convenience wrapper over open() for callers that treat an
+     * invalid config as a programming error: asserts validation
+     * passed and always returns a heap — including a degraded one
+     * (openStatus() == CorruptMetadata), whose read-only introspection
+     * surface is still usable. This replaces the retired two-step
+     * `NvAlloc alloc(dev, cfg)` construction; open() is the factory
+     * for callers that want the status handed back instead.
      */
-    explicit NvAlloc(PmDevice &dev, NvAllocConfig cfg = {});
+    static std::unique_ptr<NvAlloc>
+    openOrDie(PmDevice &dev, const NvAllocConfig &cfg = {});
 
     /** Normal shutdown (nvalloc_exit): drains live tcaches, persists
      *  GC-variant bitmaps, marks arenas cleanly shut down. */
@@ -501,6 +505,13 @@ class NvAlloc
     /** Whole-heap statistics snapshot as nested JSON. */
     std::string statsJson();
 
+    /** Heap-wide lock-free fast-path counters (stats.fastpath.*). */
+    const FastPathStats &fastPathStats() const { return fp_stats_; }
+
+    /** The stats.fastpath.* family as a JSON object, for
+     *  nvalloc_stat --fastpath and nvalloc_fsck --json. */
+    std::string fastpathJson() const;
+
     /** WAL commits since open: the sum of every thread ring's append
      *  sequence, plus the rings of threads that have since detached
      *  (the slot's sequence restarts on reattach). Exposed by ctl as
@@ -544,6 +555,8 @@ class NvAlloc
     BookkeepingLog log_;
     LargeAllocator large_;
     RadixTree slab_radix_;
+    // Declared before the arenas, which hold a pointer into it.
+    FastPathStats fp_stats_;
     std::vector<std::unique_ptr<Arena>> arenas_;
 
     std::mutex attach_mutex_;
@@ -603,6 +616,10 @@ class NvAlloc
     // member's sticky status (failOp) without widening the public API.
     friend class HeapPool;
 
+    /** All construction flows through open()/openOrDie() now; the old
+     *  public two-step constructor is retired. */
+    explicit NvAlloc(PmDevice &dev, NvAllocConfig cfg);
+
     bool logMode() const { return cfg_.consistency == Consistency::Log; }
     bool gcMode() const { return cfg_.consistency == Consistency::Gc; }
     bool usesBookkeepingLog() const { return cfg_.log_bookkeeping; }
@@ -620,6 +637,11 @@ class NvAlloc
     void requestTcacheTrim();
     uint64_t allocSmall(ThreadCtx &ctx, size_t size, uint64_t where_off);
     uint64_t allocLarge(ThreadCtx &ctx, size_t size, uint64_t where_off);
+
+    // Lock-free fast path (DESIGN.md §14).
+    unsigned refillSmall(ThreadCtx &ctx, unsigned cls);
+    bool tryFastFree(ThreadCtx &ctx, VSlab *slab, uint64_t off,
+                     uint64_t *where, uint64_t where_off, NvStatus &st);
 
     // Hardening hooks (nvalloc.cc, hardening.h).
     size_t smallLimit() const;

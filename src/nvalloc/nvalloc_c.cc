@@ -63,7 +63,7 @@ nvalloc_init(PmDevice *dev, const NvAllocOptions *opts)
         cfg.bit_stripes = opts->bit_stripes;
         cfg.slab_morphing = opts->slab_morphing;
     }
-    return new NvInstance(std::make_unique<NvAlloc>(*dev, cfg));
+    return new NvInstance(NvAlloc::openOrDie(*dev, cfg));
 }
 
 namespace {
@@ -125,6 +125,21 @@ optionsToConfig(const nvalloc_options *opts, NvAllocConfig &cfg)
         cfg.patrol_retries = opts->patrol_retries;
         cfg.fault_containment = opts->fault_containment != 0;
         cfg.capacity_quota_bytes = opts->capacity_quota_bytes;
+    }
+
+    if (opts->version >= 4) {
+        switch (opts->fastpath) {
+        case NVALLOC_FASTPATH_LOCKED:
+            cfg.fastpath = FastPathMode::Locked;
+            break;
+        case NVALLOC_FASTPATH_LOCKFREE:
+            cfg.fastpath = FastPathMode::LockFree;
+            break;
+        default:
+            return NVALLOC_EINVAL;
+        }
+        cfg.fastpath_regions = opts->fastpath_regions;
+        cfg.fastpath_batch = opts->fastpath_batch;
     }
     return NVALLOC_OK;
 }

@@ -37,7 +37,18 @@ struct NvAllocOptions
 };
 
 /** Current nvalloc_options layout revision. */
-#define NVALLOC_OPTIONS_VERSION 3u
+#define NVALLOC_OPTIONS_VERSION 4u
+
+/** Small-allocation fast-path modes for nvalloc_options.fastpath. */
+enum NvFastPathMode
+{
+    NVALLOC_FASTPATH_LOCKED = 0,   //!< every alloc/free takes the
+                                   //!< arena lock (pre-v4 behaviour;
+                                   //!< escape hatch)
+    NVALLOC_FASTPATH_LOCKFREE = 1, //!< per-core regions + atomic
+                                   //!< bitfields; no mutex on the hit
+                                   //!< path (default)
+};
 
 /** Hardening policies for nvalloc_options.hardening_policy: what to
  *  do after a corruption (double free, canary stomp, ...) is
@@ -91,6 +102,12 @@ struct nvalloc_options
     int fault_containment;       //!< Degraded/Quarantined refuses ops
                                  //!< (forced on for named/pool opens)
     uint64_t capacity_quota_bytes; //!< per-tenant extent quota; 0 = off
+    /* -- version 4 fields (lock-free fast path, PR 9) -------------- */
+    int fastpath;                //!< an NvFastPathMode value
+    unsigned fastpath_regions;   //!< per-core region slots per size
+                                 //!< class, [1,8]
+    unsigned fastpath_batch;     //!< blocks claimed per lock-free
+                                 //!< reservation, [1,512]
 };
 
 /** Fill `o` with the defaults of this header revision. */
@@ -114,6 +131,9 @@ nvalloc_options_init(nvalloc_options *o)
     o->patrol_retries = 3;
     o->fault_containment = 0;
     o->capacity_quota_bytes = 0;
+    o->fastpath = NVALLOC_FASTPATH_LOCKFREE;
+    o->fastpath_regions = 2;
+    o->fastpath_batch = 24;
 }
 
 /** errno-style status codes (see nvalloc_errno). */
@@ -140,8 +160,13 @@ NvInstance *nvalloc_init(PmDevice *dev,
  *
  *  - NVALLOC_EINVAL: `dev`, `opts` or `out` is null, opts->version is
  *    0 or newer than this library, or an option value fails
- *    validation (bad bit_stripes, maintenance knobs out of range).
- *    *out is untouched and the device was not modified.
+ *    validation (bad bit_stripes, maintenance knobs out of range, an
+ *    unknown fastpath mode, fastpath_regions outside [1,8], or
+ *    fastpath_batch outside [1,512]). *out is untouched and the
+ *    device was not modified. Callers compiled against v1/v2/v3
+ *    headers are still accepted: fields their revision did not define
+ *    are never read and take this library's defaults (fastpath
+ *    defaults to NVALLOC_FASTPATH_LOCKFREE).
  *  - NVALLOC_ECORRUPT: the heap image failed validation. *out
  *    receives a *degraded* instance: allocation calls fail with
  *    NVALLOC_ECORRUPT, but nvalloc_ctl / nvalloc_stats_json /

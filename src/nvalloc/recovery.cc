@@ -92,6 +92,7 @@ NvAlloc::recoverHeap()
             i, &dev_, &cfg_, &large_, &slab_radix_,
             &attached_threads_));
         arenas_.back()->setTelemetry(&tel_);
+        arenas_.back()->setFastPathStats(&fp_stats_);
     }
 
     auto adopt_slab = [&](uint64_t off) {

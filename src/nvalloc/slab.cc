@@ -64,7 +64,7 @@ VSlab::VSlab(PmDevice *dev, uint64_t slab_off, unsigned cls,
     if (flush_)
         dev_->fence();
 
-    avail_ = geo_.capacity;
+    avail_.store(geo_.capacity, std::memory_order_relaxed);
 }
 
 VSlab::VSlab(PmDevice *dev, uint64_t slab_off, bool flush_enabled,
@@ -133,13 +133,15 @@ VSlab::VSlab(PmDevice *dev, uint64_t slab_off, bool flush_enabled,
 
     geo_ = SlabGeometry::compute(hdr_->size_class, hdr_->stripes);
 
+    unsigned live = 0;
     for (unsigned idx = 0; idx < geo_.capacity; ++idx) {
         if (bitmapTest(pbitmapWords(), geo_.map.physical(idx))) {
-            bitmapSet(vbitmap_, idx);
-            ++live_;
+            vbits_.set(idx);
+            ++live;
         }
     }
-    avail_ = geo_.capacity - live_;
+    live_.store(live, std::memory_order_relaxed);
+    avail_.store(geo_.capacity - live, std::memory_order_relaxed);
 
     if (hdr_->index_count > 0)
         rebuildMorphState();
@@ -160,13 +162,16 @@ VSlab::blockIndexOf(uint64_t off) const
 unsigned
 VSlab::popBlock()
 {
-    size_t idx = bitmapFindFirstZero(vbitmap_, geo_.capacity);
-    if (idx == geo_.capacity)
+    // First-fit claim (start at word 0): the lock-free claim on a
+    // shared bitfield, retry count discarded — callers hold the arena
+    // lock but race claimFast reservations.
+    uint64_t retries = 0;
+    unsigned idx = vbits_.claim(geo_.capacity, 0, retries);
+    if (idx >= geo_.capacity)
         return geo_.capacity;
-    bitmapSet(vbitmap_, idx);
-    --avail_;
-    ++lent_;
-    return unsigned(idx);
+    lent_.fetch_add(1, std::memory_order_relaxed);
+    avail_.fetch_sub(1, std::memory_order_relaxed);
+    return idx;
 }
 
 unsigned
@@ -179,17 +184,17 @@ VSlab::popBlockSpread()
         line_blocks = 1;
     unsigned nlines = (geo_.capacity + line_blocks - 1) / line_blocks;
     for (unsigned probe = 0; probe < nlines; ++probe) {
-        unsigned line = spread_rotor_ % nlines;
-        ++spread_rotor_;
+        unsigned line =
+            spread_rotor_.fetch_add(1, std::memory_order_relaxed) %
+            nlines;
         unsigned begin = line * line_blocks;
         unsigned end = begin + line_blocks;
         if (end > geo_.capacity)
             end = geo_.capacity;
         for (unsigned idx = begin; idx < end; ++idx) {
-            if (!bitmapTest(vbitmap_, idx)) {
-                bitmapSet(vbitmap_, idx);
-                --avail_;
-                ++lent_;
+            if (!vbits_.test(idx) && vbits_.tryClaim(idx)) {
+                lent_.fetch_add(1, std::memory_order_relaxed);
+                avail_.fetch_sub(1, std::memory_order_relaxed);
                 return idx;
             }
         }
@@ -197,74 +202,112 @@ VSlab::popBlockSpread()
     return geo_.capacity;
 }
 
+unsigned
+VSlab::claimFast(uint64_t &cas_retries)
+{
+    unsigned nwords = unsigned(bitmapWords(geo_.capacity));
+    unsigned start =
+        claim_rotor_.fetch_add(1, std::memory_order_relaxed) % nwords;
+    unsigned idx = vbits_.claim(geo_.capacity, start, cas_retries);
+    if (idx >= geo_.capacity)
+        return geo_.capacity;
+    // Lent before un-available: the (lent + live) sum an unfrozen
+    // maybeRelease probe reads must never transiently miss this block.
+    lent_.fetch_add(1, std::memory_order_relaxed);
+    avail_.fetch_sub(1, std::memory_order_relaxed);
+    return idx;
+}
+
 void
 VSlab::unlendBlock(unsigned idx)
 {
-    NV_ASSERT(lent_ > 0 && bitmapTest(vbitmap_, idx));
-    bitmapClear(vbitmap_, idx);
-    --lent_;
-    ++avail_;
+    NV_ASSERT(lentBlocks() > 0 && vbits_.test(idx));
+    lent_.fetch_sub(1, std::memory_order_relaxed);
+    avail_.fetch_add(1, std::memory_order_relaxed);
+    // Released last: the moment the vbit clears, a concurrent claim
+    // may hand the block out again.
+    vbits_.release(idx);
 }
 
 void
 VSlab::markAllocated(unsigned idx)
 {
-    NV_ASSERT(lent_ > 0);
-    --lent_;
-    ++live_;
+    NV_ASSERT(lentBlocks() > 0);
+    // live up before lent down, so live + lent never transiently
+    // drops below the block count the slab really pins; persist in
+    // between so a lent_ == 0 observer (morph eligibility) sees the
+    // durable bit.
+    live_.fetch_add(1, std::memory_order_relaxed);
     persistBit(idx, true);
+    lent_.fetch_sub(1, std::memory_order_release);
 }
 
 void
 VSlab::claimBlock(unsigned idx)
 {
-    NV_ASSERT(!bitmapTest(vbitmap_, idx));
-    bitmapSet(vbitmap_, idx);
-    --avail_;
-    ++live_;
+    NV_ASSERT(!vbits_.test(idx));
+    vbits_.set(idx);
+    avail_.fetch_sub(1, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
     persistBit(idx, true);
 }
 
 void
 VSlab::markFree(unsigned idx)
 {
-    NV_ASSERT(live_ > 0);
-    --live_;
-    ++avail_;
-    bitmapClear(vbitmap_, idx);
+    NV_ASSERT(liveBlocks() > 0);
+    // Durability first: once the vbit releases, the block is claimable
+    // and its persistent bit may be set again — the clear must already
+    // be on media (journal-first ordering has appended the WAL entry
+    // before this call). Counters in between keep live + lent honest
+    // for release probes.
     persistBit(idx, false);
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    avail_.fetch_add(1, std::memory_order_relaxed);
+    vbits_.release(idx);
 }
 
 void
 VSlab::markFreeToTcache(unsigned idx)
 {
-    NV_ASSERT(live_ > 0);
-    --live_;
-    ++lent_;
+    NV_ASSERT(liveBlocks() > 0);
+    // The vbit stays set: the block moves to the freeing thread's own
+    // tcache, lent.
     persistBit(idx, false);
+    lent_.fetch_add(1, std::memory_order_relaxed);
+    live_.fetch_sub(1, std::memory_order_release);
 }
 
 bool
 VSlab::rebuildPersistentBitmap()
 {
-    if (lent_ != 0 || morphing())
+    // Whole-structure rewrite: freeze out in-flight fast ops first
+    // (the caller holds the arena lock, making us the sole freezer).
+    freeze();
+    if (lentBlocks() != 0 || morphing()) {
+        unfreeze();
         return false;
+    }
     std::memset(hdr_->bitmap, 0, kSlabBitmapBytes);
     for (unsigned idx = 0; idx < geo_.capacity; ++idx) {
-        if (bitmapTest(vbitmap_, idx))
+        if (vbits_.test(idx))
             bitmapSet(pbitmapWords(), geo_.map.physical(idx));
     }
     persistHeaderLine(hdr_->bitmap, kSlabBitmapBytes);
     if (flush_)
         dev_->fence();
+    unfreeze();
     return true;
 }
 
 bool
 VSlab::repairHeader()
 {
-    if (morphing())
+    freeze();
+    if (morphing()) {
+        unfreeze();
         return false;
+    }
     // index_count is already 0 here: cnt_slab_ == 0 implies any morph
     // completed, and finishMorph cleared the table.
     hdr_->magic = kSlabMagic;
@@ -284,17 +327,22 @@ VSlab::repairHeader()
     persistHeaderLine(hdr_, kCacheLine);
     if (flush_)
         dev_->fence();
+    unfreeze();
     return true;
 }
 
 void
 VSlab::persistBit(unsigned idx, bool set)
 {
+    // Atomic RMW on the shared bitmap word: concurrent fast-path
+    // persists of neighboring blocks hit the same 64-bit word.
     unsigned phys = geo_.map.physical(idx);
+    std::atomic_ref<uint64_t> word(pbitmapWords()[phys >> 6]);
+    uint64_t mask = uint64_t{1} << (phys & 63);
     if (set)
-        bitmapSet(pbitmapWords(), phys);
+        word.fetch_or(mask, std::memory_order_release);
     else
-        bitmapClear(pbitmapWords(), phys);
+        word.fetch_and(~mask, std::memory_order_release);
 
     // NVAlloc-GC never flushes per-block metadata (paper §4.1): the
     // post-crash GC rebuilds it, trading recovery time for allocation
@@ -389,15 +437,25 @@ VSlab::headerLooksValid(PmDevice *dev, uint64_t slab_off, bool verify_crc)
 bool
 VSlab::morphEligible(double threshold) const
 {
-    return hdr_->flag == 0 && !morphing() && lent_ == 0 &&
-           live_ > 0 && live_ <= kIndexTableCap &&
+    return hdr_->flag == 0 && !morphing() && lentBlocks() == 0 &&
+           liveBlocks() > 0 && liveBlocks() <= kIndexTableCap &&
            occupancy() <= threshold;
 }
 
-void
+bool
 VSlab::morphTo(unsigned new_cls, unsigned stripes)
 {
-    NV_ASSERT(morphEligible(1.0) && new_cls != geo_.size_class);
+    NV_ASSERT(new_cls != geo_.size_class);
+
+    // Freeze before re-checking eligibility: between the caller's
+    // morphEligible probe and here, a lock-free reservation may have
+    // lent blocks out. Once frozen the counters are stable, so a
+    // failed re-check is a clean refusal, not a torn morph.
+    freeze();
+    if (!morphEligible(1.0)) {
+        unfreeze();
+        return false;
+    }
 
     // Step 1: stage the old geometry (paper Fig. 5) plus the morph
     // target, so recovery can repair a torn step 3 in either
@@ -417,7 +475,7 @@ VSlab::morphTo(unsigned new_cls, unsigned stripes)
         if (bitmapTest(pbitmapWords(), geo_.map.physical(idx)))
             hdr_->index_table[n++] = uint16_t(idx) | kIndexAllocated;
     }
-    NV_ASSERT(n == live_ && n <= kIndexTableCap);
+    NV_ASSERT(n == liveBlocks() && n <= kIndexTableCap);
     hdr_->index_count = uint16_t(n);
     persistHeaderLine(hdr_->index_table, n * sizeof(uint16_t));
     // The flag-2 rollback treats the index table as authoritative, so
@@ -442,32 +500,36 @@ VSlab::morphTo(unsigned new_cls, unsigned stripes)
     // Commit and rebuild the volatile morph state.
     setFlag(0);
     rebuildMorphState();
+    unfreeze();
+    return true;
 }
 
 void
 VSlab::rebuildMorphState()
 {
+    // Exclusive context: recovery (single-threaded) or under freeze.
     old_geo_ = SlabGeometry::compute(hdr_->old_size_class, hdr_->stripes);
-    cnt_slab_ = 0;
     cnt_block_.assign(geo_.capacity, 0);
-    std::memset(vbitmap_, 0, sizeof(vbitmap_));
-    live_ = 0;
-    lent_ = 0;
+    vbits_.reset();
 
     // Current-geometry allocations (none right after a morph; present
     // when rebuilding a slab_in during recovery).
+    unsigned live = 0;
     for (unsigned idx = 0; idx < geo_.capacity; ++idx) {
         if (bitmapTest(pbitmapWords(), geo_.map.physical(idx))) {
-            bitmapSet(vbitmap_, idx);
-            ++live_;
+            vbits_.set(idx);
+            ++live;
         }
     }
+    live_.store(live, std::memory_order_relaxed);
+    lent_.store(0, std::memory_order_relaxed);
 
+    unsigned cnt_slab = 0;
     for (unsigned i = 0; i < hdr_->index_count; ++i) {
         uint16_t entry = hdr_->index_table[i];
         if (!(entry & kIndexAllocated))
             continue;
-        ++cnt_slab_;
+        ++cnt_slab;
         unsigned old_idx = entry & kIndexBlockMask;
         uint64_t start = uint64_t(old_idx) * old_geo_.block_size;
         uint64_t end = start + old_geo_.block_size;
@@ -475,12 +537,16 @@ VSlab::rebuildMorphState()
         unsigned last = unsigned((end - 1) / geo_.block_size);
         for (unsigned nb = first; nb <= last && nb < geo_.capacity; ++nb) {
             if (cnt_block_[nb]++ == 0)
-                bitmapSet(vbitmap_, nb);
+                vbits_.set(nb);
         }
     }
-    avail_ = geo_.capacity - bitmapPopcount(vbitmap_, geo_.capacity);
+    avail_.store(geo_.capacity - vbits_.popcount(geo_.capacity),
+                 std::memory_order_relaxed);
+    // Publish last: morphing() gates the lock-free free path, so the
+    // overlap bookkeeping above must be visible before it flips.
+    cnt_slab_.store(cnt_slab, std::memory_order_release);
 
-    if (cnt_slab_ == 0 && hdr_->index_count > 0)
+    if (cnt_slab == 0 && hdr_->index_count > 0)
         finishMorph();
 }
 
@@ -533,7 +599,6 @@ VSlab::freeOldBlock(unsigned old_idx)
                         TimeKind::FlushMeta);
         dev_->fence();
     }
-    --cnt_slab_;
 
     uint64_t start = uint64_t(old_idx) * old_geo_.block_size;
     uint64_t end = start + old_geo_.block_size;
@@ -542,12 +607,15 @@ VSlab::freeOldBlock(unsigned old_idx)
     for (unsigned nb = first; nb <= last && nb < geo_.capacity; ++nb) {
         NV_ASSERT(cnt_block_[nb] > 0);
         if (--cnt_block_[nb] == 0) {
-            bitmapClear(vbitmap_, nb);
-            ++avail_;
+            // Availability before the vbit release, mirroring markFree:
+            // the instant the bit clears a concurrent claim may take
+            // the block.
+            avail_.fetch_add(1, std::memory_order_relaxed);
+            vbits_.release(nb);
         }
     }
 
-    if (cnt_slab_ == 0) {
+    if (cnt_slab_.fetch_sub(1, std::memory_order_release) == 1) {
         finishMorph();
         return true;
     }
@@ -563,7 +631,7 @@ VSlab::finishMorph()
     persistHeaderLine(hdr_, kCacheLine);
     if (flush_)
         dev_->fence();
-    cnt_slab_ = 0;
+    cnt_slab_.store(0, std::memory_order_release);
     cnt_block_.clear();
     cnt_block_.shrink_to_fit();
 }

@@ -358,6 +358,27 @@ NvAlloc::buildCtlRegistry()
     ctl_.registerName("stats.tx.staged_blocks",
                       [this] { return tx_mgr_.stagedCount(); });
 
+    // Lock-free small-allocation fast path (PR 9, DESIGN.md §14).
+    const FastPathStats *fps = &fp_stats_;
+    ctl_.registerName("stats.fastpath.reserve_hits", [fps] {
+        return fps->reserve_hits.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.fastpath.reserve_misses", [fps] {
+        return fps->reserve_misses.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.fastpath.cas_retries", [fps] {
+        return fps->cas_retries.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.fastpath.region_steals", [fps] {
+        return fps->region_steals.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.fastpath.refill_searches", [fps] {
+        return fps->refill_searches.load(std::memory_order_relaxed);
+    });
+    ctl_.registerName("stats.fastpath.locked_fallbacks", [fps] {
+        return fps->locked_fallbacks.load(std::memory_order_relaxed);
+    });
+
     // KV service (kv_stats.h, DESIGN.md §13). Readers dereference the
     // attach pointer at *read* time, so the subtree works no matter
     // whether the store mounted before or after the registry was
@@ -476,6 +497,35 @@ NvAlloc::statsJson()
 {
     std::call_once(ctl_once_, [this] { buildCtlRegistry(); });
     return ctl_.json();
+}
+
+std::string
+NvAlloc::fastpathJson() const
+{
+    // Compact standalone snapshot for nvalloc_stat --fastpath and
+    // nvalloc_fsck --json; mirrors the stats.fastpath.* registry
+    // names.
+    const FastPathStats &s = fp_stats_;
+    auto rd = [](const std::atomic<uint64_t> &c) {
+        return c.load(std::memory_order_relaxed);
+    };
+    std::string out = "{";
+    auto field = [&out](const char *k, uint64_t v, bool last = false) {
+        out += "\"";
+        out += k;
+        out += "\":";
+        out += std::to_string(v);
+        if (!last)
+            out += ",";
+    };
+    field("reserve_hits", rd(s.reserve_hits));
+    field("reserve_misses", rd(s.reserve_misses));
+    field("cas_retries", rd(s.cas_retries));
+    field("region_steals", rd(s.region_steals));
+    field("refill_searches", rd(s.refill_searches));
+    field("locked_fallbacks", rd(s.locked_fallbacks), true);
+    out += "}";
+    return out;
 }
 
 } // namespace nvalloc

@@ -16,11 +16,21 @@
 #ifndef NVALLOC_NVALLOC_VLOCK_H
 #define NVALLOC_NVALLOC_VLOCK_H
 
+#include <cstdint>
 #include <mutex>
 
+#include "common/logging.h"
 #include "pm/vclock.h"
 
 namespace nvalloc {
+
+/**
+ * Monotonic count of VLock acquisitions by this thread. A counter, not
+ * a depth: lock/unlock pairs do not restore it, so a scope that must
+ * stay lock-free (VLockFreeScope) can detect even a perfectly balanced
+ * acquire-release inside itself.
+ */
+inline thread_local uint64_t tl_vlock_acquisitions = 0;
 
 class VLock
 {
@@ -29,6 +39,7 @@ class VLock
     lock()
     {
         mutex_.lock();
+        ++tl_vlock_acquisitions;
         entry_ = VClock::now();
     }
 
@@ -52,6 +63,31 @@ class VLock
 };
 
 using VLockGuard = std::lock_guard<VLock>;
+
+/**
+ * Debug assertion that a region acquires no VLock — the ISSUE 9
+ * acceptance check for the small alloc/free hit path. Release builds
+ * compile it away entirely. Deliberately scoped to the allocator's own
+ * locks: the virtual-time substrate (VServer bookkeeping, telemetry
+ * shards) may use host mutexes internally without modeling — or
+ * constituting — allocator serialization.
+ */
+class VLockFreeScope
+{
+#ifndef NDEBUG
+  public:
+    VLockFreeScope() : entry_(tl_vlock_acquisitions) {}
+
+    ~VLockFreeScope()
+    {
+        NV_ASSERT(tl_vlock_acquisitions == entry_ &&
+                  "hot path acquired a VLock");
+    }
+
+  private:
+    uint64_t entry_;
+#endif
+};
 
 } // namespace nvalloc
 

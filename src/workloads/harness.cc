@@ -164,6 +164,14 @@ benchThreadCounts(bool quick)
     return {1, 2, 4, 8, 16, 32, 64};
 }
 
+std::vector<unsigned>
+benchThreadCountsSmallPath(bool quick)
+{
+    if (quick)
+        return {1, 4, 16, 64, 128};
+    return {1, 2, 4, 8, 16, 32, 64, 128};
+}
+
 namespace {
 
 /** Accumulates benchJsonPoint records; written as one JSON document at

@@ -116,6 +116,12 @@ void noteFailedAlloc();
 /** Thread counts swept by the paper's figures. */
 std::vector<unsigned> benchThreadCounts(bool quick);
 
+/** Wider ladder for the small-path figures (fig 9): extends the sweep
+ *  to 64 and 128 threads, where the lock-free fast path separates
+ *  from the mutex designs. 128 is the WAL-slot ceiling
+ *  (kMaxThreads). */
+std::vector<unsigned> benchThreadCountsSmallPath(bool quick);
+
 /** Parse --quick / --threads=N style bench arguments. */
 struct BenchArgs
 {

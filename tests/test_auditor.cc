@@ -21,7 +21,8 @@ struct Heap
     explicit Heap(Consistency c = Consistency::Log,
                   size_t dev_size = size_t{256} << 20)
         : dcfg{}, dev{(dcfg.size = dev_size, dcfg)},
-          alloc{dev, makeCfg(c)}, ctx{alloc.attachThread()}
+          alloc_h{NvAlloc::openOrDie(dev, makeCfg(c))},
+          alloc{*alloc_h}, ctx{alloc.attachThread()}
     {
     }
 
@@ -75,7 +76,8 @@ struct Heap
 
     PmDeviceConfig dcfg;
     PmDevice dev;
-    NvAlloc alloc;
+    std::unique_ptr<NvAlloc> alloc_h;
+    NvAlloc &alloc;
     ThreadCtx *ctx;
 };
 
@@ -100,7 +102,8 @@ TEST(Auditor, InPlaceDescriptorHeapAuditsClean)
     NvAllocConfig cfg;
     cfg.consistency = Consistency::Log;
     cfg.log_bookkeeping = false;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
     for (unsigned i = 0; i < 500; ++i)
@@ -234,7 +237,8 @@ TEST(Auditor, FailedOpenNeverAuditsClean)
     PmDevice dev(dcfg);
     uint64_t sb_crc_line;
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         ASSERT_NE(ctx, nullptr);
         alloc.allocOffset(*ctx, 512, nullptr);
@@ -245,7 +249,8 @@ TEST(Auditor, FailedOpenNeverAuditsClean)
     auto *sb_bytes = static_cast<uint8_t *>(dev.at(sb_crc_line));
     sb_bytes[16] ^= 0xff;
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     EXPECT_EQ(again.openStatus(), NvStatus::CorruptMetadata);
     EXPECT_EQ(again.mode(), HeapMode::Failed);
     EXPECT_EQ(again.attachThread(), nullptr);

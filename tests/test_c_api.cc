@@ -259,6 +259,67 @@ TEST(CApiOpenEx, BadHardeningPolicyIsEinval)
     EXPECT_EQ(out, sentinel);
 }
 
+TEST(CApiOpenEx, FastPathOptionsV4Contract)
+{
+    PmDevice dev;
+    nvalloc_options opts;
+    nvalloc_options_init(&opts);
+    NvInstance *sentinel = reinterpret_cast<NvInstance *>(0x1);
+    NvInstance *out = sentinel;
+
+    // v4 misuse: unknown mode and out-of-range knobs are EINVAL.
+    opts.fastpath = 7; // not an NvFastPathMode
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    nvalloc_options_init(&opts);
+    opts.fastpath_regions = 0;
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    opts.fastpath_regions = 9;
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    nvalloc_options_init(&opts);
+    opts.fastpath_batch = 0;
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    opts.fastpath_batch = 513;
+    EXPECT_EQ(nvalloc_open_ex(&dev, &opts, &out), NVALLOC_EINVAL);
+    EXPECT_EQ(out, sentinel) << "*out must be untouched on EINVAL";
+
+    // A v3 caller's struct carries garbage where v4 added fields;
+    // those bytes must never be read — the library's defaults apply.
+    nvalloc_options_init(&opts);
+    opts.version = 3;
+    opts.fastpath = 99;
+    opts.fastpath_regions = 0;
+    opts.fastpath_batch = 0;
+    NvInstance *inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev, &opts, &inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_impl(inst)->config().fastpath,
+              FastPathMode::LockFree);
+    EXPECT_EQ(nvalloc_impl(inst)->config().fastpath_regions, 2u);
+    EXPECT_EQ(nvalloc_impl(inst)->config().fastpath_batch, 24u);
+    nvalloc_exit(inst);
+
+    // The v4 escape hatch maps through, and the fastpath ctl leaves
+    // are reachable through the C veneer.
+    PmDevice dev2;
+    nvalloc_options_init(&opts);
+    opts.fastpath = NVALLOC_FASTPATH_LOCKED;
+    opts.fastpath_regions = 4;
+    opts.fastpath_batch = 64;
+    inst = nullptr;
+    ASSERT_EQ(nvalloc_open_ex(&dev2, &opts, &inst), NVALLOC_OK);
+    EXPECT_EQ(nvalloc_impl(inst)->config().fastpath,
+              FastPathMode::Locked);
+    EXPECT_EQ(nvalloc_impl(inst)->config().fastpath_regions, 4u);
+    EXPECT_EQ(nvalloc_impl(inst)->config().fastpath_batch, 64u);
+    uint64_t *root = nvalloc_root(inst, 0);
+    ASSERT_NE(nvalloc_malloc_to(inst, 96, root), nullptr);
+    EXPECT_EQ(nvalloc_free_from(inst, root), NVALLOC_OK);
+    uint64_t v = 1;
+    EXPECT_EQ(nvalloc_ctl(inst, "stats.fastpath.reserve_hits", &v),
+              NVALLOC_OK);
+    EXPECT_EQ(v, 0u) << "locked mode must take no reservations";
+    nvalloc_exit(inst);
+}
+
 TEST(CApiOpenEx, HardeningOptionsMapThrough)
 {
     PmDevice dev;

@@ -42,7 +42,8 @@ TEST_P(CrashMatrix, SafeAtEveryCrashPoint)
     // Persistent slot table the workload publishes into.
     uint64_t table_off;
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, kSlots * 8, alloc.rootWord(0));
         table_off = *alloc.rootWord(0);
@@ -66,7 +67,8 @@ TEST_P(CrashMatrix, SafeAtEveryCrashPoint)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().performed);
 
     // Property 1+2: published <=> allocated, data intact.

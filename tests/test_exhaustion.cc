@@ -39,7 +39,8 @@ TEST(Exhaustion, LargeAllocExhaustsGracefullyAndRecovers)
     PmDeviceConfig dcfg;
     dcfg.size = size_t{32} << 20; // tiny device
     PmDevice dev(dcfg);
-    NvAlloc alloc(dev, logConfig());
+    auto alloc_h = NvAlloc::openOrDie(dev, logConfig());
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
 
@@ -79,7 +80,8 @@ TEST(Exhaustion, SmallAllocExhaustsGracefullyAndRecovers)
     PmDeviceConfig dcfg;
     dcfg.size = size_t{16} << 20;
     PmDevice dev(dcfg);
-    NvAlloc alloc(dev, logConfig());
+    auto alloc_h = NvAlloc::openOrDie(dev, logConfig());
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
 
@@ -108,7 +110,8 @@ TEST(Exhaustion, SmallAllocExhaustsGracefullyAndRecovers)
 TEST(Exhaustion, UnserviceableSizesAreInvalidArgument)
 {
     PmDevice dev;
-    NvAlloc alloc(dev);
+    auto alloc_h = NvAlloc::openOrDie(dev);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
 
@@ -142,7 +145,8 @@ TEST(Exhaustion, ReclaimThenRetrySucceedsViaTcacheDrain)
     PmDevice dev(dcfg);
     NvAllocConfig cfg = logConfig();
     cfg.slab_morphing = false; // frees park in the tcache (lent)
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
 
@@ -191,7 +195,8 @@ TEST(Exhaustion, LogPressureChurnNeverFailsAllocations)
     PmDevice dev(dcfg);
     NvAllocConfig cfg = logConfig();
     cfg.log_file_bytes = 64 * 1024; // ~60 chunks; fills quickly
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
 
@@ -218,7 +223,8 @@ TEST(Exhaustion, LogFullOfLiveEntriesFailsThenFreesUnblock)
     PmDevice dev(dcfg);
     NvAllocConfig cfg = logConfig();
     cfg.log_file_bytes = 16 * 1024; // ~15 chunks, ~1.9k entries
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
 
@@ -261,7 +267,8 @@ TEST(Exhaustion, HostileFreesWhileExhaustedAreRejectedAndHeapRecovers)
     NvAllocConfig cfg = logConfig();
     cfg.redzone_canaries = true;
     cfg.quarantine_depth = 8;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
 
@@ -309,7 +316,8 @@ TEST(Exhaustion, AttachSlotExhaustionReturnsNull)
     PmDeviceConfig dcfg;
     dcfg.size = size_t{256} << 20;
     PmDevice dev(dcfg);
-    NvAlloc alloc(dev);
+    auto alloc_h = NvAlloc::openOrDie(dev);
+    NvAlloc &alloc = *alloc_h;
 
     std::vector<ThreadCtx *> ctxs;
     for (unsigned i = 0; i < kMaxThreads; ++i) {

@@ -229,7 +229,11 @@ constexpr unsigned kMaxOps = 400;
  *  points landing inside canary stamps and quarantine traffic still
  *  recover to a clean heap. Guard sampling stays off here: guards are
  *  large extents, which would skew this sweep's small-block leak
- *  oracle (the chaos harness crash-sweeps guards instead). */
+ *  oracle (the chaos harness crash-sweeps guards instead).
+ *
+ *  NVALLOC_FASTPATH=locked|lockfree pins the small-path mode (the
+ *  tsan-fastpath CI leg sweeps with lockfree explicitly; locked is
+ *  the escape-hatch leg). Unset keeps the config default. */
 NvAllocConfig
 sweepConfig()
 {
@@ -244,6 +248,11 @@ sweepConfig()
         cfg.redzone_canaries = true;
         cfg.quarantine_depth = 16;
     }
+    const char *fp = std::getenv("NVALLOC_FASTPATH");
+    if (fp && std::strcmp(fp, "locked") == 0)
+        cfg.fastpath = FastPathMode::Locked;
+    else if (fp && std::strcmp(fp, "lockfree") == 0)
+        cfg.fastpath = FastPathMode::LockFree;
     return cfg;
 }
 
@@ -284,7 +293,8 @@ runCrashSweepPoint(const PolicyCase &pc, bool at_fence, unsigned nth)
 
     uint64_t table_off;
     {
-        NvAlloc alloc(dev, sweepConfig());
+        auto alloc_h = NvAlloc::openOrDie(dev, sweepConfig());
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, kSlots * 8, alloc.rootWord(0));
         table_off = *alloc.rootWord(0);
@@ -315,7 +325,8 @@ runCrashSweepPoint(const PolicyCase &pc, bool at_fence, unsigned nth)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev, sweepConfig());
+    auto again_h = NvAlloc::openOrDie(dev, sweepConfig());
+    NvAlloc &again = *again_h;
     const RecoveryReport &rep = again.lastRecovery();
     EXPECT_TRUE(rep.performed);
     EXPECT_TRUE(rep.after_failure);
@@ -433,7 +444,8 @@ TEST(WalChecksum, TornEntryIsRejectedAndUndoneNotReplayed)
 
     uint64_t c_off;
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, 64, alloc.rootWord(2));
         c_off = *alloc.rootWord(2);
@@ -451,7 +463,8 @@ TEST(WalChecksum, TornEntryIsRejectedAndUndoneNotReplayed)
         alloc.dirtyRestart();
     }
     {
-        NvAlloc again(dev);
+        auto again_h = NvAlloc::openOrDie(dev);
+        NvAlloc &again = *again_h;
         const RecoveryReport &rep = again.lastRecovery();
         EXPECT_TRUE(rep.after_failure);
         EXPECT_GE(rep.wal_rejected, 1u) << "checksum must fire";
@@ -471,7 +484,8 @@ TEST(WalChecksum, TornEntryIsRejectedAndUndoneNotReplayed)
         *static_cast<WalEntry *>(dev.at(again.walRingOffset(0))) = fake;
         again.dirtyRestart();
     }
-    NvAlloc third(dev);
+    auto third_h = NvAlloc::openOrDie(dev);
+    NvAlloc &third = *third_h;
     EXPECT_EQ(third.lastRecovery().wal_rejected, 0u);
     EXPECT_GE(third.lastRecovery().wal_undos, 1u);
     EXPECT_FALSE(blockIsLive(third, c_off));
@@ -490,7 +504,8 @@ TEST(PoisonContainment, PoisonedSlabHeaderIsQuarantinedPersistently)
 
     uint64_t a_off, b_off, slab_off;
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, 64, alloc.rootWord(0));
         a_off = *alloc.rootWord(0);
@@ -509,7 +524,8 @@ TEST(PoisonContainment, PoisonedSlabHeaderIsQuarantinedPersistently)
     }
     uint64_t probe;
     {
-        NvAlloc again(dev);
+        auto again_h = NvAlloc::openOrDie(dev);
+        NvAlloc &again = *again_h;
         const RecoveryReport &rep = again.lastRecovery();
         EXPECT_GE(rep.lines_poisoned, 1u);
         EXPECT_EQ(rep.slabs_quarantined, 1u);
@@ -535,7 +551,8 @@ TEST(PoisonContainment, PoisonedSlabHeaderIsQuarantinedPersistently)
     }
     // The quarantine list is persistent: the next recovery skips the
     // slab silently instead of re-quarantining (or worse, adopting) it.
-    NvAlloc third(dev);
+    auto third_h = NvAlloc::openOrDie(dev);
+    NvAlloc &third = *third_h;
     EXPECT_TRUE(third.isQuarantined(slab_off));
     EXPECT_EQ(third.lastRecovery().slabs_quarantined, 0u);
     EXPECT_FALSE(blockIsLive(third, a_off));
@@ -568,7 +585,8 @@ TEST_P(DoubleRecovery, CrashDuringRecoveryIsIdempotent)
     // Phase 1: a workload crash leaves real recovery work behind.
     uint64_t table_off;
     {
-        NvAlloc alloc(dev, sweepConfig());
+        auto alloc_h = NvAlloc::openOrDie(dev, sweepConfig());
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, kSlots * 8, alloc.rootWord(0));
         table_off = *alloc.rootWord(0);
@@ -592,13 +610,15 @@ TEST_P(DoubleRecovery, CrashDuringRecoveryIsIdempotent)
     // Phase 2: the first recovery itself crashes at the nth flush.
     dev.armCrashAtFlush(nth);
     {
-        NvAlloc once(dev, sweepConfig());
+        auto once_h = NvAlloc::openOrDie(dev, sweepConfig());
+        NvAlloc &once = *once_h;
         once.simulateCrash();
     }
 
     // Phase 3: the second recovery must complete and the safety
     // properties must hold exactly as after a single recovery.
-    NvAlloc again(dev, sweepConfig());
+    auto again_h = NvAlloc::openOrDie(dev, sweepConfig());
+    NvAlloc &again = *again_h;
     const RecoveryReport &rep = again.lastRecovery();
     EXPECT_TRUE(rep.performed);
     EXPECT_TRUE(rep.after_failure);

@@ -154,7 +154,7 @@ class KvFixture : public ::testing::Test
         dcfg.size = size_t{1} << 28;
         dcfg.shadow = true;
         dev_ = std::make_unique<PmDevice>(dcfg);
-        alloc_ = std::make_unique<NvAlloc>(*dev_, sweepConfig());
+        alloc_ = NvAlloc::openOrDie(*dev_, sweepConfig());
         ctx_ = alloc_->attachThread();
         ASSERT_NE(ctx_, nullptr);
         KvOptions ko;
@@ -358,14 +358,16 @@ TEST(KvOpen, GcVariantAndOccupiedRootRefused)
         PmDevice dev(dcfg);
         NvAllocConfig cfg;
         cfg.consistency = Consistency::Gc;
-        NvAlloc alloc(dev, cfg);
+        auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+        NvAlloc &alloc = *alloc_h;
         KvStatus why;
         EXPECT_EQ(KvStore::open(alloc, KvOptions{}, &why), nullptr);
         EXPECT_EQ(why, KvStatus::Invalid);
     }
     {
         PmDevice dev(dcfg);
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         ASSERT_NE(ctx, nullptr);
         // Root word 0 already anchors something that is not a super.
@@ -399,7 +401,8 @@ TEST(KvHardening, EraseRoutesThroughQuarantineWithoutUaf)
     // A handful of records never fills a slab past the threshold, so
     // pin morphing off to observe the quarantine routing itself.
     cfg.slab_morphing = false;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
     KvOptions ko;
@@ -440,7 +443,8 @@ TEST(KvContracts, DegradedHeapRefusesOps)
     PmDevice dev(dcfg);
     NvAllocConfig cfg;
     cfg.fault_containment = true;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
     auto store = KvStore::open(alloc, KvOptions{});
@@ -465,7 +469,8 @@ TEST(KvContracts, QuotaExceededIsNotAnAbort)
     NvAllocConfig cfg;
     cfg.fault_containment = true;
     cfg.capacity_quota_bytes = uint64_t{1} << 18; // 256 KB
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     ASSERT_NE(ctx, nullptr);
     KvOptions ko;
@@ -600,7 +605,8 @@ TEST(Ycsb, EveryWorkloadRunsCleanly)
         PmDeviceConfig dcfg;
         dcfg.size = size_t{1} << 29;
         PmDevice dev(dcfg);
-        NvAlloc alloc(dev, sweepConfig());
+        auto alloc_h = NvAlloc::openOrDie(dev, sweepConfig());
+        NvAlloc &alloc = *alloc_h;
         KvOptions ko;
         ko.buckets = 2048;
         auto store = KvStore::open(alloc, ko);
@@ -644,7 +650,8 @@ TEST(Ycsb, SingleThreadRunIsDeterministic)
         PmDeviceConfig dcfg;
         dcfg.size = size_t{1} << 29;
         PmDevice dev(dcfg);
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         KvOptions ko;
         ko.buckets = 2048;
         auto store = KvStore::open(alloc, ko);
@@ -721,7 +728,8 @@ runKvCrashPoint(unsigned nth)
     bool triggered = false;
 
     {
-        NvAlloc alloc(dev, sweepConfig());
+        auto alloc_h = NvAlloc::openOrDie(dev, sweepConfig());
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         if (ctx == nullptr) {
             ADD_FAILURE() << "attach failed during setup";
@@ -829,7 +837,8 @@ runKvCrashPoint(unsigned nth)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev, sweepConfig());
+    auto again_h = NvAlloc::openOrDie(dev, sweepConfig());
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().performed);
     KvStatus why;
     auto store = KvStore::open(again, KvOptions{}, &why);
@@ -953,7 +962,8 @@ runYcsbCrashPoint(YcsbWorkload w, unsigned nth)
     spec.op_count = 1500;
     bool triggered = false;
     {
-        NvAlloc alloc(dev, sweepConfig());
+        auto alloc_h = NvAlloc::openOrDie(dev, sweepConfig());
+        NvAlloc &alloc = *alloc_h;
         KvOptions ko;
         ko.buckets = 1024;
         auto store = KvStore::open(alloc, ko);
@@ -975,7 +985,8 @@ runYcsbCrashPoint(YcsbWorkload w, unsigned nth)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev, sweepConfig());
+    auto again_h = NvAlloc::openOrDie(dev, sweepConfig());
+    NvAlloc &again = *again_h;
     KvStatus why;
     auto store = KvStore::open(again, KvOptions{}, &why);
     if (store == nullptr) {

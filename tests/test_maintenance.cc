@@ -285,7 +285,7 @@ TEST(Maintenance, ThreadModeShutdownUnderChurn)
     cfg.log_file_bytes = 64 * 1024;
     cfg.log_gc_threshold = 0.5;
 
-    auto alloc = std::make_unique<NvAlloc>(dev, cfg);
+    auto alloc = NvAlloc::openOrDie(dev, cfg);
     ASSERT_EQ(alloc->openStatus(), NvStatus::Ok);
 
     std::vector<std::thread> workers;
@@ -429,7 +429,7 @@ TEST(OpenFactory, RejectsInvalidConfigWithoutTouchingDevice)
     EXPECT_FALSE(ok.heap->lastRecovery().performed);
 }
 
-TEST(OpenFactory, DeprecatedConstructorAgreesWithOpen)
+TEST(OpenFactory, OpenOrDieAgreesWithOpen)
 {
     PmDeviceConfig dcfg;
     dcfg.size = size_t{64} << 20;
@@ -444,16 +444,17 @@ TEST(OpenFactory, DeprecatedConstructorAgreesWithOpen)
         EXPECT_EQ(r.heap->freeOffset(*ctx, off, nullptr), NvStatus::Ok);
         r.heap->detachThread(ctx);
     }
-    // Same device, legacy two-step construction: recovery of the clean
-    // shutdown, identical observable state.
-    NvAlloc legacy(dev, maintConfig(MaintenanceMode::Off));
-    EXPECT_EQ(legacy.openStatus(), NvStatus::Ok);
-    EXPECT_TRUE(legacy.lastRecovery().performed);
-    ThreadCtx *ctx = legacy.attachThread();
+    // Same device, the assert-on-misuse convenience factory (which
+    // replaced the retired two-step constructor): recovery of the
+    // clean shutdown, identical observable state.
+    auto again = NvAlloc::openOrDie(dev, maintConfig(MaintenanceMode::Off));
+    EXPECT_EQ(again->openStatus(), NvStatus::Ok);
+    EXPECT_TRUE(again->lastRecovery().performed);
+    ThreadCtx *ctx = again->attachThread();
     ASSERT_NE(ctx, nullptr);
-    uint64_t off = legacy.allocOffset(*ctx, 256, nullptr);
+    uint64_t off = again->allocOffset(*ctx, 256, nullptr);
     EXPECT_NE(off, 0u);
-    legacy.detachThread(ctx);
+    again->detachThread(ctx);
 }
 
 // ---------------------------------------------------------------------

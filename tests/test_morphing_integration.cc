@@ -33,7 +33,7 @@ struct MorphRig
         NvAllocConfig cfg;
         cfg.morph_threshold = threshold;
         cfg.num_arenas = 1; // deterministic slab placement
-        alloc = std::make_unique<NvAlloc>(*dev, cfg);
+        alloc = NvAlloc::openOrDie(*dev, cfg);
         ctx = alloc->attachThread();
     }
 
@@ -178,7 +178,8 @@ TEST(MorphIntegration, CrashAfterMorphRecoversBothClasses)
 
     NvAllocConfig cfg;
     cfg.num_arenas = 1;
-    NvAlloc again(dev, cfg);
+    auto again_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().after_failure);
 
     // Old-class survivors are intact and classified as old blocks...

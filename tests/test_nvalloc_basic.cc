@@ -25,7 +25,7 @@ class NvAllocBasic : public ::testing::Test
         PmDeviceConfig dcfg;
         dcfg.size = size_t{1} << 30;
         dev_ = std::make_unique<PmDevice>(dcfg);
-        alloc_ = std::make_unique<NvAlloc>(*dev_);
+        alloc_ = NvAlloc::openOrDie(*dev_);
         ctx_ = alloc_->attachThread();
     }
 
@@ -94,7 +94,8 @@ TEST_F(NvAllocBasic, FreeRefillsTcacheAndReusesBlocks)
     PmDeviceConfig dcfg;
     dcfg.size = size_t{1} << 29;
     PmDevice dev2(dcfg);
-    NvAlloc lifo(dev2, cfg);
+    auto lifo_h = NvAlloc::openOrDie(dev2, cfg);
+    NvAlloc &lifo = *lifo_h;
     ThreadCtx *ctx = lifo.attachThread();
     uint64_t a = lifo.allocOffset(*ctx, 64, nullptr);
     lifo.freeOffset(*ctx, a, nullptr);

@@ -356,7 +356,8 @@ TEST_P(PatrolCrashMatrix, RecoversAuditCleanFromPatrolSliceCrash)
     PmDevice dev(dcfg);
 
     {
-        NvAlloc alloc(dev, cfg);
+        auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
 
         // Seeded mixed workload so the patrol has slabs to walk.
@@ -397,7 +398,8 @@ TEST_P(PatrolCrashMatrix, RecoversAuditCleanFromPatrolSliceCrash)
 
     // Recovery must complete; damage the patrol had not yet durably
     // repaired is contained (slab quarantined), never fatal.
-    NvAlloc again(dev, cfg);
+    auto again_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().performed);
 
     HeapAuditor auditor(again);

@@ -35,7 +35,8 @@ TEST(Recovery, NormalShutdownRebuildsEverything)
     PmDevice dev(shadowCfg());
     std::vector<uint64_t> offs;
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         uint64_t *root = alloc.rootWord(0);
         for (int i = 0; i < 300; ++i) {
@@ -48,7 +49,8 @@ TEST(Recovery, NormalShutdownRebuildsEverything)
         alloc.detachThread(ctx);
     } // clean shutdown
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().performed);
     EXPECT_FALSE(again.lastRecovery().after_failure);
     EXPECT_GE(again.lastRecovery().slabs_rebuilt, 1u);
@@ -68,7 +70,8 @@ TEST(Recovery, CrashRecoveryLogVariantResolvesInFlightOps)
     PmDevice dev(shadowCfg());
     uint64_t committed = 0;
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         uint64_t *root = alloc.rootWord(0);
         alloc.mallocTo(*ctx, 128, root);
@@ -79,7 +82,8 @@ TEST(Recovery, CrashRecoveryLogVariantResolvesInFlightOps)
         // mattering — the device already rolled back.
     }
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().performed);
     EXPECT_TRUE(again.lastRecovery().after_failure);
 
@@ -105,7 +109,8 @@ TEST(Recovery, LogVariantLeaksNothingOnVolatileAttach)
     // must be rolled back by WAL replay.
     PmDevice dev(shadowCfg());
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         uint64_t volatile_word = 0; // DRAM attach: commit never lands
         alloc.allocOffset(*ctx, 128, &volatile_word);
@@ -114,7 +119,8 @@ TEST(Recovery, LogVariantLeaksNothingOnVolatileAttach)
         (void)ctx;
     }
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().after_failure);
     EXPECT_EQ(liveSmallBlocks(again), 0u) << "torn alloc leaked";
     EXPECT_GE(again.lastRecovery().wal_undos, 1u);
@@ -127,7 +133,8 @@ TEST(Recovery, GcVariantCollectsUnreachableBlocks)
     cfg.consistency = Consistency::Gc;
     uint64_t reachable = 0;
     {
-        NvAlloc alloc(dev, cfg);
+        auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         uint64_t *root = alloc.rootWord(0);
 
@@ -150,7 +157,8 @@ TEST(Recovery, GcVariantCollectsUnreachableBlocks)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev, cfg);
+    auto again_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().after_failure);
     // GC kept exactly the two reachable blocks.
     EXPECT_EQ(liveSmallBlocks(again), 2u);
@@ -164,7 +172,8 @@ TEST(Recovery, RepeatedCrashRecoverCycles)
     std::vector<uint64_t> survivors;
 
     for (int round = 0; round < 5; ++round) {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
 
         // All previous survivors must still be intact.
@@ -183,7 +192,8 @@ TEST(Recovery, RepeatedCrashRecoverCycles)
         alloc.simulateCrash();
     }
 
-    NvAlloc final_alloc(dev);
+    auto final_alloc_h = NvAlloc::openOrDie(dev);
+    NvAlloc &final_alloc = *final_alloc_h;
     EXPECT_EQ(liveSmallBlocks(final_alloc), survivors.size());
 }
 
@@ -192,7 +202,8 @@ TEST(Recovery, LargeExtentsSurviveCrash)
     PmDevice dev(shadowCfg());
     uint64_t big = 0;
     {
-        NvAlloc alloc(dev);
+        auto alloc_h = NvAlloc::openOrDie(dev);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         alloc.mallocTo(*ctx, 512 * 1024, alloc.rootWord(0));
         big = *alloc.rootWord(0);
@@ -201,7 +212,8 @@ TEST(Recovery, LargeExtentsSurviveCrash)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     Veh *veh = again.large().findVeh(big);
     ASSERT_NE(veh, nullptr);
     EXPECT_EQ(veh->state, Veh::State::Activated);
@@ -222,7 +234,8 @@ TEST(Recovery, MorphFlagUndoneAfterCrash)
     {
         NvAllocConfig cfg;
         cfg.morph_threshold = 0.5;
-        NvAlloc alloc(dev, cfg);
+        auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         uint64_t *root = alloc.rootWord(0);
 
@@ -241,7 +254,8 @@ TEST(Recovery, MorphFlagUndoneAfterCrash)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     for (unsigned i = 0; i < again.numArenas(); ++i) {
         again.arena(i).forEachSlab([&](VSlab *slab) {
             EXPECT_EQ(slab->header()->flag, 0);

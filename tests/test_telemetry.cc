@@ -251,7 +251,7 @@ class TelemetryHeap : public ::testing::Test
         PmDeviceConfig dcfg;
         dcfg.size = size_t{1} << 28;
         dev_ = std::make_unique<PmDevice>(dcfg);
-        alloc_ = std::make_unique<NvAlloc>(*dev_);
+        alloc_ = NvAlloc::openOrDie(*dev_);
         ctx_ = alloc_->attachThread();
         ASSERT_NE(ctx_, nullptr);
     }
@@ -381,7 +381,8 @@ TEST_F(TelemetryHeap, ConfigDisableZeroesEverything)
     PmDevice dev(dcfg);
     NvAllocConfig cfg;
     cfg.telemetry = false;
-    NvAlloc quiet(dev, cfg);
+    auto quiet_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &quiet = *quiet_h;
     ThreadCtx *ctx = quiet.attachThread();
     ASSERT_NE(ctx, nullptr);
 

@@ -79,7 +79,7 @@ class TxFixture : public ::testing::Test
         dcfg.size = size_t{1} << 28;
         dcfg.shadow = true;
         dev_ = std::make_unique<PmDevice>(dcfg);
-        alloc_ = std::make_unique<NvAlloc>(*dev_, sweepConfig());
+        alloc_ = NvAlloc::openOrDie(*dev_, sweepConfig());
         ctx_ = alloc_->attachThread();
         ASSERT_NE(ctx_, nullptr);
     }
@@ -342,7 +342,8 @@ TEST_F(TxFixture, DegradedHeapRejectsTx)
     // Corrupt the superblock body so the reopen degrades.
     auto *sb_bytes = static_cast<uint8_t *>(dev_->at(0));
     sb_bytes[16] ^= 0xff;
-    NvAlloc degraded(*dev_, sweepConfig());
+    auto degraded_h = NvAlloc::openOrDie(*dev_, sweepConfig());
+    NvAlloc &degraded = *degraded_h;
     ASSERT_EQ(degraded.openStatus(), NvStatus::CorruptMetadata);
     EXPECT_EQ(degraded.txRejected(), NvStatus::InvalidArgument);
     EXPECT_EQ(degraded.lastStatus(), NvStatus::InvalidArgument);
@@ -528,7 +529,8 @@ runTxCrashPoint(TxShape shape, bool at_fence, unsigned nth)
     bool triggered = false;
 
     {
-        NvAlloc alloc(dev, sweepConfig());
+        auto alloc_h = NvAlloc::openOrDie(dev, sweepConfig());
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         if (ctx == nullptr) {
             ADD_FAILURE() << "attach failed during setup";
@@ -647,7 +649,8 @@ runTxCrashPoint(TxShape shape, bool at_fence, unsigned nth)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev, sweepConfig());
+    auto again_h = NvAlloc::openOrDie(dev, sweepConfig());
+    NvAlloc &again = *again_h;
     const RecoveryReport &rec = again.lastRecovery();
     EXPECT_TRUE(rec.performed);
     auto *slots = static_cast<uint64_t *>(again.at(table_off));

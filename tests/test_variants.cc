@@ -28,7 +28,8 @@ icConfig()
 TEST(InternalCollection, EnumeratesExactlyTheLiveObjects)
 {
     PmDevice dev;
-    NvAlloc alloc(dev, icConfig());
+    auto alloc_h = NvAlloc::openOrDie(dev, icConfig());
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
 
     std::set<uint64_t> expect;
@@ -59,7 +60,8 @@ TEST(InternalCollection, EnumeratesExactlyTheLiveObjects)
 TEST(InternalCollection, NoWalFlushesOnSmallPath)
 {
     PmDevice dev;
-    NvAlloc alloc(dev, icConfig());
+    auto alloc_h = NvAlloc::openOrDie(dev, icConfig());
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
     // Warm the tcache so the measured ops are pure hot path.
     uint64_t warm = alloc.allocOffset(*ctx, 64, nullptr);
@@ -81,7 +83,8 @@ TEST(InternalCollection, NothingIsLostAfterCrashWithoutAttachWords)
     PmDevice dev(dcfg);
     std::set<uint64_t> committed;
     {
-        NvAlloc alloc(dev, icConfig());
+        auto alloc_h = NvAlloc::openOrDie(dev, icConfig());
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         // No attach words at all: under LOG this would leak and be
         // rolled back; under IC the objects stay enumerable.
@@ -90,7 +93,8 @@ TEST(InternalCollection, NothingIsLostAfterCrashWithoutAttachWords)
         alloc.simulateCrash();
     }
 
-    NvAlloc again(dev, icConfig());
+    auto again_h = NvAlloc::openOrDie(dev, icConfig());
+    NvAlloc &again = *again_h;
     EXPECT_TRUE(again.lastRecovery().after_failure);
     std::set<uint64_t> seen;
     again.forEachAllocated(
@@ -111,7 +115,8 @@ TEST(InternalCollection, EnumerationIncludesMorphOldBlocks)
     PmDevice dev;
     NvAllocConfig cfg = icConfig();
     cfg.num_arenas = 1;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
     ThreadCtx *ctx = alloc.attachThread();
 
     // Sparse 64 B population, then 1 KB demand to force morphing.
@@ -163,7 +168,8 @@ TEST(DynamicStripes, NewSlabsFollowConcurrency)
     NvAllocConfig cfg;
     cfg.dynamic_stripes = true;
     cfg.num_arenas = 1;
-    NvAlloc alloc(dev, cfg);
+    auto alloc_h = NvAlloc::openOrDie(dev, cfg);
+    NvAlloc &alloc = *alloc_h;
 
     // One attached thread: slabs use 6 stripes.
     ThreadCtx *ctx = alloc.attachThread();

@@ -582,7 +582,8 @@ ChaosHarness::run()
     donor_cfg.size = opt_.device_mb << 20;
     PmDevice donor_dev(donor_cfg);
     NvAllocConfig donor_heap_cfg;
-    NvAlloc donor(donor_dev, donor_heap_cfg);
+    auto donor_h = NvAlloc::openOrDie(donor_dev, donor_heap_cfg);
+    NvAlloc &donor = *donor_h;
     ThreadCtx *donor_ctx = donor.attachThread();
     if (!donor_ctx) {
         error_ = "donor heap attach failed";
@@ -616,7 +617,8 @@ ChaosHarness::run()
         fp.word_granularity = true;
         dev.enableFaultInjection(fp);
 
-        NvAlloc heap(dev, config());
+        auto heap_h = NvAlloc::openOrDie(dev, config());
+        NvAlloc &heap = *heap_h;
         if (heap.openStatus() != NvStatus::Ok)
             return fail(round, ev, "heap failed to open");
         ThreadCtx *ctx = heap.attachThread();
@@ -761,7 +763,8 @@ ChaosHarness::run()
     // Final life: everything still frees cleanly, and the emptied heap
     // audits clean — the soak converged.
     {
-        NvAlloc heap(dev, config());
+        auto heap_h = NvAlloc::openOrDie(dev, config());
+        NvAlloc &heap = *heap_h;
         if (heap.openStatus() != NvStatus::Ok) {
             error_ = "final open failed";
             return false;

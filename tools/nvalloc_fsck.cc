@@ -306,7 +306,8 @@ main(int argc, char **argv)
 
     // Phase 1: build a heap with real history on the device.
     {
-        NvAlloc alloc(dev, makeConfig(o));
+        auto alloc_h = NvAlloc::openOrDie(dev, makeConfig(o));
+        NvAlloc &alloc = *alloc_h;
         ThreadCtx *ctx = alloc.attachThread();
         if (!ctx) {
             std::fprintf(stderr, "fsck: could not attach build thread\n");
@@ -321,7 +322,8 @@ main(int argc, char **argv)
     }
 
     // Phase 2: reopen (runs recovery) and inject the requested damage.
-    NvAlloc alloc(dev, makeConfig(o));
+    auto alloc_h = NvAlloc::openOrDie(dev, makeConfig(o));
+    NvAlloc &alloc = *alloc_h;
     if (alloc.openStatus() != NvStatus::Ok) {
         std::fprintf(stderr, "fsck: heap failed to open: %s\n",
                      nvStatusName(alloc.openStatus()));
@@ -418,6 +420,7 @@ main(int argc, char **argv)
                    ",\"final_audit\":" + rep.json();
         doc += ",\"tx\":" + alloc.txJson();
         doc += ",\"hardening\":" + alloc.hardening().json();
+        doc += ",\"fastpath\":" + alloc.fastpathJson();
         doc += ",\"stats\":" + alloc.statsJson() + "}";
         std::printf("%s\n", doc.c_str());
         return verdict(initial_clean, rep.clean());

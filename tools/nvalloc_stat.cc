@@ -45,6 +45,7 @@ struct Options
     bool tx = false;        //!< transactional traffic + tx section
     bool health = false;    //!< patrol-scrub + health report section
     bool kv = false;        //!< KV service traffic + stats.kv section
+    bool fastpath = false;  //!< stats.fastpath report section
     size_t trace = 0;    //!< per-thread event-ring capacity
     size_t device_mb = 256;
     unsigned ops = 20000;
@@ -77,6 +78,9 @@ usage(const char *argv0)
         "  --kv           open the KV service on the heap, run mixed\n"
         "                 put/get/erase traffic, and append the\n"
         "                 stats.kv report section (LOG variant only)\n"
+        "  --fastpath     append the lock-free small-path report\n"
+        "                 (reservation hits/misses, CAS retries,\n"
+        "                 region steals, refill searches)\n"
         "  --trace N      arm per-thread event rings of N events and\n"
         "                 dump the merged trace\n"
         "  --ctl NAME     read one ctl leaf (repeatable)\n"
@@ -113,6 +117,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.health = true;
         } else if (a == "--kv") {
             o.kv = true;
+        } else if (a == "--fastpath") {
+            o.fastpath = true;
         } else if (a == "--list") {
             o.list = true;
             // Optional prefix: consume the next token unless it is
@@ -280,7 +286,8 @@ main(int argc, char **argv)
         // Build a first life whose shutdown is dirty, so the reporting
         // instance below runs failure recovery and the stats.recovery.*
         // family is populated.
-        NvAlloc first(dev, makeConfig(o));
+        auto first_h = NvAlloc::openOrDie(dev, makeConfig(o));
+        NvAlloc &first = *first_h;
         ThreadCtx *ctx = first.attachThread();
         if (!ctx) {
             std::fprintf(stderr, "stat: could not attach build thread\n");
@@ -290,7 +297,8 @@ main(int argc, char **argv)
         first.dirtyRestart();
     }
 
-    NvAlloc alloc(dev, makeConfig(o));
+    auto alloc_h = NvAlloc::openOrDie(dev, makeConfig(o));
+    NvAlloc &alloc = *alloc_h;
     if (alloc.openStatus() != NvStatus::Ok) {
         std::fprintf(stderr, "stat: heap failed to open: %s\n",
                      nvStatusName(alloc.openStatus()));
@@ -423,6 +431,12 @@ main(int argc, char **argv)
             std::printf("%s\n", alloc.healthJson().c_str());
         else
             std::printf("health: %s\n", alloc.healthJson().c_str());
+    }
+    if (o.fastpath) {
+        if (o.json)
+            std::printf("%s\n", alloc.fastpathJson().c_str());
+        else
+            std::printf("fastpath: %s\n", alloc.fastpathJson().c_str());
     }
     if (kv) {
         if (o.json)

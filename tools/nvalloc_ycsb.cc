@@ -89,7 +89,8 @@ runOne(const Options &o, YcsbWorkload w, unsigned threads,
     PmDeviceConfig dcfg;
     dcfg.size = size_t{4} << 30;
     PmDevice dev(dcfg);
-    NvAlloc heap(dev);
+    auto heap_h = NvAlloc::openOrDie(dev);
+    NvAlloc &heap = *heap_h;
     YcsbSpec spec = makeSpec(o, w, threads);
 
     KvOptions ko;
@@ -164,7 +165,8 @@ runCrashSmoke(const Options &o)
 
     bool triggered = false;
     {
-        NvAlloc heap(dev);
+        auto heap_h = NvAlloc::openOrDie(dev);
+        NvAlloc &heap = *heap_h;
         KvOptions ko;
         ko.buckets = records;
         auto store = KvStore::open(heap, ko);
@@ -187,7 +189,8 @@ runCrashSmoke(const Options &o)
         heap.simulateCrash();
     }
 
-    NvAlloc again(dev);
+    auto again_h = NvAlloc::openOrDie(dev);
+    NvAlloc &again = *again_h;
     KvStatus why;
     auto store = KvStore::open(again, KvOptions{}, &why);
     if (!store) {

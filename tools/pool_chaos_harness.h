@@ -138,7 +138,8 @@ PoolChaosHarness::runPool()
     donor_dcfg.size = opt_.device_mb << 20;
     PmDevice donor_dev(donor_dcfg);
     NvAllocConfig donor_cfg;
-    NvAlloc donor(donor_dev, donor_cfg);
+    auto donor_h = NvAlloc::openOrDie(donor_dev, donor_cfg);
+    NvAlloc &donor = *donor_h;
     ThreadCtx *donor_ctx = donor.attachThread();
     if (!donor_ctx) {
         error_ = "donor heap attach failed";
